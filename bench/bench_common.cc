@@ -1,0 +1,125 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vcd::bench {
+
+BenchOptions BenchOptions::Parse(int argc, char** argv, double default_scale) {
+  BenchOptions bo;
+  bo.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      bo.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      bo.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale=F] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  if (bo.scale <= 0) {
+    std::fprintf(stderr, "invalid --scale\n");
+    std::exit(1);
+  }
+  return bo;
+}
+
+const std::vector<vcd::video::DcFrame>& QueryBank::Frames(int qi) {
+  auto it = frames_.find(qi);
+  if (it == frames_.end()) {
+    it = frames_.emplace(qi, ds_->QueryKeyFrames(qi)).first;
+  }
+  return it->second;
+}
+
+const std::vector<QueryCells>& QueryBank::Cells(
+    const features::FingerprintOptions& opts) {
+  const auto key = std::make_tuple(opts.feature.d, opts.u, static_cast<int>(opts.scheme));
+  auto it = cells_.find(key);
+  if (it != cells_.end()) return it->second;
+  auto fp = features::FrameFingerprinter::Create(opts);
+  VCD_CHECK(fp.ok(), fp.status().ToString());
+  std::vector<QueryCells> out;
+  out.reserve(static_cast<size_t>(ds_->num_queries()));
+  for (int qi = 0; qi < ds_->num_queries(); ++qi) {
+    QueryCells qc;
+    qc.id = ds_->query_spec(qi).id;
+    qc.duration_seconds = ds_->query_spec(qi).duration_seconds;
+    qc.cells = fp->FingerprintSequence(Frames(qi));
+    out.push_back(std::move(qc));
+  }
+  return cells_.emplace(key, std::move(out)).first->second;
+}
+
+Result<workload::Dataset> BuildDataset(const BenchOptions& bo, int num_query_only,
+                                       double max_short_seconds,
+                                       bool distinct_content) {
+  workload::DatasetOptions opts;
+  opts.max_short_seconds = max_short_seconds;
+  opts.distinct_content = distinct_content;
+  opts = opts.Scaled(bo.scale);
+  opts.num_query_only = num_query_only;
+  opts.seed = bo.seed;
+  // At small scales the inserted shorts must still fit between base
+  // content; trim the maximum short length so they occupy at most ~60 % of
+  // the stream.
+  const double cap = 0.6 * opts.total_seconds / opts.num_shorts;
+  if (opts.max_short_seconds > cap) {
+    opts.max_short_seconds = std::max(cap, opts.min_short_seconds + 1.0);
+    if (opts.max_short_seconds <= opts.min_short_seconds) {
+      opts.min_short_seconds = opts.max_short_seconds / 2.0;
+    }
+  }
+  return workload::Dataset::Build(opts);
+}
+
+core::DetectorConfig Table1Config() {
+  core::DetectorConfig c;
+  c.K = 800;
+  c.fingerprint.feature.d = 5;
+  c.fingerprint.u = 4;
+  c.delta = 0.7;
+  c.window_seconds = 5.0;
+  c.lambda = 2.0;
+  c.representation = core::Representation::kBit;
+  c.order = core::CombinationOrder::kSequential;
+  c.use_index = true;
+  return c;
+}
+
+Result<workload::RunResult> RunMethod(core::CopyDetector* det, QueryBank* bank,
+                                      const workload::StreamData& stream, int m) {
+  const auto& cells = bank->Cells(det->config().fingerprint);
+  const int n = m < 0 ? static_cast<int>(cells.size())
+                      : std::min<int>(m, static_cast<int>(cells.size()));
+  for (int q = 0; q < n; ++q) {
+    VCD_RETURN_IF_ERROR(
+        det->AddQueryCells(cells[static_cast<size_t>(q)].id,
+                           cells[static_cast<size_t>(q)].cells,
+                           cells[static_cast<size_t>(q)].duration_seconds));
+  }
+  return workload::RunDetector(det, stream);
+}
+
+std::string MethodName(const core::DetectorConfig& c) {
+  std::string s = core::RepresentationName(c.representation);
+  s += c.use_index ? "Index" : "NoIndex";
+  s += "/";
+  s += core::CombinationOrderName(c.order);
+  return s;
+}
+
+void PrintBanner(const char* title, const BenchOptions& bo,
+                 const workload::Dataset& ds) {
+  std::printf("=== %s ===\n", title);
+  std::printf(
+      "workload: scale=%.3f of the paper's 12h/200-short setup -> %d inserted "
+      "shorts (+%d query-only), stream %.1f min, seed=%llu\n\n",
+      bo.scale, ds.num_shorts(), ds.num_queries() - ds.num_shorts(),
+      ds.options().total_seconds / 60.0, static_cast<unsigned long long>(bo.seed));
+}
+
+}  // namespace vcd::bench

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/detector.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+#include "workload/dataset.h"
+#include "workload/experiment.h"
+
+/// \file bench_common.h
+/// Shared plumbing for the per-table/figure experiment drivers. Every bench
+/// binary accepts `--scale=<f>` (fraction of the paper's 12-hour / 200-short
+/// workload to run) and `--seed=<n>`, prints the effective workload, and
+/// emits rows in the layout of the paper's table or figure.
+
+namespace vcd::bench {
+
+/// Command-line options common to all drivers.
+struct BenchOptions {
+  double scale;
+  uint64_t seed = 42;
+
+  /// Parses `--scale=` / `--seed=` from argv, with \p default_scale.
+  static BenchOptions Parse(int argc, char** argv, double default_scale);
+};
+
+/// The fingerprinted cell sequence of one query.
+struct QueryCells {
+  int id = 0;
+  std::vector<features::CellId> cells;
+  double duration_seconds = 0.0;
+};
+
+/// \brief Renders each query's key frames once and fingerprints them on
+/// demand per fingerprint configuration (cached).
+class QueryBank {
+ public:
+  explicit QueryBank(const workload::Dataset* ds) : ds_(ds) {}
+
+  /// Cells of all queries under \p opts.
+  const std::vector<QueryCells>& Cells(const features::FingerprintOptions& opts);
+
+  /// Key frames of query \p qi (rendered once, cached).
+  const std::vector<vcd::video::DcFrame>& Frames(int qi);
+
+ private:
+  const workload::Dataset* ds_;
+  std::map<int, std::vector<vcd::video::DcFrame>> frames_;
+  std::map<std::tuple<int, int, int>, std::vector<QueryCells>> cells_;
+};
+
+/// Builds the paper's workload at the given scale. \p num_query_only adds
+/// extra never-inserted queries (for m sweeps beyond the inserted count).
+/// \p max_short_seconds trims query lengths for memory-heavy sweeps.
+/// \p distinct_content selects the independent-composition content regime.
+Result<workload::Dataset> BuildDataset(const BenchOptions& bo, int num_query_only = 0,
+                                       double max_short_seconds = 300.0,
+                                       bool distinct_content = false);
+
+/// Detector defaults per the paper's Table I.
+core::DetectorConfig Table1Config();
+
+/// Subscribes the first \p m queries from \p bank (cells under the
+/// detector's own fingerprint options) and replays \p stream.
+Result<workload::RunResult> RunMethod(core::CopyDetector* det, QueryBank* bank,
+                                      const workload::StreamData& stream, int m);
+
+/// "Sketch"/"Bit" + "Index"/"NoIndex" + order, as used in figure legends.
+std::string MethodName(const core::DetectorConfig& c);
+
+/// Prints the standard bench banner.
+void PrintBanner(const char* title, const BenchOptions& bo,
+                 const workload::Dataset& ds);
+
+}  // namespace vcd::bench

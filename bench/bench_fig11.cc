@@ -1,0 +1,44 @@
+/// \file bench_fig11.cc
+/// Reproduces **Figure 11**: precision and recall of BitIndex/Sequential vs
+/// the basic window size w (5–20 s) on VS1 and VS2 (paper §VI-D).
+///
+/// Expected shape: both precision and recall decrease as w grows (longer
+/// windows blur candidate boundaries and lengthen candidate sequences).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace vcd;
+using namespace vcd::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions bo = BenchOptions::Parse(argc, argv, /*default_scale=*/0.08);
+  auto ds = BuildDataset(bo);
+  VCD_CHECK(ds.ok(), ds.status().ToString());
+  PrintBanner("Figure 11: precision/recall vs basic window size w", bo, *ds);
+
+  QueryBank bank(&*ds);
+  for (auto variant : {workload::StreamVariant::kVS1, workload::StreamVariant::kVS2}) {
+    const bool vs1 = variant == workload::StreamVariant::kVS1;
+    std::printf("--- %s ---\n", vs1 ? "VS1 (original copies)" : "VS2 (edited copies)");
+    workload::StreamData stream = ds->BuildStream(variant);
+    TablePrinter table({"w (s)", "precision", "recall", "detections"});
+    for (double w : {5.0, 8.0, 12.0, 16.0, 20.0}) {
+      core::DetectorConfig c = Table1Config();
+      c.window_seconds = w;
+      auto det = core::CopyDetector::Create(c);
+      VCD_CHECK(det.ok(), det.status().ToString());
+      auto run = RunMethod(det->get(), &bank, stream, -1);
+      VCD_CHECK(run.ok(), run.status().ToString());
+      table.AddRow({TablePrinter::Fmt(w, 0),
+                    TablePrinter::Fmt(run->eval.pr.precision, 3),
+                    TablePrinter::Fmt(run->eval.pr.recall, 3),
+                    TablePrinter::Fmt(int64_t{run->eval.num_detections})});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("expected shape: precision and recall decline as w grows.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file bench_fig9.cc
+/// Reproduces **Figure 9**: CPU time vs the number of continuous queries m
+/// (10–200) for Sketch/Bit × Index/NoIndex, under both combination orders,
+/// on VS1 (paper §VI-C).
+///
+/// Expected shape: the no-index methods grow roughly linearly with m; the
+/// indexed methods stay nearly flat; in Geometric order, SketchIndex beats
+/// even BitNoIndex once m ≳ 100.
+///
+/// The run is repeated in two content regimes. With a *shared visual
+/// vocabulary* (default workload), many queries are weakly related to every
+/// window, so the related-query tracking itself scales with m and the
+/// index's advantage compresses. With *distinct content*, unrelated videos
+/// share almost no cells and the index probe touches only genuinely related
+/// queries — the regime the paper's Fig. 9 shows.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace vcd;
+using namespace vcd::bench;
+
+namespace {
+
+void RunRegime(const BenchOptions& bo, bool distinct) {
+  auto probe = BuildDataset(bo, 0, 90.0, distinct);
+  VCD_CHECK(probe.ok(), probe.status().ToString());
+  const int extras = std::max(0, 200 - probe->num_shorts());
+  auto ds = BuildDataset(bo, extras, 90.0, distinct);
+  VCD_CHECK(ds.ok(), ds.status().ToString());
+  std::printf("### content regime: %s ###\n",
+              distinct ? "distinct compositions (selective index)"
+                       : "shared visual vocabulary (default workload)");
+  PrintBanner("Figure 9: CPU time vs number of queries m (VS1)", bo, *ds);
+
+  workload::StreamData vs1 = ds->BuildStream(workload::StreamVariant::kVS1);
+  QueryBank bank(&*ds);
+
+  const int ms[] = {10, 25, 50, 100, 150, 200};
+  for (auto order :
+       {core::CombinationOrder::kSequential, core::CombinationOrder::kGeometric}) {
+    std::printf("--- %s order ---\n", core::CombinationOrderName(order));
+    TablePrinter table({"m", "SketchNoIndex (s)", "SketchIndex (s)",
+                        "BitNoIndex (s)", "BitIndex (s)"});
+    for (int m : ms) {
+      if (m > ds->num_queries()) break;
+      std::vector<std::string> row = {TablePrinter::Fmt(int64_t{m})};
+      for (auto repr : {core::Representation::kSketch, core::Representation::kBit}) {
+        for (bool use_index : {false, true}) {
+          core::DetectorConfig c = Table1Config();
+          c.representation = repr;
+          c.use_index = use_index;
+          c.order = order;
+          auto det = core::CopyDetector::Create(c);
+          VCD_CHECK(det.ok(), det.status().ToString());
+          auto run = RunMethod(det->get(), &bank, vs1, m);
+          VCD_CHECK(run.ok(), run.status().ToString());
+          row.push_back(TablePrinter::Fmt(run->cpu_seconds, 3));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions bo = BenchOptions::Parse(argc, argv, /*default_scale=*/0.04);
+  RunRegime(bo, /*distinct=*/true);
+  RunRegime(bo, /*distinct=*/false);
+  std::printf(
+      "expected shape (distinct regime): NoIndex methods grow ~linearly in m;\n"
+      "indexed methods nearly flat; SketchIndex < BitNoIndex at large m in\n"
+      "Geometric order. The shared-vocabulary regime compresses the gap\n"
+      "because weakly related queries must be tracked regardless.\n");
+  return 0;
+}

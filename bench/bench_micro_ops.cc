@@ -1,0 +1,211 @@
+/// \file bench_micro_ops.cc
+/// Micro-benchmarks of the primitive costs the paper's Eq. 4 is built from:
+/// C_comp and C_comb for the raw-sketch and bit-signature representations,
+/// min-hash sketching of a basic window, and the Hash-Query index probe.
+/// Also benches the Lemma-2 pruning ablation at the detector level.
+
+#include <benchmark/benchmark.h>
+
+#include "core/detector.h"
+#include "util/logging.h"
+#include "index/hash_query_index.h"
+#include "sketch/bit_signature.h"
+#include "sketch/minhash.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vcd;
+using features::CellId;
+using sketch::BitSignature;
+using sketch::MinHashFamily;
+using sketch::Sketch;
+using sketch::Sketcher;
+
+std::vector<CellId> RandomIds(Rng* rng, size_t n, uint32_t universe = 10240) {
+  std::vector<CellId> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<CellId>(rng->Uniform(universe)));
+  }
+  return out;
+}
+
+void BM_SketchWindow(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(1);
+  auto ids = RandomIds(&rng, 12);  // one 5 s basic window of key frames
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sk.FromSequence(ids));
+  }
+}
+BENCHMARK(BM_SketchWindow)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_SketchCompare(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(2);
+  Sketch a = sk.FromSequence(RandomIds(&rng, 30));
+  Sketch b = sk.FromSequence(RandomIds(&rng, 30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sketcher::Similarity(a, b));
+  }
+}
+BENCHMARK(BM_SketchCompare)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_SketchCombine(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(3);
+  Sketch a = sk.FromSequence(RandomIds(&rng, 30));
+  Sketch b = sk.FromSequence(RandomIds(&rng, 30));
+  for (auto _ : state) {
+    Sketch tmp = a;
+    Sketcher::Combine(&tmp, b);
+    benchmark::DoNotOptimize(tmp);
+  }
+}
+BENCHMARK(BM_SketchCombine)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_BitSimilarity(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(4);
+  BitSignature sig = BitSignature::FromSketches(sk.FromSequence(RandomIds(&rng, 30)),
+                                                sk.FromSequence(RandomIds(&rng, 30)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sig.Similarity());
+  }
+}
+BENCHMARK(BM_BitSimilarity)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_BitOrCombine(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(5);
+  Sketch q = sk.FromSequence(RandomIds(&rng, 30));
+  BitSignature a = BitSignature::FromSketches(sk.FromSequence(RandomIds(&rng, 30)), q);
+  BitSignature b = BitSignature::FromSketches(sk.FromSequence(RandomIds(&rng, 30)), q);
+  for (auto _ : state) {
+    BitSignature tmp = a;
+    tmp.OrWith(b);
+    benchmark::DoNotOptimize(tmp);
+  }
+}
+BENCHMARK(BM_BitOrCombine)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_BuildBitSignature(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(6);
+  Sketch a = sk.FromSequence(RandomIds(&rng, 30));
+  Sketch q = sk.FromSequence(RandomIds(&rng, 30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BitSignature::FromSketches(a, q));
+  }
+}
+BENCHMARK(BM_BuildBitSignature)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_IndexProbe(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = 800;
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(7);
+  std::vector<Sketch> sketches;
+  std::vector<index::QueryInfo> infos;
+  for (int q = 0; q < m; ++q) {
+    sketches.push_back(sk.FromSequence(RandomIds(&rng, 80)));
+    infos.push_back(index::QueryInfo{q + 1, 80});
+  }
+  auto idx = index::HashQueryIndex::Build(sketches, infos).value();
+  Sketch w = sk.FromSequence(RandomIds(&rng, 12));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Probe(w, 0.7));
+  }
+}
+BENCHMARK(BM_IndexProbe)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_BruteForceRelate(benchmark::State& state) {
+  // The no-index equivalent of a probe: build a signature per query.
+  const int m = static_cast<int>(state.range(0));
+  const int k = 800;
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(8);
+  std::vector<Sketch> sketches;
+  for (int q = 0; q < m; ++q) sketches.push_back(sk.FromSequence(RandomIds(&rng, 80)));
+  Sketch w = sk.FromSequence(RandomIds(&rng, 12));
+  for (auto _ : state) {
+    int related = 0;
+    for (const Sketch& qs : sketches) {
+      BitSignature sig = BitSignature::FromSketches(w, qs);
+      related += sig.SatisfiesLemma2(0.7);
+    }
+    benchmark::DoNotOptimize(related);
+  }
+}
+BENCHMARK(BM_BruteForceRelate)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_IndexInsert(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = 800;
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(9);
+  std::vector<Sketch> sketches;
+  std::vector<index::QueryInfo> infos;
+  for (int q = 0; q < m; ++q) {
+    sketches.push_back(sk.FromSequence(RandomIds(&rng, 80)));
+    infos.push_back(index::QueryInfo{q + 1, 80});
+  }
+  Sketch extra = sk.FromSequence(RandomIds(&rng, 80));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto idx = index::HashQueryIndex::Build(sketches, infos).value();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(idx.Insert(extra, index::QueryInfo{m + 1, 80}));
+  }
+}
+BENCHMARK(BM_IndexInsert)->Arg(50)->Arg(200);
+
+/// Lemma-2 pruning ablation: a short synthetic stream through BitNoIndex
+/// with pruning on vs off.
+void BM_DetectorPruning(benchmark::State& state) {
+  const bool pruning = state.range(0) != 0;
+  Rng rng(10);
+  std::vector<CellId> stream_ids = RandomIds(&rng, 600, 9000);
+  std::vector<std::vector<CellId>> queries;
+  for (int q = 0; q < 20; ++q) queries.push_back(RandomIds(&rng, 60, 9000));
+  for (auto _ : state) {
+    core::DetectorConfig c;
+    c.K = 400;
+    c.window_seconds = 4.0;
+    c.representation = core::Representation::kBit;
+    c.use_index = false;
+    c.enable_pruning = pruning;
+    auto det = core::CopyDetector::Create(c).value();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      VCD_CHECK(det->AddQueryCells(static_cast<int>(q) + 1, queries[q], 24.0).ok(),
+                "add");
+    }
+    for (size_t i = 0; i < stream_ids.size(); ++i) {
+      VCD_CHECK(det->ProcessFingerprint(static_cast<int64_t>(i) * 12,
+                                        static_cast<double>(i) / 2.5, stream_ids[i])
+                    .ok(),
+                "feed");
+    }
+    benchmark::DoNotOptimize(det->stats().windows);
+  }
+}
+BENCHMARK(BM_DetectorPruning)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

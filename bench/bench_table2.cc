@@ -1,0 +1,121 @@
+/// \file bench_table2.cc
+/// Reproduces **Table II**: precision (p) and recall (r) of the grid–pyramid
+/// partition for u ∈ [2,7] × d ∈ [3,7], using the exact membership test
+/// (Definition 2, no min-hash): each original short A[i] queries the edited
+/// set B; B[j] is retrieved when sim(A[i], B[j]) ≥ δ, and the only relevant
+/// item is B[i].
+///
+/// Also prints the §III-A partition-scheme ablation (grid vs pyramid vs
+/// grid–pyramid at the default d=5, u=4 granularity equivalents).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sketch/jaccard.h"
+
+using namespace vcd;
+using namespace vcd::bench;
+
+namespace {
+
+struct PR {
+  double p, r;
+};
+
+/// Runs the membership-test retrieval for one fingerprint configuration.
+PR MembershipTest(const std::vector<std::vector<features::CellId>>& a_cells,
+                  const std::vector<std::vector<features::CellId>>& b_cells,
+                  double delta) {
+  const int n = static_cast<int>(a_cells.size());
+  std::vector<sketch::CellIdSet> a_sets, b_sets;
+  for (int i = 0; i < n; ++i) {
+    a_sets.push_back(sketch::CellIdSet::FromSequence(a_cells[static_cast<size_t>(i)]));
+    b_sets.push_back(sketch::CellIdSet::FromSequence(b_cells[static_cast<size_t>(i)]));
+  }
+  int retrieved = 0, correct = 0, found = 0;
+  for (int i = 0; i < n; ++i) {
+    bool self = false;
+    for (int j = 0; j < n; ++j) {
+      if (a_sets[static_cast<size_t>(i)].Jaccard(b_sets[static_cast<size_t>(j)]) >= delta) {
+        ++retrieved;
+        if (i == j) {
+          ++correct;
+          self = true;
+        }
+      }
+    }
+    found += self;
+  }
+  PR pr;
+  pr.p = retrieved > 0 ? static_cast<double>(correct) / retrieved : 0.0;
+  pr.r = n > 0 ? static_cast<double>(found) / n : 0.0;
+  return pr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions bo = BenchOptions::Parse(argc, argv, /*default_scale=*/0.15);
+  auto ds = BuildDataset(bo, 0, /*max_short_seconds=*/180.0);
+  VCD_CHECK(ds.ok(), ds.status().ToString());
+  PrintBanner("Table II: precision/recall of the space partition (u x d)", bo, *ds);
+
+  const double delta = 0.7;
+  const int n = ds->num_shorts();
+  // Render key frames of the original (A) and edited (B) copies once.
+  std::vector<std::vector<vcd::video::DcFrame>> a_frames, b_frames;
+  for (int i = 0; i < n; ++i) {
+    a_frames.push_back(ds->QueryKeyFrames(i));
+    b_frames.push_back(ds->EditedQueryKeyFrames(i));
+  }
+
+  auto run_config = [&](const features::FingerprintOptions& opts) {
+    auto fp = features::FrameFingerprinter::Create(opts);
+    VCD_CHECK(fp.ok(), fp.status().ToString());
+    std::vector<std::vector<features::CellId>> a_cells, b_cells;
+    for (int i = 0; i < n; ++i) {
+      a_cells.push_back(fp->FingerprintSequence(a_frames[static_cast<size_t>(i)]));
+      b_cells.push_back(fp->FingerprintSequence(b_frames[static_cast<size_t>(i)]));
+    }
+    return MembershipTest(a_cells, b_cells, delta);
+  };
+
+  TablePrinter table({"d \\ u", "2", "3", "4", "5", "6", "7"});
+  for (int d = 3; d <= 7; ++d) {
+    std::vector<std::string> row = {TablePrinter::Fmt(int64_t{d})};
+    for (int u = 2; u <= 7; ++u) {
+      features::FingerprintOptions opts;
+      opts.feature.d = d;
+      opts.u = u;
+      PR pr = run_config(opts);
+      row.push_back("p=" + TablePrinter::Fmt(pr.p, 3) + " r=" + TablePrinter::Fmt(pr.r, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf("\npartition-scheme ablation (d=5), delta=%.1f:\n", delta);
+  TablePrinter ab({"scheme", "cells", "precision", "recall"});
+  struct Case {
+    const char* name;
+    features::PartitionScheme scheme;
+    int u;
+  };
+  for (const Case& c :
+       {Case{"pyramid-only", features::PartitionScheme::kPyramid, 4},
+        Case{"grid-only u=4", features::PartitionScheme::kGrid, 4},
+        Case{"grid-only u=6", features::PartitionScheme::kGrid, 6},
+        Case{"grid-pyramid u=4", features::PartitionScheme::kGridPyramid, 4}}) {
+    features::FingerprintOptions opts;
+    opts.feature.d = 5;
+    opts.u = c.u;
+    opts.scheme = c.scheme;
+    auto fp = features::FrameFingerprinter::Create(opts);
+    VCD_CHECK(fp.ok(), fp.status().ToString());
+    PR pr = run_config(opts);
+    ab.AddRow({c.name, TablePrinter::Fmt(static_cast<int64_t>(fp->num_cells())),
+               TablePrinter::Fmt(pr.p, 3), TablePrinter::Fmt(pr.r, 3)});
+  }
+  ab.Print();
+  return 0;
+}

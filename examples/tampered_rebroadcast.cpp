@@ -1,0 +1,158 @@
+/// \file tampered_rebroadcast.cpp
+/// The copyright-enforcement scenario: a pirate channel rebroadcasts a
+/// protected clip after editing it to dodge detection — color/brightness
+/// shifted, noise added, re-encoded at PAL frame rate, and the scenes
+/// *reordered*. This example runs the full pixel-domain pipeline (synthetic
+/// pixels → MPEG-like encoder → bit stream → partial decoder → detector) and
+/// contrasts our set-similarity detector with the rigid `Seq` baseline,
+/// which the reordering defeats.
+
+#include <cstdio>
+
+#include "baseline/seq_matcher.h"
+#include "core/alignment.h"
+#include "core/detector.h"
+#include "util/logging.h"
+#include "video/codec.h"
+#include "video/edit.h"
+#include "video/partial_decoder.h"
+#include "video/scene_model.h"
+#include "video/synthetic.h"
+
+using namespace vcd;
+using namespace vcd::video;
+
+namespace {
+
+constexpr int kW = 176, kH = 120;
+constexpr double kFps = 12.0;
+constexpr int kGop = 6;
+
+VideoBuffer Render(const SceneModel& m, double t0, double secs) {
+  RenderOptions ro;
+  ro.width = kW;
+  ro.height = kH;
+  ro.fps = kFps;
+  auto v = RenderVideo(m, t0, secs, ro);
+  VCD_CHECK(v.ok(), v.status().ToString());
+  return std::move(v).value();
+}
+
+std::vector<DcFrame> EncodeAndExtract(const VideoBuffer& v) {
+  CodecParams p;
+  p.width = kW;
+  p.height = kH;
+  p.fps = kFps;
+  p.gop_size = kGop;
+  p.quantizer = 4;
+  auto bytes = Encoder::EncodeVideo(v, p);
+  VCD_CHECK(bytes.ok(), bytes.status().ToString());
+  std::printf("  encoded %zu frames -> %.1f KB bit stream\n", v.frames.size(),
+              static_cast<double>(bytes->size()) / 1024.0);
+  auto dcs = PartialDecoder::ExtractAll(*bytes);
+  VCD_CHECK(dcs.ok(), dcs.status().ToString());
+  return std::move(dcs).value();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("1. producing the protected 20 s clip...\n");
+  SceneModel clip_model = SceneModel::Generate(777, 22.0);
+  VideoBuffer original = Render(clip_model, 0.0, 20.0);
+  auto query_frames = EncodeAndExtract(original);
+
+  std::printf("2. the pirate edits a copy (brightness, color, contrast, noise,\n");
+  std::printf("   resize round-trip, PAL re-encode, scene reordering)...\n");
+  VideoBuffer pirated = AdjustBrightness(original, 9);
+  pirated = AdjustColor(pirated, 14, -8);
+  pirated = AdjustContrast(pirated, 1.07);
+  pirated = AddGaussianNoise(pirated, 2.0, 1234);
+  pirated = Resize(pirated, 144, 96).value();
+  pirated = Resize(pirated, kW, kH).value();
+  pirated = ResampleFps(pirated, 10.0).value();
+  pirated = ResampleFps(pirated, kFps).value();
+  pirated = ReorderSegments(pirated, 5.0, 4321);
+
+  std::printf("3. the pirate channel airs 25 s of its own content, the tampered\n");
+  std::printf("   clip, then 12 s more...\n");
+  SceneModel channel_model = SceneModel::Generate(888, 45.0);
+  VideoBuffer broadcast = Render(channel_model, 0.0, 25.0);
+  AppendFrames(pirated, &broadcast);
+  AppendFrames(Render(channel_model, 30.0, 12.0), &broadcast);
+  auto stream_frames = EncodeAndExtract(broadcast);
+
+  std::printf("4. monitoring with the continuous copy detector...\n");
+  core::DetectorConfig config;
+  config.K = 400;
+  config.window_seconds = 3.0;
+  config.delta = 0.6;
+  auto det = core::CopyDetector::Create(config);
+  VCD_CHECK(det.ok(), det.status().ToString());
+  VCD_CHECK((*det)->AddQuery(1, query_frames, 20.0).ok(), "add query");
+  for (const auto& f : stream_frames) {
+    VCD_CHECK((*det)->ProcessKeyFrame(f).ok(), "process");
+  }
+  VCD_CHECK((*det)->Finish().ok(), "finish");
+
+  if ((*det)->matches().empty()) {
+    std::printf("   -> no detection (unexpected)\n");
+  }
+  for (const auto& m : (*det)->matches()) {
+    std::printf("   -> TAMPERED COPY DETECTED at t=[%.1f, %.1f] s, similarity %.2f\n",
+                m.start_time, m.end_time, m.similarity);
+  }
+
+  std::printf("5. edit forensics: aligning the detected copy to the original...\n");
+  if (!(*det)->matches().empty()) {
+    const core::Match& m = (*det)->matches()[0];
+    // Cut the matched interval's key frames out of the stream.
+    std::vector<DcFrame> segment;
+    for (const auto& f : stream_frames) {
+      if (f.frame_index >= m.start_frame && f.frame_index <= m.end_frame) {
+        DcFrame local = f;
+        local.timestamp -= m.start_time;
+        local.frame_index -= m.start_frame;
+        segment.push_back(std::move(local));
+      }
+    }
+    auto aligner = core::MatchAligner::Create().value();
+    auto segs = aligner.Align(segment, query_frames);
+    if (segs.ok()) {
+      for (const auto& seg : *segs) {
+        if (seg.matched) {
+          std::printf("   stream %5.1f-%5.1fs  <-  original %5.1f-%5.1fs (sim %.2f)\n",
+                      m.start_time + seg.stream_begin, m.start_time + seg.stream_end,
+                      seg.query_begin, seg.query_end, seg.similarity);
+        } else {
+          std::printf("   stream %5.1f-%5.1fs  <-  (no source: foreign material)\n",
+                      m.start_time + seg.stream_begin, m.start_time + seg.stream_end);
+        }
+      }
+      std::printf("   verdict: copy %s temporally reordered\n",
+                  core::MatchAligner::IsReordered(*segs) ? "WAS" : "was not");
+    }
+  }
+
+  std::printf("6. the rigid Seq baseline on the same stream (same features)...\n");
+  auto feat_opts = features::FeatureOptions();
+  auto extractor = features::DBlockFeatureExtractor::Create(feat_opts).value();
+  baseline::SeqMatcherOptions seq_opts;
+  seq_opts.distance_threshold = 0.06;
+  auto seq = baseline::SeqMatcher::Create(seq_opts).value();
+  VCD_CHECK(seq.AddQuery(1, baseline::ExtractFeatureSeq(extractor, query_frames), 20.0).ok(),
+            "seq add");
+  for (const auto& f : stream_frames) {
+    seq.ProcessKeyFrame(f.frame_index, f.timestamp, extractor.Extract(f));
+  }
+  if (seq.matches().empty()) {
+    std::printf("   -> Seq found nothing: frame-by-frame alignment cannot survive\n");
+    std::printf("      the scene reordering (the paper's §VI-E result).\n");
+  } else {
+    for (const auto& m : seq.matches()) {
+      std::printf("   -> Seq matched at t=[%.1f, %.1f] (sim %.2f)\n", m.start_time,
+                  m.end_time, m.similarity);
+    }
+  }
+  return (*det)->matches().empty() ? 1 : 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "features/dc_features.h"
+#include "video/partial_decoder.h"
+
+/// \file feature_stream.h
+/// Shared plumbing for the baseline subsequence matchers (paper §VI-E).
+/// Both baselines consume the *same* compressed-domain per-key-frame feature
+/// vectors as our method ("To provide a fair comparison, we also use our
+/// compressed domain feature extraction method").
+
+namespace vcd::baseline {
+
+/// One key frame's normalized d-dimensional feature.
+using FeatureVec = std::vector<float>;
+/// A sequence of key-frame features.
+using FeatureSeq = std::vector<FeatureVec>;
+
+/// Mean absolute difference between two feature vectors (in [0,1] because
+/// features are normalized). Sizes must match.
+inline double FrameDistance(const FeatureVec& a, const FeatureVec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return a.empty() ? 0.0 : s / static_cast<double>(a.size());
+}
+
+/// Extracts the feature sequence of a key-frame stream.
+inline FeatureSeq ExtractFeatureSeq(const features::DBlockFeatureExtractor& extractor,
+                                    const std::vector<vcd::video::DcFrame>& frames) {
+  FeatureSeq out;
+  out.reserve(frames.size());
+  for (const auto& f : frames) out.push_back(extractor.Extract(f));
+  return out;
+}
+
+}  // namespace vcd::baseline

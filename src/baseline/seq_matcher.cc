@@ -1,0 +1,70 @@
+#include "baseline/seq_matcher.h"
+
+namespace vcd::baseline {
+
+Result<SeqMatcher> SeqMatcher::Create(const SeqMatcherOptions& opts) {
+  if (opts.slide_gap < 1) return Status::InvalidArgument("slide_gap must be >= 1");
+  if (opts.distance_threshold < 0) {
+    return Status::InvalidArgument("distance threshold must be non-negative");
+  }
+  return SeqMatcher(opts);
+}
+
+Status SeqMatcher::AddQuery(int id, FeatureSeq features, double duration_seconds) {
+  if (features.empty()) return Status::InvalidArgument("query has no frames");
+  if (duration_seconds <= 0) {
+    return Status::InvalidArgument("query duration must be positive");
+  }
+  for (const Query& q : queries_) {
+    if (q.id == id) return Status::AlreadyExists("query id already registered");
+  }
+  max_query_len_ = std::max(max_query_len_, features.size());
+  queries_.push_back(Query{id, std::move(features), duration_seconds, -1.0});
+  return Status::OK();
+}
+
+void SeqMatcher::TryMatch(Query& q) {
+  const size_t L = q.features.size();
+  if (buffer_.size() < L) return;
+  const size_t off = buffer_.size() - L;
+  double total = 0.0;
+  for (size_t i = 0; i < L; ++i) {
+    total += FrameDistance(buffer_[off + i].feature, q.features[i]);
+    ++frame_comparisons_;
+  }
+  const double dist = total / static_cast<double>(L);
+  if (dist > opts_.distance_threshold) return;
+  const BufEntry& first = buffer_[off];
+  const BufEntry& last = buffer_.back();
+  const double cooldown = opts_.report_cooldown_seconds < 0 ? q.duration_seconds
+                                                            : opts_.report_cooldown_seconds;
+  if (cooldown > 0 && last.timestamp < q.suppress_until) return;
+  q.suppress_until = last.timestamp + cooldown;
+  core::Match m;
+  m.query_id = q.id;
+  m.start_frame = first.frame_index;
+  m.end_frame = last.frame_index;
+  m.start_time = first.timestamp;
+  m.end_time = last.timestamp;
+  m.similarity = 1.0 - dist;
+  matches_.push_back(m);
+}
+
+void SeqMatcher::ProcessKeyFrame(int64_t frame_index, double timestamp,
+                                 FeatureVec feature) {
+  buffer_.push_back(BufEntry{frame_index, timestamp, std::move(feature)});
+  while (buffer_.size() > max_query_len_ && max_query_len_ > 0) buffer_.pop_front();
+  ++frames_seen_;
+  if (frames_seen_ % opts_.slide_gap != 0) return;
+  for (Query& q : queries_) TryMatch(q);
+}
+
+void SeqMatcher::ResetStream() {
+  buffer_.clear();
+  frames_seen_ = 0;
+  frame_comparisons_ = 0;
+  matches_.clear();
+  for (Query& q : queries_) q.suppress_until = -1.0;
+}
+
+}  // namespace vcd::baseline

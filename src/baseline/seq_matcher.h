@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "baseline/feature_stream.h"
+#include "core/match.h"
+#include "util/status.h"
+
+/// \file seq_matcher.h
+/// The `Seq` baseline (Hampapur et al. [1] as run in paper §VI-E): each
+/// query slides over the stream with a fixed-size window; the dissimilarity
+/// of a stream segment and the query is the *average frame-pair distance*
+/// under rigid frame-by-frame alignment. The window advances by the sliding
+/// gap (the "basic window" of the comparison), and a segment whose distance
+/// falls at or below the threshold is reported as a copy.
+
+namespace vcd::baseline {
+
+/// Seq matcher configuration.
+struct SeqMatcherOptions {
+  /// Maximum average frame distance for a detection.
+  double distance_threshold = 0.10;
+  /// Key frames between successive comparisons (the sliding gap).
+  int slide_gap = 1;
+  /// Suppress repeated reports of a query for this many seconds; negative =
+  /// the query's own duration.
+  double report_cooldown_seconds = -1.0;
+};
+
+/// \brief Streaming rigid-alignment subsequence matcher.
+class SeqMatcher {
+ public:
+  /// Creates a matcher. \p opts.slide_gap must be ≥ 1.
+  static Result<SeqMatcher> Create(const SeqMatcherOptions& opts);
+
+  /// Registers a query by its feature sequence and playback duration.
+  Status AddQuery(int id, FeatureSeq features, double duration_seconds);
+
+  /// Feeds one stream key frame.
+  void ProcessKeyFrame(int64_t frame_index, double timestamp, FeatureVec feature);
+
+  /// Matches reported so far.
+  const std::vector<core::Match>& matches() const { return matches_; }
+
+  /// Total frame-pair distance evaluations (the cost driver).
+  int64_t frame_comparisons() const { return frame_comparisons_; }
+
+  /// Clears stream state (queries are kept).
+  void ResetStream();
+
+ private:
+  struct Query {
+    int id;
+    FeatureSeq features;
+    double duration_seconds;
+    double suppress_until = -1.0;
+  };
+  struct BufEntry {
+    int64_t frame_index;
+    double timestamp;
+    FeatureVec feature;
+  };
+
+  explicit SeqMatcher(const SeqMatcherOptions& opts) : opts_(opts) {}
+
+  void TryMatch(Query& q);
+
+  SeqMatcherOptions opts_;
+  std::vector<Query> queries_;
+  size_t max_query_len_ = 0;
+  std::deque<BufEntry> buffer_;
+  int64_t frames_seen_ = 0;
+  int64_t frame_comparisons_ = 0;
+  std::vector<core::Match> matches_;
+};
+
+}  // namespace vcd::baseline

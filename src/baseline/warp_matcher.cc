@@ -1,0 +1,123 @@
+#include "baseline/warp_matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace vcd::baseline {
+
+Result<WarpMatcher> WarpMatcher::Create(const WarpMatcherOptions& opts) {
+  if (opts.slide_gap < 1) return Status::InvalidArgument("slide_gap must be >= 1");
+  if (opts.warp_width < 0) return Status::InvalidArgument("warp_width must be >= 0");
+  if (opts.distance_threshold < 0) {
+    return Status::InvalidArgument("distance threshold must be non-negative");
+  }
+  return WarpMatcher(opts);
+}
+
+Status WarpMatcher::AddQuery(int id, FeatureSeq features, double duration_seconds) {
+  if (features.empty()) return Status::InvalidArgument("query has no frames");
+  if (duration_seconds <= 0) {
+    return Status::InvalidArgument("query duration must be positive");
+  }
+  for (const Query& q : queries_) {
+    if (q.id == id) return Status::AlreadyExists("query id already registered");
+  }
+  max_query_len_ = std::max(max_query_len_, features.size());
+  queries_.push_back(Query{id, std::move(features), duration_seconds, -1.0});
+  return Status::OK();
+}
+
+double WarpMatcher::BandedDtw(const FeatureSeq& a, const FeatureSeq& b, int width,
+                              int64_t* cells) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+  // Band must at least cover the length difference or no path exists.
+  const int w = std::max(width, std::abs(n - m));
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Two-row rolling DP over cumulative cost; steps counted to normalize by
+  // the warping path length.
+  std::vector<double> prev(static_cast<size_t>(m) + 1, kInf);
+  std::vector<double> cur(static_cast<size_t>(m) + 1, kInf);
+  std::vector<int32_t> prev_len(static_cast<size_t>(m) + 1, 0);
+  std::vector<int32_t> cur_len(static_cast<size_t>(m) + 1, 0);
+  prev[0] = 0.0;
+  int64_t evals = 0;
+  for (int i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    cur[0] = kInf;
+    const int jlo = std::max(1, i - w);
+    const int jhi = std::min(m, i + w);
+    for (int j = jlo; j <= jhi; ++j) {
+      const double d = FrameDistance(a[static_cast<size_t>(i - 1)],
+                                     b[static_cast<size_t>(j - 1)]);
+      ++evals;
+      double best = prev[static_cast<size_t>(j - 1)];  // diagonal
+      int32_t len = prev_len[static_cast<size_t>(j - 1)];
+      if (prev[static_cast<size_t>(j)] < best) {  // insertion
+        best = prev[static_cast<size_t>(j)];
+        len = prev_len[static_cast<size_t>(j)];
+      }
+      if (cur[static_cast<size_t>(j - 1)] < best) {  // deletion
+        best = cur[static_cast<size_t>(j - 1)];
+        len = cur_len[static_cast<size_t>(j - 1)];
+      }
+      if (best < kInf) {
+        cur[static_cast<size_t>(j)] = best + d;
+        cur_len[static_cast<size_t>(j)] = len + 1;
+      }
+    }
+    std::swap(prev, cur);
+    std::swap(prev_len, cur_len);
+  }
+  if (cells != nullptr) *cells += evals;
+  const double total = prev[static_cast<size_t>(m)];
+  const int32_t len = prev_len[static_cast<size_t>(m)];
+  if (total >= kInf || len == 0) return kInf;
+  return total / static_cast<double>(len);
+}
+
+void WarpMatcher::TryMatch(Query& q) {
+  const size_t L = q.features.size();
+  if (buffer_.size() < L) return;
+  const size_t off = buffer_.size() - L;
+  FeatureSeq segment;
+  segment.reserve(L);
+  for (size_t i = 0; i < L; ++i) segment.push_back(buffer_[off + i].feature);
+  const double dist =
+      BandedDtw(segment, q.features, opts_.warp_width, &cell_evaluations_);
+  if (dist > opts_.distance_threshold) return;
+  const BufEntry& first = buffer_[off];
+  const BufEntry& last = buffer_.back();
+  const double cooldown = opts_.report_cooldown_seconds < 0 ? q.duration_seconds
+                                                            : opts_.report_cooldown_seconds;
+  if (cooldown > 0 && last.timestamp < q.suppress_until) return;
+  q.suppress_until = last.timestamp + cooldown;
+  core::Match m;
+  m.query_id = q.id;
+  m.start_frame = first.frame_index;
+  m.end_frame = last.frame_index;
+  m.start_time = first.timestamp;
+  m.end_time = last.timestamp;
+  m.similarity = 1.0 - dist;
+  matches_.push_back(m);
+}
+
+void WarpMatcher::ProcessKeyFrame(int64_t frame_index, double timestamp,
+                                  FeatureVec feature) {
+  buffer_.push_back(BufEntry{frame_index, timestamp, std::move(feature)});
+  while (buffer_.size() > max_query_len_ && max_query_len_ > 0) buffer_.pop_front();
+  ++frames_seen_;
+  if (frames_seen_ % opts_.slide_gap != 0) return;
+  for (Query& q : queries_) TryMatch(q);
+}
+
+void WarpMatcher::ResetStream() {
+  buffer_.clear();
+  frames_seen_ = 0;
+  cell_evaluations_ = 0;
+  matches_.clear();
+  for (Query& q : queries_) q.suppress_until = -1.0;
+}
+
+}  // namespace vcd::baseline

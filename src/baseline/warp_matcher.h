@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "baseline/feature_stream.h"
+#include "core/match.h"
+#include "util/status.h"
+
+/// \file warp_matcher.h
+/// The `Warp` baseline (Chiu et al. [6] as run in paper §VI-E): dynamic time
+/// warping with a Sakoe–Chiba band of width `r` between each query and the
+/// stream segment ending at the current position. Warping tolerates *local*
+/// temporal variation (frame-rate drift, small speed changes) at a CPU cost
+/// that grows with `r`, but not wholesale segment reordering — the failure
+/// mode Figures 12/15 expose.
+
+namespace vcd::baseline {
+
+/// Warp matcher configuration.
+struct WarpMatcherOptions {
+  /// Maximum normalized DTW distance for a detection.
+  double distance_threshold = 0.10;
+  /// Sakoe–Chiba band half-width in key frames.
+  int warp_width = 5;
+  /// Key frames between successive comparisons (the sliding gap).
+  int slide_gap = 1;
+  /// Suppress repeated reports of a query for this many seconds; negative =
+  /// the query's own duration.
+  double report_cooldown_seconds = -1.0;
+};
+
+/// \brief Streaming banded-DTW subsequence matcher.
+class WarpMatcher {
+ public:
+  /// Creates a matcher; validates options.
+  static Result<WarpMatcher> Create(const WarpMatcherOptions& opts);
+
+  /// Registers a query by its feature sequence and playback duration.
+  Status AddQuery(int id, FeatureSeq features, double duration_seconds);
+
+  /// Feeds one stream key frame.
+  void ProcessKeyFrame(int64_t frame_index, double timestamp, FeatureVec feature);
+
+  /// Matches reported so far.
+  const std::vector<core::Match>& matches() const { return matches_; }
+
+  /// Total DTW cell evaluations (the cost driver; grows with r).
+  int64_t cell_evaluations() const { return cell_evaluations_; }
+
+  /// Clears stream state (queries are kept).
+  void ResetStream();
+
+  /// Banded DTW distance between two feature sequences, normalized by the
+  /// warping path length. Exposed for tests and the Table-style experiment
+  /// drivers. \p width is the band half-width.
+  static double BandedDtw(const FeatureSeq& a, const FeatureSeq& b, int width,
+                          int64_t* cells = nullptr);
+
+ private:
+  struct Query {
+    int id;
+    FeatureSeq features;
+    double duration_seconds;
+    double suppress_until = -1.0;
+  };
+  struct BufEntry {
+    int64_t frame_index;
+    double timestamp;
+    FeatureVec feature;
+  };
+
+  explicit WarpMatcher(const WarpMatcherOptions& opts) : opts_(opts) {}
+
+  void TryMatch(Query& q);
+
+  WarpMatcherOptions opts_;
+  std::vector<Query> queries_;
+  size_t max_query_len_ = 0;
+  std::deque<BufEntry> buffer_;
+  int64_t frames_seen_ = 0;
+  int64_t cell_evaluations_ = 0;
+  std::vector<core::Match> matches_;
+};
+
+}  // namespace vcd::baseline

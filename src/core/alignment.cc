@@ -1,0 +1,99 @@
+#include "core/alignment.h"
+
+#include <algorithm>
+
+#include "sketch/jaccard.h"
+
+namespace vcd::core {
+namespace {
+
+using vcd::video::DcFrame;
+using vcd::video::DetectedShot;
+using vcd::video::ShotDetector;
+
+/// Shot boundaries plus the per-shot distinct cell sets of a key-frame run.
+struct ShotSets {
+  std::vector<DetectedShot> shots;
+  std::vector<sketch::CellIdSet> sets;
+};
+
+Result<ShotSets> Segment(const std::vector<DcFrame>& frames,
+                         const features::FrameFingerprinter& fp,
+                         const vcd::video::ShotDetectorOptions& opts) {
+  auto det = ShotDetector::Create(opts);
+  if (!det.ok()) return det.status();
+  for (const DcFrame& f : frames) det->ProcessKeyFrame(f);
+  det->Finish();
+  ShotSets out;
+  out.shots = det->shots();
+  for (const DetectedShot& s : out.shots) {
+    std::vector<features::CellId> cells;
+    for (int64_t i = s.begin_key_frame; i <= s.end_key_frame; ++i) {
+      cells.push_back(fp.Fingerprint(frames[static_cast<size_t>(i)]));
+    }
+    out.sets.push_back(sketch::CellIdSet::FromSequence(std::move(cells)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MatchAligner> MatchAligner::Create(const AlignerOptions& opts) {
+  VCD_RETURN_IF_ERROR(opts.fingerprint.feature.Validate());
+  VCD_RETURN_IF_ERROR(opts.shots.Validate());
+  if (opts.min_similarity < 0 || opts.min_similarity > 1) {
+    return Status::InvalidArgument("min_similarity must be in [0, 1]");
+  }
+  return MatchAligner(opts);
+}
+
+Result<std::vector<AlignedSegment>> MatchAligner::Align(
+    const std::vector<DcFrame>& stream_segment,
+    const std::vector<DcFrame>& query_frames) const {
+  if (stream_segment.empty() || query_frames.empty()) {
+    return Status::InvalidArgument("both segments need key frames");
+  }
+  auto fp = features::FrameFingerprinter::Create(opts_.fingerprint);
+  if (!fp.ok()) return fp.status();
+  auto stream = Segment(stream_segment, *fp, opts_.shots);
+  if (!stream.ok()) return stream.status();
+  auto query = Segment(query_frames, *fp, opts_.shots);
+  if (!query.ok()) return query.status();
+
+  std::vector<AlignedSegment> out;
+  out.reserve(stream->shots.size());
+  for (size_t si = 0; si < stream->shots.size(); ++si) {
+    AlignedSegment seg;
+    seg.stream_begin = stream->shots[si].begin_time;
+    seg.stream_end = stream->shots[si].end_time;
+    double best = 0.0;
+    size_t best_q = 0;
+    for (size_t qi = 0; qi < query->shots.size(); ++qi) {
+      const double sim = stream->sets[si].Jaccard(query->sets[qi]);
+      if (sim > best) {
+        best = sim;
+        best_q = qi;
+      }
+    }
+    if (best >= opts_.min_similarity) {
+      seg.matched = true;
+      seg.similarity = best;
+      seg.query_begin = query->shots[best_q].begin_time;
+      seg.query_end = query->shots[best_q].end_time;
+    }
+    out.push_back(seg);
+  }
+  return out;
+}
+
+bool MatchAligner::IsReordered(const std::vector<AlignedSegment>& segments) {
+  double prev = -1.0;
+  for (const AlignedSegment& s : segments) {
+    if (!s.matched) continue;
+    if (s.query_begin < prev) return true;
+    prev = s.query_begin;
+  }
+  return false;
+}
+
+}  // namespace vcd::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "features/fingerprint.h"
+#include "util/status.h"
+#include "video/partial_decoder.h"
+#include "video/shot_detector.h"
+
+/// \file alignment.h
+/// Post-detection edit forensics: once a copy is detected, reconstruct *how*
+/// the original was re-edited — which query segment each stream segment came
+/// from — the paper's motivating use case ("authors of the videos would like
+/// to know how their work have been edited and used by others").
+///
+/// Both sides are segmented into shots in the compressed domain; each stream
+/// shot is matched to the query shot with the highest cell-set Jaccard.
+/// Reordering then shows up as a non-monotone query-time sequence.
+
+namespace vcd::core {
+
+/// One stream shot aligned to its source query shot.
+struct AlignedSegment {
+  double stream_begin = 0.0;  ///< seconds within the analyzed stream segment
+  double stream_end = 0.0;
+  double query_begin = 0.0;   ///< seconds within the query
+  double query_end = 0.0;
+  double similarity = 0.0;    ///< cell-set Jaccard of the two shots
+  bool matched = false;       ///< false: no query shot reached the threshold
+};
+
+/// Aligner configuration.
+struct AlignerOptions {
+  features::FingerprintOptions fingerprint;
+  vcd::video::ShotDetectorOptions shots;
+  /// Minimum shot-to-shot Jaccard to accept an alignment.
+  double min_similarity = 0.25;
+};
+
+/// \brief Shot-level aligner between a matched stream segment and a query.
+class MatchAligner {
+ public:
+  /// Creates an aligner; validates options.
+  static Result<MatchAligner> Create(const AlignerOptions& opts = {});
+
+  /// Aligns the key frames of a matched stream segment against the query's
+  /// key frames. Returns one entry per detected stream shot, in stream
+  /// order; `matched == false` entries are stream shots with no plausible
+  /// source in the query (e.g. spliced-in foreign material).
+  Result<std::vector<AlignedSegment>> Align(
+      const std::vector<vcd::video::DcFrame>& stream_segment,
+      const std::vector<vcd::video::DcFrame>& query_frames) const;
+
+  /// True when the aligned query times are non-monotone — the detected copy
+  /// was temporally reordered.
+  static bool IsReordered(const std::vector<AlignedSegment>& segments);
+
+ private:
+  explicit MatchAligner(const AlignerOptions& opts) : opts_(opts) {}
+
+  AlignerOptions opts_;
+};
+
+}  // namespace vcd::core

@@ -1,0 +1,27 @@
+#include "core/config.h"
+
+namespace vcd::core {
+
+const char* RepresentationName(Representation r) {
+  return r == Representation::kSketch ? "Sketch" : "Bit";
+}
+
+const char* CombinationOrderName(CombinationOrder o) {
+  return o == CombinationOrder::kSequential ? "Sequential" : "Geometric";
+}
+
+Status DetectorConfig::Validate() const {
+  VCD_RETURN_IF_ERROR(fingerprint.feature.Validate());
+  if (fingerprint.u < 1) return Status::InvalidArgument("u must be >= 1");
+  if (K < 1) return Status::InvalidArgument("K must be >= 1");
+  if (delta <= 0.0 || delta > 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1]");
+  }
+  if (window_seconds <= 0.0) {
+    return Status::InvalidArgument("window_seconds must be positive");
+  }
+  if (lambda < 1.0) return Status::InvalidArgument("lambda must be >= 1");
+  return Status::OK();
+}
+
+}  // namespace vcd::core

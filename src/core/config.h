@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "features/fingerprint.h"
+#include "util/status.h"
+
+/// \file config.h
+/// Configuration of the continuous copy detector. Defaults follow the
+/// paper's Table I (K=800, d=5, u=4, δ=0.7, w=5 s, λ=2).
+
+namespace vcd::core {
+
+/// How candidate/query similarity state is represented (paper §V).
+enum class Representation {
+  kSketch,  ///< raw K-min-hash arrays; comparisons cost O(K) array ops
+  kBit,     ///< 2K-bit signatures per (candidate, query); popcount ops
+};
+
+/// How candidate sequences are combined (paper §IV-A, Fig. 2).
+enum class CombinationOrder {
+  kSequential,  ///< all suffix lengths 1..⌈λL/w⌉; accuracy-first
+  kGeometric,   ///< geometrically spaced lengths; ⌈log⌉ combinations
+};
+
+/// Human-readable names (for bench output).
+const char* RepresentationName(Representation r);
+const char* CombinationOrderName(CombinationOrder o);
+
+/// Full detector configuration.
+struct DetectorConfig {
+  /// Frame fingerprinting (d, u, partition scheme).
+  features::FingerprintOptions fingerprint;
+
+  /// Number of min-hash functions K.
+  int K = 800;
+  /// Seed for the hash family (kept fixed between queries and stream!).
+  uint64_t hash_seed = 0x5eed;
+
+  /// Similarity threshold δ of Definition 1.
+  double delta = 0.7;
+  /// Basic window length w in seconds.
+  double window_seconds = 5.0;
+  /// Tempo-scaling bound λ: candidates longer than λL windows expire
+  /// (the paper argues λ ≤ 2 after [28]).
+  double lambda = 2.0;
+
+  Representation representation = Representation::kBit;
+  CombinationOrder order = CombinationOrder::kSequential;
+  /// Use the Hash-Query index to find related queries (vs comparing all).
+  bool use_index = true;
+  /// Apply Lemma-2 pruning (ablation knob; on in the paper).
+  bool enable_pruning = true;
+
+  /// After a query matches, suppress repeated reports of the same query for
+  /// this many seconds of stream time. Negative = the query's own duration
+  /// (default); 0 = report every matching candidate.
+  double report_cooldown_seconds = -1.0;
+
+  /// Validates ranges.
+  Status Validate() const;
+};
+
+}  // namespace vcd::core

@@ -1,0 +1,425 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace vcd::core {
+
+CopyDetector::CopyDetector(const DetectorConfig& config,
+                           features::FrameFingerprinter fp,
+                           sketch::MinHashFamily family)
+    : config_(config),
+      fingerprinter_(std::make_unique<features::FrameFingerprinter>(std::move(fp))),
+      family_(std::move(family)),
+      sketcher_(&family_) {}
+
+Result<std::unique_ptr<CopyDetector>> CopyDetector::Create(const DetectorConfig& config) {
+  VCD_RETURN_IF_ERROR(config.Validate());
+  auto fp = features::FrameFingerprinter::Create(config.fingerprint);
+  if (!fp.ok()) return fp.status();
+  auto family = sketch::MinHashFamily::Create(config.K, config.hash_seed);
+  if (!family.ok()) return family.status();
+  auto det = std::unique_ptr<CopyDetector>(
+      new CopyDetector(config, std::move(fp).value(), std::move(family).value()));
+  auto assembler = stream::BasicWindowAssembler::Create(config.window_seconds);
+  if (!assembler.ok()) return assembler.status();
+  det->assembler_.emplace(std::move(assembler).value());
+  return det;
+}
+
+Status CopyDetector::AddQuery(int id, const std::vector<vcd::video::DcFrame>& key_frames,
+                              double duration_seconds) {
+  if (key_frames.empty()) return Status::InvalidArgument("query has no key frames");
+  if (duration_seconds <= 0) {
+    const double span =
+        key_frames.back().timestamp - key_frames.front().timestamp;
+    const double spacing = key_frames.size() > 1
+                               ? span / static_cast<double>(key_frames.size() - 1)
+                               : config_.window_seconds;
+    duration_seconds = span + spacing;
+  }
+  return AddQueryCells(id, fingerprinter_->FingerprintSequence(key_frames),
+                       duration_seconds);
+}
+
+Status CopyDetector::AddQueryCells(int id, std::vector<features::CellId> ids,
+                                   double duration_seconds) {
+  if (ids.empty()) return Status::InvalidArgument("query has no frames");
+  return AddQuerySketch(id, sketcher_.FromSequence(ids),
+                        static_cast<int>(ids.size()), duration_seconds);
+}
+
+Status CopyDetector::AddQuerySketch(int id, sketch::Sketch sk, int length_frames,
+                                    double duration_seconds) {
+  if (sk.K() != config_.K) {
+    return Status::InvalidArgument("sketch K does not match detector config");
+  }
+  if (length_frames < 1) return Status::InvalidArgument("query has no frames");
+  if (duration_seconds <= 0) {
+    return Status::InvalidArgument("query duration must be positive");
+  }
+  for (const QueryRec& q : queries_) {
+    if (q.info.id == id && q.active) {
+      return Status::AlreadyExists("query id " + std::to_string(id));
+    }
+  }
+  QueryRec rec;
+  rec.info.id = id;
+  rec.info.length_frames = length_frames;
+  rec.duration_seconds = duration_seconds;
+  rec.sketch = std::move(sk);
+  rec.max_windows = std::max(
+      1, static_cast<int>(std::ceil(config_.lambda * duration_seconds /
+                                    config_.window_seconds)));
+  if (config_.use_index && index_.has_value()) {
+    VCD_RETURN_IF_ERROR(index_->Insert(rec.sketch, rec.info));
+  } else {
+    index_dirty_ = true;
+  }
+  global_max_windows_ = std::max(global_max_windows_, rec.max_windows);
+  queries_.push_back(std::move(rec));
+  return Status::OK();
+}
+
+std::vector<std::tuple<int, int, double, sketch::Sketch>>
+CopyDetector::ExportQueries() const {
+  std::vector<std::tuple<int, int, double, sketch::Sketch>> out;
+  for (const QueryRec& q : queries_) {
+    if (!q.active) continue;
+    out.emplace_back(q.info.id, q.info.length_frames, q.duration_seconds, q.sketch);
+  }
+  return out;
+}
+
+Status CopyDetector::RemoveQuery(int id) {
+  for (QueryRec& q : queries_) {
+    if (q.info.id == id && q.active) {
+      q.active = false;
+      if (config_.use_index && index_.has_value()) {
+        VCD_RETURN_IF_ERROR(index_->Remove(id));
+      }
+      global_max_windows_ = 1;
+      for (const QueryRec& r : queries_) {
+        if (r.active) global_max_windows_ = std::max(global_max_windows_, r.max_windows);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("query id " + std::to_string(id));
+}
+
+Status CopyDetector::RebuildIndex() {
+  index_.reset();
+  index_dirty_ = false;
+  if (!config_.use_index) return Status::OK();
+  std::vector<sketch::Sketch> sketches;
+  std::vector<index::QueryInfo> infos;
+  for (const QueryRec& q : queries_) {
+    if (!q.active) continue;
+    sketches.push_back(q.sketch);
+    infos.push_back(q.info);
+  }
+  if (sketches.empty()) return Status::OK();
+  auto idx = index::HashQueryIndex::Build(sketches, infos);
+  if (!idx.ok()) return idx.status();
+  index_.emplace(std::move(idx).value());
+  return Status::OK();
+}
+
+Status CopyDetector::ProcessKeyFrame(const vcd::video::DcFrame& frame) {
+  return ProcessFingerprint(frame.frame_index, frame.timestamp,
+                            fingerprinter_->Fingerprint(frame));
+}
+
+Status CopyDetector::ProcessFingerprint(int64_t frame_index, double timestamp,
+                                        features::CellId id) {
+  if (index_dirty_) VCD_RETURN_IF_ERROR(RebuildIndex());
+  ++stats_.key_frames;
+  stream::BasicWindow done;
+  if (assembler_->Add(frame_index, timestamp, id, &done)) {
+    ProcessWindow(done);
+  }
+  return Status::OK();
+}
+
+Status CopyDetector::Finish() {
+  if (index_dirty_) VCD_RETURN_IF_ERROR(RebuildIndex());
+  stream::BasicWindow done;
+  if (assembler_->Flush(&done)) ProcessWindow(done);
+  return Status::OK();
+}
+
+void CopyDetector::ResetStream() {
+  assembler_.emplace(
+      stream::BasicWindowAssembler::Create(config_.window_seconds).value());
+  seq_bit_.Clear();
+  seq_sketch_.Clear();
+  geo_bit_.Clear();
+  geo_sketch_.Clear();
+  matches_.clear();
+  stats_ = DetectorStats{};
+  for (QueryRec& q : queries_) q.suppress_until = -1.0;
+}
+
+void CopyDetector::EmitMatch(int q, int64_t start_frame, int64_t end_frame,
+                             double start_time, double end_time, double sim) {
+  QueryRec& rec = queries_[static_cast<size_t>(q)];
+  // Candidates containing the copy can stay above threshold until they
+  // expire at λL, so the default mute interval covers that whole tail.
+  const double cooldown = config_.report_cooldown_seconds < 0
+                              ? config_.lambda * rec.duration_seconds
+                              : config_.report_cooldown_seconds;
+  if (cooldown > 0 && end_time < rec.suppress_until) return;
+  rec.suppress_until = end_time + cooldown;
+  Match m;
+  m.query_id = rec.info.id;
+  m.start_frame = start_frame;
+  m.end_frame = end_frame;
+  m.start_time = start_time;
+  m.end_time = end_time;
+  m.similarity = sim;
+  matches_.push_back(m);
+}
+
+CopyDetector::BitCand CopyDetector::MakeBitCand(const stream::BasicWindow& window,
+                                                const sketch::Sketch& wsk) {
+  BitCand c;
+  c.num_windows = 1;
+  c.start_frame = window.start_frame;
+  c.end_frame = window.end_frame;
+  c.start_time = window.start_time;
+  c.end_time = window.end_time;
+  if (config_.use_index) {
+    if (!index_.has_value()) return c;
+    std::vector<index::RelatedQuery> rl =
+        index_->Probe(wsk, config_.delta, config_.enable_pruning);
+    stats_.bitsig_builds += static_cast<int64_t>(rl.size());
+    c.sigs.reserve(rl.size());
+    for (index::RelatedQuery& rq : rl) {
+      // Map query id back to its ordinal.
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        if (queries_[q].active && queries_[q].info.id == rq.info.id) {
+          c.sigs.push_back(BitCand::Sig{static_cast<int>(q), std::move(rq.bitsig)});
+          break;
+        }
+      }
+    }
+    std::sort(c.sigs.begin(), c.sigs.end(),
+              [](const BitCand::Sig& a, const BitCand::Sig& b) { return a.q < b.q; });
+  } else {
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      if (!queries_[q].active) continue;
+      sketch::BitSignature sig =
+          sketch::BitSignature::FromSketches(wsk, queries_[q].sketch);
+      ++stats_.bitsig_builds;
+      if (config_.enable_pruning && !sig.SatisfiesLemma2(config_.delta)) {
+        ++stats_.candidates_pruned;
+        continue;
+      }
+      c.sigs.push_back(BitCand::Sig{static_cast<int>(q), std::move(sig)});
+    }
+  }
+  return c;
+}
+
+CopyDetector::SketchCand CopyDetector::MakeSketchCand(const stream::BasicWindow& window,
+                                                      const sketch::Sketch& wsk) {
+  SketchCand c;
+  c.num_windows = 1;
+  c.start_frame = window.start_frame;
+  c.end_frame = window.end_frame;
+  c.start_time = window.start_time;
+  c.end_time = window.end_time;
+  c.sketch = wsk;
+  if (config_.use_index && index_.has_value()) {
+    std::vector<index::QueryInfo> rel = index_->ProbeRelated(wsk);
+    c.related.reserve(rel.size());
+    for (const index::QueryInfo& info : rel) {
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        if (queries_[q].active && queries_[q].info.id == info.id) {
+          c.related.push_back(static_cast<int>(q));
+          break;
+        }
+      }
+    }
+    std::sort(c.related.begin(), c.related.end());
+  }
+  return c;
+}
+
+void CopyDetector::MergeBit(BitCand& older, const BitCand& newer) {
+  // Union-merge the signature lists (both sorted by ordinal). A query
+  // present on one side only keeps that side's bits: the missing side
+  // contributes the all-">" signature, which ORs to nothing (§V-A).
+  std::vector<BitCand::Sig> merged;
+  merged.reserve(older.sigs.size() + newer.sigs.size());
+  size_t i = 0, j = 0;
+  while (i < older.sigs.size() || j < newer.sigs.size()) {
+    BitCand::Sig out;
+    if (j >= newer.sigs.size() ||
+        (i < older.sigs.size() && older.sigs[i].q < newer.sigs[j].q)) {
+      out = std::move(older.sigs[i++]);
+    } else if (i >= older.sigs.size() || newer.sigs[j].q < older.sigs[i].q) {
+      out = newer.sigs[j++];
+    } else {
+      out = std::move(older.sigs[i++]);
+      out.sig.OrWith(newer.sigs[j++].sig);
+      ++stats_.bitsig_ors;
+    }
+    if (config_.enable_pruning && !out.sig.SatisfiesLemma2(config_.delta)) {
+      ++stats_.candidates_pruned;
+      continue;
+    }
+    merged.push_back(std::move(out));
+  }
+  older.sigs = std::move(merged);
+  older.num_windows += newer.num_windows;
+  older.end_frame = newer.end_frame;
+  older.end_time = newer.end_time;
+}
+
+void CopyDetector::MergeSketch(SketchCand& older, const SketchCand& newer) {
+  sketch::Sketcher::Combine(&older.sketch, newer.sketch);
+  ++stats_.sketch_combines;
+  if (config_.use_index) {
+    std::vector<int> merged;
+    merged.reserve(older.related.size() + newer.related.size());
+    std::set_union(older.related.begin(), older.related.end(), newer.related.begin(),
+                   newer.related.end(), std::back_inserter(merged));
+    older.related = std::move(merged);
+  }
+  older.num_windows += newer.num_windows;
+  older.end_frame = newer.end_frame;
+  older.end_time = newer.end_time;
+}
+
+bool CopyDetector::TestBitCand(BitCand& c) {
+  size_t out = 0;
+  for (size_t i = 0; i < c.sigs.size(); ++i) {
+    BitCand::Sig& s = c.sigs[i];
+    const QueryRec& q = queries_[static_cast<size_t>(s.q)];
+    if (!q.active) continue;                       // unsubscribed: drop
+    if (c.num_windows > q.max_windows) continue;   // per-query λL expiry
+    if (config_.enable_pruning && !s.sig.SatisfiesLemma2(config_.delta)) {
+      ++stats_.candidates_pruned;
+      continue;
+    }
+    const double sim = s.sig.Similarity();
+    if (sim >= config_.delta) {
+      EmitMatch(s.q, c.start_frame, c.end_frame, c.start_time, c.end_time, sim);
+    }
+    if (out != i) c.sigs[out] = std::move(s);
+    ++out;
+  }
+  c.sigs.resize(out);
+  return !c.sigs.empty();
+}
+
+bool CopyDetector::TestSketchCand(SketchCand& c) {
+  auto test_one = [&](int q_ord) {
+    const QueryRec& q = queries_[static_cast<size_t>(q_ord)];
+    if (!q.active) return;
+    if (c.num_windows > q.max_windows) return;
+    ++stats_.sketch_compares;
+    const double sim = sketch::Sketcher::Similarity(c.sketch, q.sketch);
+    if (sim >= config_.delta) {
+      EmitMatch(q_ord, c.start_frame, c.end_frame, c.start_time, c.end_time, sim);
+    }
+  };
+  if (config_.use_index) {
+    for (int q : c.related) test_one(q);
+  } else {
+    for (size_t q = 0; q < queries_.size(); ++q) test_one(static_cast<int>(q));
+  }
+  return true;
+}
+
+void CopyDetector::RecordWindowStats() {
+  int64_t sig_count = 0;
+  int64_t cand_count = 0;
+  const bool bit = config_.representation == Representation::kBit;
+  const bool seq = config_.order == CombinationOrder::kSequential;
+  if (bit && seq) {
+    for (const BitCand& c : seq_bit_.candidates()) {
+      sig_count += static_cast<int64_t>(c.sigs.size());
+      ++cand_count;
+    }
+  } else if (bit && !seq) {
+    for (const auto& slot : geo_bit_.ladder()) {
+      if (!slot.has_value()) continue;
+      sig_count += static_cast<int64_t>(slot->sigs.size());
+      ++cand_count;
+    }
+  } else if (!bit && seq) {
+    for (const SketchCand& c : seq_sketch_.candidates()) {
+      sig_count += config_.use_index ? static_cast<int64_t>(c.related.size())
+                                     : static_cast<int64_t>(queries_.size());
+      ++cand_count;
+    }
+  } else {
+    for (const auto& slot : geo_sketch_.ladder()) {
+      if (!slot.has_value()) continue;
+      sig_count += config_.use_index ? static_cast<int64_t>(slot->related.size())
+                                     : static_cast<int64_t>(queries_.size());
+      ++cand_count;
+    }
+  }
+  stats_.signatures_per_window.Add(static_cast<double>(sig_count));
+  stats_.candidates_per_window.Add(static_cast<double>(cand_count));
+}
+
+void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
+  ++stats_.windows;
+  const sketch::Sketch wsk = sketcher_.FromSequence(window.ids);
+  const bool bit = config_.representation == Representation::kBit;
+  const bool seq = config_.order == CombinationOrder::kSequential;
+  if (bit) {
+    BitCand fresh = MakeBitCand(window, wsk);
+    if (seq) {
+      seq_bit_.Step(std::move(fresh), global_max_windows_,
+                    [&](BitCand& older, const BitCand& newer) {
+                      MergeBit(older, newer);
+                    });
+      for (BitCand& c : seq_bit_.candidates()) TestBitCand(c);
+      seq_bit_.RemoveIf([](const BitCand& c) { return c.sigs.empty(); });
+    } else {
+      geo_bit_.Step(std::move(fresh), global_max_windows_,
+                    [&](BitCand& older, const BitCand& newer) {
+                      MergeBit(older, newer);
+                    });
+      geo_bit_.VisitSuffixes(
+          global_max_windows_, [](const BitCand& c) { return c; },
+          [&](BitCand& older, const BitCand& newer) { MergeBit(older, newer); },
+          [&](BitCand& c) { TestBitCand(c); });
+      // Blocks are kept even when all their signatures prune away: their
+      // window spans still participate in suffix-length accounting.
+    }
+  } else {
+    SketchCand fresh = MakeSketchCand(window, wsk);
+    if (seq) {
+      seq_sketch_.Step(std::move(fresh), global_max_windows_,
+                       [&](SketchCand& older, const SketchCand& newer) {
+                         MergeSketch(older, newer);
+                       });
+      for (SketchCand& c : seq_sketch_.candidates()) TestSketchCand(c);
+    } else {
+      geo_sketch_.Step(std::move(fresh), global_max_windows_,
+                       [&](SketchCand& older, const SketchCand& newer) {
+                         MergeSketch(older, newer);
+                       });
+      geo_sketch_.VisitSuffixes(
+          global_max_windows_, [](const SketchCand& c) { return c; },
+          [&](SketchCand& older, const SketchCand& newer) {
+            MergeSketch(older, newer);
+          },
+          [&](SketchCand& c) { TestSketchCand(c); });
+    }
+  }
+  RecordWindowStats();
+}
+
+}  // namespace vcd::core

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <memory>
+#include <tuple>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/match.h"
+#include "features/fingerprint.h"
+#include "index/hash_query_index.h"
+#include "sketch/bit_signature.h"
+#include "sketch/minhash.h"
+#include "stream/basic_window.h"
+#include "stream/combiner.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "video/partial_decoder.h"
+
+/// \file detector.h
+/// The continuous copy detector — the paper's full pipeline (§III–§V):
+/// key-frame fingerprinting → basic-window min-hash sketches → (optionally
+/// index-probed) related-query lists → candidate combination in Sequential
+/// or Geometric order → bit-signature or raw-sketch similarity with Lemma-2
+/// pruning → match reports.
+
+namespace vcd::core {
+
+/// Runtime counters exposed for the experiments.
+struct DetectorStats {
+  int64_t key_frames = 0;           ///< key frames consumed
+  int64_t windows = 0;              ///< basic windows completed
+  int64_t sketch_combines = 0;      ///< element-wise-min sketch merges
+  int64_t sketch_compares = 0;      ///< full K-array sketch comparisons
+  int64_t bitsig_ors = 0;           ///< bit-signature OR merges
+  int64_t bitsig_builds = 0;        ///< signatures built from raw sketches
+  int64_t candidates_pruned = 0;    ///< Lemma-2 removals
+  RunningStats signatures_per_window;  ///< Fig. 10's memory metric
+  RunningStats candidates_per_window;
+};
+
+/// \brief Detects copies of subscribed query videos on a key-frame stream.
+///
+/// Typical use:
+/// ```
+/// auto det = CopyDetector::Create(config);
+/// det->AddQuery(1, query_key_frames);
+/// for (DcFrame f : stream) det->ProcessKeyFrame(f);
+/// det->Finish();
+/// for (const Match& m : det->matches()) ...
+/// ```
+class CopyDetector {
+ public:
+  /// Creates a detector; fails on invalid config.
+  static Result<std::unique_ptr<CopyDetector>> Create(const DetectorConfig& config);
+
+  /// Subscribes a query from its key-frame DC maps. \p duration_seconds is
+  /// the query's playback length L (used for the λL expiry bound and report
+  /// cooldown); if ≤ 0 it is inferred from the key-frame timestamps.
+  Status AddQuery(int id, const std::vector<vcd::video::DcFrame>& key_frames,
+                  double duration_seconds = -1.0);
+
+  /// Subscribes a query directly from cell ids (for tests and tools).
+  Status AddQueryCells(int id, std::vector<features::CellId> ids,
+                       double duration_seconds);
+
+  /// Subscribes a query from a pre-computed sketch (e.g. one loaded from a
+  /// persisted QueryDb). The sketch must come from the same hash family
+  /// (equal K; the caller vouches for the seed).
+  Status AddQuerySketch(int id, sketch::Sketch sk, int length_frames,
+                        double duration_seconds);
+
+  /// Exports the active queries as (id, length_frames, duration, sketch)
+  /// tuples — the payload of a persistable QueryDb (see core/query_store.h;
+  /// pair it with config().K and config().hash_seed).
+  std::vector<std::tuple<int, int, double, sketch::Sketch>> ExportQueries() const;
+
+  /// Unsubscribes a query. Candidates keep already-built state for it but
+  /// stop matching it.
+  Status RemoveQuery(int id);
+
+  /// Number of subscribed queries.
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+
+  /// Feeds one key frame of the monitored stream.
+  Status ProcessKeyFrame(const vcd::video::DcFrame& frame);
+
+  /// Feeds one already-fingerprinted key frame (for pre-fingerprinted
+  /// streams and tests). \p frame_index is the position among all stream
+  /// frames, \p timestamp in seconds.
+  Status ProcessFingerprint(int64_t frame_index, double timestamp,
+                            features::CellId id);
+
+  /// Flushes the trailing partial basic window.
+  Status Finish();
+
+  /// Clears stream state and matches but keeps the subscribed queries.
+  void ResetStream();
+
+  /// All matches reported so far.
+  const std::vector<Match>& matches() const { return matches_; }
+
+  /// Runtime counters.
+  const DetectorStats& stats() const { return stats_; }
+
+  /// The configuration in effect.
+  const DetectorConfig& config() const { return config_; }
+
+  /// The fingerprinter (shared with dataset tooling so queries and stream
+  /// use identical features).
+  const features::FrameFingerprinter& fingerprinter() const { return *fingerprinter_; }
+
+ private:
+  /// One subscribed query.
+  struct QueryRec {
+    index::QueryInfo info;    ///< id and length in key frames
+    double duration_seconds = 0.0;
+    sketch::Sketch sketch;
+    int max_windows = 0;      ///< ⌈λL/w⌉
+    double suppress_until = -1.0;  ///< stream time before which reports are muted
+    bool active = true;
+  };
+
+  /// Candidate payload for the Sketch representation.
+  struct SketchCand {
+    int num_windows = 0;
+    int64_t start_frame = 0, end_frame = 0;
+    double start_time = 0.0, end_time = 0.0;
+    sketch::Sketch sketch;
+    std::vector<int> related;  ///< query ordinals, sorted (empty when !use_index)
+  };
+
+  /// Candidate payload for the Bit representation.
+  struct BitCand {
+    struct Sig {
+      int q = 0;  ///< query ordinal
+      sketch::BitSignature sig;
+    };
+    int num_windows = 0;
+    int64_t start_frame = 0, end_frame = 0;
+    double start_time = 0.0, end_time = 0.0;
+    std::vector<Sig> sigs;  ///< sorted by q
+  };
+
+  CopyDetector(const DetectorConfig& config, features::FrameFingerprinter fp,
+               sketch::MinHashFamily family);
+
+  /// Rebuilds the Hash-Query index from the active queries.
+  Status RebuildIndex();
+
+  /// Processes one completed basic window.
+  void ProcessWindow(const stream::BasicWindow& window);
+
+  /// Builds the fresh single-window Bit candidate for \p window.
+  BitCand MakeBitCand(const stream::BasicWindow& window, const sketch::Sketch& wsk);
+  /// Builds the fresh single-window Sketch candidate.
+  SketchCand MakeSketchCand(const stream::BasicWindow& window,
+                            const sketch::Sketch& wsk);
+
+  /// Merges \p newer into \p older (Bit representation; union-OR of
+  /// signature lists, missing sides treated as all-">" per §V-A).
+  void MergeBit(BitCand& older, const BitCand& newer);
+  /// Merges \p newer into \p older (Sketch representation).
+  void MergeSketch(SketchCand& older, const SketchCand& newer);
+
+  /// Tests a candidate against its related queries, emits matches, applies
+  /// per-query expiry and Lemma-2 pruning. Returns true when the candidate
+  /// still carries any live query state.
+  bool TestBitCand(BitCand& c);
+  bool TestSketchCand(SketchCand& c);
+
+  /// Emits a match for query ordinal \p q unless muted.
+  void EmitMatch(int q, int64_t start_frame, int64_t end_frame, double start_time,
+                 double end_time, double sim);
+
+  /// Records the per-window memory/candidate statistics.
+  void RecordWindowStats();
+
+  DetectorConfig config_;
+  std::unique_ptr<features::FrameFingerprinter> fingerprinter_;
+  sketch::MinHashFamily family_;
+  sketch::Sketcher sketcher_;
+  std::optional<stream::BasicWindowAssembler> assembler_;
+
+  std::vector<QueryRec> queries_;
+  std::optional<index::HashQueryIndex> index_;
+  bool index_dirty_ = false;
+  int global_max_windows_ = 1;
+
+  stream::SequentialCandidates<BitCand> seq_bit_;
+  stream::SequentialCandidates<SketchCand> seq_sketch_;
+  stream::GeometricCandidates<BitCand> geo_bit_;
+  stream::GeometricCandidates<SketchCand> geo_sketch_;
+
+  std::vector<Match> matches_;
+  DetectorStats stats_;
+};
+
+}  // namespace vcd::core

@@ -1,0 +1,37 @@
+#include "core/evaluation.h"
+
+namespace vcd::core {
+
+EvalResult EvaluateMatches(const std::vector<Match>& matches,
+                           const std::vector<GroundTruthEntry>& truth,
+                           int64_t w_frames) {
+  EvalResult r;
+  r.num_detections = static_cast<int>(matches.size());
+  r.num_truth = static_cast<int>(truth.size());
+  std::vector<bool> found(truth.size(), false);
+  for (const Match& m : matches) {
+    const int64_t p = m.end_frame;
+    bool correct = false;
+    for (size_t t = 0; t < truth.size(); ++t) {
+      const GroundTruthEntry& g = truth[t];
+      if (g.query_id != m.query_id) continue;
+      if (g.begin_frame + w_frames <= p && p <= g.end_frame + w_frames) {
+        correct = true;
+        found[t] = true;
+        // A detection may fall into several overlapping truth intervals of
+        // the same query; credit them all.
+      }
+    }
+    if (correct) ++r.num_correct;
+  }
+  for (bool f : found) r.num_truth_found += f;
+  r.pr.precision = r.num_detections > 0
+                       ? static_cast<double>(r.num_correct) / r.num_detections
+                       : 0.0;
+  r.pr.recall = r.num_truth > 0
+                    ? static_cast<double>(r.num_truth_found) / r.num_truth
+                    : 0.0;
+  return r;
+}
+
+}  // namespace vcd::core

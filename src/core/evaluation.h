@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "core/match.h"
+#include "util/stats.h"
+
+/// \file evaluation.h
+/// Precision/recall scoring with the paper's position rule (§VI): a
+/// detection of query Q at stream position Q.p is correct iff
+/// `Q.begin + w ≤ Q.p ≤ Q.end + w`, where w is the basic window length in
+/// frames. Precision is the fraction of correct detections; recall the
+/// fraction of ground-truth insertions found by at least one correct
+/// detection.
+
+namespace vcd::core {
+
+/// Per-run evaluation breakdown.
+struct EvalResult {
+  PrecisionRecall pr;
+  int num_detections = 0;
+  int num_correct = 0;
+  int num_truth = 0;
+  int num_truth_found = 0;
+};
+
+/// Scores \p matches against \p truth. \p w_frames is the basic window
+/// length converted to frames. The detection position Q.p is the match's
+/// end frame (the stream position at detection time).
+EvalResult EvaluateMatches(const std::vector<Match>& matches,
+                           const std::vector<GroundTruthEntry>& truth,
+                           int64_t w_frames);
+
+}  // namespace vcd::core

@@ -1,0 +1,167 @@
+#include "core/exact_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace vcd::core {
+namespace {
+
+/// Union of two sorted distinct-id sets.
+sketch::CellIdSet Union(const sketch::CellIdSet& a, const sketch::CellIdSet& b) {
+  std::vector<features::CellId> merged;
+  merged.reserve(a.size() + b.size());
+  std::set_union(a.ids().begin(), a.ids().end(), b.ids().begin(), b.ids().end(),
+                 std::back_inserter(merged));
+  return sketch::CellIdSet::FromSequence(std::move(merged));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ExactDetector>> ExactDetector::Create(
+    const DetectorConfig& config) {
+  VCD_RETURN_IF_ERROR(config.Validate());
+  auto det = std::unique_ptr<ExactDetector>(new ExactDetector(config));
+  auto fp = features::FrameFingerprinter::Create(config.fingerprint);
+  if (!fp.ok()) return fp.status();
+  det->fingerprinter_ =
+      std::make_unique<features::FrameFingerprinter>(std::move(fp).value());
+  auto assembler = stream::BasicWindowAssembler::Create(config.window_seconds);
+  if (!assembler.ok()) return assembler.status();
+  det->assembler_ =
+      std::make_unique<stream::BasicWindowAssembler>(std::move(assembler).value());
+  return det;
+}
+
+Status ExactDetector::AddQuery(int id,
+                               const std::vector<vcd::video::DcFrame>& key_frames,
+                               double duration_seconds) {
+  if (key_frames.empty()) return Status::InvalidArgument("query has no key frames");
+  if (duration_seconds <= 0) {
+    const double span = key_frames.back().timestamp - key_frames.front().timestamp;
+    const double spacing = key_frames.size() > 1
+                               ? span / static_cast<double>(key_frames.size() - 1)
+                               : config_.window_seconds;
+    duration_seconds = span + spacing;
+  }
+  return AddQueryCells(id, fingerprinter_->FingerprintSequence(key_frames),
+                       duration_seconds);
+}
+
+Status ExactDetector::AddQueryCells(int id, std::vector<features::CellId> ids,
+                                    double duration_seconds) {
+  if (ids.empty()) return Status::InvalidArgument("query has no frames");
+  if (duration_seconds <= 0) {
+    return Status::InvalidArgument("query duration must be positive");
+  }
+  for (const Query& q : queries_) {
+    if (q.id == id) return Status::AlreadyExists("query id " + std::to_string(id));
+  }
+  Query q;
+  q.id = id;
+  q.duration_seconds = duration_seconds;
+  q.set = sketch::CellIdSet::FromSequence(std::move(ids));
+  q.max_windows = std::max(
+      1, static_cast<int>(std::ceil(config_.lambda * duration_seconds /
+                                    config_.window_seconds)));
+  global_max_windows_ = std::max(global_max_windows_, q.max_windows);
+  queries_.push_back(std::move(q));
+  return Status::OK();
+}
+
+Status ExactDetector::RemoveQuery(int id) {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i].id == id) {
+      queries_.erase(queries_.begin() + static_cast<long>(i));
+      global_max_windows_ = 1;
+      for (const Query& q : queries_) {
+        global_max_windows_ = std::max(global_max_windows_, q.max_windows);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("query id " + std::to_string(id));
+}
+
+Status ExactDetector::ProcessKeyFrame(const vcd::video::DcFrame& frame) {
+  return ProcessFingerprint(frame.frame_index, frame.timestamp,
+                            fingerprinter_->Fingerprint(frame));
+}
+
+Status ExactDetector::ProcessFingerprint(int64_t frame_index, double timestamp,
+                                         features::CellId id) {
+  stream::BasicWindow done;
+  if (assembler_->Add(frame_index, timestamp, id, &done)) ProcessWindow(done);
+  return Status::OK();
+}
+
+Status ExactDetector::Finish() {
+  stream::BasicWindow done;
+  if (assembler_->Flush(&done)) ProcessWindow(done);
+  return Status::OK();
+}
+
+void ExactDetector::ProcessWindow(const stream::BasicWindow& window) {
+  const auto wset = sketch::CellIdSet::FromSequence(window.ids);
+  for (Candidate& c : candidates_) {
+    c.set = Union(c.set, wset);
+    ++c.num_windows;
+    c.end_frame = window.end_frame;
+    c.end_time = window.end_time;
+  }
+  Candidate fresh;
+  fresh.num_windows = 1;
+  fresh.start_frame = window.start_frame;
+  fresh.end_frame = window.end_frame;
+  fresh.start_time = window.start_time;
+  fresh.end_time = window.end_time;
+  fresh.set = wset;
+  candidates_.push_back(std::move(fresh));
+  while (!candidates_.empty() &&
+         candidates_.front().num_windows > global_max_windows_) {
+    candidates_.pop_front();
+  }
+  for (const Candidate& c : candidates_) {
+    for (Query& q : queries_) {
+      if (c.num_windows > q.max_windows) continue;
+      const double sim = c.set.Jaccard(q.set);
+      if (sim < config_.delta) continue;
+      const double cooldown = config_.report_cooldown_seconds < 0
+                                  ? config_.lambda * q.duration_seconds
+                                  : config_.report_cooldown_seconds;
+      if (cooldown > 0 && c.end_time < q.suppress_until) continue;
+      q.suppress_until = c.end_time + cooldown;
+      Match m;
+      m.query_id = q.id;
+      m.start_frame = c.start_frame;
+      m.end_frame = c.end_frame;
+      m.start_time = c.start_time;
+      m.end_time = c.end_time;
+      m.similarity = sim;
+      matches_.push_back(m);
+    }
+  }
+}
+
+double ExactDetector::BestSimilarity(int id) const {
+  const Query* query = nullptr;
+  for (const Query& q : queries_) {
+    if (q.id == id) query = &q;
+  }
+  if (query == nullptr) return 0.0;
+  double best = 0.0;
+  for (const Candidate& c : candidates_) {
+    best = std::max(best, c.set.Jaccard(query->set));
+  }
+  return best;
+}
+
+void ExactDetector::ResetStream() {
+  assembler_ = std::make_unique<stream::BasicWindowAssembler>(
+      stream::BasicWindowAssembler::Create(config_.window_seconds).value());
+  candidates_.clear();
+  matches_.clear();
+  for (Query& q : queries_) q.suppress_until = -1.0;
+}
+
+}  // namespace vcd::core

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/match.h"
+#include "features/fingerprint.h"
+#include "sketch/jaccard.h"
+#include "stream/basic_window.h"
+#include "util/status.h"
+#include "video/partial_decoder.h"
+
+/// \file exact_detector.h
+/// The *exact* reference detector: Definition 2 evaluated with true set
+/// intersection instead of min-hash estimation — the "membership test
+/// method" of the paper's Table II experiment, run as a streaming engine.
+///
+/// It is O(m · |window|·log) per window with per-candidate sorted-set state,
+/// so it does not scale like the sketch engine; its role is to serve as the
+/// accuracy oracle against which the K-min-hash approximation is measured
+/// (see bench_ablation_approx) and as a drop-in for small deployments where
+/// exactness matters more than throughput.
+
+namespace vcd::core {
+
+/// \brief Streaming copy detector with exact Jaccard similarity.
+///
+/// Mirrors `CopyDetector`'s interface for the Sequential order: candidate
+/// sequences at every suffix length up to ⌈λL/w⌉ windows, each carrying the
+/// exact distinct-cell-id set of its span.
+class ExactDetector {
+ public:
+  /// Creates a detector. Only `fingerprint`, `delta`, `window_seconds`,
+  /// `lambda` and `report_cooldown_seconds` of \p config apply.
+  static Result<std::unique_ptr<ExactDetector>> Create(const DetectorConfig& config);
+
+  /// Subscribes a query from key-frame DC maps.
+  Status AddQuery(int id, const std::vector<vcd::video::DcFrame>& key_frames,
+                  double duration_seconds = -1.0);
+
+  /// Subscribes a query from cell ids.
+  Status AddQueryCells(int id, std::vector<features::CellId> ids,
+                       double duration_seconds);
+
+  /// Unsubscribes a query.
+  Status RemoveQuery(int id);
+
+  /// Feeds one key frame.
+  Status ProcessKeyFrame(const vcd::video::DcFrame& frame);
+
+  /// Feeds one already-fingerprinted key frame.
+  Status ProcessFingerprint(int64_t frame_index, double timestamp,
+                            features::CellId id);
+
+  /// Flushes the trailing partial window.
+  Status Finish();
+
+  /// Matches reported so far.
+  const std::vector<Match>& matches() const { return matches_; }
+
+  /// Exact similarity of the best current candidate against query \p id
+  /// (for approximation-quality studies); 0 when no candidate exists.
+  double BestSimilarity(int id) const;
+
+  /// Clears stream state, keeps queries.
+  void ResetStream();
+
+ private:
+  struct Query {
+    int id;
+    double duration_seconds;
+    sketch::CellIdSet set;
+    int max_windows;
+    double suppress_until = -1.0;
+  };
+  struct Candidate {
+    int num_windows = 0;
+    int64_t start_frame = 0, end_frame = 0;
+    double start_time = 0.0, end_time = 0.0;
+    sketch::CellIdSet set;
+  };
+
+  explicit ExactDetector(const DetectorConfig& config) : config_(config) {}
+
+  void ProcessWindow(const stream::BasicWindow& window);
+
+  DetectorConfig config_;
+  std::unique_ptr<features::FrameFingerprinter> fingerprinter_;
+  std::unique_ptr<stream::BasicWindowAssembler> assembler_;
+  std::vector<Query> queries_;
+  int global_max_windows_ = 1;
+  std::deque<Candidate> candidates_;
+  std::vector<Match> matches_;
+};
+
+}  // namespace vcd::core

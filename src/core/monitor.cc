@@ -1,0 +1,131 @@
+#include "core/monitor.h"
+
+#include <string>
+
+namespace vcd::core {
+
+Result<std::unique_ptr<StreamMonitor>> StreamMonitor::Create(
+    const DetectorConfig& config) {
+  VCD_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<StreamMonitor>(new StreamMonitor(config));
+}
+
+Status StreamMonitor::AddQuerySketch(int id, const sketch::Sketch& sk,
+                                     int length_frames, double duration_seconds) {
+  if (sk.K() != config_.K) {
+    return Status::InvalidArgument("sketch K does not match monitor config");
+  }
+  for (const PortfolioEntry& e : portfolio_) {
+    if (e.id == id) return Status::AlreadyExists("query id " + std::to_string(id));
+  }
+  // Propagate to every open stream first so a failure leaves the portfolio
+  // unchanged.
+  for (auto& [sid, state] : streams_) {
+    VCD_RETURN_IF_ERROR(
+        state.detector->AddQuerySketch(id, sk, length_frames, duration_seconds));
+  }
+  portfolio_.push_back(PortfolioEntry{id, length_frames, duration_seconds, sk});
+  return Status::OK();
+}
+
+Status StreamMonitor::AddQuery(int id,
+                               const std::vector<vcd::video::DcFrame>& key_frames,
+                               double duration_seconds) {
+  if (key_frames.empty()) return Status::InvalidArgument("query has no key frames");
+  // Fingerprint + sketch once with a scratch detector-config pipeline so
+  // every stream shares the identical query sketch.
+  auto fp = features::FrameFingerprinter::Create(config_.fingerprint);
+  if (!fp.ok()) return fp.status();
+  auto family = sketch::MinHashFamily::Create(config_.K, config_.hash_seed);
+  if (!family.ok()) return family.status();
+  sketch::Sketcher sketcher(&family.value());
+  const auto cells = fp->FingerprintSequence(key_frames);
+  if (duration_seconds <= 0) {
+    const double span = key_frames.back().timestamp - key_frames.front().timestamp;
+    const double spacing = key_frames.size() > 1
+                               ? span / static_cast<double>(key_frames.size() - 1)
+                               : config_.window_seconds;
+    duration_seconds = span + spacing;
+  }
+  return AddQuerySketch(id, sketcher.FromSequence(cells),
+                        static_cast<int>(cells.size()), duration_seconds);
+}
+
+Status StreamMonitor::ImportQueries(const QueryDb& db) {
+  if (db.k != config_.K) {
+    return Status::FailedPrecondition("query db K does not match monitor config");
+  }
+  if (db.hash_seed != config_.hash_seed) {
+    return Status::FailedPrecondition("query db hash seed does not match config");
+  }
+  for (const StoredQuery& q : db.queries) {
+    VCD_RETURN_IF_ERROR(
+        AddQuerySketch(q.id, q.sketch, q.length_frames, q.duration_seconds));
+  }
+  return Status::OK();
+}
+
+Status StreamMonitor::RemoveQuery(int id) {
+  bool found = false;
+  for (size_t i = 0; i < portfolio_.size(); ++i) {
+    if (portfolio_[i].id == id) {
+      portfolio_.erase(portfolio_.begin() + static_cast<long>(i));
+      found = true;
+      break;
+    }
+  }
+  if (!found) return Status::NotFound("query id " + std::to_string(id));
+  for (auto& [sid, state] : streams_) {
+    VCD_RETURN_IF_ERROR(state.detector->RemoveQuery(id));
+  }
+  return Status::OK();
+}
+
+Result<int> StreamMonitor::OpenStream(std::string name) {
+  auto det = CopyDetector::Create(config_);
+  if (!det.ok()) return det.status();
+  for (const PortfolioEntry& e : portfolio_) {
+    VCD_RETURN_IF_ERROR((*det)->AddQuerySketch(e.id, e.sketch, e.length_frames,
+                                               e.duration_seconds));
+  }
+  const int id = next_stream_id_++;
+  StreamState state;
+  state.name = std::move(name);
+  state.detector = std::move(*det);
+  streams_.emplace(id, std::move(state));
+  return id;
+}
+
+void StreamMonitor::DrainMatches(int stream_id, StreamState* state) {
+  const auto& ms = state->detector->matches();
+  for (; state->matches_consumed < ms.size(); ++state->matches_consumed) {
+    matches_.push_back(StreamMatch{stream_id, state->name,
+                                   ms[state->matches_consumed]});
+  }
+}
+
+Status StreamMonitor::ProcessKeyFrame(int stream_id,
+                                      const vcd::video::DcFrame& frame) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return Status::NotFound("no such stream");
+  VCD_RETURN_IF_ERROR(it->second.detector->ProcessKeyFrame(frame));
+  DrainMatches(stream_id, &it->second);
+  return Status::OK();
+}
+
+Status StreamMonitor::CloseStream(int stream_id) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return Status::NotFound("no such stream");
+  VCD_RETURN_IF_ERROR(it->second.detector->Finish());
+  DrainMatches(stream_id, &it->second);
+  streams_.erase(it);
+  return Status::OK();
+}
+
+Result<DetectorStats> StreamMonitor::StreamStats(int stream_id) const {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return Status::NotFound("no such stream");
+  return it->second.detector->stats();
+}
+
+}  // namespace vcd::core

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/query_store.h"
+
+/// \file monitor.h
+/// Monitoring many *concurrent* video streams against one shared query
+/// portfolio — the paper's deployment picture ("there are many concurrent
+/// video streams and for each stream, there could be many continuous video
+/// copy monitoring queries").
+///
+/// `StreamMonitor` owns the portfolio; every opened stream gets its own
+/// detection state (candidate lists are inherently per-stream), and query
+/// subscribe/unsubscribe propagates to all streams online.
+
+namespace vcd::core {
+
+/// A match attributed to the stream it occurred on.
+struct StreamMatch {
+  int stream_id = 0;
+  std::string stream_name;
+  Match match;
+};
+
+/// \brief Fan-out facade: one query portfolio, many monitored streams.
+class StreamMonitor {
+ public:
+  /// Creates a monitor; all streams share \p config.
+  static Result<std::unique_ptr<StreamMonitor>> Create(const DetectorConfig& config);
+
+  /// Subscribes a query (key-frame DC maps) on every stream, present and
+  /// future.
+  Status AddQuery(int id, const std::vector<vcd::video::DcFrame>& key_frames,
+                  double duration_seconds = -1.0);
+
+  /// Subscribes a pre-sketched query (e.g. from a loaded QueryDb whose K
+  /// and hash seed match this monitor's config).
+  Status AddQuerySketch(int id, const sketch::Sketch& sk, int length_frames,
+                        double duration_seconds);
+
+  /// Loads a persisted query database. Fails unless its hash-family
+  /// parameters match the monitor's config.
+  Status ImportQueries(const QueryDb& db);
+
+  /// Unsubscribes a query everywhere.
+  Status RemoveQuery(int id);
+
+  /// Number of active queries.
+  int num_queries() const { return static_cast<int>(portfolio_.size()); }
+
+  /// Opens a new monitored stream; returns its id.
+  Result<int> OpenStream(std::string name);
+
+  /// Flushes and closes a stream. Its matches remain readable.
+  Status CloseStream(int stream_id);
+
+  /// Number of currently open streams.
+  int num_open_streams() const { return static_cast<int>(streams_.size()); }
+
+  /// Feeds one key frame of stream \p stream_id.
+  Status ProcessKeyFrame(int stream_id, const vcd::video::DcFrame& frame);
+
+  /// All matches so far, across open and closed streams, in arrival order.
+  const std::vector<StreamMatch>& matches() const { return matches_; }
+
+  /// Detector stats for an open stream.
+  Result<DetectorStats> StreamStats(int stream_id) const;
+
+ private:
+  struct StreamState {
+    std::string name;
+    std::unique_ptr<CopyDetector> detector;
+    size_t matches_consumed = 0;
+  };
+  struct PortfolioEntry {
+    int id;
+    int length_frames;
+    double duration_seconds;
+    sketch::Sketch sketch;
+  };
+
+  explicit StreamMonitor(const DetectorConfig& config) : config_(config) {}
+
+  /// Moves freshly produced matches of \p state into the global log.
+  void DrainMatches(int stream_id, StreamState* state);
+
+  DetectorConfig config_;
+  std::vector<PortfolioEntry> portfolio_;
+  std::map<int, StreamState> streams_;
+  int next_stream_id_ = 1;
+  std::vector<StreamMatch> matches_;
+};
+
+}  // namespace vcd::core

@@ -1,0 +1,115 @@
+#include "core/query_store.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace vcd::core {
+namespace {
+
+constexpr uint8_t kMagic[4] = {'V', 'C', 'D', 'Q'};
+constexpr uint8_t kVersion = 1;
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int s = 24; s >= 0; s -= 8) out->push_back(static_cast<uint8_t>(v >> s));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int s = 56; s >= 0; s -= 8) out->push_back(static_cast<uint8_t>(v >> s));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SerializeQueries(const QueryDb& db) {
+  if (db.k < 1) return Status::InvalidArgument("K must be >= 1");
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kVersion);
+  PutU32(&out, static_cast<uint32_t>(db.k));
+  PutU64(&out, db.hash_seed);
+  PutU32(&out, static_cast<uint32_t>(db.queries.size()));
+  for (const StoredQuery& q : db.queries) {
+    if (q.sketch.K() != db.k) {
+      return Status::InvalidArgument("sketch K mismatch for query " +
+                                     std::to_string(q.id));
+    }
+    if (q.duration_seconds < 0) {
+      return Status::InvalidArgument("negative duration for query " +
+                                     std::to_string(q.id));
+    }
+    PutU32(&out, static_cast<uint32_t>(q.id));
+    PutU32(&out, static_cast<uint32_t>(q.length_frames));
+    PutU32(&out, static_cast<uint32_t>(std::lround(q.duration_seconds * 1000.0)));
+    for (uint64_t v : q.sketch.mins) PutU64(&out, v);
+  }
+  return out;
+}
+
+Result<QueryDb> DeserializeQueries(const uint8_t* data, size_t size) {
+  constexpr size_t kHeader = 4 + 1 + 4 + 8 + 4;
+  if (size < kHeader) return Status::Corruption("query store shorter than header");
+  if (std::memcmp(data, kMagic, 4) != 0) return Status::Corruption("bad magic");
+  if (data[4] != kVersion) return Status::Corruption("unsupported store version");
+  QueryDb db;
+  db.k = static_cast<int>(GetU32(data + 5));
+  db.hash_seed = GetU64(data + 9);
+  const uint32_t count = GetU32(data + 17);
+  if (db.k < 1) return Status::Corruption("invalid K");
+  const size_t per_query = 4 + 4 + 4 + static_cast<size_t>(db.k) * 8;
+  if (size != kHeader + static_cast<size_t>(count) * per_query) {
+    return Status::Corruption("query store size mismatch");
+  }
+  size_t pos = kHeader;
+  db.queries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    StoredQuery q;
+    q.id = static_cast<int>(GetU32(data + pos));
+    q.length_frames = static_cast<int>(GetU32(data + pos + 4));
+    q.duration_seconds = static_cast<double>(GetU32(data + pos + 8)) / 1000.0;
+    pos += 12;
+    q.sketch.mins.resize(static_cast<size_t>(db.k));
+    for (int r = 0; r < db.k; ++r) {
+      q.sketch.mins[static_cast<size_t>(r)] = GetU64(data + pos);
+      pos += 8;
+    }
+    db.queries.push_back(std::move(q));
+  }
+  return db;
+}
+
+Status SaveQueriesFile(const QueryDb& db, const std::string& path) {
+  auto bytes = SerializeQueries(db);
+  if (!bytes.ok()) return bytes.status();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + path + " for writing");
+  const size_t n = std::fwrite(bytes->data(), 1, bytes->size(), f);
+  std::fclose(f);
+  if (n != bytes->size()) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Result<QueryDb> LoadQueriesFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(len > 0 ? len : 0));
+  const size_t n = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (n != bytes.size()) return Status::Internal("short read from " + path);
+  return DeserializeQueries(bytes.data(), bytes.size());
+}
+
+}  // namespace vcd::core

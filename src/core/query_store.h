@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sketch/minhash.h"
+#include "util/status.h"
+
+/// \file query_store.h
+/// Persistence for subscribed query databases.
+///
+/// Query sketches are min-hashed offline (paper §V-C); a monitoring service
+/// computes them once and ships them to every monitor node. The store keeps
+/// the hash-family parameters (K, seed) alongside the sketches because
+/// sketches are only comparable under the *same* family.
+///
+/// Binary layout (big-endian):
+///   magic 'VCDQ' | version u8 | K u32 | hash_seed u64 | count u32 |
+///   per query: id i32 | length_frames i32 | duration_ms u32 | K × u64 mins
+
+namespace vcd::core {
+
+/// One persisted query.
+struct StoredQuery {
+  int id = 0;
+  int length_frames = 0;
+  double duration_seconds = 0.0;
+  sketch::Sketch sketch;
+};
+
+/// A persisted query database.
+struct QueryDb {
+  int k = 0;
+  uint64_t hash_seed = 0;
+  std::vector<StoredQuery> queries;
+};
+
+/// Serializes \p db. Fails if any sketch's K differs from db.k.
+Result<std::vector<uint8_t>> SerializeQueries(const QueryDb& db);
+
+/// Parses a serialized query database.
+Result<QueryDb> DeserializeQueries(const uint8_t* data, size_t size);
+
+/// Writes \p db to \p path.
+Status SaveQueriesFile(const QueryDb& db, const std::string& path);
+
+/// Reads a query database from \p path.
+Result<QueryDb> LoadQueriesFile(const std::string& path);
+
+}  // namespace vcd::core

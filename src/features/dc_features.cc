@@ -1,0 +1,87 @@
+#include "features/dc_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vcd::features {
+
+Status FeatureOptions::Validate() const {
+  if (grid_rows < 1 || grid_cols < 1) {
+    return Status::InvalidArgument("grid must have at least one region");
+  }
+  if (d < 1 || d > D()) {
+    return Status::InvalidArgument("d must be in [1, grid_rows*grid_cols]");
+  }
+  return Status::OK();
+}
+
+Result<DBlockFeatureExtractor> DBlockFeatureExtractor::Create(const FeatureOptions& opts) {
+  VCD_RETURN_IF_ERROR(opts.Validate());
+  DBlockFeatureExtractor ex(opts);
+  // Selection priority: regions ordered by distance from the grid center
+  // (center first, then corners before edge midpoints at equal ring via the
+  // tie-break below), deterministic across copies.
+  const int rows = opts.grid_rows, cols = opts.grid_cols;
+  std::vector<int> order(static_cast<size_t>(rows * cols));
+  std::iota(order.begin(), order.end(), 0);
+  const double cy = (rows - 1) / 2.0, cx = (cols - 1) / 2.0;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ay = a / cols - cy, ax = a % cols - cx;
+    const double by = b / cols - cy, bx = b % cols - cx;
+    const double da = ay * ay + ax * ax, db = by * by + bx * bx;
+    if (da != db) return da < db;
+    return a < b;
+  });
+  // Corners ahead of edge midpoints: for the 3x3 default the distance sort
+  // already yields center < edges < corners; we want corners before edges,
+  // so order the non-center ring by descending distance.
+  std::stable_sort(order.begin() + 1, order.end(), [&](int a, int b) {
+    const double ay = a / cols - cy, ax = a % cols - cx;
+    const double by = b / cols - cy, bx = b % cols - cx;
+    const double da = ay * ay + ax * ax, db = by * by + bx * bx;
+    if (da != db) return da > db;
+    return a < b;
+  });
+  ex.selection_.assign(order.begin(), order.begin() + opts.d);
+  return ex;
+}
+
+std::vector<float> DBlockFeatureExtractor::RegionAverages(
+    const vcd::video::DcFrame& frame) const {
+  const int rows = opts_.grid_rows, cols = opts_.grid_cols;
+  std::vector<float> sums(static_cast<size_t>(rows * cols), 0.0f);
+  std::vector<int> counts(static_cast<size_t>(rows * cols), 0);
+  for (int by = 0; by < frame.blocks_y; ++by) {
+    const int r = std::min(by * rows / frame.blocks_y, rows - 1);
+    for (int bx = 0; bx < frame.blocks_x; ++bx) {
+      const int c = std::min(bx * cols / frame.blocks_x, cols - 1);
+      sums[static_cast<size_t>(r) * cols + c] += frame.At(bx, by);
+      ++counts[static_cast<size_t>(r) * cols + c];
+    }
+  }
+  for (size_t i = 0; i < sums.size(); ++i) {
+    if (counts[i] > 0) sums[i] /= static_cast<float>(counts[i]);
+  }
+  return sums;
+}
+
+std::vector<float> DBlockFeatureExtractor::Extract(
+    const vcd::video::DcFrame& frame) const {
+  std::vector<float> avg = RegionAverages(frame);
+  const auto [mn_it, mx_it] = std::minmax_element(avg.begin(), avg.end());
+  const float mn = *mn_it, mx = *mx_it;
+  std::vector<float> out(selection_.size());
+  if (mx - mn <= 1e-6f) {
+    // Flat frame: Eq. 1 is undefined; map to the cell-space center so all
+    // copies of a flat frame still collide.
+    std::fill(out.begin(), out.end(), 0.5f);
+    return out;
+  }
+  for (size_t i = 0; i < selection_.size(); ++i) {
+    out[i] = (avg[static_cast<size_t>(selection_[i])] - mn) / (mx - mn);
+  }
+  return out;
+}
+
+}  // namespace vcd::features

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "util/status.h"
+#include "video/partial_decoder.h"
+
+/// \file dc_features.h
+/// Per-frame feature extraction from key-frame DC maps (paper §III-A):
+/// the frame is spatially partitioned into D equal regions, the average DC
+/// of each region is min-max normalized to [0,1] (Eq. 1), and `d` of the D
+/// values are selected as the frame's feature vector.
+
+namespace vcd::features {
+
+/// Feature extraction configuration.
+struct FeatureOptions {
+  /// Spatial partition of the frame: grid_rows × grid_cols = D regions.
+  /// The paper uses 3×3 (D = 9).
+  int grid_rows = 3;
+  int grid_cols = 3;
+  /// Number of coefficients kept (d ≤ D). The paper sweeps d in [3, 7].
+  int d = 5;
+
+  int D() const { return grid_rows * grid_cols; }
+
+  /// Validates ranges.
+  Status Validate() const;
+};
+
+/// \brief Extracts normalized d-dimensional feature vectors from DC maps.
+///
+/// The d regions kept follow a fixed priority (center, then corners, then
+/// edges of the 3×3 layout) so that every copy of a frame selects the same
+/// regions; the paper does not specify the selection and this choice is
+/// documented in DESIGN.md.
+class DBlockFeatureExtractor {
+ public:
+  /// Creates an extractor. \p opts must validate.
+  static Result<DBlockFeatureExtractor> Create(const FeatureOptions& opts);
+
+  /// The options in effect.
+  const FeatureOptions& options() const { return opts_; }
+
+  /// Extracts the feature vector (size d, entries in [0,1]) of \p frame.
+  /// A frame whose D averages are all equal maps to the all-0.5 vector.
+  std::vector<float> Extract(const vcd::video::DcFrame& frame) const;
+
+  /// Extracts the raw D region averages (un-normalized DC means), exposed
+  /// for tests and the baselines' frame-distance computation.
+  std::vector<float> RegionAverages(const vcd::video::DcFrame& frame) const;
+
+ private:
+  explicit DBlockFeatureExtractor(FeatureOptions opts) : opts_(opts) {}
+
+  FeatureOptions opts_;
+  std::vector<int> selection_;  ///< region indices kept, highest priority first
+};
+
+}  // namespace vcd::features

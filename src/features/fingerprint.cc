@@ -1,0 +1,25 @@
+#include "features/fingerprint.h"
+
+namespace vcd::features {
+
+Result<FrameFingerprinter> FrameFingerprinter::Create(const FingerprintOptions& opts) {
+  auto ex = DBlockFeatureExtractor::Create(opts.feature);
+  if (!ex.ok()) return ex.status();
+  auto part = GridPyramidPartition::Create(opts.feature.d, opts.u, opts.scheme);
+  if (!part.ok()) return part.status();
+  return FrameFingerprinter(std::move(ex).value(), std::move(part).value());
+}
+
+CellId FrameFingerprinter::Fingerprint(const vcd::video::DcFrame& frame) const {
+  return partition_.Assign(extractor_.Extract(frame));
+}
+
+std::vector<CellId> FrameFingerprinter::FingerprintSequence(
+    const std::vector<vcd::video::DcFrame>& frames) const {
+  std::vector<CellId> out;
+  out.reserve(frames.size());
+  for (const auto& f : frames) out.push_back(Fingerprint(f));
+  return out;
+}
+
+}  // namespace vcd::features

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "features/dc_features.h"
+#include "features/grid_pyramid.h"
+#include "util/status.h"
+#include "video/partial_decoder.h"
+
+/// \file fingerprint.h
+/// End-to-end frame fingerprinting: key-frame DC map → normalized d-dim
+/// feature → grid–pyramid cell id (the 1-dimensional frame signature the
+/// whole detection pipeline operates on; paper §III).
+
+namespace vcd::features {
+
+/// Combined configuration of the fingerprint pipeline.
+struct FingerprintOptions {
+  FeatureOptions feature;
+  int u = 4;  ///< grid slices per dimension
+  PartitionScheme scheme = PartitionScheme::kGridPyramid;
+};
+
+/// \brief Maps key frames to cell-id signatures.
+class FrameFingerprinter {
+ public:
+  /// Creates a fingerprinter; fails on invalid options.
+  static Result<FrameFingerprinter> Create(const FingerprintOptions& opts);
+
+  /// Signature of one key frame.
+  CellId Fingerprint(const vcd::video::DcFrame& frame) const;
+
+  /// Signatures of a whole key-frame sequence.
+  std::vector<CellId> FingerprintSequence(
+      const std::vector<vcd::video::DcFrame>& frames) const;
+
+  /// Number of distinct cell ids the partition can produce.
+  uint64_t num_cells() const { return partition_.num_cells(); }
+
+  /// The underlying feature extractor.
+  const DBlockFeatureExtractor& extractor() const { return extractor_; }
+  /// The underlying space partition.
+  const GridPyramidPartition& partition() const { return partition_; }
+
+ private:
+  FrameFingerprinter(DBlockFeatureExtractor ex, GridPyramidPartition part)
+      : extractor_(std::move(ex)), partition_(std::move(part)) {}
+
+  DBlockFeatureExtractor extractor_;
+  GridPyramidPartition partition_;
+};
+
+}  // namespace vcd::features

@@ -1,0 +1,98 @@
+#include "features/grid_pyramid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace vcd::features {
+
+Result<GridPyramidPartition> GridPyramidPartition::Create(int d, int u,
+                                                          PartitionScheme scheme) {
+  if (d < 1) return Status::InvalidArgument("d must be >= 1");
+  if (u < 1) return Status::InvalidArgument("u must be >= 1");
+  // Cell count: u^d grid cells, times 2d pyramid sub-cells for the combined
+  // scheme; must fit a CellId.
+  uint64_t grid_cells = 1;
+  for (int i = 0; i < d; ++i) {
+    if (grid_cells > std::numeric_limits<uint32_t>::max() / static_cast<uint64_t>(u)) {
+      return Status::InvalidArgument("u^d overflows the cell id space");
+    }
+    grid_cells *= static_cast<uint64_t>(u);
+  }
+  uint64_t cells = grid_cells;
+  switch (scheme) {
+    case PartitionScheme::kGrid:
+      break;
+    case PartitionScheme::kPyramid:
+      cells = static_cast<uint64_t>(2 * d);
+      break;
+    case PartitionScheme::kGridPyramid:
+      if (grid_cells > std::numeric_limits<uint32_t>::max() / (2ULL * d)) {
+        return Status::InvalidArgument("2*d*u^d overflows the cell id space");
+      }
+      cells = 2ULL * d * grid_cells;
+      break;
+  }
+  return GridPyramidPartition(d, u, scheme, cells);
+}
+
+uint64_t GridPyramidPartition::GridOrder(const std::vector<float>& f) const {
+  uint64_t idx = 0;
+  for (int j = 0; j < d_; ++j) {
+    const float v = std::clamp(f[static_cast<size_t>(j)], 0.0f, 1.0f);
+    int slice = std::min(static_cast<int>(v * u_), u_ - 1);
+    idx = idx * static_cast<uint64_t>(u_) + static_cast<uint64_t>(slice);
+  }
+  return idx;
+}
+
+std::vector<float> GridPyramidPartition::GridCellCenter(const std::vector<float>& f) const {
+  std::vector<float> center(static_cast<size_t>(d_));
+  for (int j = 0; j < d_; ++j) {
+    const float v = std::clamp(f[static_cast<size_t>(j)], 0.0f, 1.0f);
+    int slice = std::min(static_cast<int>(v * u_), u_ - 1);
+    center[static_cast<size_t>(j)] = (static_cast<float>(slice) + 0.5f) / u_;
+  }
+  return center;
+}
+
+int GridPyramidPartition::PyramidOrder(const std::vector<float>& f,
+                                       const std::vector<float>& center) const {
+  // j_max = argmax_j |f_j - C_j|, ties resolved to the smallest j so the
+  // order is deterministic.
+  int j_max = 0;
+  float best = -1.0f;
+  for (int j = 0; j < d_; ++j) {
+    const float dev = std::fabs(f[static_cast<size_t>(j)] - center[static_cast<size_t>(j)]);
+    if (dev > best) {
+      best = dev;
+      j_max = j;
+    }
+  }
+  const bool below = f[static_cast<size_t>(j_max)] < center[static_cast<size_t>(j_max)];
+  return below ? j_max : j_max + d_;
+}
+
+CellId GridPyramidPartition::Assign(const std::vector<float>& f) const {
+  VCD_DCHECK(static_cast<int>(f.size()) == d_, "feature dimension mismatch");
+  switch (scheme_) {
+    case PartitionScheme::kGrid:
+      return static_cast<CellId>(GridOrder(f));
+    case PartitionScheme::kPyramid: {
+      // Pyramid over the whole [0,1]^d space: the "cell" is the space itself
+      // with center 0.5^d.
+      std::vector<float> center(static_cast<size_t>(d_), 0.5f);
+      return static_cast<CellId>(PyramidOrder(f, center));
+    }
+    case PartitionScheme::kGridPyramid: {
+      const uint64_t og = GridOrder(f);
+      const int op = PyramidOrder(f, GridCellCenter(f));
+      return static_cast<CellId>(2ULL * d_ * og + static_cast<uint64_t>(op));
+    }
+  }
+  return 0;
+}
+
+}  // namespace vcd::features

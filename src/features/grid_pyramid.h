@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file grid_pyramid.h
+/// The grid–pyramid space partition (paper §III-A, Fig. 1): each of the d
+/// feature dimensions is cut into u grid slices, and every grid cell is
+/// further split into 2d pyramid sub-cells (Pyramid-Technique order), giving
+/// `2·d·u^d` cells. A frame's signature is the id of the cell its feature
+/// vector falls into: `id = 2d·O_g(f) + O_p(f)`.
+
+namespace vcd::features {
+
+/// A frame signature: the id of the cell containing its feature vector.
+using CellId = uint32_t;
+
+/// Which partition to use. Grid-only and pyramid-only exist for the
+/// ablation the paper argues in §III-A.
+enum class PartitionScheme {
+  kGrid,         ///< u^d cells, id = O_g(f)
+  kPyramid,      ///< 2d cells, id = O_p(f) over the whole space
+  kGridPyramid,  ///< 2d·u^d cells, id = 2d·O_g(f) + O_p(f)
+};
+
+/// \brief Maps feature vectors in [0,1]^d to cell ids.
+class GridPyramidPartition {
+ public:
+  /// Creates a partition of [0,1]^\p d with \p u slices per dimension.
+  /// Fails unless d ≥ 1, u ≥ 1, and the cell count fits in CellId.
+  static Result<GridPyramidPartition> Create(
+      int d, int u, PartitionScheme scheme = PartitionScheme::kGridPyramid);
+
+  /// Dimensionality d.
+  int d() const { return d_; }
+  /// Slices per dimension u.
+  int u() const { return u_; }
+  /// The scheme in use.
+  PartitionScheme scheme() const { return scheme_; }
+  /// Total number of cells.
+  uint64_t num_cells() const { return num_cells_; }
+
+  /// Returns the cell id of feature vector \p f (size d, entries clamped to
+  /// [0,1]).
+  CellId Assign(const std::vector<float>& f) const;
+
+  /// Grid order O_g: row-major index of the grid cell of \p f.
+  uint64_t GridOrder(const std::vector<float>& f) const;
+
+  /// Pyramid order O_p of \p f within the grid cell centered at \p center:
+  /// `j_max = argmax_j |f_j − C_j|`, O_p = j_max when f_{j_max} < C_{j_max},
+  /// else j_max + d.
+  int PyramidOrder(const std::vector<float>& f, const std::vector<float>& center) const;
+
+  /// Center of the grid cell containing \p f.
+  std::vector<float> GridCellCenter(const std::vector<float>& f) const;
+
+ private:
+  GridPyramidPartition(int d, int u, PartitionScheme scheme, uint64_t num_cells)
+      : d_(d), u_(u), scheme_(scheme), num_cells_(num_cells) {}
+
+  int d_;
+  int u_;
+  PartitionScheme scheme_;
+  uint64_t num_cells_;
+};
+
+}  // namespace vcd::features

@@ -1,0 +1,17 @@
+#include "sketch/bit_signature.h"
+
+#include "util/logging.h"
+
+namespace vcd::sketch {
+
+BitSignature BitSignature::FromSketches(const Sketch& cand, const Sketch& query) {
+  VCD_DCHECK(cand.K() == query.K(), "sketch K mismatch");
+  BitSignature sig(cand.K());
+  for (int r = 0; r < cand.K(); ++r) {
+    sig.SetRelation(r, cand.mins[static_cast<size_t>(r)],
+                    query.mins[static_cast<size_t>(r)]);
+  }
+  return sig;
+}
+
+}  // namespace vcd::sketch

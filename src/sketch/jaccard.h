@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "features/grid_pyramid.h"
+
+/// \file jaccard.h
+/// Exact set similarity (paper Definition 2), used for ground truth, tests,
+/// and the Table II membership-test experiment which deliberately avoids
+/// min-hash approximation.
+
+namespace vcd::sketch {
+
+/// \brief A deduplicated, sorted set of cell ids supporting exact Jaccard.
+class CellIdSet {
+ public:
+  CellIdSet() = default;
+
+  /// Builds the set of a cell-id sequence (duplicates removed).
+  static CellIdSet FromSequence(std::vector<features::CellId> ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    CellIdSet s;
+    s.ids_ = std::move(ids);
+    return s;
+  }
+
+  /// Number of distinct ids.
+  size_t size() const { return ids_.size(); }
+  /// True if empty.
+  bool empty() const { return ids_.empty(); }
+  /// Sorted distinct ids.
+  const std::vector<features::CellId>& ids() const { return ids_; }
+
+  /// Membership test.
+  bool Contains(features::CellId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  /// |this ∩ other| by sorted merge.
+  size_t IntersectionSize(const CellIdSet& other) const {
+    size_t i = 0, j = 0, n = 0;
+    while (i < ids_.size() && j < other.ids_.size()) {
+      if (ids_[i] < other.ids_[j]) {
+        ++i;
+      } else if (ids_[i] > other.ids_[j]) {
+        ++j;
+      } else {
+        ++n;
+        ++i;
+        ++j;
+      }
+    }
+    return n;
+  }
+
+  /// Exact Jaccard similarity |A∩B| / |A∪B| (0 when both sets are empty).
+  double Jaccard(const CellIdSet& other) const {
+    const size_t inter = IntersectionSize(other);
+    const size_t uni = ids_.size() + other.ids_.size() - inter;
+    return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  }
+
+ private:
+  std::vector<features::CellId> ids_;
+};
+
+/// Exact Jaccard similarity of two cell-id sequences (their sets).
+inline double JaccardSimilarity(const std::vector<features::CellId>& a,
+                                const std::vector<features::CellId>& b) {
+  return CellIdSet::FromSequence(a).Jaccard(CellIdSet::FromSequence(b));
+}
+
+}  // namespace vcd::sketch

@@ -1,0 +1,60 @@
+#include "sketch/minhash.h"
+
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vcd::sketch {
+
+Result<MinHashFamily> MinHashFamily::Create(int k, uint64_t seed) {
+  if (k < 1) return Status::InvalidArgument("K must be >= 1");
+  SplitMix64 sm(seed);
+  std::vector<uint64_t> seeds(static_cast<size_t>(k));
+  for (auto& s : seeds) s = sm.Next();
+  return MinHashFamily(std::move(seeds));
+}
+
+Sketch Sketcher::Empty() const {
+  Sketch s;
+  s.mins.assign(static_cast<size_t>(family_->K()),
+                std::numeric_limits<uint64_t>::max());
+  return s;
+}
+
+void Sketcher::Add(Sketch* sketch, features::CellId id) const {
+  const int k = family_->K();
+  VCD_DCHECK(sketch->K() == k, "sketch size does not match family");
+  for (int fn = 0; fn < k; ++fn) {
+    const uint64_t h = family_->Hash(fn, id);
+    auto& slot = sketch->mins[static_cast<size_t>(fn)];
+    if (h < slot) slot = h;
+  }
+}
+
+Sketch Sketcher::FromSequence(const std::vector<features::CellId>& ids) const {
+  Sketch s = Empty();
+  for (features::CellId id : ids) Add(&s, id);
+  return s;
+}
+
+void Sketcher::Combine(Sketch* into, const Sketch& other) {
+  VCD_DCHECK(into->K() == other.K(), "cannot combine sketches of different K");
+  for (size_t i = 0; i < into->mins.size(); ++i) {
+    if (other.mins[i] < into->mins[i]) into->mins[i] = other.mins[i];
+  }
+}
+
+int Sketcher::NumEqual(const Sketch& a, const Sketch& b) {
+  VCD_DCHECK(a.K() == b.K(), "cannot compare sketches of different K");
+  int n = 0;
+  for (size_t i = 0; i < a.mins.size(); ++i) n += (a.mins[i] == b.mins[i]);
+  return n;
+}
+
+double Sketcher::Similarity(const Sketch& a, const Sketch& b) {
+  if (a.mins.empty()) return 0.0;
+  return static_cast<double>(NumEqual(a, b)) / static_cast<double>(a.K());
+}
+
+}  // namespace vcd::sketch

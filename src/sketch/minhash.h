@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/grid_pyramid.h"
+#include "util/status.h"
+
+/// \file minhash.h
+/// Approximate min-wise hashing over cell-id sets (paper §IV).
+///
+/// A `MinHashFamily` holds K independently seeded 64-bit mixing functions.
+/// The K-min-hash `Sketch` of a video (sub)sequence keeps, per function, the
+/// minimum hash value over the sequence's set of frame cell ids. Two key
+/// properties drive the whole system:
+///  - `Similarity(A, B)` — the fraction of positions whose min values agree —
+///    is an unbiased estimator of the Jaccard set similarity (Eq. 3);
+///  - the sketch of a concatenation of two subsequences is the element-wise
+///    minimum of their sketches (Property 1), which is what makes bottom-up
+///    multi-length candidate construction cheap.
+
+namespace vcd::sketch {
+
+/// \brief K independently seeded min-wise hash functions over cell ids.
+class MinHashFamily {
+ public:
+  /// Creates a family of \p k functions derived from \p seed.
+  static Result<MinHashFamily> Create(int k, uint64_t seed = 0x5eed);
+
+  /// Number of hash functions K.
+  int K() const { return static_cast<int>(seeds_.size()); }
+
+  /// Value of hash function \p fn on cell id \p id.
+  uint64_t Hash(int fn, features::CellId id) const {
+    // SplitMix64 finalizer — full avalanche, so the induced permutation per
+    // seed behaves as an approximate min-wise independent family.
+    uint64_t z = (static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL) ^
+                 seeds_[static_cast<size_t>(fn)];
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  explicit MinHashFamily(std::vector<uint64_t> seeds) : seeds_(std::move(seeds)) {}
+
+  std::vector<uint64_t> seeds_;
+};
+
+/// \brief A K-min-hash sketch: per function, the minimum hash value seen.
+struct Sketch {
+  std::vector<uint64_t> mins;
+
+  /// Number of hash functions.
+  int K() const { return static_cast<int>(mins.size()); }
+  /// True if no element was ever added.
+  bool empty() const { return mins.empty(); }
+
+  bool operator==(const Sketch& other) const { return mins == other.mins; }
+};
+
+/// \brief Builds and combines sketches against a fixed family.
+class Sketcher {
+ public:
+  /// Creates a sketcher over \p family (not owned; must outlive this).
+  explicit Sketcher(const MinHashFamily* family) : family_(family) {}
+
+  /// An "empty set" sketch (all positions at +inf).
+  Sketch Empty() const;
+
+  /// Adds one element to \p sketch.
+  void Add(Sketch* sketch, features::CellId id) const;
+
+  /// Sketch of a whole cell-id sequence (its set).
+  Sketch FromSequence(const std::vector<features::CellId>& ids) const;
+
+  /// The family in use.
+  const MinHashFamily& family() const { return *family_; }
+
+  /// Element-wise min combine — Property 1. Sizes must match.
+  static void Combine(Sketch* into, const Sketch& other);
+
+  /// Fraction of equal positions: the similarity estimate of Definition 2.
+  static double Similarity(const Sketch& a, const Sketch& b);
+
+  /// Number of equal positions between two sketches.
+  static int NumEqual(const Sketch& a, const Sketch& b);
+
+ private:
+  const MinHashFamily* family_;
+};
+
+}  // namespace vcd::sketch

@@ -1,0 +1,44 @@
+#include "stream/basic_window.h"
+
+namespace vcd::stream {
+
+Result<BasicWindowAssembler> BasicWindowAssembler::Create(double window_seconds) {
+  if (window_seconds <= 0) {
+    return Status::InvalidArgument("window length must be positive");
+  }
+  return BasicWindowAssembler(window_seconds);
+}
+
+void BasicWindowAssembler::Emit(BasicWindow* out) {
+  acc_.index = next_index_++;
+  *out = std::move(acc_);
+  acc_ = BasicWindow{};
+  open_ = false;
+}
+
+bool BasicWindowAssembler::Add(int64_t frame_index, double timestamp,
+                               features::CellId id, BasicWindow* out) {
+  bool emitted = false;
+  if (open_ && timestamp >= window_start_time_ + window_seconds_) {
+    Emit(out);
+    emitted = true;
+  }
+  if (!open_) {
+    open_ = true;
+    window_start_time_ = timestamp;
+    acc_.start_frame = frame_index;
+    acc_.start_time = timestamp;
+  }
+  acc_.end_frame = frame_index;
+  acc_.end_time = timestamp;
+  acc_.ids.push_back(id);
+  return emitted;
+}
+
+bool BasicWindowAssembler::Flush(BasicWindow* out) {
+  if (!open_ || acc_.ids.empty()) return false;
+  Emit(out);
+  return true;
+}
+
+}  // namespace vcd::stream

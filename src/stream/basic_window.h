@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/grid_pyramid.h"
+#include "util/status.h"
+
+/// \file basic_window.h
+/// Segmentation of the incoming key-frame signature stream into fixed-length
+/// *basic windows* of w seconds (paper §IV-A) — the unit from which candidate
+/// sequences of every length are assembled.
+
+namespace vcd::stream {
+
+/// \brief One completed basic window: the cell ids of its key frames plus
+/// its position on the stream.
+struct BasicWindow {
+  int64_t index = 0;        ///< running window number (0-based)
+  int64_t start_frame = 0;  ///< first stream frame covered
+  int64_t end_frame = 0;    ///< last stream frame covered (inclusive)
+  double start_time = 0.0;  ///< seconds
+  double end_time = 0.0;    ///< seconds
+  std::vector<features::CellId> ids;
+};
+
+/// \brief Accumulates per-key-frame signatures and emits basic windows on
+/// w-second boundaries.
+class BasicWindowAssembler {
+ public:
+  /// Creates an assembler with window length \p window_seconds (> 0).
+  static Result<BasicWindowAssembler> Create(double window_seconds);
+
+  /// Window length w in seconds.
+  double window_seconds() const { return window_seconds_; }
+
+  /// Adds one key-frame signature. When the frame's timestamp crosses the
+  /// current window boundary the completed window is moved into \p out and
+  /// true is returned (the new frame opens the next window).
+  bool Add(int64_t frame_index, double timestamp, features::CellId id,
+           BasicWindow* out);
+
+  /// Emits the trailing partial window, if any. Returns false when empty.
+  bool Flush(BasicWindow* out);
+
+  /// Number of windows emitted so far.
+  int64_t windows_emitted() const { return next_index_; }
+
+ private:
+  explicit BasicWindowAssembler(double w) : window_seconds_(w) {}
+
+  /// Moves the accumulating window into \p out and resets the accumulator.
+  void Emit(BasicWindow* out);
+
+  double window_seconds_;
+  bool open_ = false;
+  double window_start_time_ = 0.0;
+  BasicWindow acc_;
+  int64_t next_index_ = 0;
+};
+
+}  // namespace vcd::stream

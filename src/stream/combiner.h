@@ -1,0 +1,156 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+/// \file combiner.h
+/// The two candidate-sequence combination orders of paper §IV-A (Fig. 2).
+///
+/// Candidates grow by absorbing each newly completed basic window.
+/// *Sequential order* maintains one candidate per start window — every
+/// suffix of the recent stream of length 1..⌈λL/w⌉ windows — at the cost of
+/// ⌈λL/w⌉ combinations per arriving window. *Geometric order* maintains a
+/// binary-counter ladder of candidates whose sizes are powers of two, so an
+/// arriving window triggers at most ⌈log i⌉ merges; fewer candidate lengths
+/// are materialized, which trades recall for speed exactly as the paper
+/// describes.
+///
+/// The candidate payload type `C` must expose an `int num_windows` member;
+/// merging of payloads (sketch element-wise min, or bit-signature OR) is
+/// supplied by the caller.
+
+namespace vcd::stream {
+
+/// \brief Sequential order: every suffix of recent windows is a candidate.
+///
+/// Candidates are kept oldest-first; window counts decrease from front to
+/// back, so expiry is a pop-front loop.
+template <typename C>
+class SequentialCandidates {
+ public:
+  /// Absorbs a fresh single-window candidate: merges it into every live
+  /// candidate (oldest first), appends it, and expires candidates that now
+  /// exceed \p max_windows. `merge(into, fresh)` must also advance
+  /// `into.num_windows`.
+  template <typename MergeFn>
+  void Step(C fresh, int max_windows, MergeFn&& merge) {
+    for (C& c : candidates_) merge(c, fresh);
+    candidates_.push_back(std::move(fresh));
+    while (!candidates_.empty() && candidates_.front().num_windows > max_windows) {
+      candidates_.pop_front();
+    }
+  }
+
+  /// Live candidates, oldest (longest) first.
+  std::deque<C>& candidates() { return candidates_; }
+  /// \copydoc candidates
+  const std::deque<C>& candidates() const { return candidates_; }
+
+  /// Removes candidates for which \p pred returns true.
+  template <typename Pred>
+  void RemoveIf(Pred&& pred) {
+    std::erase_if(candidates_, pred);
+  }
+
+  /// Drops all state.
+  void Clear() { candidates_.clear(); }
+
+ private:
+  std::deque<C> candidates_;
+};
+
+/// \brief Geometric order: a binary-counter ladder of power-of-two sized
+/// candidates; at most ⌈log i⌉ merges per arriving window.
+template <typename C>
+class GeometricCandidates {
+ public:
+  /// Absorbs a fresh single-window candidate, carrying merges up the ladder.
+  /// `merge(older, newer)` merges `newer` into `older` (which precedes it on
+  /// the stream) and must accumulate `num_windows`. Ladder levels whose
+  /// capacity 2^level exceeds \p max_windows are dropped (expiry).
+  template <typename MergeFn>
+  void Step(C fresh, int max_windows, MergeFn&& merge) {
+    size_t level = 0;
+    C carry = std::move(fresh);
+    for (;;) {
+      if (level >= ladder_.size()) ladder_.resize(level + 1);
+      if (!ladder_[level].has_value()) {
+        if (carry.num_windows > max_windows) return;  // expired before placement
+        ladder_[level] = std::move(carry);
+        return;
+      }
+      // The resident candidate is older (covers earlier windows); the carry
+      // extends it to the present.
+      C older = std::move(*ladder_[level]);
+      ladder_[level].reset();
+      merge(older, carry);
+      carry = std::move(older);
+      ++level;
+    }
+  }
+
+  /// \brief Visits the cumulative suffix candidates (Fig. 2): the newest
+  /// block, then that block extended by the next-older block, and so on —
+  /// the sequences "ending now" with geometrically spaced lengths that
+  /// Geometric order actually tests.
+  ///
+  /// `copy(c)` clones a stored block; `merge(older, newer)` is the same
+  /// merge as Step; `visit(c)` is called on each cumulative candidate.
+  /// Visiting stops once a cumulative candidate would exceed
+  /// \p max_windows.
+  template <typename CopyFn, typename MergeFn, typename VisitFn>
+  void VisitSuffixes(int max_windows, CopyFn&& copy, MergeFn&& merge,
+                     VisitFn&& visit) const {
+    std::optional<C> cum;
+    for (const auto& slot : ladder_) {
+      if (!slot.has_value()) continue;
+      if (!cum.has_value()) {
+        cum = copy(*slot);
+      } else {
+        if (slot->num_windows + cum->num_windows > max_windows) break;
+        C older = copy(*slot);
+        merge(older, *cum);
+        cum = std::move(older);
+      }
+      if (cum->num_windows > max_windows) break;
+      visit(*cum);
+    }
+  }
+
+  /// Live candidates (unordered across levels; level index grows with size).
+  std::vector<std::optional<C>>& ladder() { return ladder_; }
+  /// \copydoc ladder
+  const std::vector<std::optional<C>>& ladder() const { return ladder_; }
+
+  /// Calls \p fn on every live candidate.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& slot : ladder_) {
+      if (slot.has_value()) fn(*slot);
+    }
+  }
+
+  /// Removes candidates for which \p pred returns true.
+  template <typename Pred>
+  void RemoveIf(Pred&& pred) {
+    for (auto& slot : ladder_) {
+      if (slot.has_value() && pred(*slot)) slot.reset();
+    }
+  }
+
+  /// Number of live candidates.
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& slot : ladder_) n += slot.has_value();
+    return n;
+  }
+
+  /// Drops all state.
+  void Clear() { ladder_.clear(); }
+
+ private:
+  std::vector<std::optional<C>> ladder_;
+};
+
+}  // namespace vcd::stream

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+/// \file bit_util.h
+/// Bit-level helpers and a dense bit vector used by the bit-signature
+/// representation (paper §V-A).
+
+namespace vcd {
+
+/// Number of set bits in \p x.
+inline int PopCount64(uint64_t x) { return std::popcount(x); }
+
+/// \brief A fixed-length dense bit vector backed by 64-bit words.
+///
+/// The bit-vector signature of a candidate sequence against a query is 2K
+/// bits (Definition 3); combining candidates is a word-wise OR and similarity
+/// evaluation is a masked popcount (Lemma 1). This class provides exactly
+/// those operations.
+class BitVector {
+ public:
+  /// Creates an all-zero vector of \p nbits bits.
+  explicit BitVector(size_t nbits = 0) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  /// Number of bits.
+  size_t size() const { return nbits_; }
+  /// Number of backing 64-bit words.
+  size_t num_words() const { return words_.size(); }
+  /// Read access to backing words.
+  const uint64_t* words() const { return words_.data(); }
+  /// Mutable access to backing words.
+  uint64_t* mutable_words() { return words_.data(); }
+
+  /// Sets bit \p i to 1.
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  /// Clears bit \p i.
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  /// Value of bit \p i.
+  bool Get(size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+  /// Sets all bits to zero.
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Word-wise OR of \p other into this vector. Sizes must match.
+  void OrWith(const BitVector& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// Total number of set bits.
+  int CountOnes() const {
+    int n = 0;
+    for (uint64_t w : words_) n += PopCount64(w);
+    return n;
+  }
+
+  /// Number of set bits among bits whose index is ≡ \p parity (mod 2).
+  /// Used by Lemma 1: `n0` = zeros on even positions, `n1` = ones on odd
+  /// positions of the 2K-bit signature.
+  int CountOnesWithParity(int parity) const {
+    // Even-position mask 0x5555..., odd-position mask 0xAAAA...
+    const uint64_t mask = (parity == 0) ? 0x5555555555555555ULL : 0xAAAAAAAAAAAAAAAAULL;
+    int n = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i] & mask;
+      if (i + 1 == words_.size() && (nbits_ & 63) != 0) {
+        w &= (uint64_t{1} << (nbits_ & 63)) - 1;
+      }
+      n += PopCount64(w);
+    }
+    return n;
+  }
+
+  bool operator==(const BitVector& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+ private:
+  size_t nbits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace vcd

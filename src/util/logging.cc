@@ -1,0 +1,22 @@
+#include "util/logging.h"
+
+namespace vcd {
+namespace internal {
+
+LogLevel& MinLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", kNames[static_cast<int>(level)], base, line,
+               msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace vcd

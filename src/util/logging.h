@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logging plus assertion macros.
+
+namespace vcd {
+
+/// Log severity levels.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace internal {
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel& MinLogLevel();
+
+/// Emits one formatted log line to stderr.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+}  // namespace internal
+
+/// Sets the process-wide minimum log level.
+inline void SetMinLogLevel(LogLevel level) { internal::MinLogLevel() = level; }
+
+}  // namespace vcd
+
+#define VCD_LOG(level, msg)                                                         \
+  do {                                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::vcd::internal::MinLogLevel())) { \
+      std::ostringstream _oss;                                                      \
+      _oss << msg;                                                                  \
+      ::vcd::internal::LogMessage(level, __FILE__, __LINE__, _oss.str());           \
+    }                                                                               \
+  } while (0)
+
+#define VCD_DEBUG(msg) VCD_LOG(::vcd::LogLevel::kDebug, msg)
+#define VCD_INFO(msg) VCD_LOG(::vcd::LogLevel::kInfo, msg)
+#define VCD_WARN(msg) VCD_LOG(::vcd::LogLevel::kWarn, msg)
+#define VCD_ERROR(msg) VCD_LOG(::vcd::LogLevel::kError, msg)
+
+/// Hard invariant check; aborts with a message on violation (all builds).
+#define VCD_CHECK(cond, msg)                                                    \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::ostringstream _oss;                                                  \
+      _oss << "CHECK failed: " #cond " — " << msg;                              \
+      ::vcd::internal::LogMessage(::vcd::LogLevel::kError, __FILE__, __LINE__,  \
+                                  _oss.str());                                  \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+
+#ifndef NDEBUG
+#define VCD_DCHECK(cond, msg) VCD_CHECK(cond, msg)
+#else
+#define VCD_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#endif

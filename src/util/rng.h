@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components of the library (hash seeding, synthetic video
+/// content, workload doctoring) draw from these generators so that every
+/// experiment is exactly reproducible from a single seed.
+
+namespace vcd {
+
+/// SplitMix64 — used to expand a single user seed into generator state and to
+/// derive independent sub-seeds for hash functions.
+class SplitMix64 {
+ public:
+  /// Creates a generator seeded with \p seed.
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality general-purpose generator used for all
+/// synthetic-content and workload randomness.
+class Rng {
+ public:
+  /// Creates a generator whose state is expanded from \p seed via SplitMix64.
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  /// Returns the next 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform integer in [0, bound). \p bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    // Lemire's multiply-and-shift rejection-free bounded generation is
+    // overkill here; a simple threshold rejection keeps the distribution
+    // exactly uniform.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Returns a uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Returns a sample from N(0, 1) via the polar Box–Muller method.
+  double Gaussian();
+
+  /// Returns true with probability \p p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace vcd

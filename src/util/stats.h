@@ -1,0 +1,65 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+/// \file stats.h
+/// Streaming statistics accumulators used by the evaluation and memory
+/// accounting in the benchmark harness.
+
+namespace vcd {
+
+/// \brief Welford-style running mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Number of observations.
+  int64_t count() const { return n_; }
+  /// Arithmetic mean (0 if empty).
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sum of observations.
+  double sum() const { return sum_; }
+  /// Sample variance (0 if fewer than two observations).
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  /// Sample standard deviation.
+  double stddev() const { return std::sqrt(variance()); }
+  /// Minimum observation (+inf if empty).
+  double min() const { return min_; }
+  /// Maximum observation (-inf if empty).
+  double max() const { return max_; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Precision/recall pair, the paper's effectiveness metrics (§VI).
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+
+  /// F1 harmonic mean; 0 when both components are 0.
+  double F1() const {
+    double s = precision + recall;
+    return s > 0 ? 2.0 * precision * recall / s : 0.0;
+  }
+};
+
+}  // namespace vcd

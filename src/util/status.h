@@ -1,0 +1,133 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Error-handling primitives for the vcdstream public API.
+///
+/// Following the conventions of storage-engine C++ (RocksDB-style), fallible
+/// operations in the public API return a `vcd::Status`, or a `vcd::Result<T>`
+/// when they also produce a value. Exceptions are not thrown across the API
+/// boundary.
+
+namespace vcd {
+
+/// Status codes for fallible operations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,       ///< malformed bit stream or sketch payload
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// \brief The outcome of a fallible operation: a code plus a human-readable
+/// message. `Status::OK()` is the success value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns the success status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with \p msg.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a NotFound status with \p msg.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an OutOfRange status with \p msg.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a Corruption status with \p msg.
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  /// Returns an AlreadyExists status with \p msg.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns a FailedPrecondition status with \p msg.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an Internal status with \p msg.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The message (empty for OK).
+  const std::string& message() const { return msg_; }
+
+  /// Renders "<CODE>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Either a value of type T or an error Status.
+///
+/// `Result<T>` is the return type of fallible factories. Check `ok()` before
+/// dereferencing; accessing the value of an errored result aborts in debug
+/// builds via the underlying std::variant discipline.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from an error status.
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT
+
+  /// True iff this holds a value.
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  /// The error status; OK() if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+  /// The contained value. Requires ok().
+  T& value() & { return std::get<T>(v_); }
+  /// \copydoc value
+  const T& value() const& { return std::get<T>(v_); }
+  /// Moves the contained value out. Requires ok().
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace vcd
+
+/// Propagates a non-OK status to the caller.
+#define VCD_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::vcd::Status _st = (expr);                      \
+    if (!_st.ok()) return _st;                       \
+  } while (0)

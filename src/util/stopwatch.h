@@ -1,0 +1,39 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// \file stopwatch.h
+/// Wall-clock timing for experiment drivers.
+
+namespace vcd {
+
+/// \brief A simple monotonic stopwatch.
+///
+/// Used by the benchmark harness to time end-to-end stream processing (the
+/// paper's "CPU time" metric, measured from the first to the last frame).
+class Stopwatch {
+ public:
+  /// Creates a running stopwatch.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vcd

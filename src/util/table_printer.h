@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table_printer.h
+/// Fixed-width table rendering for the benchmark harness, so every bench
+/// binary prints rows in the same layout as the paper's tables/figures.
+
+namespace vcd {
+
+/// \brief Collects rows of string cells and prints them as an aligned table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column \p headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count should match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the whole table (header, rule, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+  /// Formats a double with \p precision decimals.
+  static std::string Fmt(double v, int precision = 3);
+  /// Formats an integer.
+  static std::string Fmt(int64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vcd

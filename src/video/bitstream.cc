@@ -1,0 +1,91 @@
+#include "video/bitstream.h"
+
+#include <bit>
+
+namespace vcd::video {
+
+void BitWriter::WriteBits(uint32_t value, int nbits) {
+  for (int i = nbits - 1; i >= 0; --i) {
+    if (used_ == 8) {
+      bytes_.push_back(0);
+      used_ = 0;
+    }
+    uint8_t bit = (value >> i) & 1;
+    bytes_.back() |= static_cast<uint8_t>(bit << (7 - used_));
+    ++used_;
+  }
+}
+
+void BitWriter::WriteUE(uint32_t value) {
+  // Exp-Golomb: code (value+1) with leading zeros equal to its bit length - 1.
+  uint32_t v = value + 1;
+  int len = 32 - std::countl_zero(v);
+  for (int i = 0; i < len - 1; ++i) WriteBits(0, 1);
+  WriteBits(v, len);
+}
+
+void BitWriter::WriteSE(int32_t value) {
+  // Zig-zag map: 0,-1,1,-2,2... -> 0,1,2,3,4...
+  uint32_t mapped =
+      value <= 0 ? static_cast<uint32_t>(-2LL * value) : static_cast<uint32_t>(2LL * value - 1);
+  WriteUE(mapped);
+}
+
+void BitWriter::AlignToByte() { used_ = 8; }
+
+std::vector<uint8_t> BitWriter::Finish() {
+  AlignToByte();
+  return std::move(bytes_);
+}
+
+Status BitReader::ReadBits(int nbits, uint32_t* value) {
+  if (bit_pos_ + static_cast<size_t>(nbits) > size_ * 8) {
+    return Status::Corruption("bit stream exhausted");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < nbits; ++i) {
+    size_t byte = bit_pos_ >> 3;
+    int off = static_cast<int>(bit_pos_ & 7);
+    v = (v << 1) | ((data_[byte] >> (7 - off)) & 1);
+    ++bit_pos_;
+  }
+  *value = v;
+  return Status::OK();
+}
+
+Status BitReader::ReadUE(uint32_t* value) {
+  int zeros = 0;
+  uint32_t bit = 0;
+  for (;;) {
+    VCD_RETURN_IF_ERROR(ReadBits(1, &bit));
+    if (bit == 1) break;
+    if (++zeros > 31) return Status::Corruption("Exp-Golomb prefix too long");
+  }
+  uint32_t rest = 0;
+  if (zeros > 0) {
+    VCD_RETURN_IF_ERROR(ReadBits(zeros, &rest));
+  }
+  *value = ((uint32_t{1} << zeros) | rest) - 1;
+  return Status::OK();
+}
+
+Status BitReader::ReadSE(int32_t* value) {
+  uint32_t mapped = 0;
+  VCD_RETURN_IF_ERROR(ReadUE(&mapped));
+  if (mapped % 2 == 0) {
+    *value = -static_cast<int32_t>(mapped / 2);
+  } else {
+    *value = static_cast<int32_t>((mapped + 1) / 2);
+  }
+  return Status::OK();
+}
+
+void BitReader::AlignToByte() { bit_pos_ = (bit_pos_ + 7) & ~size_t{7}; }
+
+Status BitReader::SeekToBit(size_t pos) {
+  if (pos > size_ * 8) return Status::OutOfRange("seek past end of bit stream");
+  bit_pos_ = pos;
+  return Status::OK();
+}
+
+}  // namespace vcd::video

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file bitstream.h
+/// Bit-level serialization used by the codec's entropy layer.
+
+namespace vcd::video {
+
+/// \brief Appends bits MSB-first into a growing byte buffer.
+class BitWriter {
+ public:
+  /// Writes the low \p nbits bits of \p value (1..32 bits), MSB first.
+  void WriteBits(uint32_t value, int nbits);
+
+  /// Writes an unsigned Exp-Golomb code (efficient for small magnitudes,
+  /// the dominant case for quantized AC coefficients).
+  void WriteUE(uint32_t value);
+
+  /// Writes a signed Exp-Golomb code (zig-zag mapped).
+  void WriteSE(int32_t value);
+
+  /// Pads with zero bits to the next byte boundary.
+  void AlignToByte();
+
+  /// Finishes (byte-aligns) and returns the accumulated bytes.
+  std::vector<uint8_t> Finish();
+
+  /// Bits written so far.
+  size_t bit_count() const { return bytes_.size() * 8 - (8 - used_) % 8; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  int used_ = 8;  // bits used in the last byte; 8 means "no open byte"
+};
+
+/// \brief Reads bits MSB-first from a byte buffer, with bounds checking.
+class BitReader {
+ public:
+  /// Creates a reader over \p data (not owned; must outlive the reader).
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  /// Reads \p nbits bits (1..32) into \p value. Fails with Corruption when
+  /// the stream is exhausted.
+  Status ReadBits(int nbits, uint32_t* value);
+
+  /// Reads an unsigned Exp-Golomb code.
+  Status ReadUE(uint32_t* value);
+
+  /// Reads a signed Exp-Golomb code.
+  Status ReadSE(int32_t* value);
+
+  /// Skips to the next byte boundary.
+  void AlignToByte();
+
+  /// Current bit position.
+  size_t bit_pos() const { return bit_pos_; }
+  /// True when all bits are consumed (up to byte padding).
+  bool AtEnd() const { return bit_pos_ >= size_ * 8; }
+
+  /// Moves the cursor to absolute bit position \p pos.
+  Status SeekToBit(size_t pos);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t bit_pos_ = 0;
+};
+
+}  // namespace vcd::video

@@ -1,0 +1,434 @@
+#include "video/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "video/codec_internal.h"
+#include "video/dct.h"
+
+namespace vcd::video {
+namespace {
+
+using internal::AcStep;
+using internal::kChromaQuant;
+using internal::kDcQuantStep;
+using internal::kLumaQuant;
+using internal::PadTo8;
+using internal::ReadBlock;
+using internal::WriteBlock;
+
+constexpr uint8_t kMagic[4] = {'V', 'C', 'D', 'S'};
+constexpr uint8_t kVersion = 1;
+// Header: magic(4) version(1) width(2) height(2) fps_num(4) fps_den(4)
+//         gop(1) quantizer(1)
+constexpr size_t kHeaderSize = 4 + 1 + 2 + 2 + 4 + 4 + 1 + 1;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint16_t GetU16(const uint8_t* p) { return static_cast<uint16_t>((p[0] << 8) | p[1]); }
+
+uint32_t GetU32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | p[3];
+}
+
+uint8_t ClampPixel(float v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0f, 255.0f) + 0.5f);
+}
+
+/// Macroblock grid dimensions for motion estimation (16×16 luma).
+constexpr int kMbSize = 16;
+
+int MbCols(int width) { return (width + kMbSize - 1) / kMbSize; }
+int MbRows(int height) { return (height + kMbSize - 1) / kMbSize; }
+
+/// Sum of absolute differences between the current macroblock at (mx, my)
+/// and the reference shifted by (dx, dy), with clamped reference sampling.
+int64_t MbSad(const std::vector<uint8_t>& cur, const std::vector<uint8_t>& ref,
+              int w, int h, int mx, int my, int dx, int dy) {
+  int64_t sad = 0;
+  for (int y = 0; y < kMbSize; ++y) {
+    const int cy = my + y;
+    if (cy >= h) break;
+    const int ry = std::clamp(cy + dy, 0, h - 1);
+    for (int x = 0; x < kMbSize; ++x) {
+      const int cx = mx + x;
+      if (cx >= w) break;
+      const int rx = std::clamp(cx + dx, 0, w - 1);
+      sad += std::abs(static_cast<int>(cur[static_cast<size_t>(cy) * w + cx]) -
+                      static_cast<int>(ref[static_cast<size_t>(ry) * w + rx]));
+    }
+  }
+  return sad;
+}
+
+/// Full-search motion estimation over ±range per 16×16 macroblock,
+/// preferring the zero vector on ties (cheaper to code).
+std::vector<MotionVector> EstimateMotion(const Frame& cur, const Frame& ref,
+                                         int range) {
+  const int w = cur.width(), h = cur.height();
+  std::vector<MotionVector> mvs(static_cast<size_t>(MbCols(w)) * MbRows(h));
+  if (range <= 0) return mvs;
+  size_t mb = 0;
+  for (int my = 0; my < h; my += kMbSize) {
+    for (int mx = 0; mx < w; mx += kMbSize) {
+      int64_t best = MbSad(cur.y_plane(), ref.y_plane(), w, h, mx, my, 0, 0);
+      MotionVector best_mv;
+      for (int dy = -range; dy <= range; ++dy) {
+        for (int dx = -range; dx <= range; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const int64_t sad = MbSad(cur.y_plane(), ref.y_plane(), w, h, mx, my, dx, dy);
+          if (sad < best) {
+            best = sad;
+            best_mv = MotionVector{static_cast<int8_t>(dx), static_cast<int8_t>(dy)};
+          }
+        }
+      }
+      mvs[mb++] = best_mv;
+    }
+  }
+  return mvs;
+}
+
+/// Builds the motion-compensated prediction frame from \p ref and the
+/// per-macroblock vectors (chroma uses mv/2 at chroma resolution).
+Frame BuildPrediction(const Frame& ref, const std::vector<MotionVector>& mvs) {
+  const int w = ref.width(), h = ref.height();
+  Frame pred = Frame::Create(w, h).value();
+  const int cols = MbCols(w);
+  for (int my = 0; my < h; ++my) {
+    for (int mx = 0; mx < w; ++mx) {
+      const MotionVector& mv =
+          mvs[static_cast<size_t>(my / kMbSize) * cols + mx / kMbSize];
+      const int ry = std::clamp(my + mv.dy, 0, h - 1);
+      const int rx = std::clamp(mx + mv.dx, 0, w - 1);
+      pred.SetY(mx, my, ref.Y(rx, ry));
+    }
+  }
+  const int cw = pred.chroma_width(), ch = pred.chroma_height();
+  for (int my = 0; my < ch; ++my) {
+    for (int mx = 0; mx < cw; ++mx) {
+      const MotionVector& mv =
+          mvs[static_cast<size_t>((my * 2) / kMbSize) * cols + (mx * 2) / kMbSize];
+      const int ry = std::clamp(my + mv.dy / 2, 0, ch - 1);
+      const int rx = std::clamp(mx + mv.dx / 2, 0, cw - 1);
+      pred.SetCb(mx, my, ref.Cb(rx, ry));
+      pred.SetCr(mx, my, ref.Cr(rx, ry));
+    }
+  }
+  return pred;
+}
+
+/// Lightweight view over one image plane with clamped sampling (edge
+/// replication provides the padding for partial blocks).
+struct PlaneView {
+  const uint8_t* data;
+  int w, h;
+
+  float At(int x, int y) const {
+    x = std::clamp(x, 0, w - 1);
+    y = std::clamp(y, 0, h - 1);
+    return static_cast<float>(data[static_cast<size_t>(y) * w + x]);
+  }
+};
+
+/// Encodes one plane and writes its reconstruction into \p recon (same dims).
+/// \p pred is the prediction plane for P coding, or nullptr for intra.
+void EncodePlane(const PlaneView& src, const uint8_t* pred, const int* qmat, int qscale,
+                 BitWriter* bw, uint8_t* recon) {
+  const int bw_blocks = PadTo8(src.w) / 8;
+  const int bh_blocks = PadTo8(src.h) / 8;
+  const bool intra = pred == nullptr;
+  PlaneView pred_view{pred, src.w, src.h};
+  int32_t prev_dc = 0;
+  std::array<float, 64> block;
+  std::array<float, 64> coef;
+  std::array<int32_t, 64> qcoef;
+  for (int by = 0; by < bh_blocks; ++by) {
+    for (int bx = 0; bx < bw_blocks; ++bx) {
+      // Gather the (level-shifted or residual) spatial block.
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          float v = src.At(bx * 8 + x, by * 8 + y);
+          if (intra) {
+            v -= 128.0f;
+          } else {
+            v -= pred_view.At(bx * 8 + x, by * 8 + y);
+          }
+          block[y * 8 + x] = v;
+        }
+      }
+      Dct8x8::Forward(block, &coef);
+      qcoef[0] = static_cast<int32_t>(std::lround(coef[0] / kDcQuantStep));
+      for (int i = 1; i < 64; ++i) {
+        qcoef[i] = static_cast<int32_t>(std::lround(coef[i] / AcStep(qmat, i, qscale)));
+      }
+      WriteBlock(qcoef, &prev_dc, bw);
+      // Reconstruct (the encoder must track what the decoder will see so
+      // P-frame prediction does not drift).
+      coef[0] = static_cast<float>(qcoef[0]) * kDcQuantStep;
+      for (int i = 1; i < 64; ++i) {
+        coef[i] = static_cast<float>(qcoef[i]) * AcStep(qmat, i, qscale);
+      }
+      Dct8x8::Inverse(coef, &block);
+      for (int y = 0; y < 8; ++y) {
+        int py = by * 8 + y;
+        if (py >= src.h) break;
+        for (int x = 0; x < 8; ++x) {
+          int px = bx * 8 + x;
+          if (px >= src.w) break;
+          float v = block[y * 8 + x];
+          v += intra ? 128.0f : pred_view.At(px, py);
+          recon[static_cast<size_t>(py) * src.w + px] = ClampPixel(v);
+        }
+      }
+    }
+  }
+}
+
+/// Decodes one plane written by EncodePlane into \p dst (w×h).
+Status DecodePlane(BitReader* br, int w, int h, const uint8_t* pred, const int* qmat,
+                   int qscale, uint8_t* dst) {
+  const int bw_blocks = PadTo8(w) / 8;
+  const int bh_blocks = PadTo8(h) / 8;
+  const bool intra = pred == nullptr;
+  PlaneView pred_view{pred, w, h};
+  int32_t prev_dc = 0;
+  std::array<int32_t, 64> qcoef;
+  std::array<float, 64> coef;
+  std::array<float, 64> block;
+  for (int by = 0; by < bh_blocks; ++by) {
+    for (int bx = 0; bx < bw_blocks; ++bx) {
+      VCD_RETURN_IF_ERROR(ReadBlock(br, &prev_dc, &qcoef));
+      coef[0] = static_cast<float>(qcoef[0]) * kDcQuantStep;
+      for (int i = 1; i < 64; ++i) {
+        coef[i] = static_cast<float>(qcoef[i]) * AcStep(qmat, i, qscale);
+      }
+      Dct8x8::Inverse(coef, &block);
+      for (int y = 0; y < 8; ++y) {
+        int py = by * 8 + y;
+        if (py >= h) break;
+        for (int x = 0; x < 8; ++x) {
+          int px = bx * 8 + x;
+          if (px >= w) break;
+          float v = block[y * 8 + x];
+          v += intra ? 128.0f : pred_view.At(px, py);
+          dst[static_cast<size_t>(py) * w + px] = ClampPixel(v);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CodecParams::Validate() const {
+  if (width <= 0 || height <= 0) return Status::InvalidArgument("non-positive dimensions");
+  if (width % 2 != 0 || height % 2 != 0) {
+    return Status::InvalidArgument("dimensions must be even for 4:2:0");
+  }
+  if (fps <= 0.0) return Status::InvalidArgument("fps must be positive");
+  if (gop_size < 1 || gop_size > 255) {
+    return Status::InvalidArgument("gop_size must be in [1, 255]");
+  }
+  if (quantizer < 1 || quantizer > 31) {
+    return Status::InvalidArgument("quantizer must be in [1, 31]");
+  }
+  if (motion_search_range < 0 || motion_search_range > 15) {
+    return Status::InvalidArgument("motion_search_range must be in [0, 15]");
+  }
+  return Status::OK();
+}
+
+size_t StreamHeaderSize() { return kHeaderSize; }
+
+Status Encoder::Init(const CodecParams& params) {
+  VCD_RETURN_IF_ERROR(params.Validate());
+  params_ = params;
+  out_.clear();
+  out_.insert(out_.end(), kMagic, kMagic + 4);
+  out_.push_back(kVersion);
+  PutU16(&out_, static_cast<uint16_t>(params.width));
+  PutU16(&out_, static_cast<uint16_t>(params.height));
+  // fps as a rational with denominator 1000 (29.97 -> 29970/1000).
+  PutU32(&out_, static_cast<uint32_t>(std::lround(params.fps * 1000.0)));
+  PutU32(&out_, 1000);
+  out_.push_back(static_cast<uint8_t>(params.gop_size));
+  out_.push_back(static_cast<uint8_t>(params.quantizer));
+  auto frame = Frame::Create(params.width, params.height);
+  recon_ = std::move(frame).value();
+  frame_index_ = 0;
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status Encoder::AddFrame(const Frame& frame) {
+  if (!initialized_) return Status::FailedPrecondition("Encoder::Init not called");
+  if (frame.width() != params_.width || frame.height() != params_.height) {
+    return Status::InvalidArgument("frame dimensions do not match codec params");
+  }
+  const bool intra = (frame_index_ % params_.gop_size) == 0;
+  BitWriter bw;
+  Frame next_recon = recon_;
+  if (next_recon.width() == 0) {
+    next_recon = Frame::Create(params_.width, params_.height).value();
+  }
+  const int w = params_.width, h = params_.height;
+  const int cw = w / 2, ch = h / 2;
+  // P-frames: estimate per-macroblock motion against the reconstruction,
+  // code the vector field, and predict from the motion-compensated frame.
+  Frame pred;
+  if (!intra) {
+    std::vector<MotionVector> mvs =
+        EstimateMotion(frame, recon_, params_.motion_search_range);
+    for (const MotionVector& mv : mvs) {
+      bw.WriteSE(mv.dx);
+      bw.WriteSE(mv.dy);
+    }
+    pred = BuildPrediction(recon_, mvs);
+  }
+  EncodePlane(PlaneView{frame.y_plane().data(), w, h},
+              intra ? nullptr : pred.y_plane().data(), kLumaQuant, params_.quantizer,
+              &bw, next_recon.mutable_y_plane().data());
+  EncodePlane(PlaneView{frame.cb_plane().data(), cw, ch},
+              intra ? nullptr : pred.cb_plane().data(), kChromaQuant,
+              params_.quantizer, &bw, next_recon.mutable_cb_plane().data());
+  EncodePlane(PlaneView{frame.cr_plane().data(), cw, ch},
+              intra ? nullptr : pred.cr_plane().data(), kChromaQuant,
+              params_.quantizer, &bw, next_recon.mutable_cr_plane().data());
+  std::vector<uint8_t> payload = bw.Finish();
+  out_.push_back(static_cast<uint8_t>(intra ? FrameType::kIntra : FrameType::kPredicted));
+  PutU32(&out_, static_cast<uint32_t>(payload.size()));
+  out_.insert(out_.end(), payload.begin(), payload.end());
+  recon_ = std::move(next_recon);
+  ++frame_index_;
+  return Status::OK();
+}
+
+std::vector<uint8_t> Encoder::Finish() {
+  initialized_ = false;
+  return std::move(out_);
+}
+
+Result<std::vector<uint8_t>> Encoder::EncodeVideo(const VideoBuffer& video,
+                                                  const CodecParams& params) {
+  Encoder enc;
+  VCD_RETURN_IF_ERROR(enc.Init(params));
+  for (const Frame& f : video.frames) {
+    VCD_RETURN_IF_ERROR(enc.AddFrame(f));
+  }
+  return enc.Finish();
+}
+
+Status ParseStreamHeader(const uint8_t* data, size_t size, StreamHeader* header,
+                         size_t* payload_start) {
+  if (size < kHeaderSize) return Status::Corruption("stream shorter than header");
+  if (std::memcmp(data, kMagic, 4) != 0) return Status::Corruption("bad magic");
+  if (data[4] != kVersion) return Status::Corruption("unsupported stream version");
+  header->width = GetU16(data + 5);
+  header->height = GetU16(data + 7);
+  uint32_t num = GetU32(data + 9);
+  uint32_t den = GetU32(data + 13);
+  if (den == 0) return Status::Corruption("zero fps denominator");
+  header->fps = static_cast<double>(num) / den;
+  header->gop_size = data[17];
+  header->quantizer = data[18];
+  if (header->width <= 0 || header->height <= 0 || header->gop_size < 1 ||
+      header->quantizer < 1) {
+    return Status::Corruption("invalid header fields");
+  }
+  if (header->width % 2 != 0 || header->height % 2 != 0) {
+    return Status::Corruption("odd dimensions are not valid 4:2:0");
+  }
+  *payload_start = kHeaderSize;
+  return Status::OK();
+}
+
+Status Decoder::Open(const uint8_t* data, size_t size) {
+  data_ = data;
+  size_ = size;
+  VCD_RETURN_IF_ERROR(ParseStreamHeader(data, size, &header_, &pos_));
+  recon_ = Frame::Create(header_.width, header_.height).value();
+  have_recon_ = false;
+  return Status::OK();
+}
+
+Status Decoder::NextFrame(Frame* frame) {
+  if (pos_ >= size_) return Status::NotFound("end of stream");
+  if (pos_ + 5 > size_) return Status::Corruption("truncated frame header");
+  uint8_t marker = data_[pos_];
+  if (marker != static_cast<uint8_t>(FrameType::kIntra) &&
+      marker != static_cast<uint8_t>(FrameType::kPredicted)) {
+    return Status::Corruption("bad frame marker");
+  }
+  const bool intra = marker == static_cast<uint8_t>(FrameType::kIntra);
+  uint32_t len = GetU32(data_ + pos_ + 1);
+  if (pos_ + 5 + len > size_) return Status::Corruption("frame payload overruns stream");
+  if (!intra && !have_recon_) {
+    return Status::Corruption("P-frame before any I-frame");
+  }
+  BitReader br(data_ + pos_ + 5, len);
+  Frame out = Frame::Create(header_.width, header_.height).value();
+  const int w = header_.width, h = header_.height;
+  Frame pred;
+  if (!intra) {
+    std::vector<MotionVector> mvs(static_cast<size_t>(MbCols(w)) * MbRows(h));
+    for (MotionVector& mv : mvs) {
+      int32_t dx = 0, dy = 0;
+      VCD_RETURN_IF_ERROR(br.ReadSE(&dx));
+      VCD_RETURN_IF_ERROR(br.ReadSE(&dy));
+      if (dx < -127 || dx > 127 || dy < -127 || dy > 127) {
+        return Status::Corruption("motion vector out of range");
+      }
+      mv.dx = static_cast<int8_t>(dx);
+      mv.dy = static_cast<int8_t>(dy);
+    }
+    pred = BuildPrediction(recon_, mvs);
+  }
+  VCD_RETURN_IF_ERROR(DecodePlane(&br, w, h, intra ? nullptr : pred.y_plane().data(),
+                                  kLumaQuant, header_.quantizer,
+                                  out.mutable_y_plane().data()));
+  VCD_RETURN_IF_ERROR(DecodePlane(&br, w / 2, h / 2,
+                                  intra ? nullptr : pred.cb_plane().data(),
+                                  kChromaQuant, header_.quantizer,
+                                  out.mutable_cb_plane().data()));
+  VCD_RETURN_IF_ERROR(DecodePlane(&br, w / 2, h / 2,
+                                  intra ? nullptr : pred.cr_plane().data(),
+                                  kChromaQuant, header_.quantizer,
+                                  out.mutable_cr_plane().data()));
+  pos_ += 5 + len;
+  recon_ = out;
+  have_recon_ = true;
+  *frame = std::move(out);
+  return Status::OK();
+}
+
+Result<VideoBuffer> Decoder::DecodeVideo(const std::vector<uint8_t>& data) {
+  Decoder dec;
+  VCD_RETURN_IF_ERROR(dec.Open(data.data(), data.size()));
+  VideoBuffer out;
+  out.fps = dec.header().fps;
+  for (;;) {
+    Frame f;
+    Status st = dec.NextFrame(&f);
+    if (st.code() == StatusCode::kNotFound) break;
+    VCD_RETURN_IF_ERROR(st);
+    out.frames.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace vcd::video

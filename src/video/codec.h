@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "video/frame.h"
+
+/// \file codec.h
+/// A from-scratch MPEG-like video codec: 8×8 DCT, quantization, zig-zag +
+/// (run, level) Exp-Golomb entropy coding, I/P GOP structure, 4:2:0 chroma.
+///
+/// The paper assumes incoming streams are compressed bit streams from which
+/// DC coefficients of key (I) frames can be extracted by *partial decoding*
+/// (§III-A). This codec produces such bit streams from raw frames; the
+/// matching partial decoder lives in `video/partial_decoder.h`.
+///
+/// The bit-stream layout is:
+///   stream header: magic 'VCDS', version, width, height, fps (num/den),
+///                  GOP size, quantizer scale
+///   per frame:     1-byte type marker (I/P), 32-bit payload byte length
+///                  (allows cheap frame skipping, playing the role of MPEG
+///                  start codes), then the entropy-coded payload.
+/// Within a frame, planes are coded Y, Cb, Cr; blocks row-major; the DC
+/// coefficient of each block is DPCM-coded against the previous block's DC,
+/// AC coefficients as (zero-run, level) pairs in zig-zag order with an
+/// end-of-block sentinel.
+
+namespace vcd::video {
+
+/// Frame type markers in the bit stream.
+enum class FrameType : uint8_t { kIntra = 0xF1, kPredicted = 0xF0 };
+
+/// Codec configuration.
+struct CodecParams {
+  int width = 352;
+  int height = 240;
+  double fps = 29.97;
+  /// Number of frames per GOP; frame i is an I-frame iff i % gop_size == 0.
+  int gop_size = 12;
+  /// Quantizer scale in [1, 31]; larger = coarser AC quantization.
+  int quantizer = 4;
+  /// Motion-search range in pixels for P-frames (full search over
+  /// ±range × ±range per 16×16 macroblock). 0 = zero-motion prediction.
+  int motion_search_range = 7;
+
+  /// Validates ranges; returns InvalidArgument with a reason otherwise.
+  Status Validate() const;
+};
+
+/// Parsed stream header.
+struct StreamHeader {
+  int width = 0;
+  int height = 0;
+  double fps = 0.0;
+  int gop_size = 0;
+  int quantizer = 0;
+};
+
+/// One macroblock's motion vector (luma pixels; chroma uses mv/2).
+struct MotionVector {
+  int8_t dx = 0;
+  int8_t dy = 0;
+};
+
+/// \brief Encodes raw frames into the VCDS bit stream.
+class Encoder {
+ public:
+  /// Creates an encoder. Call `Init` before adding frames.
+  Encoder() = default;
+
+  /// Validates \p params and writes the stream header.
+  Status Init(const CodecParams& params);
+
+  /// Encodes one frame (I or P chosen by GOP position). The frame's
+  /// dimensions must match the params.
+  Status AddFrame(const Frame& frame);
+
+  /// Finalizes and returns the complete bit stream.
+  std::vector<uint8_t> Finish();
+
+  /// Convenience: encodes a whole buffer in one call.
+  static Result<std::vector<uint8_t>> EncodeVideo(const VideoBuffer& video,
+                                                  const CodecParams& params);
+
+ private:
+  CodecParams params_;
+  std::vector<uint8_t> out_;
+  Frame recon_;       // reconstruction of the previous frame (prediction ref)
+  int64_t frame_index_ = 0;
+  bool initialized_ = false;
+};
+
+/// \brief Fully decodes a VCDS bit stream back to raw frames.
+class Decoder {
+ public:
+  /// Parses the stream header of \p data. The buffer must outlive the
+  /// decoder.
+  Status Open(const uint8_t* data, size_t size);
+
+  /// Stream metadata (valid after Open).
+  const StreamHeader& header() const { return header_; }
+
+  /// Decodes the next frame into \p frame. Returns NotFound at end of
+  /// stream and Corruption on malformed input.
+  Status NextFrame(Frame* frame);
+
+  /// Convenience: decodes a whole stream in one call.
+  static Result<VideoBuffer> DecodeVideo(const std::vector<uint8_t>& data);
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;  // byte cursor at the next frame header
+  StreamHeader header_;
+  Frame recon_;
+  bool have_recon_ = false;
+};
+
+/// Parses only the stream header (shared by Decoder and PartialDecoder).
+Status ParseStreamHeader(const uint8_t* data, size_t size, StreamHeader* header,
+                         size_t* payload_start);
+
+/// Serialized header size in bytes.
+size_t StreamHeaderSize();
+
+}  // namespace vcd::video

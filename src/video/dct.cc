@@ -1,0 +1,63 @@
+#include "video/dct.h"
+
+#include <cmath>
+
+namespace vcd::video {
+namespace {
+
+// Precomputed basis: cos_table[u][x] = c(u) * cos((2x+1) u pi / 16), with
+// orthonormal scaling c(0)=sqrt(1/8), c(u>0)=sqrt(2/8).
+struct DctTables {
+  float basis[8][8];
+
+  DctTables() {
+    const double pi = std::acos(-1.0);
+    for (int u = 0; u < 8; ++u) {
+      double cu = (u == 0) ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x) {
+        basis[u][x] = static_cast<float>(cu * std::cos((2 * x + 1) * u * pi / 16.0));
+      }
+    }
+  }
+};
+
+const DctTables& Tables() {
+  static DctTables t;
+  return t;
+}
+
+// One-dimensional 8-point DCT applied to a strided vector.
+void Dct1d(const float* in, int stride, float* out, int out_stride) {
+  const auto& t = Tables();
+  for (int u = 0; u < 8; ++u) {
+    float acc = 0.0f;
+    for (int x = 0; x < 8; ++x) acc += t.basis[u][x] * in[x * stride];
+    out[u * out_stride] = acc;
+  }
+}
+
+void Idct1d(const float* in, int stride, float* out, int out_stride) {
+  const auto& t = Tables();
+  for (int x = 0; x < 8; ++x) {
+    float acc = 0.0f;
+    for (int u = 0; u < 8; ++u) acc += t.basis[u][x] * in[u * stride];
+    out[x * out_stride] = acc;
+  }
+}
+
+}  // namespace
+
+void Dct8x8::Forward(const std::array<float, 64>& block, std::array<float, 64>* coef) {
+  std::array<float, 64> tmp;
+  // Rows, then columns.
+  for (int r = 0; r < 8; ++r) Dct1d(&block[r * 8], 1, &tmp[r * 8], 1);
+  for (int c = 0; c < 8; ++c) Dct1d(&tmp[c], 8, &(*coef)[c], 8);
+}
+
+void Dct8x8::Inverse(const std::array<float, 64>& coef, std::array<float, 64>* block) {
+  std::array<float, 64> tmp;
+  for (int c = 0; c < 8; ++c) Idct1d(&coef[c], 8, &tmp[c], 8);
+  for (int r = 0; r < 8; ++r) Idct1d(&tmp[r * 8], 1, &(*block)[r * 8], 1);
+}
+
+}  // namespace vcd::video

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <array>
+
+/// \file dct.h
+/// 8×8 type-II Discrete Cosine Transform and its inverse, the transform at
+/// the heart of the MPEG-like codec. The DC coefficient (index 0,0) of each
+/// block is what the paper's partial decoder extracts (§III-A).
+
+namespace vcd::video {
+
+/// Number of samples per block edge.
+inline constexpr int kBlockSize = 8;
+
+/// \brief Separable floating-point 8×8 forward/inverse DCT.
+///
+/// `Forward` maps 64 spatial samples (centered at 0 by subtracting 128) to 64
+/// frequency coefficients with orthonormal scaling, so the DC coefficient is
+/// `8 × (block mean − 128)`. `Inverse` is its exact inverse up to float
+/// rounding.
+class Dct8x8 {
+ public:
+  /// Forward DCT: \p block (row-major spatial, already level-shifted floats)
+  /// to \p coef (row-major frequency).
+  static void Forward(const std::array<float, 64>& block, std::array<float, 64>* coef);
+
+  /// Inverse DCT: \p coef back to spatial samples in \p block.
+  static void Inverse(const std::array<float, 64>& coef, std::array<float, 64>* block);
+};
+
+}  // namespace vcd::video

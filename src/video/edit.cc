@@ -1,0 +1,167 @@
+#include "video/edit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace vcd::video {
+namespace {
+
+uint8_t ClampU8(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+}
+
+void ShiftPlane(std::vector<uint8_t>* plane, int delta) {
+  for (uint8_t& p : *plane) {
+    p = static_cast<uint8_t>(std::clamp(static_cast<int>(p) + delta, 0, 255));
+  }
+}
+
+/// Bilinear sample of a plane at continuous source coordinates.
+float SamplePlane(const std::vector<uint8_t>& plane, int w, int h, double x, double y) {
+  x = std::clamp(x, 0.0, w - 1.0);
+  y = std::clamp(y, 0.0, h - 1.0);
+  int x0 = static_cast<int>(x);
+  int y0 = static_cast<int>(y);
+  int x1 = std::min(x0 + 1, w - 1);
+  int y1 = std::min(y0 + 1, h - 1);
+  double fx = x - x0, fy = y - y0;
+  auto at = [&](int xx, int yy) {
+    return static_cast<double>(plane[static_cast<size_t>(yy) * w + xx]);
+  };
+  double top = at(x0, y0) * (1 - fx) + at(x1, y0) * fx;
+  double bot = at(x0, y1) * (1 - fx) + at(x1, y1) * fx;
+  return static_cast<float>(top * (1 - fy) + bot * fy);
+}
+
+}  // namespace
+
+VideoBuffer AdjustBrightness(const VideoBuffer& in, int delta) {
+  VideoBuffer out = in;
+  for (Frame& f : out.frames) ShiftPlane(&f.mutable_y_plane(), delta);
+  return out;
+}
+
+VideoBuffer AdjustColor(const VideoBuffer& in, int delta_cb, int delta_cr) {
+  VideoBuffer out = in;
+  for (Frame& f : out.frames) {
+    ShiftPlane(&f.mutable_cb_plane(), delta_cb);
+    ShiftPlane(&f.mutable_cr_plane(), delta_cr);
+  }
+  return out;
+}
+
+VideoBuffer AdjustContrast(const VideoBuffer& in, double gain) {
+  VideoBuffer out = in;
+  for (Frame& f : out.frames) {
+    for (uint8_t& p : f.mutable_y_plane()) {
+      p = ClampU8(128.0 + (static_cast<double>(p) - 128.0) * gain);
+    }
+  }
+  return out;
+}
+
+VideoBuffer AddGaussianNoise(const VideoBuffer& in, double sigma, uint64_t seed) {
+  VideoBuffer out = in;
+  Rng rng(seed);
+  auto add_noise = [&](std::vector<uint8_t>* plane) {
+    for (uint8_t& p : *plane) {
+      p = ClampU8(static_cast<double>(p) + rng.Gaussian() * sigma);
+    }
+  };
+  for (Frame& f : out.frames) {
+    add_noise(&f.mutable_y_plane());
+    add_noise(&f.mutable_cb_plane());
+    add_noise(&f.mutable_cr_plane());
+  }
+  return out;
+}
+
+Result<VideoBuffer> Resize(const VideoBuffer& in, int new_width, int new_height) {
+  if (new_width <= 0 || new_height <= 0 || new_width % 2 || new_height % 2) {
+    return Status::InvalidArgument("resize target must be positive and even");
+  }
+  VideoBuffer out;
+  out.fps = in.fps;
+  out.frames.reserve(in.frames.size());
+  for (const Frame& src : in.frames) {
+    Frame dst = Frame::Create(new_width, new_height).value();
+    const double sx = static_cast<double>(src.width()) / new_width;
+    const double sy = static_cast<double>(src.height()) / new_height;
+    for (int y = 0; y < new_height; ++y) {
+      for (int x = 0; x < new_width; ++x) {
+        dst.SetY(x, y, ClampU8(SamplePlane(src.y_plane(), src.width(), src.height(),
+                                           (x + 0.5) * sx - 0.5, (y + 0.5) * sy - 0.5)));
+      }
+    }
+    const int scw = src.chroma_width(), sch = src.chroma_height();
+    const double csx = static_cast<double>(scw) / dst.chroma_width();
+    const double csy = static_cast<double>(sch) / dst.chroma_height();
+    for (int y = 0; y < dst.chroma_height(); ++y) {
+      for (int x = 0; x < dst.chroma_width(); ++x) {
+        dst.SetCb(x, y, ClampU8(SamplePlane(src.cb_plane(), scw, sch,
+                                            (x + 0.5) * csx - 0.5, (y + 0.5) * csy - 0.5)));
+        dst.SetCr(x, y, ClampU8(SamplePlane(src.cr_plane(), scw, sch,
+                                            (x + 0.5) * csx - 0.5, (y + 0.5) * csy - 0.5)));
+      }
+    }
+    out.frames.push_back(std::move(dst));
+  }
+  return out;
+}
+
+Result<VideoBuffer> ResampleFps(const VideoBuffer& in, double new_fps) {
+  if (new_fps <= 0) return Status::InvalidArgument("fps must be positive");
+  if (in.fps <= 0) return Status::InvalidArgument("source fps must be positive");
+  VideoBuffer out;
+  out.fps = new_fps;
+  const double duration = in.DurationSeconds();
+  const int64_t nframes = static_cast<int64_t>(std::floor(duration * new_fps));
+  out.frames.reserve(static_cast<size_t>(nframes));
+  for (int64_t i = 0; i < nframes; ++i) {
+    const double t = static_cast<double>(i) / new_fps;
+    auto src_idx = static_cast<size_t>(std::lround(t * in.fps));
+    src_idx = std::min(src_idx, in.frames.size() - 1);
+    out.frames.push_back(in.frames[src_idx]);
+  }
+  return out;
+}
+
+VideoBuffer ReorderSegments(const VideoBuffer& in, double segment_seconds,
+                            uint64_t seed) {
+  VideoBuffer out;
+  out.fps = in.fps;
+  if (in.frames.empty() || segment_seconds <= 0 || in.fps <= 0) {
+    out.frames = in.frames;
+    return out;
+  }
+  const auto seg_frames =
+      std::max<size_t>(1, static_cast<size_t>(std::lround(segment_seconds * in.fps)));
+  const size_t nseg = (in.frames.size() + seg_frames - 1) / seg_frames;
+  std::vector<size_t> order(nseg);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  // Fisher–Yates; retry until the permutation actually moves something, so
+  // "reordered" copies are genuinely reordered.
+  do {
+    for (size_t i = nseg; i > 1; --i) {
+      size_t j = rng.Uniform(i);
+      std::swap(order[i - 1], order[j]);
+    }
+  } while (nseg > 1 && std::is_sorted(order.begin(), order.end()));
+  out.frames.reserve(in.frames.size());
+  for (size_t s : order) {
+    const size_t begin = s * seg_frames;
+    const size_t end = std::min(begin + seg_frames, in.frames.size());
+    for (size_t i = begin; i < end; ++i) out.frames.push_back(in.frames[i]);
+  }
+  return out;
+}
+
+void AppendFrames(const VideoBuffer& src, VideoBuffer* dst) {
+  dst->frames.insert(dst->frames.end(), src.frames.begin(), src.frames.end());
+}
+
+}  // namespace vcd::video

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+#include "video/frame.h"
+
+/// \file edit.h
+/// Pixel-domain editing operations used to doctor copies the way the paper's
+/// VS2 stream is built (§VI): brightness/color alteration, additive noise,
+/// resolution change, frame-rate re-encoding (NTSC→PAL) and temporal
+/// segment reordering.
+
+namespace vcd::video {
+
+/// Adds \p delta to every luma sample (clamped). Positive = brighter.
+VideoBuffer AdjustBrightness(const VideoBuffer& in, int delta);
+
+/// Shifts chroma planes by (\p delta_cb, \p delta_cr) — a hue/color cast.
+VideoBuffer AdjustColor(const VideoBuffer& in, int delta_cb, int delta_cr);
+
+/// Scales luma contrast around 128 by \p gain (e.g. 1.2 = +20 % contrast).
+VideoBuffer AdjustContrast(const VideoBuffer& in, double gain);
+
+/// Adds zero-mean Gaussian noise with std-dev \p sigma to all planes.
+VideoBuffer AddGaussianNoise(const VideoBuffer& in, double sigma, uint64_t seed);
+
+/// Bilinear resample to \p new_width × \p new_height (both must be even).
+Result<VideoBuffer> Resize(const VideoBuffer& in, int new_width, int new_height);
+
+/// Re-times the video to \p new_fps by nearest-frame sampling on the time
+/// axis (duration is preserved; frame count changes).
+Result<VideoBuffer> ResampleFps(const VideoBuffer& in, double new_fps);
+
+/// Splits the video into segments of \p segment_seconds and permutes them
+/// uniformly at random (seeded) — the paper's temporal-reordering attack.
+/// The permutation never maps a video to itself unless it has one segment.
+VideoBuffer ReorderSegments(const VideoBuffer& in, double segment_seconds,
+                            uint64_t seed);
+
+/// Appends \p src frames to \p dst (fps metadata of dst is kept).
+void AppendFrames(const VideoBuffer& src, VideoBuffer* dst);
+
+}  // namespace vcd::video

@@ -1,0 +1,21 @@
+#include "video/frame.h"
+
+namespace vcd::video {
+
+Result<Frame> Frame::Create(int width, int height) {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("frame dimensions must be positive");
+  }
+  if (width % 2 != 0 || height % 2 != 0) {
+    return Status::InvalidArgument("frame dimensions must be even for 4:2:0 chroma");
+  }
+  Frame f;
+  f.width_ = width;
+  f.height_ = height;
+  f.y_.assign(static_cast<size_t>(width) * height, 16);  // video black
+  f.cb_.assign(static_cast<size_t>(width / 2) * (height / 2), 128);
+  f.cr_.assign(static_cast<size_t>(width / 2) * (height / 2), 128);
+  return f;
+}
+
+}  // namespace vcd::video

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file frame.h
+/// Raw video frames in planar YCbCr 4:2:0, the pixel-domain representation
+/// consumed by the toy MPEG-like codec (`vcd::video::Encoder`).
+
+namespace vcd::video {
+
+/// \brief One decoded video frame: full-resolution luma plane plus
+/// quarter-resolution chroma planes (4:2:0 subsampling).
+///
+/// Dimensions are rounded up to a multiple of 16 internally by the codec;
+/// `Frame` itself stores exactly `width × height` luma samples.
+class Frame {
+ public:
+  Frame() = default;
+
+  /// Creates a black frame of the given dimensions.
+  /// Returns InvalidArgument for non-positive or odd dimensions.
+  static Result<Frame> Create(int width, int height);
+
+  /// Frame width in luma samples.
+  int width() const { return width_; }
+  /// Frame height in luma samples.
+  int height() const { return height_; }
+  /// Chroma plane width (width/2).
+  int chroma_width() const { return width_ / 2; }
+  /// Chroma plane height (height/2).
+  int chroma_height() const { return height_ / 2; }
+
+  /// Luma sample at (x, y).
+  uint8_t Y(int x, int y) const { return y_[static_cast<size_t>(y) * width_ + x]; }
+  /// Cb sample at chroma coordinates (x, y).
+  uint8_t Cb(int x, int y) const {
+    return cb_[static_cast<size_t>(y) * chroma_width() + x];
+  }
+  /// Cr sample at chroma coordinates (x, y).
+  uint8_t Cr(int x, int y) const {
+    return cr_[static_cast<size_t>(y) * chroma_width() + x];
+  }
+
+  /// Sets the luma sample at (x, y).
+  void SetY(int x, int y, uint8_t v) { y_[static_cast<size_t>(y) * width_ + x] = v; }
+  /// Sets the Cb sample at chroma coordinates (x, y).
+  void SetCb(int x, int y, uint8_t v) {
+    cb_[static_cast<size_t>(y) * chroma_width() + x] = v;
+  }
+  /// Sets the Cr sample at chroma coordinates (x, y).
+  void SetCr(int x, int y, uint8_t v) {
+    cr_[static_cast<size_t>(y) * chroma_width() + x] = v;
+  }
+
+  /// Whole luma plane (row-major).
+  const std::vector<uint8_t>& y_plane() const { return y_; }
+  /// Whole Cb plane (row-major, chroma resolution).
+  const std::vector<uint8_t>& cb_plane() const { return cb_; }
+  /// Whole Cr plane (row-major, chroma resolution).
+  const std::vector<uint8_t>& cr_plane() const { return cr_; }
+  /// Mutable luma plane.
+  std::vector<uint8_t>& mutable_y_plane() { return y_; }
+  /// Mutable Cb plane.
+  std::vector<uint8_t>& mutable_cb_plane() { return cb_; }
+  /// Mutable Cr plane.
+  std::vector<uint8_t>& mutable_cr_plane() { return cr_; }
+
+  /// True if dimensions and all three planes are identical.
+  bool operator==(const Frame& other) const {
+    return width_ == other.width_ && height_ == other.height_ && y_ == other.y_ &&
+           cb_ == other.cb_ && cr_ == other.cr_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> y_;
+  std::vector<uint8_t> cb_;
+  std::vector<uint8_t> cr_;
+};
+
+/// \brief An in-memory sequence of frames with playback metadata.
+struct VideoBuffer {
+  std::vector<Frame> frames;
+  double fps = 29.97;
+
+  /// Number of frames.
+  size_t size() const { return frames.size(); }
+  /// Duration in seconds.
+  double DurationSeconds() const {
+    return fps > 0 ? static_cast<double>(frames.size()) / fps : 0.0;
+  }
+};
+
+}  // namespace vcd::video

@@ -1,0 +1,70 @@
+#include "video/partial_decoder.h"
+
+#include "video/codec_internal.h"
+
+namespace vcd::video {
+
+using internal::kDcQuantStep;
+using internal::PadTo8;
+using internal::ReadBlockDcOnly;
+
+Status PartialDecoder::Open(const uint8_t* data, size_t size) {
+  data_ = data;
+  size_ = size;
+  frame_index_ = 0;
+  return ParseStreamHeader(data, size, &header_, &pos_);
+}
+
+Status PartialDecoder::NextKeyFrame(DcFrame* out) {
+  while (pos_ < size_) {
+    if (pos_ + 5 > size_) return Status::Corruption("truncated frame header");
+    uint8_t marker = data_[pos_];
+    uint32_t len = (static_cast<uint32_t>(data_[pos_ + 1]) << 24) |
+                   (static_cast<uint32_t>(data_[pos_ + 2]) << 16) |
+                   (static_cast<uint32_t>(data_[pos_ + 3]) << 8) | data_[pos_ + 4];
+    if (pos_ + 5 + len > size_) return Status::Corruption("frame payload overruns stream");
+    const bool intra = marker == static_cast<uint8_t>(FrameType::kIntra);
+    if (!intra && marker != static_cast<uint8_t>(FrameType::kPredicted)) {
+      return Status::Corruption("bad frame marker");
+    }
+    if (!intra) {
+      // The cheap path: P-frames are skipped entirely via the length field.
+      pos_ += 5 + len;
+      ++frame_index_;
+      continue;
+    }
+    BitReader br(data_ + pos_ + 5, len);
+    out->blocks_x = PadTo8(header_.width) / 8;
+    out->blocks_y = PadTo8(header_.height) / 8;
+    out->frame_index = frame_index_;
+    out->timestamp = header_.fps > 0 ? static_cast<double>(frame_index_) / header_.fps : 0;
+    out->dc.assign(static_cast<size_t>(out->blocks_x) * out->blocks_y, 0.0f);
+    int32_t prev_dc = 0;
+    for (size_t b = 0; b < out->dc.size(); ++b) {
+      int32_t qdc = 0;
+      VCD_RETURN_IF_ERROR(ReadBlockDcOnly(&br, &prev_dc, &qdc));
+      out->dc[b] = static_cast<float>(qdc) * kDcQuantStep;
+    }
+    // Chroma planes and the rest of the frame are skipped via the length.
+    pos_ += 5 + len;
+    ++frame_index_;
+    return Status::OK();
+  }
+  return Status::NotFound("end of stream");
+}
+
+Result<std::vector<DcFrame>> PartialDecoder::ExtractAll(const std::vector<uint8_t>& data) {
+  PartialDecoder pd;
+  VCD_RETURN_IF_ERROR(pd.Open(data.data(), data.size()));
+  std::vector<DcFrame> out;
+  for (;;) {
+    DcFrame f;
+    Status st = pd.NextKeyFrame(&f);
+    if (st.code() == StatusCode::kNotFound) break;
+    VCD_RETURN_IF_ERROR(st);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace vcd::video

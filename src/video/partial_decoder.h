@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "video/codec.h"
+
+/// \file partial_decoder.h
+/// Partial decoding of VCDS bit streams: extracts only the luma DC
+/// coefficients of key (I) frames, skipping P-frames wholesale and never
+/// running an inverse DCT — the compressed-domain fast path the paper relies
+/// on for real-time feature extraction (§III-A).
+
+namespace vcd::video {
+
+/// \brief The luma DC coefficient map of one key frame.
+///
+/// `dc[by * blocks_x + bx]` is the dequantized DC coefficient of the 8×8
+/// block at (bx, by); with the codec's orthonormal DCT this equals
+/// `8 × (block mean − 128)`.
+struct DcFrame {
+  int64_t frame_index = 0;  ///< position among *all* frames of the stream
+  double timestamp = 0.0;   ///< seconds from stream start
+  int blocks_x = 0;
+  int blocks_y = 0;
+  std::vector<float> dc;
+
+  /// DC value of block (bx, by).
+  float At(int bx, int by) const { return dc[static_cast<size_t>(by) * blocks_x + bx]; }
+
+  /// Block mean luma in [0, 255] recovered from the DC coefficient.
+  float BlockMean(int bx, int by) const { return At(bx, by) / 8.0f + 128.0f; }
+};
+
+/// \brief Streams key-frame DC maps out of a compressed bit stream.
+class PartialDecoder {
+ public:
+  /// Parses the stream header of \p data (not owned; must outlive this).
+  Status Open(const uint8_t* data, size_t size);
+
+  /// Stream metadata (valid after Open).
+  const StreamHeader& header() const { return header_; }
+
+  /// Extracts the next key frame's DC map into \p out. P-frames between key
+  /// frames are skipped using the frame length fields without touching their
+  /// payload. Returns NotFound at end of stream.
+  Status NextKeyFrame(DcFrame* out);
+
+  /// Convenience: extracts all key-frame DC maps in one call.
+  static Result<std::vector<DcFrame>> ExtractAll(const std::vector<uint8_t>& data);
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;
+  int64_t frame_index_ = 0;
+  StreamHeader header_;
+};
+
+}  // namespace vcd::video

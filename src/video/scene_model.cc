@@ -1,0 +1,185 @@
+#include "video/scene_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vcd::video {
+namespace {
+
+/// A stock shot composition. Real footage reuses a common visual
+/// vocabulary (anchor compositions, standard brightness levels), which is
+/// why *coarse* feature-space partitions collide across unrelated videos
+/// while fine ones separate them (the precision/recall trade of the paper's
+/// Table II). Videos draw shots from this shared pool and individualize
+/// them with small per-video jitter.
+struct ShotArchetype {
+  double base_y, grad_x, grad_y;
+  double base_cb, base_cr;
+  double tex_amp, tex_fx, tex_fy, tex_phase;
+  int nblobs;
+  double blob_cx[6], blob_cy[6], blob_sigma[6];
+  double blob_y_amp[6], blob_cb_amp[6], blob_cr_amp[6];
+};
+
+/// Number of stock compositions in the shared pool.
+constexpr int kArchetypePool = 10;
+constexpr uint64_t kPoolSeed = 0x5ce7e9001ULL;
+
+const ShotArchetype* Pool() {
+  static ShotArchetype pool[kArchetypePool];
+  static bool init = [] {
+    Rng rng(kPoolSeed);
+    for (auto& a : pool) {
+      static constexpr double kBaseY[] = {85.0, 115.0, 145.0, 170.0};
+      static constexpr double kGrad[] = {-45.0, 0.0, 45.0};
+      static constexpr double kAnchor[] = {0.2, 0.5, 0.8};
+      static constexpr double kAmp[] = {-60.0, -30.0, 30.0, 60.0};
+      static constexpr double kSigma[] = {0.07, 0.12, 0.18};
+      a.base_y = kBaseY[rng.Uniform(4)];
+      a.grad_x = kGrad[rng.Uniform(3)];
+      a.grad_y = kGrad[rng.Uniform(3)];
+      a.base_cb = rng.UniformDouble(110.0, 146.0);
+      a.base_cr = rng.UniformDouble(110.0, 146.0);
+      a.tex_amp = rng.UniformDouble(2.0, 8.0);
+      a.tex_fx = rng.UniformDouble(2.0, 12.0);
+      a.tex_fy = rng.UniformDouble(2.0, 12.0);
+      a.tex_phase = rng.UniformDouble(0.0, 6.28318);
+      a.nblobs = static_cast<int>(rng.UniformInt(2, 5));
+      for (int b = 0; b < a.nblobs; ++b) {
+        a.blob_cx[b] = kAnchor[rng.Uniform(3)];
+        a.blob_cy[b] = kAnchor[rng.Uniform(3)];
+        a.blob_sigma[b] = kSigma[rng.Uniform(3)];
+        a.blob_y_amp[b] = kAmp[rng.Uniform(4)];
+        a.blob_cb_amp[b] = rng.UniformDouble(-35.0, 35.0);
+        a.blob_cr_amp[b] = rng.UniformDouble(-35.0, 35.0);
+      }
+    }
+    return true;
+  }();
+  (void)init;
+  return pool;
+}
+
+}  // namespace
+
+SceneModel SceneModel::Generate(uint64_t seed, double duration_seconds,
+                                const SceneStyle& style) {
+  VCD_CHECK(duration_seconds > 0, "scene duration must be positive");
+  SceneModel m;
+  m.duration_ = duration_seconds;
+  Rng rng(seed);
+  const ShotArchetype* pool = Pool();
+  double t = 0.0;
+  while (t < duration_seconds) {
+    Shot shot;
+    shot.start = t;
+    shot.duration =
+        rng.UniformDouble(style.min_shot_seconds, style.max_shot_seconds);
+    // Gentle motion: within a shot the block-level ordinal structure stays
+    // stable (as in real footage), which is what makes key-frame phase
+    // offsets between a copy and its original survivable.
+    shot.pan_x = rng.UniformDouble(-0.008, 0.008);
+    shot.pan_y = rng.UniformDouble(-0.008, 0.008);
+    if (style.distinct_content) {
+      // Fully independent compositions: unrelated videos share almost no
+      // cells at any partition granularity.
+      shot.base_y = rng.UniformDouble(60.0, 180.0);
+      shot.grad_x = rng.UniformDouble(-60.0, 60.0);
+      shot.grad_y = rng.UniformDouble(-60.0, 60.0);
+      shot.base_cb = rng.UniformDouble(100.0, 156.0);
+      shot.base_cr = rng.UniformDouble(100.0, 156.0);
+      shot.tex_amp = rng.UniformDouble(2.0, 8.0);
+      shot.tex_fx = rng.UniformDouble(2.0, 12.0);
+      shot.tex_fy = rng.UniformDouble(2.0, 12.0);
+      shot.tex_phase = rng.UniformDouble(0.0, 6.28318);
+      const int nblobs = static_cast<int>(rng.UniformInt(2, 5));
+      for (int i = 0; i < nblobs; ++i) {
+        Blob b;
+        b.cx = rng.UniformDouble(0.1, 0.9);
+        b.cy = rng.UniformDouble(0.1, 0.9);
+        b.vx = rng.UniformDouble(-0.02, 0.02);
+        b.vy = rng.UniformDouble(-0.02, 0.02);
+        b.sigma = rng.UniformDouble(0.06, 0.2);
+        b.y_amp = rng.UniformDouble(-70.0, 70.0);
+        b.cb_amp = rng.UniformDouble(-35.0, 35.0);
+        b.cr_amp = rng.UniformDouble(-35.0, 35.0);
+        shot.blobs.push_back(b);
+      }
+    } else {
+      const ShotArchetype& a = pool[rng.Uniform(kArchetypePool)];
+      // Per-video jitter individualizes the stock composition: small
+      // enough to stay in the same coarse cell, large enough for fine
+      // partitions to separate unrelated videos.
+      shot.base_y = a.base_y + rng.UniformDouble(-14.0, 14.0);
+      shot.grad_x = a.grad_x + rng.UniformDouble(-14.0, 14.0);
+      shot.grad_y = a.grad_y + rng.UniformDouble(-14.0, 14.0);
+      shot.base_cb = a.base_cb + rng.UniformDouble(-6.0, 6.0);
+      shot.base_cr = a.base_cr + rng.UniformDouble(-6.0, 6.0);
+      shot.tex_amp = a.tex_amp;
+      shot.tex_fx = a.tex_fx;
+      shot.tex_fy = a.tex_fy;
+      shot.tex_phase = a.tex_phase + rng.UniformDouble(0.0, 6.28318);
+      for (int i = 0; i < a.nblobs; ++i) {
+        Blob b;
+        b.cx = a.blob_cx[i] + rng.UniformDouble(-0.06, 0.06);
+        b.cy = a.blob_cy[i] + rng.UniformDouble(-0.06, 0.06);
+        b.vx = rng.UniformDouble(-0.02, 0.02);
+        b.vy = rng.UniformDouble(-0.02, 0.02);
+        b.sigma = a.blob_sigma[i] + rng.UniformDouble(-0.015, 0.015);
+        b.y_amp = a.blob_y_amp[i] + rng.UniformDouble(-12.0, 12.0);
+        b.cb_amp = a.blob_cb_amp[i] + rng.UniformDouble(-8.0, 8.0);
+        b.cr_amp = a.blob_cr_amp[i] + rng.UniformDouble(-8.0, 8.0);
+        shot.blobs.push_back(b);
+      }
+    }
+    t += shot.duration;
+    m.shots_.push_back(std::move(shot));
+  }
+  return m;
+}
+
+const Shot& SceneModel::ShotAt(double t) const {
+  // Shots are contiguous; binary search on start time.
+  t = std::clamp(t, 0.0, duration_);
+  auto it = std::upper_bound(shots_.begin(), shots_.end(), t,
+                             [](double v, const Shot& s) { return v < s.start; });
+  if (it != shots_.begin()) --it;
+  return *it;
+}
+
+void SceneModel::Sample(double t, double x, double y, float* y_out, float* cb_out,
+                        float* cr_out) const {
+  const Shot& s = ShotAt(t);
+  const double dt = t - s.start;
+  // Global pan shifts the whole shot content.
+  const double px = x + s.pan_x * dt;
+  const double py = y + s.pan_y * dt;
+  double yv = s.base_y + s.grad_x * px + s.grad_y * py;
+  double cb = s.base_cb;
+  double cr = s.base_cr;
+  yv += s.tex_amp *
+        std::sin(6.28318530718 * (s.tex_fx * px + s.tex_fy * py) + s.tex_phase);
+  for (const Blob& b : s.blobs) {
+    const double bx = b.cx + b.vx * dt;
+    const double by = b.cy + b.vy * dt;
+    const double dx = px - bx;
+    const double dy = py - by;
+    const double g = std::exp(-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma));
+    yv += b.y_amp * g;
+    cb += b.cb_amp * g;
+    cr += b.cr_amp * g;
+  }
+  *y_out = static_cast<float>(std::clamp(yv, 16.0, 235.0));
+  *cb_out = static_cast<float>(std::clamp(cb, 16.0, 240.0));
+  *cr_out = static_cast<float>(std::clamp(cr, 16.0, 240.0));
+}
+
+float SceneModel::SampleLuma(double t, double x, double y) const {
+  float yv, cb, cr;
+  Sample(t, x, y, &yv, &cb, &cr);
+  return yv;
+}
+
+}  // namespace vcd::video

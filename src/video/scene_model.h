@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+/// \file scene_model.h
+/// Procedural scene content, the substitute for the paper's real videos.
+///
+/// A `SceneModel` is a deterministic function of a content seed that maps
+/// (time, normalized x, normalized y) to a YCbCr color. Because content is a
+/// function of *time* rather than frame index, rendering the same model at
+/// different frame rates or resolutions yields visually identical copies —
+/// exactly the property real transcoded copies have, and the property the
+/// paper's ordinal DC features are designed to survive.
+
+namespace vcd::video {
+
+/// A soft moving blob contributing a Gaussian bump of color to its shot.
+struct Blob {
+  double cx, cy;        ///< center at shot start, normalized [0,1]
+  double vx, vy;        ///< velocity in normalized units per second
+  double sigma;         ///< Gaussian radius
+  double y_amp;         ///< luma amplitude (may be negative)
+  double cb_amp, cr_amp;///< chroma amplitudes
+};
+
+/// One camera shot: a background gradient, a texture field, moving blobs and
+/// a global pan.
+struct Shot {
+  double start = 0.0;     ///< seconds from scene start
+  double duration = 0.0;  ///< seconds
+  double base_y = 0.0, grad_x = 0.0, grad_y = 0.0;
+  double base_cb = 0.0, base_cr = 0.0;
+  double tex_amp = 0.0, tex_fx = 0.0, tex_fy = 0.0, tex_phase = 0.0;
+  double pan_x = 0.0, pan_y = 0.0;  ///< normalized units per second
+  std::vector<Blob> blobs;
+};
+
+/// Tuning knobs for scene generation.
+struct SceneStyle {
+  double min_shot_seconds = 2.0;
+  double max_shot_seconds = 8.0;
+  int min_blobs = 2;
+  int max_blobs = 6;
+  /// By default, shots draw from a shared pool of stock compositions (the
+  /// way real footage reuses a common visual vocabulary), which makes
+  /// coarse feature-space partitions collide across unrelated videos.
+  /// Setting this generates fully independent compositions instead — the
+  /// regime where unrelated videos share almost no cells and the
+  /// Hash-Query index is maximally selective.
+  bool distinct_content = false;
+};
+
+/// \brief A deterministic, shot-structured video content function.
+class SceneModel {
+ public:
+  /// Generates a scene of \p duration_seconds from \p seed.
+  static SceneModel Generate(uint64_t seed, double duration_seconds,
+                             const SceneStyle& style = SceneStyle());
+
+  /// Total duration in seconds.
+  double duration() const { return duration_; }
+  /// The generated shots, in temporal order.
+  const std::vector<Shot>& shots() const { return shots_; }
+
+  /// Samples the color at time \p t and normalized position (\p x, \p y).
+  /// Outputs are in nominal pixel ranges: Y in ~[16, 235], Cb/Cr around 128.
+  void Sample(double t, double x, double y, float* y_out, float* cb_out,
+              float* cr_out) const;
+
+  /// Luma-only sampling (the feature pipeline only uses luma DC).
+  float SampleLuma(double t, double x, double y) const;
+
+ private:
+  const Shot& ShotAt(double t) const;
+
+  double duration_ = 0.0;
+  std::vector<Shot> shots_;
+};
+
+}  // namespace vcd::video

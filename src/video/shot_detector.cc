@@ -1,0 +1,82 @@
+#include "video/shot_detector.h"
+
+#include <cmath>
+
+namespace vcd::video {
+
+Status ShotDetectorOptions::Validate() const {
+  if (threshold <= 0) return Status::InvalidArgument("threshold must be positive");
+  if (relative_factor < 1.0) {
+    return Status::InvalidArgument("relative_factor must be >= 1");
+  }
+  if (history < 1) return Status::InvalidArgument("history must be >= 1");
+  return Status::OK();
+}
+
+Result<ShotDetector> ShotDetector::Create(const ShotDetectorOptions& opts) {
+  VCD_RETURN_IF_ERROR(opts.Validate());
+  return ShotDetector(opts);
+}
+
+double ShotDetector::FrameDifference(const DcFrame& a, const DcFrame& b) {
+  if (a.dc.size() != b.dc.size() || a.dc.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dc.size(); ++i) {
+    // DC = 8 × (mean − 128): divide by 8 to express the difference in block
+    // mean luma levels.
+    sum += std::fabs(a.dc[i] - b.dc[i]) / 8.0;
+  }
+  return sum / static_cast<double>(a.dc.size());
+}
+
+bool ShotDetector::ProcessKeyFrame(const DcFrame& frame) {
+  bool cut = false;
+  if (have_prev_ && frame.dc.size() == prev_.dc.size()) {
+    const double diff = FrameDifference(prev_, frame);
+    const double avg = recent_diffs_.empty()
+                           ? 0.0
+                           : diff_sum_ / static_cast<double>(recent_diffs_.size());
+    if (diff > opts_.threshold &&
+        (recent_diffs_.empty() || diff > opts_.relative_factor * avg)) {
+      // The previous shot ends at the previous key frame.
+      DetectedShot s;
+      s.begin_key_frame = shot_start_index_;
+      s.end_key_frame = frames_seen_ - 1;
+      s.begin_time = shot_start_time_;
+      s.end_time = prev_.timestamp;
+      shots_.push_back(s);
+      shot_start_index_ = frames_seen_;
+      shot_start_time_ = frame.timestamp;
+      recent_diffs_.clear();
+      diff_sum_ = 0.0;
+      cut = true;
+    } else {
+      recent_diffs_.push_back(diff);
+      diff_sum_ += diff;
+      if (static_cast<int>(recent_diffs_.size()) > opts_.history) {
+        diff_sum_ -= recent_diffs_.front();
+        recent_diffs_.erase(recent_diffs_.begin());
+      }
+    }
+  } else if (!have_prev_) {
+    shot_start_index_ = frames_seen_;
+    shot_start_time_ = frame.timestamp;
+  }
+  prev_ = frame;
+  have_prev_ = true;
+  ++frames_seen_;
+  return cut;
+}
+
+void ShotDetector::Finish() {
+  if (!have_prev_ || frames_seen_ == 0) return;
+  DetectedShot s;
+  s.begin_key_frame = shot_start_index_;
+  s.end_key_frame = frames_seen_ - 1;
+  s.begin_time = shot_start_time_;
+  s.end_time = prev_.timestamp;
+  shots_.push_back(s);
+  have_prev_ = false;
+}
+
+}  // namespace vcd::video

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "video/partial_decoder.h"
+
+/// \file shot_detector.h
+/// Compressed-domain shot-boundary (cut) detection over key-frame DC maps.
+///
+/// The paper's content model is shot-structured ("videos ... could be
+/// segmented based on scenes"); this utility recovers that structure from
+/// the same DC coefficients the copy detector consumes, so downstream users
+/// can segment, summarize, or align copies at shot granularity without any
+/// extra decoding.
+
+namespace vcd::video {
+
+/// Shot-boundary detector configuration.
+struct ShotDetectorOptions {
+  /// A cut is declared when the mean absolute DC difference between
+  /// consecutive key frames exceeds `threshold` luma levels (on block
+  /// means) and is at least `relative_factor` times the running average
+  /// difference (adaptive gate against globally dynamic content).
+  double threshold = 12.0;
+  double relative_factor = 3.0;
+  /// Key frames over which the running average difference is tracked.
+  int history = 8;
+
+  Status Validate() const;
+};
+
+/// One detected shot: [begin, end] in key-frame indices of the fed stream.
+struct DetectedShot {
+  int64_t begin_key_frame = 0;
+  int64_t end_key_frame = 0;      ///< inclusive
+  double begin_time = 0.0;
+  double end_time = 0.0;
+};
+
+/// \brief Streaming cut detector over key-frame DC maps.
+class ShotDetector {
+ public:
+  /// Creates a detector; validates options.
+  static Result<ShotDetector> Create(const ShotDetectorOptions& opts = {});
+
+  /// Feeds the next key frame; returns true when a cut was detected
+  /// *before* this frame (i.e. the previous shot just closed).
+  bool ProcessKeyFrame(const DcFrame& frame);
+
+  /// Closes the final shot. Call once at end of stream.
+  void Finish();
+
+  /// All shots detected so far (the last one only after Finish()).
+  const std::vector<DetectedShot>& shots() const { return shots_; }
+
+  /// Mean absolute block-mean difference between two DC maps of the same
+  /// geometry (the change signal; exposed for tests).
+  static double FrameDifference(const DcFrame& a, const DcFrame& b);
+
+ private:
+  explicit ShotDetector(const ShotDetectorOptions& opts) : opts_(opts) {}
+
+  ShotDetectorOptions opts_;
+  bool have_prev_ = false;
+  DcFrame prev_;
+  int64_t shot_start_index_ = 0;
+  double shot_start_time_ = 0.0;
+  int64_t frames_seen_ = 0;
+  double diff_sum_ = 0.0;
+  std::vector<double> recent_diffs_;
+  std::vector<DetectedShot> shots_;
+};
+
+}  // namespace vcd::video

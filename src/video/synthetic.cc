@@ -1,0 +1,102 @@
+#include "video/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "video/codec_internal.h"
+
+namespace vcd::video {
+
+Result<VideoBuffer> RenderVideo(const SceneModel& model, double t0, double duration,
+                                const RenderOptions& opts) {
+  if (opts.width <= 0 || opts.height <= 0 || opts.width % 2 || opts.height % 2) {
+    return Status::InvalidArgument("render dimensions must be positive and even");
+  }
+  if (opts.fps <= 0) return Status::InvalidArgument("fps must be positive");
+  VideoBuffer out;
+  out.fps = opts.fps;
+  const int64_t nframes = static_cast<int64_t>(std::floor(duration * opts.fps));
+  Rng noise(opts.noise_seed);
+  for (int64_t i = 0; i < nframes; ++i) {
+    const double t = t0 + static_cast<double>(i) / opts.fps;
+    Frame f = Frame::Create(opts.width, opts.height).value();
+    for (int y = 0; y < opts.height; ++y) {
+      const double ny = (y + 0.5) / opts.height;
+      for (int x = 0; x < opts.width; ++x) {
+        const double nx = (x + 0.5) / opts.width;
+        float lum = model.SampleLuma(t, nx, ny);
+        if (opts.noise_sigma > 0) {
+          lum += static_cast<float>(noise.Gaussian() * opts.noise_sigma);
+        }
+        f.SetY(x, y, static_cast<uint8_t>(std::clamp(lum, 0.0f, 255.0f) + 0.5f));
+      }
+    }
+    for (int y = 0; y < f.chroma_height(); ++y) {
+      const double ny = (2 * y + 1.0) / opts.height;
+      for (int x = 0; x < f.chroma_width(); ++x) {
+        const double nx = (2 * x + 1.0) / opts.width;
+        float lum, cb, cr;
+        model.Sample(t, nx, ny, &lum, &cb, &cr);
+        f.SetCb(x, y, static_cast<uint8_t>(std::clamp(cb, 0.0f, 255.0f) + 0.5f));
+        f.SetCr(x, y, static_cast<uint8_t>(std::clamp(cr, 0.0f, 255.0f) + 0.5f));
+      }
+    }
+    out.frames.push_back(std::move(f));
+  }
+  return out;
+}
+
+Result<std::vector<DcFrame>> RenderDcFrames(const SceneModel& model, double t0,
+                                            double duration, const RenderOptions& opts,
+                                            int gop_size) {
+  if (opts.width <= 0 || opts.height <= 0) {
+    return Status::InvalidArgument("render dimensions must be positive");
+  }
+  if (opts.fps <= 0 || gop_size < 1) {
+    return Status::InvalidArgument("fps and gop_size must be positive");
+  }
+  const int blocks_x = internal::PadTo8(opts.width) / 8;
+  const int blocks_y = internal::PadTo8(opts.height) / 8;
+  const int64_t nframes = static_cast<int64_t>(std::floor(duration * opts.fps));
+  std::vector<DcFrame> out;
+  Rng noise(opts.noise_seed);
+  for (int64_t i = 0; i < nframes; i += gop_size) {
+    const double t = t0 + static_cast<double>(i) / opts.fps;
+    DcFrame dcf;
+    dcf.frame_index = i;
+    dcf.timestamp = static_cast<double>(i) / opts.fps;
+    dcf.blocks_x = blocks_x;
+    dcf.blocks_y = blocks_y;
+    dcf.dc.resize(static_cast<size_t>(blocks_x) * blocks_y);
+    for (int by = 0; by < blocks_y; ++by) {
+      for (int bx = 0; bx < blocks_x; ++bx) {
+        // 2×2 sample grid at the quarter points of the block approximates
+        // the block mean the DCT would produce.
+        float sum = 0.0f;
+        for (int sy = 0; sy < 2; ++sy) {
+          for (int sx = 0; sx < 2; ++sx) {
+            const double px = bx * 8 + 2 + sx * 4;
+            const double py = by * 8 + 2 + sy * 4;
+            const double nx = std::min(px / opts.width, 1.0);
+            const double ny = std::min(py / opts.height, 1.0);
+            sum += model.SampleLuma(t, nx, ny);
+          }
+        }
+        float mean = sum / 4.0f;
+        if (opts.noise_sigma > 0) {
+          // Noise on the block mean is attenuated by averaging over the
+          // 64 block pixels.
+          mean += static_cast<float>(noise.Gaussian() * opts.noise_sigma / 8.0);
+        }
+        // Mimic the codec: DC = 8*(mean-128), quantized to the DC step grid.
+        float dc = 8.0f * (mean - 128.0f);
+        dc = std::round(dc / internal::kDcQuantStep) * internal::kDcQuantStep;
+        dcf.dc[static_cast<size_t>(by) * blocks_x + bx] = dc;
+      }
+    }
+    out.push_back(std::move(dcf));
+  }
+  return out;
+}
+
+}  // namespace vcd::video

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "video/frame.h"
+#include "video/partial_decoder.h"
+#include "video/scene_model.h"
+
+/// \file synthetic.h
+/// Renders `SceneModel` content to pixel frames (the realistic path feeding
+/// the codec) or directly to key-frame DC maps (the fast path for very long
+/// stream sweeps; see DESIGN.md §2 for the substitution argument).
+
+namespace vcd::video {
+
+/// Rendering parameters shared by both paths.
+struct RenderOptions {
+  int width = 352;
+  int height = 240;
+  double fps = 29.97;
+  /// Extra per-pixel sensor noise (Gaussian sigma in luma levels, 0 = none).
+  double noise_sigma = 0.0;
+  /// Seed for the sensor noise.
+  uint64_t noise_seed = 1;
+};
+
+/// Renders \p model over [t0, t0+duration) to raw pixel frames.
+/// Returns InvalidArgument for bad dimensions.
+Result<VideoBuffer> RenderVideo(const SceneModel& model, double t0, double duration,
+                                const RenderOptions& opts);
+
+/// Renders only the key-frame luma DC maps that `Encoder` + `PartialDecoder`
+/// would produce for the same content: one DC map per GOP, block means
+/// estimated from a 2×2 sample grid per 8×8 block, quantized to the codec's
+/// DC step. Exercises the identical downstream pipeline at a fraction of the
+/// cost.
+Result<std::vector<DcFrame>> RenderDcFrames(const SceneModel& model, double t0,
+                                            double duration, const RenderOptions& opts,
+                                            int gop_size);
+
+}  // namespace vcd::video

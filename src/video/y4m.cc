@@ -1,0 +1,149 @@
+#include "video/y4m.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace vcd::video {
+namespace {
+
+constexpr char kMagic[] = "YUV4MPEG2";
+constexpr char kFrameMagic[] = "FRAME";
+
+/// Renders fps as a rational tag. Common broadcast rates get their exact
+/// rationals; anything else uses a /1000 approximation.
+std::string FpsTag(double fps) {
+  if (std::fabs(fps - 29.97) < 5e-3) return "30000:1001";
+  if (std::fabs(fps - 23.976) < 5e-3) return "24000:1001";
+  if (std::fabs(fps - 59.94) < 5e-3) return "60000:1001";
+  if (std::fabs(fps - std::lround(fps)) < 1e-9) {
+    return std::to_string(static_cast<long>(std::lround(fps))) + ":1";
+  }
+  return std::to_string(static_cast<long>(std::lround(fps * 1000))) + ":1000";
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> WriteY4m(const VideoBuffer& video) {
+  if (video.frames.empty()) return Status::InvalidArgument("no frames to write");
+  if (video.fps <= 0) return Status::InvalidArgument("fps must be positive");
+  const Frame& first = video.frames[0];
+  std::string header = std::string(kMagic) + " W" + std::to_string(first.width()) +
+                       " H" + std::to_string(first.height()) + " F" +
+                       FpsTag(video.fps) + " Ip A1:1 C420\n";
+  std::vector<uint8_t> out(header.begin(), header.end());
+  const size_t ysize = static_cast<size_t>(first.width()) * first.height();
+  const size_t csize = ysize / 4;
+  out.reserve(out.size() + video.frames.size() * (6 + ysize + 2 * csize));
+  for (const Frame& f : video.frames) {
+    if (f.width() != first.width() || f.height() != first.height()) {
+      return Status::InvalidArgument("all frames must share dimensions");
+    }
+    const char* fm = "FRAME\n";
+    out.insert(out.end(), fm, fm + 6);
+    out.insert(out.end(), f.y_plane().begin(), f.y_plane().end());
+    out.insert(out.end(), f.cb_plane().begin(), f.cb_plane().end());
+    out.insert(out.end(), f.cr_plane().begin(), f.cr_plane().end());
+  }
+  return out;
+}
+
+Status WriteY4mFile(const VideoBuffer& video, const std::string& path) {
+  auto bytes = WriteY4m(video);
+  if (!bytes.ok()) return bytes.status();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + path + " for writing");
+  const size_t n = std::fwrite(bytes->data(), 1, bytes->size(), f);
+  std::fclose(f);
+  if (n != bytes->size()) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Result<VideoBuffer> ReadY4m(const uint8_t* data, size_t size) {
+  // Stream header line.
+  size_t eol = 0;
+  while (eol < size && data[eol] != '\n') ++eol;
+  if (eol >= size) return Status::Corruption("missing y4m header line");
+  std::string header(reinterpret_cast<const char*>(data), eol);
+  if (header.rfind(kMagic, 0) != 0) return Status::Corruption("not a YUV4MPEG2 stream");
+  int w = 0, h = 0;
+  long fn = 0, fd = 1;
+  bool c420 = true;  // default chroma when no C tag
+  size_t pos = std::strlen(kMagic);
+  while (pos < header.size()) {
+    while (pos < header.size() && header[pos] == ' ') ++pos;
+    if (pos >= header.size()) break;
+    const char tag = header[pos];
+    size_t end = header.find(' ', pos);
+    if (end == std::string::npos) end = header.size();
+    const std::string val = header.substr(pos + 1, end - pos - 1);
+    switch (tag) {
+      case 'W':
+        w = std::atoi(val.c_str());
+        break;
+      case 'H':
+        h = std::atoi(val.c_str());
+        break;
+      case 'F': {
+        if (std::sscanf(val.c_str(), "%ld:%ld", &fn, &fd) != 2 || fd == 0) {
+          return Status::Corruption("bad F tag: " + val);
+        }
+        break;
+      }
+      case 'C':
+        c420 = val.rfind("420", 0) == 0;
+        break;
+      default:
+        break;  // Ip, A, X... tags are ignored
+    }
+    pos = end;
+  }
+  if (w <= 0 || h <= 0) return Status::Corruption("missing W/H tags");
+  if (w % 2 || h % 2) return Status::Corruption("odd dimensions unsupported");
+  if (!c420) return Status::InvalidArgument("only C420 chroma is supported");
+  VideoBuffer out;
+  out.fps = fn > 0 ? static_cast<double>(fn) / static_cast<double>(fd) : 25.0;
+  const size_t ysize = static_cast<size_t>(w) * h;
+  const size_t csize = ysize / 4;
+  size_t cur = eol + 1;
+  while (cur < size) {
+    // FRAME line (may carry parameters after a space).
+    size_t feol = cur;
+    while (feol < size && data[feol] != '\n') ++feol;
+    if (feol >= size) return Status::Corruption("truncated FRAME header");
+    if (std::memcmp(data + cur, kFrameMagic, 5) != 0) {
+      return Status::Corruption("expected FRAME marker");
+    }
+    cur = feol + 1;
+    if (cur + ysize + 2 * csize > size) {
+      return Status::Corruption("truncated frame payload");
+    }
+    Frame f = Frame::Create(w, h).value();
+    std::memcpy(f.mutable_y_plane().data(), data + cur, ysize);
+    std::memcpy(f.mutable_cb_plane().data(), data + cur + ysize, csize);
+    std::memcpy(f.mutable_cr_plane().data(), data + cur + ysize + csize, csize);
+    cur += ysize + 2 * csize;
+    out.frames.push_back(std::move(f));
+  }
+  return out;
+}
+
+Result<VideoBuffer> ReadY4mFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (len < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot stat " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(len));
+  const size_t n = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (n != bytes.size()) return Status::Internal("short read from " + path);
+  return ReadY4m(bytes.data(), bytes.size());
+}
+
+}  // namespace vcd::video

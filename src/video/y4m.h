@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "video/frame.h"
+
+/// \file y4m.h
+/// YUV4MPEG2 (.y4m) reading and writing — the interchange format emitted by
+/// `ffmpeg -pix_fmt yuv420p out.y4m`, so real videos can be fed through the
+/// codec and the copy-detection pipeline without any external library.
+///
+/// Supported subset: C420/C420jpeg/C420mpeg2 (all treated as 4:2:0),
+/// interlacing tag ignored, arbitrary aspect tags ignored.
+
+namespace vcd::video {
+
+/// Writes \p video as YUV4MPEG2 into a byte buffer.
+Result<std::vector<uint8_t>> WriteY4m(const VideoBuffer& video);
+
+/// Writes \p video as a .y4m file at \p path.
+Status WriteY4mFile(const VideoBuffer& video, const std::string& path);
+
+/// Parses a YUV4MPEG2 byte buffer.
+Result<VideoBuffer> ReadY4m(const uint8_t* data, size_t size);
+
+/// Reads a .y4m file.
+Result<VideoBuffer> ReadY4mFile(const std::string& path);
+
+}  // namespace vcd::video

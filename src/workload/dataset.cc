@@ -1,0 +1,399 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "video/codec_internal.h"
+#include "video/synthetic.h"
+
+namespace vcd::workload {
+namespace {
+
+using vcd::video::DcFrame;
+using vcd::video::SceneModel;
+
+/// Deterministic hash → uniform double in [0, 1).
+double HashToUnit(uint64_t x) {
+  SplitMix64 sm(x);
+  return static_cast<double>(sm.Next() >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic hash → approximately standard normal (Irwin–Hall of 4).
+double HashToGaussian(uint64_t x) {
+  SplitMix64 sm(x);
+  double s = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    s += static_cast<double>(sm.Next() >> 11) * 0x1.0p-53;
+  }
+  return (s - 2.0) * std::sqrt(3.0);  // variance 4/12 → scale to 1
+}
+
+/// A piece of the stream timeline.
+struct Segment {
+  double start = 0.0;     ///< stream seconds
+  double duration = 0.0;
+  const SceneModel* model = nullptr;
+  double content_offset = 0.0;
+  double content_fps = 29.97;  ///< the source material's frame grid
+  const EditSpec* edit = nullptr;  ///< nullptr: no distortion (base or VS1)
+  std::vector<std::pair<double, double>> playlist;  ///< reorder map
+  int short_query_id = 0;  ///< >0 when this segment is an inserted short
+};
+
+/// Maps stream time inside \p seg to content time of its model.
+///
+/// Video content is made of discrete frames: whatever chain of edits a copy
+/// went through, every one of its frames IS some frame of the source. The
+/// time mapping therefore composes (a) the segment-reorder playlist, (b) the
+/// re-encode frame grid (a PAL copy only has frames every 1/25 s), and (c) a
+/// final snap to the source material's own frame grid.
+double ContentTime(const Segment& seg, double stream_t) {
+  double local = std::clamp(stream_t - seg.start, 0.0, seg.duration);
+  double ct;
+  if (!seg.playlist.empty()) {
+    ct = seg.playlist.back().first + seg.playlist.back().second;  // fallback
+    double cum = 0.0;
+    for (const auto& [piece_start, piece_dur] : seg.playlist) {
+      if (local < cum + piece_dur) {
+        ct = piece_start + (local - cum);
+        break;
+      }
+      cum += piece_dur;
+    }
+  } else {
+    ct = seg.content_offset + local;
+  }
+  if (seg.edit != nullptr && seg.edit->source_fps > 0) {
+    ct = std::floor(ct * seg.edit->source_fps) / seg.edit->source_fps;
+  }
+  // Content exists only on the source frame grid (the epsilon guards
+  // against float rounding for times already on the grid).
+  ct = std::floor(ct * seg.content_fps + 1e-6) / seg.content_fps;
+  return ct;
+}
+
+/// Samples one DC map at stream time \p t under segment \p seg's
+/// distortions, mimicking what Encoder+PartialDecoder produce.
+void SampleDcMap(const Segment& seg, double t, int width, int height,
+                 int64_t frame_index, DcFrame* out) {
+  const int blocks_x = vcd::video::internal::PadTo8(width) / 8;
+  const int blocks_y = vcd::video::internal::PadTo8(height) / 8;
+  out->blocks_x = blocks_x;
+  out->blocks_y = blocks_y;
+  out->frame_index = frame_index;
+  out->dc.assign(static_cast<size_t>(blocks_x) * blocks_y, 0.0f);
+  const double ct = ContentTime(seg, t);
+  const EditSpec* e = seg.edit;
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      double sum = 0.0;
+      for (int sy = 0; sy < 2; ++sy) {
+        for (int sx = 0; sx < 2; ++sx) {
+          double px = bx * 8 + 2 + sx * 4;
+          double py = by * 8 + 2 + sy * 4;
+          if (e != nullptr && e->sample_jitter > 0) {
+            // Resolution-change resampling: sample positions shift by a
+            // deterministic sub-block offset.
+            const uint64_t h = e->seed ^ (static_cast<uint64_t>(bx) << 40) ^
+                               (static_cast<uint64_t>(by) << 20) ^
+                               static_cast<uint64_t>(sy * 2 + sx);
+            px += (HashToUnit(h) - 0.5) * 2.0 * e->sample_jitter * 8.0;
+            py += (HashToUnit(h ^ 0x1234567ULL) - 0.5) * 2.0 * e->sample_jitter * 8.0;
+          }
+          double nx = std::clamp(px / width, 0.0, 1.0);
+          double ny = std::clamp(py / height, 0.0, 1.0);
+          if (e != nullptr && e->crop_fraction > 0) {
+            // Overscan crop of the re-encoded copy: the visible window is
+            // the content's inner (1−2c) region, so the copy's normalized
+            // coordinates map into it.
+            nx = e->crop_fraction + nx * (1.0 - 2.0 * e->crop_fraction);
+            ny = e->crop_fraction + ny * (1.0 - 2.0 * e->crop_fraction);
+          }
+          sum += seg.model->SampleLuma(ct, nx, ny);
+        }
+      }
+      double mean = sum / 4.0;
+      if (e != nullptr) {
+        mean = 128.0 + (mean - 128.0) * e->contrast_gain + e->brightness_delta;
+        if (e->noise_sigma > 0) {
+          const uint64_t h = e->seed ^ (static_cast<uint64_t>(frame_index) << 24) ^
+                             (static_cast<uint64_t>(by) * 977 + bx);
+          // Block-mean noise: per-pixel noise attenuated by the 64-pixel
+          // average (σ/8), like the pixel path.
+          mean += HashToGaussian(h) * e->noise_sigma / 8.0;
+        }
+        mean = std::clamp(mean, 0.0, 255.0);
+      }
+      double dc = 8.0 * (mean - 128.0);
+      // Edited copies are re-encoded: their DC passes a second, coarser
+      // quantization, the dominant fidelity loss of real transcodes.
+      const int step = vcd::video::internal::kDcQuantStep * (e != nullptr ? 2 : 1);
+      dc = std::round(dc / step) * step;
+      out->dc[static_cast<size_t>(by) * blocks_x + bx] = static_cast<float>(dc);
+    }
+  }
+}
+
+/// Builds the segment-reorder playlist for a short of \p duration seconds.
+std::vector<std::pair<double, double>> MakePlaylist(double duration,
+                                                    double granularity,
+                                                    uint64_t seed) {
+  std::vector<std::pair<double, double>> pieces;
+  for (double t = 0; t < duration; t += granularity) {
+    pieces.emplace_back(t, std::min(granularity, duration - t));
+  }
+  if (pieces.size() < 2) return {};
+  Rng rng(seed);
+  std::vector<size_t> order(pieces.size());
+  std::iota(order.begin(), order.end(), 0);
+  do {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Uniform(i)]);
+    }
+  } while (std::is_sorted(order.begin(), order.end()));
+  std::vector<std::pair<double, double>> out;
+  out.reserve(pieces.size());
+  for (size_t i : order) out.push_back(pieces[i]);
+  return out;
+}
+
+}  // namespace
+
+DatasetOptions DatasetOptions::Scaled(double scale) const {
+  DatasetOptions o = *this;
+  o.num_shorts = std::max(1, static_cast<int>(std::lround(num_shorts * scale)));
+  o.total_seconds = total_seconds * scale;
+  return o;
+}
+
+Status DatasetOptions::Validate() const {
+  if (num_shorts < 1) return Status::InvalidArgument("need at least one short");
+  if (num_query_only < 0) return Status::InvalidArgument("num_query_only < 0");
+  if (min_short_seconds <= 0 || max_short_seconds < min_short_seconds) {
+    return Status::InvalidArgument("bad short duration range");
+  }
+  if (num_base_films < 1) return Status::InvalidArgument("need a base film");
+  if (fps <= 0 || gop_size < 1 || width < 16 || height < 16) {
+    return Status::InvalidArgument("bad stream encoding parameters");
+  }
+  if (total_seconds <= num_shorts * max_short_seconds) {
+    return Status::InvalidArgument(
+        "total_seconds too small for the requested shorts");
+  }
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::Build(const DatasetOptions& opts) {
+  VCD_RETURN_IF_ERROR(opts.Validate());
+  Dataset ds;
+  ds.opts_ = opts;
+  Rng rng(opts.seed);
+  const int total_queries = opts.num_shorts + opts.num_query_only;
+  for (int i = 0; i < total_queries; ++i) {
+    ShortVideoSpec spec;
+    spec.id = i + 1;
+    spec.content_seed = rng.Next();
+    spec.duration_seconds =
+        rng.UniformDouble(opts.min_short_seconds, opts.max_short_seconds);
+    if (i < opts.num_shorts) {
+      ds.shorts_.push_back(spec);
+    } else {
+      ds.query_only_.push_back(spec);
+    }
+    // VS2 distortions per query (also used by EditedQueryKeyFrames).
+    EditSpec e;
+    const double mag = rng.UniformDouble(0.4, 1.0);
+    e.brightness_delta = (rng.Bernoulli(0.5) ? 1 : -1) * mag * opts.vs2_brightness_max;
+    e.contrast_gain = rng.UniformDouble(1.0 - opts.vs2_contrast_spread,
+                                        1.0 + opts.vs2_contrast_spread);
+    e.noise_sigma = rng.UniformDouble(1.0, opts.vs2_noise_sigma_max);
+    e.source_fps = opts.vs2_source_fps;
+    e.sample_jitter = opts.vs2_jitter;
+    e.crop_fraction = rng.UniformDouble(opts.vs2_crop_max / 3.0, opts.vs2_crop_max);
+    e.reorder_segment_seconds =
+        rng.UniformDouble(opts.vs2_reorder_min_seconds, opts.vs2_reorder_max_seconds);
+    e.seed = rng.Next();
+    ds.edits_.push_back(e);
+  }
+  for (int f = 0; f < opts.num_base_films; ++f) ds.base_seeds_.push_back(rng.Next());
+  // Random insertion gaps: n+1 exponential weights normalized to the base
+  // time budget.
+  double inserted = 0.0;
+  for (const auto& s : ds.shorts_) inserted += s.duration_seconds;
+  const double base_total = opts.total_seconds - inserted;
+  if (base_total <= 0) return Status::InvalidArgument("shorts overflow the stream");
+  std::vector<double> weights(static_cast<size_t>(opts.num_shorts) + 1);
+  double wsum = 0.0;
+  for (auto& w : weights) {
+    w = -std::log(1.0 - rng.UniformDouble());
+    wsum += w;
+  }
+  for (auto& w : weights) w = w / wsum * base_total;
+  ds.insert_gaps_ = std::move(weights);
+  ds.insert_order_.resize(static_cast<size_t>(opts.num_shorts));
+  std::iota(ds.insert_order_.begin(), ds.insert_order_.end(), 0);
+  for (size_t i = ds.insert_order_.size(); i > 1; --i) {
+    std::swap(ds.insert_order_[i - 1], ds.insert_order_[rng.Uniform(i)]);
+  }
+  return ds;
+}
+
+const ShortVideoSpec& Dataset::query_spec(int qi) const {
+  VCD_CHECK(qi >= 0 && qi < num_queries(), "query index out of range");
+  if (qi < num_shorts()) return shorts_[static_cast<size_t>(qi)];
+  return query_only_[static_cast<size_t>(qi - num_shorts())];
+}
+
+const EditSpec& Dataset::edit_spec(int qi) const {
+  VCD_CHECK(qi >= 0 && qi < num_queries(), "query index out of range");
+  return edits_[static_cast<size_t>(qi)];
+}
+
+SceneModel Dataset::MakeShortModel(const ShortVideoSpec& spec) const {
+  vcd::video::SceneStyle style;
+  style.distinct_content = opts_.distinct_content;
+  // +1 s slack so frame-rate snapping near the end stays in range.
+  return SceneModel::Generate(spec.content_seed, spec.duration_seconds + 1.0, style);
+}
+
+std::vector<DcFrame> Dataset::QueryKeyFrames(int qi) const {
+  const ShortVideoSpec& spec = query_spec(qi);
+  const SceneModel model = MakeShortModel(spec);
+  vcd::video::RenderOptions ro;
+  ro.width = opts_.width;
+  ro.height = opts_.height;
+  ro.fps = opts_.fps;
+  auto frames =
+      vcd::video::RenderDcFrames(model, 0.0, spec.duration_seconds, ro, opts_.gop_size);
+  VCD_CHECK(frames.ok(), frames.status().ToString());
+  return std::move(frames).value();
+}
+
+std::vector<DcFrame> Dataset::EditedQueryKeyFrames(int qi) const {
+  const ShortVideoSpec& spec = query_spec(qi);
+  const EditSpec& edit = edits_[static_cast<size_t>(qi)];
+  const SceneModel model = MakeShortModel(spec);
+  Segment seg;
+  seg.start = 0.0;
+  seg.duration = spec.duration_seconds;
+  seg.model = &model;
+  seg.content_fps = opts_.fps;
+  seg.edit = &edit;
+  if (edit.reorder_segment_seconds > 0) {
+    seg.playlist =
+        MakePlaylist(spec.duration_seconds, edit.reorder_segment_seconds, edit.seed);
+  }
+  // The edited copy is re-encoded at the edit's frame rate (PAL).
+  const double fps = edit.source_fps > 0 ? edit.source_fps : opts_.fps;
+  const int64_t nframes =
+      static_cast<int64_t>(std::floor(spec.duration_seconds * fps));
+  std::vector<DcFrame> out;
+  for (int64_t i = 0; i < nframes; i += opts_.gop_size) {
+    DcFrame f;
+    SampleDcMap(seg, static_cast<double>(i) / fps, opts_.width, opts_.height, i, &f);
+    f.timestamp = static_cast<double>(i) / fps;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+StreamData Dataset::BuildStream(StreamVariant variant) const {
+  // Lay out the timeline: base gap, short, base gap, short, ... , base gap.
+  const double base_total =
+      std::accumulate(insert_gaps_.begin(), insert_gaps_.end(), 0.0);
+  const double film_len = base_total / opts_.num_base_films;
+  vcd::video::SceneStyle base_style;
+  base_style.distinct_content = opts_.distinct_content;
+  std::vector<SceneModel> base_models;
+  base_models.reserve(base_seeds_.size());
+  for (uint64_t s : base_seeds_) {
+    base_models.push_back(SceneModel::Generate(s, film_len + 1.0, base_style));
+  }
+  std::vector<SceneModel> short_models;
+  short_models.reserve(shorts_.size());
+  for (const auto& spec : shorts_) short_models.push_back(MakeShortModel(spec));
+
+  std::vector<Segment> segments;
+  StreamData out;
+  out.fps = opts_.fps;
+  double stream_t = 0.0;
+  double base_consumed = 0.0;
+  auto emit_base = [&](double dur) {
+    // A base chunk may span film boundaries; split accordingly.
+    while (dur > 1e-9) {
+      const int film = std::min(static_cast<int>(base_consumed / film_len),
+                                opts_.num_base_films - 1);
+      const double film_end = (film + 1) * film_len;
+      const double piece = std::min(dur, std::max(film_end - base_consumed, 1e-3));
+      Segment seg;
+      seg.start = stream_t;
+      seg.duration = piece;
+      seg.model = &base_models[static_cast<size_t>(film)];
+      seg.content_fps = opts_.fps;
+      seg.content_offset = base_consumed - film * film_len;
+      segments.push_back(std::move(seg));
+      stream_t += piece;
+      base_consumed += piece;
+      dur -= piece;
+    }
+  };
+  const double keyint = opts_.gop_size / opts_.fps;
+  for (size_t i = 0; i < insert_order_.size(); ++i) {
+    emit_base(insert_gaps_[i]);
+    // Splice at the next key-frame boundary (closed-GOP splice points, as
+    // broadcast ad-insertion does): the inserted copy's frames then line up
+    // with the stream's GOP grid.
+    const double pad = std::ceil(stream_t / keyint - 1e-9) * keyint - stream_t;
+    if (pad > 1e-9) emit_base(pad);
+    const int si = insert_order_[i];
+    const ShortVideoSpec& spec = shorts_[static_cast<size_t>(si)];
+    Segment seg;
+    seg.start = stream_t;
+    seg.duration = spec.duration_seconds;
+    seg.model = &short_models[static_cast<size_t>(si)];
+    seg.content_fps = opts_.fps;
+    seg.short_query_id = spec.id;
+    if (variant == StreamVariant::kVS2) {
+      const EditSpec& edit = edits_[static_cast<size_t>(si)];
+      seg.edit = &edit;
+      if (edit.reorder_segment_seconds > 0) {
+        seg.playlist = MakePlaylist(spec.duration_seconds,
+                                    edit.reorder_segment_seconds, edit.seed);
+      }
+    }
+    segments.push_back(std::move(seg));
+    stream_t += spec.duration_seconds;
+  }
+  emit_base(insert_gaps_.back());
+
+  out.total_frames = static_cast<int64_t>(std::floor(stream_t * opts_.fps));
+  // Ground truth from the short segments.
+  for (const Segment& seg : segments) {
+    if (seg.short_query_id == 0) continue;
+    core::GroundTruthEntry g;
+    g.query_id = seg.short_query_id;
+    g.begin_frame = static_cast<int64_t>(std::lround(seg.start * opts_.fps));
+    g.end_frame =
+        static_cast<int64_t>(std::lround((seg.start + seg.duration) * opts_.fps)) - 1;
+    out.truth.push_back(g);
+  }
+  // Key frames on the stream's GOP grid.
+  size_t seg_idx = 0;
+  for (int64_t idx = 0; idx < out.total_frames; idx += opts_.gop_size) {
+    const double t = static_cast<double>(idx) / opts_.fps;
+    while (seg_idx + 1 < segments.size() &&
+           t >= segments[seg_idx].start + segments[seg_idx].duration) {
+      ++seg_idx;
+    }
+    DcFrame f;
+    SampleDcMap(segments[seg_idx], t, opts_.width, opts_.height, idx, &f);
+    f.timestamp = t;
+    out.key_frames.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace vcd::workload

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/match.h"
+#include "util/status.h"
+#include "video/partial_decoder.h"
+#include "video/scene_model.h"
+
+/// \file dataset.h
+/// The paper's evaluation workload (§VI), rebuilt synthetically: a long
+/// "doctored" broadcast stream made of base films with short videos
+/// inserted at random positions. VS1 inserts the originals; VS2 inserts
+/// copies altered in brightness/color, noise, resolution, frame rate
+/// (NTSC→PAL) and temporal segment order. The inserted shorts double as the
+/// continuous queries, and the builder records ground-truth positions.
+///
+/// Streams are produced as key-frame DC maps via the DC-domain fast path
+/// (see DESIGN.md §2); the per-short *content* is a seeded `SceneModel`, so
+/// queries and their in-stream copies share content exactly the way real
+/// copies do, while every distortion perturbs the DC values realistically.
+
+namespace vcd::workload {
+
+/// One short video's identity.
+struct ShortVideoSpec {
+  int id = 0;                ///< query id (1-based)
+  uint64_t content_seed = 0;
+  double duration_seconds = 0.0;
+};
+
+/// The VS2 distortions drawn for one short.
+struct EditSpec {
+  double brightness_delta = 0.0;  ///< luma shift (levels)
+  double contrast_gain = 1.0;     ///< luma gain around 128
+  double noise_sigma = 0.0;       ///< additive Gaussian noise (levels)
+  double source_fps = 0.0;        ///< re-encode frame rate (0 = keep)
+  double sample_jitter = 0.0;     ///< spatial resample jitter, fraction of a block
+  double crop_fraction = 0.0;     ///< overscan crop per edge (resolution change)
+  double reorder_segment_seconds = 0.0;  ///< temporal reorder granularity (0 = none)
+  uint64_t seed = 0;              ///< seed for noise/jitter/permutation
+};
+
+/// Workload configuration (paper defaults at scale 1).
+struct DatasetOptions {
+  int num_shorts = 200;             ///< inserted shorts (also the queries)
+  int num_query_only = 0;           ///< extra queries that never appear
+  double min_short_seconds = 30.0;
+  double max_short_seconds = 300.0;
+  int num_base_films = 5;
+  double total_seconds = 12.0 * 3600.0;  ///< doctored stream length
+  uint64_t seed = 42;
+
+  /// Content regime: false = shared visual vocabulary (real-footage-like,
+  /// coarse partitions collide across videos); true = fully independent
+  /// compositions (unrelated videos share almost no cells — the regime
+  /// where the Hash-Query index is maximally selective).
+  bool distinct_content = false;
+
+  // Stream encoding parameters (NTSC defaults).
+  int width = 352;
+  int height = 240;
+  double fps = 29.97;
+  int gop_size = 12;
+
+  // VS2 distortion ranges.
+  double vs2_brightness_max = 32.0;     ///< |delta| drawn in [0.4, 1]×this
+  double vs2_contrast_spread = 0.2;     ///< gain in [1-s, 1+s]
+  double vs2_noise_sigma_max = 5.0;
+  double vs2_source_fps = 25.0;         ///< PAL re-encode
+  double vs2_jitter = 0.15;             ///< resolution-change resample jitter
+  double vs2_crop_max = 0.006;           ///< overscan crop drawn in [1/3, 1]×this
+  double vs2_reorder_min_seconds = 5.0; ///< reorder granularity range
+  double vs2_reorder_max_seconds = 15.0;
+
+  /// Returns a copy scaled to `scale` of the paper's workload: the stream
+  /// length and the number of inserted shorts shrink together, short
+  /// durations are preserved.
+  DatasetOptions Scaled(double scale) const;
+
+  Status Validate() const;
+};
+
+/// Which doctored stream to build.
+enum class StreamVariant {
+  kVS1,  ///< originals inserted
+  kVS2,  ///< edited + temporally reordered copies inserted
+};
+
+/// A built stream: key-frame DC maps plus ground truth.
+struct StreamData {
+  std::vector<vcd::video::DcFrame> key_frames;
+  std::vector<core::GroundTruthEntry> truth;
+  double fps = 0.0;
+  int64_t total_frames = 0;
+
+  double DurationSeconds() const {
+    return fps > 0 ? static_cast<double>(total_frames) / fps : 0.0;
+  }
+};
+
+/// \brief Builds queries and doctored streams from one seed.
+class Dataset {
+ public:
+  /// Draws the short-video specs and base films. Fails on invalid options.
+  static Result<Dataset> Build(const DatasetOptions& opts);
+
+  /// Options in effect.
+  const DatasetOptions& options() const { return opts_; }
+  /// Number of inserted shorts.
+  int num_shorts() const { return static_cast<int>(shorts_.size()); }
+  /// Total number of queries (inserted + query-only).
+  int num_queries() const {
+    return num_shorts() + static_cast<int>(query_only_.size());
+  }
+  /// Spec of query \p qi in [0, num_queries()).
+  const ShortVideoSpec& query_spec(int qi) const;
+
+  /// Key-frame DC maps of query \p qi in its original (NTSC) encoding —
+  /// what the subscriber registers with the detector.
+  std::vector<vcd::video::DcFrame> QueryKeyFrames(int qi) const;
+
+  /// Key-frame DC maps of the *edited standalone copy* of query \p qi (the
+  /// A-vs-B sets of the Table II experiment).
+  std::vector<vcd::video::DcFrame> EditedQueryKeyFrames(int qi) const;
+
+  /// Builds the doctored stream \p variant (deterministic per options).
+  StreamData BuildStream(StreamVariant variant) const;
+
+  /// The VS2 edit drawn for query \p qi (exposed for tests).
+  const EditSpec& edit_spec(int qi) const;
+
+ private:
+  Dataset() = default;
+
+  vcd::video::SceneModel MakeShortModel(const ShortVideoSpec& spec) const;
+
+  DatasetOptions opts_;
+  std::vector<ShortVideoSpec> shorts_;
+  std::vector<ShortVideoSpec> query_only_;
+  std::vector<EditSpec> edits_;          ///< per query (inserted + query-only)
+  std::vector<uint64_t> base_seeds_;     ///< one per base film
+  std::vector<double> insert_gaps_;      ///< base-film seconds before each short
+  std::vector<int> insert_order_;        ///< permutation of shorts on the stream
+};
+
+}  // namespace vcd::workload

@@ -1,0 +1,99 @@
+#include "workload/experiment.h"
+
+#include <cmath>
+
+#include "util/stopwatch.h"
+
+namespace vcd::workload {
+
+int64_t WindowFrames(double window_seconds, double fps) {
+  return static_cast<int64_t>(std::lround(window_seconds * fps));
+}
+
+Status SubscribeQueries(const Dataset& ds, core::CopyDetector* detector, int m) {
+  const int n = m < 0 ? ds.num_queries() : std::min(m, ds.num_queries());
+  for (int qi = 0; qi < n; ++qi) {
+    const ShortVideoSpec& spec = ds.query_spec(qi);
+    VCD_RETURN_IF_ERROR(detector->AddQuery(spec.id, ds.QueryKeyFrames(qi),
+                                           spec.duration_seconds));
+  }
+  return Status::OK();
+}
+
+Result<RunResult> RunDetector(core::CopyDetector* detector, const StreamData& stream) {
+  detector->ResetStream();
+  Stopwatch timer;
+  for (const auto& frame : stream.key_frames) {
+    VCD_RETURN_IF_ERROR(detector->ProcessKeyFrame(frame));
+  }
+  VCD_RETURN_IF_ERROR(detector->Finish());
+  RunResult r;
+  r.cpu_seconds = timer.ElapsedSeconds();
+  r.stats = detector->stats();
+  r.num_matches = static_cast<int>(detector->matches().size());
+  const int64_t w_frames =
+      WindowFrames(detector->config().window_seconds, stream.fps);
+  r.eval = core::EvaluateMatches(detector->matches(), stream.truth, w_frames);
+  return r;
+}
+
+namespace {
+
+/// Shared body of the two baseline drivers.
+template <typename Matcher>
+Result<RunResult> RunBaseline(Matcher* matcher, const Dataset& ds,
+                              const StreamData& stream,
+                              const features::FeatureOptions& feat,
+                              double window_seconds_for_eval, int m) {
+  auto extractor = features::DBlockFeatureExtractor::Create(feat);
+  if (!extractor.ok()) return extractor.status();
+  const int n = m < 0 ? ds.num_queries() : std::min(m, ds.num_queries());
+  for (int qi = 0; qi < n; ++qi) {
+    const ShortVideoSpec& spec = ds.query_spec(qi);
+    VCD_RETURN_IF_ERROR(matcher->AddQuery(
+        spec.id, baseline::ExtractFeatureSeq(*extractor, ds.QueryKeyFrames(qi)),
+        spec.duration_seconds));
+  }
+  Stopwatch timer;
+  for (const auto& frame : stream.key_frames) {
+    matcher->ProcessKeyFrame(frame.frame_index, frame.timestamp,
+                             extractor->Extract(frame));
+  }
+  RunResult r;
+  r.cpu_seconds = timer.ElapsedSeconds();
+  r.num_matches = static_cast<int>(matcher->matches().size());
+  const int64_t w_frames = WindowFrames(window_seconds_for_eval, stream.fps);
+  r.eval = core::EvaluateMatches(matcher->matches(), stream.truth, w_frames);
+  return r;
+}
+
+}  // namespace
+
+Result<RunResult> RunSeqBaseline(const Dataset& ds, const StreamData& stream,
+                                 const baseline::SeqMatcherOptions& opts,
+                                 const features::FeatureOptions& feat, int m) {
+  auto matcher = baseline::SeqMatcher::Create(opts);
+  if (!matcher.ok()) return matcher.status();
+  // The sliding gap in seconds, for the position rule.
+  const double key_spacing = stream.key_frames.size() > 1
+                                 ? stream.key_frames[1].timestamp -
+                                       stream.key_frames[0].timestamp
+                                 : 0.5;
+  return RunBaseline(&matcher.value(), ds, stream, feat,
+                     opts.slide_gap * key_spacing, m);
+}
+
+Result<RunResult> RunWarpBaseline(const Dataset& ds, const StreamData& stream,
+                                  const baseline::WarpMatcherOptions& opts,
+                                  const features::FeatureOptions& feat, int m) {
+  auto matcher = baseline::WarpMatcher::Create(opts);
+  if (!matcher.ok()) return matcher.status();
+  const double key_spacing = stream.key_frames.size() > 1
+                                 ? stream.key_frames[1].timestamp -
+                                       stream.key_frames[0].timestamp
+                                 : 0.5;
+  return RunBaseline(&matcher.value(), ds, stream, feat,
+                     opts.slide_gap * key_spacing, m);
+}
+
+}  // namespace vcd::workload

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baseline/seq_matcher.h"
+#include "baseline/warp_matcher.h"
+#include "core/detector.h"
+#include "core/evaluation.h"
+#include "workload/dataset.h"
+
+/// \file experiment.h
+/// Common drivers for the paper's experiments: subscribe the dataset's
+/// queries, replay a doctored stream through a detector or baseline, time it
+/// (the paper's CPU-time metric, first frame to last), and score
+/// precision/recall with the position rule.
+
+namespace vcd::workload {
+
+/// Outcome of one detector run over one stream.
+struct RunResult {
+  double cpu_seconds = 0.0;        ///< end-to-end stream processing time
+  core::EvalResult eval;           ///< precision/recall etc.
+  core::DetectorStats stats;       ///< detector counters (empty for baselines)
+  int num_matches = 0;
+};
+
+/// Subscribes the first \p m dataset queries (all when \p m < 0) to
+/// \p detector, fingerprinting with the detector's own pipeline.
+Status SubscribeQueries(const Dataset& ds, core::CopyDetector* detector, int m = -1);
+
+/// Replays \p stream through \p detector, measuring CPU time, then
+/// evaluates against the stream's ground truth.
+Result<RunResult> RunDetector(core::CopyDetector* detector, const StreamData& stream);
+
+/// Converts the basic-window length to frames (for the position rule).
+int64_t WindowFrames(double window_seconds, double fps);
+
+/// Baseline drivers: subscribe queries (feature sequences), replay, score.
+/// \p w_frames_for_eval is the sliding-gap window converted to frames.
+Result<RunResult> RunSeqBaseline(const Dataset& ds, const StreamData& stream,
+                                 const baseline::SeqMatcherOptions& opts,
+                                 const features::FeatureOptions& feat, int m = -1);
+Result<RunResult> RunWarpBaseline(const Dataset& ds, const StreamData& stream,
+                                  const baseline::WarpMatcherOptions& opts,
+                                  const features::FeatureOptions& feat, int m = -1);
+
+}  // namespace vcd::workload

@@ -1,0 +1,154 @@
+#include "baseline/seq_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vcd::baseline {
+namespace {
+
+FeatureSeq RandomFeatures(Rng* rng, size_t n, int d = 5) {
+  FeatureSeq out(n, FeatureVec(static_cast<size_t>(d)));
+  for (auto& f : out) {
+    for (auto& v : f) v = static_cast<float>(rng->UniformDouble());
+  }
+  return out;
+}
+
+void Feed(SeqMatcher* m, const FeatureSeq& seq, int64_t at_key_slot) {
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const int64_t slot = at_key_slot + static_cast<int64_t>(i);
+    m->ProcessKeyFrame(slot * 12, static_cast<double>(slot) / 2.5, seq[i]);
+  }
+}
+
+TEST(FrameDistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(FrameDistance({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(FrameDistance({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(FrameDistance({0.5f, 0.5f}, {0.0f, 1.0f}), 0.5);
+  EXPECT_DOUBLE_EQ(FrameDistance({}, {}), 0.0);
+}
+
+TEST(SeqMatcherTest, CreateValidation) {
+  SeqMatcherOptions o;
+  EXPECT_TRUE(SeqMatcher::Create(o).ok());
+  o.slide_gap = 0;
+  EXPECT_FALSE(SeqMatcher::Create(o).ok());
+  o = SeqMatcherOptions();
+  o.distance_threshold = -0.1;
+  EXPECT_FALSE(SeqMatcher::Create(o).ok());
+}
+
+TEST(SeqMatcherTest, AddQueryValidation) {
+  auto m = SeqMatcher::Create(SeqMatcherOptions()).value();
+  EXPECT_FALSE(m.AddQuery(1, {}, 10.0).ok());
+  Rng rng(1);
+  auto q = RandomFeatures(&rng, 10);
+  EXPECT_FALSE(m.AddQuery(1, q, 0.0).ok());
+  EXPECT_TRUE(m.AddQuery(1, q, 10.0).ok());
+  EXPECT_EQ(m.AddQuery(1, q, 10.0).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SeqMatcherTest, DetectsExactCopy) {
+  Rng rng(3);
+  auto m = SeqMatcher::Create(SeqMatcherOptions()).value();
+  auto query = RandomFeatures(&rng, 20);
+  ASSERT_TRUE(m.AddQuery(1, query, 8.0).ok());
+  Feed(&m, RandomFeatures(&rng, 50), 0);
+  Feed(&m, query, 50);
+  Feed(&m, RandomFeatures(&rng, 30), 70);
+  ASSERT_FALSE(m.matches().empty());
+  const auto& match = m.matches()[0];
+  EXPECT_EQ(match.query_id, 1);
+  // The aligned position: copy at slots [50, 70).
+  EXPECT_EQ(match.end_frame, 69 * 12);
+  EXPECT_GE(match.similarity, 0.99);
+}
+
+TEST(SeqMatcherTest, RandomBackgroundNotDetected) {
+  Rng rng(5);
+  SeqMatcherOptions o;
+  o.distance_threshold = 0.05;
+  auto m = SeqMatcher::Create(o).value();
+  ASSERT_TRUE(m.AddQuery(1, RandomFeatures(&rng, 20), 8.0).ok());
+  Feed(&m, RandomFeatures(&rng, 200), 0);
+  EXPECT_TRUE(m.matches().empty());
+}
+
+TEST(SeqMatcherTest, TemporalReorderBreaksRigidAlignment) {
+  // The paper's point (§VI-E): Seq relies on temporal order, so a
+  // chunk-reordered copy is missed at thresholds that catch the original.
+  Rng rng(7);
+  SeqMatcherOptions o;
+  o.distance_threshold = 0.1;
+  auto m = SeqMatcher::Create(o).value();
+  auto query = RandomFeatures(&rng, 40);
+  ASSERT_TRUE(m.AddQuery(1, query, 16.0).ok());
+  FeatureSeq reordered;
+  for (int chunk : {3, 1, 0, 2}) {
+    for (int i = 0; i < 10; ++i) {
+      reordered.push_back(query[static_cast<size_t>(chunk * 10 + i)]);
+    }
+  }
+  Feed(&m, RandomFeatures(&rng, 50), 0);
+  Feed(&m, reordered, 50);
+  Feed(&m, RandomFeatures(&rng, 30), 90);
+  EXPECT_TRUE(m.matches().empty());
+}
+
+TEST(SeqMatcherTest, SlideGapSkipsPositions) {
+  Rng rng(9);
+  SeqMatcherOptions o;
+  o.slide_gap = 5;
+  auto m = SeqMatcher::Create(o).value();
+  auto query = RandomFeatures(&rng, 20);
+  ASSERT_TRUE(m.AddQuery(1, query, 8.0).ok());
+  Feed(&m, query, 0);
+  Feed(&m, RandomFeatures(&rng, 20), 20);
+  // With gap 5, comparisons happen every 5 frames; comparisons total
+  // should be far fewer than frame count * query length.
+  EXPECT_LE(m.frame_comparisons(), 8 * 20);
+}
+
+TEST(SeqMatcherTest, CooldownSuppressesRepeats) {
+  Rng rng(11);
+  SeqMatcherOptions o;
+  o.report_cooldown_seconds = -1.0;  // query duration
+  auto m = SeqMatcher::Create(o).value();
+  // A constant query matches a constant stream at every position; cooldown
+  // keeps the report count bounded.
+  FeatureSeq flat(20, FeatureVec(5, 0.5f));
+  ASSERT_TRUE(m.AddQuery(1, flat, 8.0).ok());
+  Feed(&m, FeatureSeq(100, FeatureVec(5, 0.5f)), 0);
+  // 100 slots at 2.5/s = 40 s; cooldown 8 s → about 5 reports, not ~80.
+  EXPECT_LE(m.matches().size(), 7u);
+  EXPECT_GE(m.matches().size(), 3u);
+}
+
+TEST(SeqMatcherTest, ResetStreamClearsState) {
+  Rng rng(13);
+  auto m = SeqMatcher::Create(SeqMatcherOptions()).value();
+  auto query = RandomFeatures(&rng, 10);
+  ASSERT_TRUE(m.AddQuery(1, query, 4.0).ok());
+  Feed(&m, query, 0);
+  EXPECT_FALSE(m.matches().empty());
+  m.ResetStream();
+  EXPECT_TRUE(m.matches().empty());
+  EXPECT_EQ(m.frame_comparisons(), 0);
+  Feed(&m, query, 0);
+  EXPECT_FALSE(m.matches().empty());
+}
+
+TEST(SeqMatcherTest, NoMatchBeforeBufferFills) {
+  Rng rng(15);
+  auto m = SeqMatcher::Create(SeqMatcherOptions()).value();
+  auto query = RandomFeatures(&rng, 20);
+  ASSERT_TRUE(m.AddQuery(1, query, 8.0).ok());
+  // Feed only half the query: buffer shorter than L, no comparison fires.
+  Feed(&m, FeatureSeq(query.begin(), query.begin() + 10), 0);
+  EXPECT_TRUE(m.matches().empty());
+  EXPECT_EQ(m.frame_comparisons(), 0);
+}
+
+}  // namespace
+}  // namespace vcd::baseline

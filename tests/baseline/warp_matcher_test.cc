@@ -1,0 +1,177 @@
+#include "baseline/warp_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vcd::baseline {
+namespace {
+
+FeatureSeq RandomFeatures(Rng* rng, size_t n, int d = 5) {
+  FeatureSeq out(n, FeatureVec(static_cast<size_t>(d)));
+  for (auto& f : out) {
+    for (auto& v : f) v = static_cast<float>(rng->UniformDouble());
+  }
+  return out;
+}
+
+void Feed(WarpMatcher* m, const FeatureSeq& seq, int64_t at_key_slot) {
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const int64_t slot = at_key_slot + static_cast<int64_t>(i);
+    m->ProcessKeyFrame(slot * 12, static_cast<double>(slot) / 2.5, seq[i]);
+  }
+}
+
+TEST(WarpMatcherTest, CreateValidation) {
+  WarpMatcherOptions o;
+  EXPECT_TRUE(WarpMatcher::Create(o).ok());
+  o.warp_width = -1;
+  EXPECT_FALSE(WarpMatcher::Create(o).ok());
+  o = WarpMatcherOptions();
+  o.slide_gap = 0;
+  EXPECT_FALSE(WarpMatcher::Create(o).ok());
+}
+
+TEST(BandedDtwTest, IdenticalSequencesZero) {
+  Rng rng(1);
+  auto a = RandomFeatures(&rng, 20);
+  EXPECT_DOUBLE_EQ(WarpMatcher::BandedDtw(a, a, 5), 0.0);
+}
+
+TEST(BandedDtwTest, EmptySequenceInfinite) {
+  Rng rng(2);
+  auto a = RandomFeatures(&rng, 5);
+  EXPECT_TRUE(std::isinf(WarpMatcher::BandedDtw(a, {}, 5)));
+  EXPECT_TRUE(std::isinf(WarpMatcher::BandedDtw({}, a, 5)));
+}
+
+TEST(BandedDtwTest, SymmetricEnough) {
+  Rng rng(3);
+  auto a = RandomFeatures(&rng, 15);
+  auto b = RandomFeatures(&rng, 15);
+  // DTW with symmetric step pattern is symmetric.
+  EXPECT_NEAR(WarpMatcher::BandedDtw(a, b, 5), WarpMatcher::BandedDtw(b, a, 5), 1e-9);
+}
+
+TEST(BandedDtwTest, ToleratesLocalTimeShift) {
+  // A locally time-warped copy (frame repeated/dropped) has near-zero DTW
+  // distance but a substantial rigid distance.
+  Rng rng(5);
+  auto a = RandomFeatures(&rng, 30);
+  FeatureSeq warped;
+  for (size_t i = 0; i < a.size(); ++i) {
+    warped.push_back(a[i]);
+    if (i % 7 == 3) warped.push_back(a[i]);  // stutter every 7th frame
+  }
+  warped.resize(30);
+  double rigid = 0;
+  for (size_t i = 0; i < 30; ++i) rigid += FrameDistance(a[i], warped[i]);
+  rigid /= 30;
+  const double dtw = WarpMatcher::BandedDtw(a, warped, 8);
+  EXPECT_LT(dtw, rigid * 0.3);
+}
+
+TEST(BandedDtwTest, WiderBandNeverIncreasesDistance) {
+  Rng rng(7);
+  auto a = RandomFeatures(&rng, 25);
+  auto b = RandomFeatures(&rng, 25);
+  // r = 0 is the rigid diagonal. Any band admits the diagonal path, the DP
+  // minimizes total cost, and path length only grows, so every normalized
+  // banded distance is bounded by the rigid one.
+  const double rigid = WarpMatcher::BandedDtw(a, b, 0);
+  for (int r : {1, 2, 4, 8, 16}) {
+    EXPECT_LE(WarpMatcher::BandedDtw(a, b, r), rigid + 1e-9) << "r=" << r;
+  }
+}
+
+TEST(BandedDtwTest, CellEvaluationsGrowWithBand) {
+  Rng rng(9);
+  auto a = RandomFeatures(&rng, 40);
+  auto b = RandomFeatures(&rng, 40);
+  int64_t narrow = 0, wide = 0;
+  WarpMatcher::BandedDtw(a, b, 2, &narrow);
+  WarpMatcher::BandedDtw(a, b, 12, &wide);
+  EXPECT_GT(wide, narrow);
+}
+
+TEST(BandedDtwTest, LengthMismatchHandled) {
+  Rng rng(11);
+  auto a = RandomFeatures(&rng, 20);
+  auto b = RandomFeatures(&rng, 12);
+  // Band is widened to cover the length difference; a finite distance must
+  // come back.
+  EXPECT_TRUE(std::isfinite(WarpMatcher::BandedDtw(a, b, 2)));
+}
+
+TEST(WarpMatcherTest, DetectsExactCopy) {
+  Rng rng(13);
+  auto m = WarpMatcher::Create(WarpMatcherOptions()).value();
+  auto query = RandomFeatures(&rng, 20);
+  ASSERT_TRUE(m.AddQuery(1, query, 8.0).ok());
+  Feed(&m, RandomFeatures(&rng, 40), 0);
+  Feed(&m, query, 40);
+  Feed(&m, RandomFeatures(&rng, 20), 60);
+  ASSERT_FALSE(m.matches().empty());
+  EXPECT_EQ(m.matches()[0].query_id, 1);
+  // The band tolerates a few frames of misalignment, so the first report
+  // may fire slightly before perfect alignment; it must still be close in
+  // both position and similarity. The copy occupies slots [40, 60).
+  EXPECT_GE(m.matches()[0].similarity, 0.9);
+  EXPECT_NEAR(static_cast<double>(m.matches()[0].end_frame), 59 * 12, 6 * 12);
+}
+
+TEST(WarpMatcherTest, DetectsLocallyWarpedCopy) {
+  Rng rng(15);
+  WarpMatcherOptions o;
+  o.warp_width = 8;
+  o.distance_threshold = 0.06;
+  auto m = WarpMatcher::Create(o).value();
+  auto query = RandomFeatures(&rng, 30);
+  ASSERT_TRUE(m.AddQuery(1, query, 12.0).ok());
+  FeatureSeq warped;
+  for (size_t i = 0; i < query.size(); ++i) {
+    warped.push_back(query[i]);
+    if (i % 6 == 2) warped.push_back(query[i]);
+  }
+  warped.resize(30);
+  Feed(&m, RandomFeatures(&rng, 40), 0);
+  Feed(&m, warped, 40);
+  Feed(&m, RandomFeatures(&rng, 20), 70);
+  EXPECT_FALSE(m.matches().empty());
+}
+
+TEST(WarpMatcherTest, WholesaleReorderStillMissed) {
+  // Warping tolerates local drift, not segment permutation (§VI-E).
+  Rng rng(17);
+  WarpMatcherOptions o;
+  o.warp_width = 5;
+  o.distance_threshold = 0.08;
+  auto m = WarpMatcher::Create(o).value();
+  auto query = RandomFeatures(&rng, 40);
+  ASSERT_TRUE(m.AddQuery(1, query, 16.0).ok());
+  FeatureSeq reordered;
+  for (int chunk : {3, 1, 0, 2}) {
+    for (int i = 0; i < 10; ++i) {
+      reordered.push_back(query[static_cast<size_t>(chunk * 10 + i)]);
+    }
+  }
+  Feed(&m, RandomFeatures(&rng, 50), 0);
+  Feed(&m, reordered, 50);
+  Feed(&m, RandomFeatures(&rng, 30), 90);
+  EXPECT_TRUE(m.matches().empty());
+}
+
+TEST(WarpMatcherTest, ResetStreamClearsState) {
+  Rng rng(19);
+  auto m = WarpMatcher::Create(WarpMatcherOptions()).value();
+  auto query = RandomFeatures(&rng, 10);
+  ASSERT_TRUE(m.AddQuery(1, query, 4.0).ok());
+  Feed(&m, query, 0);
+  EXPECT_FALSE(m.matches().empty());
+  m.ResetStream();
+  EXPECT_TRUE(m.matches().empty());
+  EXPECT_EQ(m.cell_evaluations(), 0);
+}
+
+}  // namespace
+}  // namespace vcd::baseline

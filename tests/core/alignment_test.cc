@@ -1,0 +1,142 @@
+#include "core/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "video/scene_model.h"
+#include "video/synthetic.h"
+
+namespace vcd::core {
+namespace {
+
+using vcd::video::DcFrame;
+using vcd::video::RenderDcFrames;
+using vcd::video::RenderOptions;
+using vcd::video::SceneModel;
+
+std::vector<DcFrame> KeyFrames(const SceneModel& m, double t0, double secs) {
+  RenderOptions ro;
+  ro.fps = 29.97;
+  auto frames = RenderDcFrames(m, t0, secs, ro, 12);
+  VCD_CHECK(frames.ok(), "render");
+  return std::move(frames).value();
+}
+
+/// Concatenates the query's key frames in permuted chunks, re-stamping
+/// timestamps to a contiguous stream timeline.
+std::vector<DcFrame> Reassemble(const std::vector<DcFrame>& query,
+                                const std::vector<std::pair<size_t, size_t>>& pieces) {
+  std::vector<DcFrame> out;
+  int64_t idx = 0;
+  for (auto [begin, end] : pieces) {
+    for (size_t i = begin; i < end && i < query.size(); ++i) {
+      DcFrame f = query[i];
+      f.frame_index = idx * 12;
+      f.timestamp = static_cast<double>(idx) * 12 / 29.97;
+      out.push_back(std::move(f));
+      ++idx;
+    }
+  }
+  return out;
+}
+
+TEST(MatchAlignerTest, CreateValidation) {
+  EXPECT_TRUE(MatchAligner::Create().ok());
+  AlignerOptions bad;
+  bad.min_similarity = 1.5;
+  EXPECT_FALSE(MatchAligner::Create(bad).ok());
+  bad = AlignerOptions();
+  bad.shots.threshold = 0;
+  EXPECT_FALSE(MatchAligner::Create(bad).ok());
+}
+
+TEST(MatchAlignerTest, RejectsEmptyInput) {
+  auto aligner = MatchAligner::Create().value();
+  SceneModel m = SceneModel::Generate(1, 20.0);
+  auto q = KeyFrames(m, 0, 10.0);
+  EXPECT_FALSE(aligner.Align({}, q).ok());
+  EXPECT_FALSE(aligner.Align(q, {}).ok());
+}
+
+TEST(MatchAlignerTest, IdentityCopyAlignsMonotonically) {
+  SceneModel m = SceneModel::Generate(42, 40.0);
+  auto query = KeyFrames(m, 0, 36.0);
+  auto aligner = MatchAligner::Create().value();
+  auto segs = aligner.Align(query, query);
+  ASSERT_TRUE(segs.ok());
+  ASSERT_FALSE(segs->empty());
+  int matched = 0;
+  for (const AlignedSegment& s : *segs) {
+    if (!s.matched) continue;
+    ++matched;
+    EXPECT_GT(s.similarity, 0.9);
+    // Identity: stream times and query times coincide.
+    EXPECT_NEAR(s.stream_begin, s.query_begin, 1.0);
+  }
+  EXPECT_GT(matched, 0);
+  EXPECT_FALSE(MatchAligner::IsReordered(*segs));
+}
+
+TEST(MatchAlignerTest, RecoversReorderedStructure) {
+  // Swap the halves of the query: the aligner must map the stream's first
+  // part to the query's second half and flag the reorder.
+  SceneModel m = SceneModel::Generate(77, 40.0);
+  auto query = KeyFrames(m, 0, 36.0);
+  const size_t half = query.size() / 2;
+  auto stream = Reassemble(query, {{half, query.size()}, {0, half}});
+  auto aligner = MatchAligner::Create().value();
+  auto segs = aligner.Align(stream, query);
+  ASSERT_TRUE(segs.ok());
+  EXPECT_TRUE(MatchAligner::IsReordered(*segs));
+  // The earliest matched stream shot must come from the query's back half.
+  for (const AlignedSegment& s : *segs) {
+    if (s.matched) {
+      EXPECT_GT(s.query_begin, 10.0);
+      break;
+    }
+  }
+}
+
+TEST(MatchAlignerTest, ForeignMaterialLeftUnmatched) {
+  SceneModel qm = SceneModel::Generate(5, 30.0);
+  SceneModel other = SceneModel::Generate(999, 30.0);
+  auto query = KeyFrames(qm, 0, 20.0);
+  // Stream: 10 s of query content then 10 s of unrelated material.
+  auto part1 = KeyFrames(qm, 0, 10.0);
+  auto part2 = KeyFrames(other, 0, 10.0);
+  std::vector<DcFrame> stream = part1;
+  for (DcFrame f : part2) {
+    f.frame_index += static_cast<int64_t>(part1.size()) * 12;
+    f.timestamp += 10.0;
+    stream.push_back(std::move(f));
+  }
+  auto aligner = MatchAligner::Create().value();
+  auto segs = aligner.Align(stream, query);
+  ASSERT_TRUE(segs.ok());
+  bool any_matched = false, any_unmatched = false;
+  for (const AlignedSegment& s : *segs) {
+    // Early shots (query material) match; late shots (foreign) must not.
+    if (s.stream_begin < 9.0 && s.matched) any_matched = true;
+    if (s.stream_begin > 11.0 && !s.matched) any_unmatched = true;
+  }
+  EXPECT_TRUE(any_matched);
+  EXPECT_TRUE(any_unmatched);
+}
+
+TEST(MatchAlignerTest, IsReorderedOnSyntheticSegments) {
+  std::vector<AlignedSegment> monotone(3);
+  monotone[0] = {0, 5, 0, 5, 0.9, true};
+  monotone[1] = {5, 10, 5, 10, 0.9, true};
+  monotone[2] = {10, 15, 10, 15, 0.9, true};
+  EXPECT_FALSE(MatchAligner::IsReordered(monotone));
+  std::swap(monotone[0].query_begin, monotone[2].query_begin);
+  EXPECT_TRUE(MatchAligner::IsReordered(monotone));
+  // Unmatched segments are ignored.
+  std::vector<AlignedSegment> holes(2);
+  holes[0] = {0, 5, 20, 25, 0.9, true};
+  holes[1] = {5, 10, 0, 0, 0.0, false};
+  EXPECT_FALSE(MatchAligner::IsReordered(holes));
+}
+
+}  // namespace
+}  // namespace vcd::core

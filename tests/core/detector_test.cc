@@ -1,0 +1,442 @@
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <set>
+
+#include "core/evaluation.h"
+#include "util/rng.h"
+
+namespace vcd::core {
+namespace {
+
+using features::CellId;
+
+/// A synthetic fingerprinted world: "content" is a sequence of cell ids;
+/// queries are id subsequences; the stream plays background noise ids with
+/// query content embedded at known frames. Key frames tick at 2.5/s
+/// (GOP 12 at 30 fps).
+struct World {
+  static constexpr double kKeyFps = 2.5;
+
+  Rng rng{1234};
+
+  std::vector<CellId> RandomContent(size_t n, uint32_t lo, uint32_t hi) {
+    std::vector<CellId> out;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(lo + static_cast<CellId>(rng.Uniform(hi - lo)));
+    }
+    return out;
+  }
+
+  /// Feeds a cell sequence as consecutive key frames starting at key-frame
+  /// slot `at`; slot s is stream frame 12*s at time s/2.5.
+  static Status Feed(CopyDetector* det, const std::vector<CellId>& ids, int64_t at) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const int64_t slot = at + static_cast<int64_t>(i);
+      VCD_RETURN_IF_ERROR(det->ProcessFingerprint(
+          slot * 12, static_cast<double>(slot) / kKeyFps, ids[i]));
+    }
+    return Status::OK();
+  }
+};
+
+DetectorConfig SmallConfig() {
+  DetectorConfig c;
+  c.K = 200;
+  c.window_seconds = 4.0;  // 10 key frames per window
+  c.delta = 0.7;
+  return c;
+}
+
+/// Builds a detector with one 40-key-frame query and a 200-slot stream with
+/// the (possibly permuted) query embedded at slot 100.
+struct Scenario {
+  World world;
+  std::vector<CellId> query;
+  std::vector<CellId> background_a, background_b;
+  static constexpr int64_t kInsertSlot = 100;
+
+  Scenario() {
+    query = world.RandomContent(40, 0, 1000);
+    background_a = world.RandomContent(100, 5000, 9000);
+    background_b = world.RandomContent(60, 5000, 9000);
+  }
+
+  /// Runs the scenario; returns the detector after Finish().
+  std::unique_ptr<CopyDetector> Run(DetectorConfig config,
+                                    std::vector<CellId> embedded) {
+    auto det = CopyDetector::Create(config);
+    VCD_CHECK(det.ok(), det.status().ToString());
+    VCD_CHECK((*det)->AddQueryCells(1, query, 16.0).ok(), "add query");
+    VCD_CHECK(World::Feed(det->get(), background_a, 0).ok(), "feed");
+    VCD_CHECK(World::Feed(det->get(), embedded, kInsertSlot).ok(), "feed");
+    VCD_CHECK(World::Feed(det->get(), background_b,
+                          kInsertSlot + static_cast<int64_t>(embedded.size()))
+                  .ok(),
+              "feed");
+    VCD_CHECK((*det)->Finish().ok(), "finish");
+    return std::move(*det);
+  }
+
+  /// True when some match of query 1 lies inside the embedded interval
+  /// (allowing the trailing window per the paper's position rule).
+  static bool DetectedInWindow(const CopyDetector& det, size_t embedded_len) {
+    const int64_t begin = kInsertSlot * 12;
+    const int64_t end = (kInsertSlot + static_cast<int64_t>(embedded_len)) * 12;
+    for (const Match& m : det.matches()) {
+      if (m.query_id == 1 && m.end_frame >= begin && m.end_frame <= end + 10 * 12) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+TEST(CopyDetectorTest, CreateValidation) {
+  DetectorConfig c;
+  c.K = 0;
+  EXPECT_FALSE(CopyDetector::Create(c).ok());
+  EXPECT_TRUE(CopyDetector::Create(DetectorConfig()).ok());
+}
+
+TEST(CopyDetectorTest, AddQueryValidation) {
+  auto det = CopyDetector::Create(SmallConfig()).value();
+  EXPECT_FALSE(det->AddQueryCells(1, {}, 10.0).ok());
+  EXPECT_FALSE(det->AddQueryCells(1, {1, 2, 3}, -1.0).ok());
+  EXPECT_TRUE(det->AddQueryCells(1, {1, 2, 3}, 10.0).ok());
+  EXPECT_EQ(det->AddQueryCells(1, {4, 5}, 10.0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(det->num_queries(), 1);
+}
+
+TEST(CopyDetectorTest, RemoveQuery) {
+  auto det = CopyDetector::Create(SmallConfig()).value();
+  ASSERT_TRUE(det->AddQueryCells(1, {1, 2, 3}, 10.0).ok());
+  EXPECT_TRUE(det->RemoveQuery(1).ok());
+  EXPECT_EQ(det->RemoveQuery(1).code(), StatusCode::kNotFound);
+  // Id can be reused after removal.
+  EXPECT_TRUE(det->AddQueryCells(1, {4, 5, 6}, 10.0).ok());
+}
+
+/// All four method variants × both orders must detect a verbatim copy.
+class DetectorVariantTest
+    : public ::testing::TestWithParam<std::tuple<Representation, bool, CombinationOrder>> {};
+
+TEST_P(DetectorVariantTest, DetectsVerbatimCopy) {
+  auto [repr, use_index, order] = GetParam();
+  DetectorConfig c = SmallConfig();
+  c.representation = repr;
+  c.use_index = use_index;
+  c.order = order;
+  if (order == CombinationOrder::kGeometric) {
+    // Geometric order only materializes geometrically spaced candidate
+    // lengths, so the best candidate covering the copy also drags in some
+    // background — the recall cost the paper describes. A slightly lower
+    // threshold compensates in this controlled scenario.
+    c.delta = 0.6;
+  }
+  Scenario s;
+  auto det = s.Run(c, s.query);
+  EXPECT_TRUE(Scenario::DetectedInWindow(*det, s.query.size()))
+      << RepresentationName(repr) << (use_index ? "Index" : "NoIndex") << " "
+      << CombinationOrderName(order);
+}
+
+TEST_P(DetectorVariantTest, DetectsReorderedCopy) {
+  auto [repr, use_index, order] = GetParam();
+  if (order == CombinationOrder::kGeometric) {
+    GTEST_SKIP() << "geometric order trades recall for speed; covered by the "
+                    "sequential variants";
+  }
+  DetectorConfig c = SmallConfig();
+  c.representation = repr;
+  c.use_index = use_index;
+  c.order = order;
+  Scenario s;
+  // Reorder the copy in 4 chunks of 10 key frames — set similarity is
+  // unaffected, which is the paper's core robustness claim.
+  std::vector<CellId> reordered;
+  for (int chunk : {2, 0, 3, 1}) {
+    for (int i = 0; i < 10; ++i) {
+      reordered.push_back(s.query[static_cast<size_t>(chunk * 10 + i)]);
+    }
+  }
+  auto det = s.Run(c, reordered);
+  EXPECT_TRUE(Scenario::DetectedInWindow(*det, reordered.size()));
+}
+
+TEST_P(DetectorVariantTest, NoFalsePositivesOnPureBackground) {
+  auto [repr, use_index, order] = GetParam();
+  DetectorConfig c = SmallConfig();
+  c.representation = repr;
+  c.use_index = use_index;
+  c.order = order;
+  Scenario s;
+  auto det = s.Run(c, s.world.RandomContent(40, 5000, 9000));
+  EXPECT_TRUE(det->matches().empty())
+      << "false positive from " << RepresentationName(repr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, DetectorVariantTest,
+    ::testing::Combine(::testing::Values(Representation::kSketch, Representation::kBit),
+                       ::testing::Bool(),
+                       ::testing::Values(CombinationOrder::kSequential,
+                                         CombinationOrder::kGeometric)));
+
+TEST(CopyDetectorTest, BitAndSketchAgreeWithoutIndex) {
+  // The bit signature is a lossless re-encoding of sketch/query relations:
+  // BitNoIndex and SketchNoIndex must report identical match sets in
+  // Sequential order (pruning only removes candidates that could never
+  // match).
+  Scenario s;
+  DetectorConfig cb = SmallConfig();
+  cb.representation = Representation::kBit;
+  cb.use_index = false;
+  DetectorConfig cs = cb;
+  cs.representation = Representation::kSketch;
+  auto db = s.Run(cb, s.query);
+  auto dsk = s.Run(cs, s.query);
+  ASSERT_EQ(db->matches().size(), dsk->matches().size());
+  for (size_t i = 0; i < db->matches().size(); ++i) {
+    EXPECT_EQ(db->matches()[i].query_id, dsk->matches()[i].query_id);
+    EXPECT_EQ(db->matches()[i].end_frame, dsk->matches()[i].end_frame);
+    EXPECT_DOUBLE_EQ(db->matches()[i].similarity, dsk->matches()[i].similarity);
+  }
+}
+
+TEST(CopyDetectorTest, PruningDoesNotChangeMatches) {
+  // Lemma 2 is safe: enabling pruning must not lose any detection.
+  Scenario s;
+  DetectorConfig on = SmallConfig();
+  on.representation = Representation::kBit;
+  on.use_index = false;
+  DetectorConfig off = on;
+  off.enable_pruning = false;
+  auto don = s.Run(on, s.query);
+  auto doff = s.Run(off, s.query);
+  ASSERT_EQ(don->matches().size(), doff->matches().size());
+  for (size_t i = 0; i < don->matches().size(); ++i) {
+    EXPECT_EQ(don->matches()[i].end_frame, doff->matches()[i].end_frame);
+  }
+  // And pruning must actually have fired.
+  EXPECT_GT(don->stats().candidates_pruned, 0);
+}
+
+TEST(CopyDetectorTest, ReportCooldownSuppressesDuplicates) {
+  Scenario s;
+  DetectorConfig burst = SmallConfig();
+  burst.report_cooldown_seconds = 0.0;  // report everything
+  DetectorConfig cool = SmallConfig();  // default: cooldown = query duration
+  auto db = s.Run(burst, s.query);
+  auto dc = s.Run(cool, s.query);
+  EXPECT_GT(db->matches().size(), dc->matches().size());
+  EXPECT_GE(dc->matches().size(), 1u);
+}
+
+TEST(CopyDetectorTest, CandidatesExpireAtLambdaL) {
+  Scenario s;
+  DetectorConfig c = SmallConfig();
+  auto det = s.Run(c, s.query);
+  // Query duration 16 s, λ=2, w=4 s → max 8 windows per candidate.
+  const auto& stats = det->stats();
+  EXPECT_GT(stats.windows, 0);
+  EXPECT_LE(stats.candidates_per_window.max(), 8.0 + 1e-9);
+}
+
+TEST(CopyDetectorTest, StatsCountKeyFramesAndWindows) {
+  auto det = CopyDetector::Create(SmallConfig()).value();
+  ASSERT_TRUE(det->AddQueryCells(1, {1, 2, 3}, 10.0).ok());
+  World w;
+  ASSERT_TRUE(World::Feed(det.get(), w.RandomContent(50, 0, 100), 0).ok());
+  ASSERT_TRUE(det->Finish().ok());
+  EXPECT_EQ(det->stats().key_frames, 50);
+  // 50 key frames at 2.5/s = 20 s = 5 windows of 4 s.
+  EXPECT_EQ(det->stats().windows, 5);
+}
+
+TEST(CopyDetectorTest, ResetStreamKeepsQueries) {
+  Scenario s;
+  auto det = s.Run(SmallConfig(), s.query);
+  EXPECT_FALSE(det->matches().empty());
+  det->ResetStream();
+  EXPECT_TRUE(det->matches().empty());
+  EXPECT_EQ(det->stats().key_frames, 0);
+  EXPECT_EQ(det->num_queries(), 1);
+  // The stream can be replayed with identical results.
+  ASSERT_TRUE(World::Feed(det.get(), s.background_a, 0).ok());
+  ASSERT_TRUE(World::Feed(det.get(), s.query, Scenario::kInsertSlot).ok());
+  ASSERT_TRUE(det->Finish().ok());
+  EXPECT_TRUE(Scenario::DetectedInWindow(*det, s.query.size()));
+}
+
+TEST(CopyDetectorTest, OnlineQuerySubscriptionMidStream) {
+  DetectorConfig c = SmallConfig();
+  Scenario s;
+  auto det = CopyDetector::Create(c).value();
+  // Start streaming with no queries at all.
+  ASSERT_TRUE(World::Feed(det.get(), s.background_a, 0).ok());
+  // Subscribe mid-stream, then the copy arrives.
+  ASSERT_TRUE(det->AddQueryCells(1, s.query, 16.0).ok());
+  ASSERT_TRUE(World::Feed(det.get(), s.query, Scenario::kInsertSlot).ok());
+  ASSERT_TRUE(World::Feed(det.get(), s.background_b, 140).ok());
+  ASSERT_TRUE(det->Finish().ok());
+  EXPECT_TRUE(Scenario::DetectedInWindow(*det, s.query.size()));
+}
+
+TEST(CopyDetectorTest, UnsubscribedQueryStopsMatching) {
+  DetectorConfig c = SmallConfig();
+  Scenario s;
+  auto det = CopyDetector::Create(c).value();
+  ASSERT_TRUE(det->AddQueryCells(1, s.query, 16.0).ok());
+  ASSERT_TRUE(World::Feed(det.get(), s.background_a, 0).ok());
+  ASSERT_TRUE(det->RemoveQuery(1).ok());
+  ASSERT_TRUE(World::Feed(det.get(), s.query, Scenario::kInsertSlot).ok());
+  ASSERT_TRUE(det->Finish().ok());
+  EXPECT_TRUE(det->matches().empty());
+}
+
+TEST(CopyDetectorTest, MultipleQueriesEachDetected) {
+  DetectorConfig c = SmallConfig();
+  World w;
+  auto det = CopyDetector::Create(c).value();
+  std::vector<std::vector<CellId>> queries;
+  for (int q = 0; q < 5; ++q) {
+    queries.push_back(w.RandomContent(30, static_cast<uint32_t>(q * 2000),
+                                      static_cast<uint32_t>(q * 2000 + 1000)));
+    ASSERT_TRUE(det->AddQueryCells(q + 1, queries.back(), 12.0).ok());
+  }
+  int64_t slot = 0;
+  std::vector<int64_t> insert_at;
+  for (int q = 0; q < 5; ++q) {
+    ASSERT_TRUE(World::Feed(det.get(), w.RandomContent(30, 50000, 90000), slot).ok());
+    slot += 30;
+    insert_at.push_back(slot);
+    ASSERT_TRUE(World::Feed(det.get(), queries[static_cast<size_t>(q)], slot).ok());
+    slot += 30;
+  }
+  ASSERT_TRUE(det->Finish().ok());
+  std::set<int> detected;
+  for (const Match& m : det->matches()) detected.insert(m.query_id);
+  EXPECT_EQ(detected, (std::set<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(CopyDetectorTest, SimilarityReportedAboveThreshold) {
+  Scenario s;
+  auto det = s.Run(SmallConfig(), s.query);
+  for (const Match& m : det->matches()) {
+    EXPECT_GE(m.similarity, 0.7);
+    EXPECT_LE(m.similarity, 1.0);
+    EXPECT_LE(m.start_frame, m.end_frame);
+  }
+}
+
+TEST(CopyDetectorTest, MemoryStatsTrackSignatures) {
+  Scenario s;
+  DetectorConfig c = SmallConfig();
+  auto det = s.Run(c, s.query);
+  EXPECT_GT(det->stats().signatures_per_window.count(), 0);
+  // With one query, a candidate holds at most one signature.
+  EXPECT_LE(det->stats().signatures_per_window.max(),
+            det->stats().candidates_per_window.max());
+}
+
+
+TEST(CopyDetectorTest, StatsCountersReflectRepresentation) {
+  Scenario s;
+  DetectorConfig cs = SmallConfig();
+  cs.representation = Representation::kSketch;
+  cs.use_index = false;
+  auto dsk = s.Run(cs, s.query);
+  EXPECT_GT(dsk->stats().sketch_combines, 0);
+  EXPECT_GT(dsk->stats().sketch_compares, 0);
+  EXPECT_EQ(dsk->stats().bitsig_ors, 0);
+
+  DetectorConfig cb = SmallConfig();
+  cb.representation = Representation::kBit;
+  cb.use_index = false;
+  auto db = s.Run(cb, s.query);
+  EXPECT_GT(db->stats().bitsig_builds, 0);
+  EXPECT_GT(db->stats().bitsig_ors, 0);
+  EXPECT_EQ(db->stats().sketch_compares, 0);
+}
+
+TEST(CopyDetectorTest, LambdaBoundsCandidateLength) {
+  // Sketch candidates persist until the λL expiry (Bit candidates can be
+  // dropped earlier when all their signatures prune), so the Sketch
+  // representation exposes the bound directly.
+  Scenario s;
+  DetectorConfig c1 = SmallConfig();
+  c1.representation = Representation::kSketch;
+  c1.use_index = false;
+  c1.lambda = 1.0;
+  auto d1 = s.Run(c1, s.query);
+  DetectorConfig c2 = c1;
+  c2.lambda = 2.0;
+  auto d2 = s.Run(c2, s.query);
+  // Query 16 s, w = 4 s: λ=1 caps candidates at 4 windows, λ=2 at 8.
+  EXPECT_LE(d1->stats().candidates_per_window.max(), 4.0 + 1e-9);
+  EXPECT_LE(d2->stats().candidates_per_window.max(), 8.0 + 1e-9);
+  EXPECT_GT(d2->stats().candidates_per_window.max(),
+            d1->stats().candidates_per_window.max());
+}
+
+TEST(CopyDetectorTest, DeterministicAcrossRuns) {
+  Scenario s;
+  auto a = s.Run(SmallConfig(), s.query);
+  auto b = s.Run(SmallConfig(), s.query);
+  ASSERT_EQ(a->matches().size(), b->matches().size());
+  for (size_t i = 0; i < a->matches().size(); ++i) {
+    EXPECT_EQ(a->matches()[i].end_frame, b->matches()[i].end_frame);
+    EXPECT_DOUBLE_EQ(a->matches()[i].similarity, b->matches()[i].similarity);
+  }
+}
+
+TEST(CopyDetectorTest, KEqualsOneStillRuns) {
+  DetectorConfig c = SmallConfig();
+  c.K = 1;
+  Scenario s;
+  auto det = s.Run(c, s.query);
+  // With one hash function the estimate is 0 or 1 — behavior is noisy but
+  // must be well-formed.
+  for (const Match& m : det->matches()) {
+    EXPECT_TRUE(m.similarity == 0.0 || m.similarity == 1.0);
+  }
+}
+
+TEST(CopyDetectorTest, QueryLongerThanStreamNeverMatches) {
+  DetectorConfig c = SmallConfig();
+  auto det = CopyDetector::Create(c).value();
+  World w;
+  // Query of 400 key frames (160 s) against a 40-key-frame stream.
+  ASSERT_TRUE(det->AddQueryCells(1, w.RandomContent(400, 0, 1000), 160.0).ok());
+  ASSERT_TRUE(World::Feed(det.get(), w.RandomContent(40, 0, 1000), 0).ok());
+  ASSERT_TRUE(det->Finish().ok());
+  // Stream cells come from the same universe, but |stream| / |query| bounds
+  // the Jaccard far below δ.
+  EXPECT_TRUE(det->matches().empty());
+}
+
+TEST(CopyDetectorTest, WindowLargerThanStreamFlushesOnce) {
+  DetectorConfig c = SmallConfig();
+  c.window_seconds = 1000.0;
+  Scenario s;
+  auto det = s.Run(c, s.query);
+  EXPECT_EQ(det->stats().windows, 1);  // single flushed window
+}
+
+TEST(CopyDetectorTest, GeometricSketchTracksMemory) {
+  DetectorConfig c = SmallConfig();
+  c.representation = Representation::kSketch;
+  c.order = CombinationOrder::kGeometric;
+  Scenario s;
+  auto det = s.Run(c, s.query);
+  EXPECT_GT(det->stats().candidates_per_window.count(), 0);
+  // A binary-counter ladder holds at most ~log2(max windows) + 1 blocks.
+  EXPECT_LE(det->stats().candidates_per_window.max(), 5.0);
+}
+
+}  // namespace
+}  // namespace vcd::core

@@ -1,0 +1,94 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace vcd::core {
+namespace {
+
+Match M(int qid, int64_t end_frame) {
+  Match m;
+  m.query_id = qid;
+  m.end_frame = end_frame;
+  m.start_frame = end_frame - 100;
+  return m;
+}
+
+GroundTruthEntry G(int qid, int64_t begin, int64_t end) {
+  return GroundTruthEntry{qid, begin, end};
+}
+
+TEST(EvaluationTest, EmptyEverything) {
+  EvalResult r = EvaluateMatches({}, {}, 150);
+  EXPECT_EQ(r.pr.precision, 0.0);
+  EXPECT_EQ(r.pr.recall, 0.0);
+  EXPECT_EQ(r.num_detections, 0);
+}
+
+TEST(EvaluationTest, PositionRuleBoundaries) {
+  // Correct iff begin + w <= p <= end + w, with w = 150.
+  const auto truth = std::vector<GroundTruthEntry>{G(1, 1000, 2000)};
+  // p exactly at begin+w.
+  EXPECT_EQ(EvaluateMatches({M(1, 1150)}, truth, 150).num_correct, 1);
+  // p exactly at end+w.
+  EXPECT_EQ(EvaluateMatches({M(1, 2150)}, truth, 150).num_correct, 1);
+  // p just before begin+w.
+  EXPECT_EQ(EvaluateMatches({M(1, 1149)}, truth, 150).num_correct, 0);
+  // p just after end+w.
+  EXPECT_EQ(EvaluateMatches({M(1, 2151)}, truth, 150).num_correct, 0);
+}
+
+TEST(EvaluationTest, WrongQueryIdNotCredited) {
+  const auto truth = std::vector<GroundTruthEntry>{G(1, 1000, 2000)};
+  EvalResult r = EvaluateMatches({M(2, 1500)}, truth, 150);
+  EXPECT_EQ(r.num_correct, 0);
+  EXPECT_EQ(r.pr.precision, 0.0);
+  EXPECT_EQ(r.pr.recall, 0.0);
+}
+
+TEST(EvaluationTest, PrecisionCountsFractionCorrect) {
+  const auto truth = std::vector<GroundTruthEntry>{G(1, 1000, 2000)};
+  const std::vector<Match> matches = {M(1, 1500), M(1, 9999), M(1, 1600), M(1, 50)};
+  EvalResult r = EvaluateMatches(matches, truth, 150);
+  EXPECT_EQ(r.num_detections, 4);
+  EXPECT_EQ(r.num_correct, 2);
+  EXPECT_DOUBLE_EQ(r.pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.pr.recall, 1.0);
+}
+
+TEST(EvaluationTest, RecallCountsTruthFound) {
+  const auto truth = std::vector<GroundTruthEntry>{
+      G(1, 1000, 2000), G(2, 5000, 6000), G(3, 9000, 9900)};
+  const std::vector<Match> matches = {M(1, 1500), M(3, 9500)};
+  EvalResult r = EvaluateMatches(matches, truth, 150);
+  EXPECT_EQ(r.num_truth, 3);
+  EXPECT_EQ(r.num_truth_found, 2);
+  EXPECT_NEAR(r.pr.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.pr.precision, 1.0);
+}
+
+TEST(EvaluationTest, MultipleDetectionsOfSameTruthCountOnceForRecall) {
+  const auto truth = std::vector<GroundTruthEntry>{G(1, 1000, 2000)};
+  const std::vector<Match> matches = {M(1, 1400), M(1, 1500), M(1, 1600)};
+  EvalResult r = EvaluateMatches(matches, truth, 150);
+  EXPECT_EQ(r.num_truth_found, 1);
+  EXPECT_DOUBLE_EQ(r.pr.recall, 1.0);
+  EXPECT_EQ(r.num_correct, 3);
+}
+
+TEST(EvaluationTest, SameQueryInsertedTwice) {
+  const auto truth = std::vector<GroundTruthEntry>{
+      G(1, 1000, 2000), G(1, 50000, 51000)};
+  const std::vector<Match> matches = {M(1, 1500)};
+  EvalResult r = EvaluateMatches(matches, truth, 150);
+  EXPECT_EQ(r.num_truth_found, 1);
+  EXPECT_DOUBLE_EQ(r.pr.recall, 0.5);
+}
+
+TEST(EvaluationTest, ZeroWindow) {
+  const auto truth = std::vector<GroundTruthEntry>{G(1, 100, 200)};
+  EXPECT_EQ(EvaluateMatches({M(1, 100)}, truth, 0).num_correct, 1);
+  EXPECT_EQ(EvaluateMatches({M(1, 99)}, truth, 0).num_correct, 0);
+}
+
+}  // namespace
+}  // namespace vcd::core

@@ -1,0 +1,156 @@
+#include "core/exact_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vcd::core {
+namespace {
+
+using features::CellId;
+
+DetectorConfig SmallConfig() {
+  DetectorConfig c;
+  c.K = 400;
+  c.window_seconds = 4.0;
+  c.delta = 0.7;
+  return c;
+}
+
+std::vector<CellId> RandomCells(Rng* rng, size_t n, uint32_t lo, uint32_t hi) {
+  std::vector<CellId> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(lo + static_cast<CellId>(rng->Uniform(hi - lo)));
+  }
+  return out;
+}
+
+template <typename Det>
+void Feed(Det* det, const std::vector<CellId>& ids, int64_t at) {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t slot = at + static_cast<int64_t>(i);
+    VCD_CHECK(det->ProcessFingerprint(slot * 12, static_cast<double>(slot) / 2.5,
+                                      ids[i])
+                  .ok(),
+              "feed");
+  }
+}
+
+TEST(ExactDetectorTest, CreateAndValidation) {
+  EXPECT_TRUE(ExactDetector::Create(SmallConfig()).ok());
+  DetectorConfig bad;
+  bad.delta = 0;
+  EXPECT_FALSE(ExactDetector::Create(bad).ok());
+  auto det = ExactDetector::Create(SmallConfig()).value();
+  EXPECT_FALSE(det->AddQueryCells(1, {}, 10.0).ok());
+  EXPECT_TRUE(det->AddQueryCells(1, {1, 2, 3}, 10.0).ok());
+  EXPECT_EQ(det->AddQueryCells(1, {4}, 10.0).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(det->RemoveQuery(1).ok());
+  EXPECT_EQ(det->RemoveQuery(1).code(), StatusCode::kNotFound);
+}
+
+TEST(ExactDetectorTest, DetectsExactAndReorderedCopies) {
+  Rng rng(3);
+  auto query = RandomCells(&rng, 40, 0, 1000);
+  for (bool reorder : {false, true}) {
+    auto det = ExactDetector::Create(SmallConfig()).value();
+    ASSERT_TRUE(det->AddQueryCells(1, query, 16.0).ok());
+    std::vector<CellId> embedded = query;
+    if (reorder) std::rotate(embedded.begin(), embedded.begin() + 17, embedded.end());
+    Feed(det.get(), RandomCells(&rng, 60, 5000, 9000), 0);
+    Feed(det.get(), embedded, 60);
+    Feed(det.get(), RandomCells(&rng, 40, 5000, 9000), 100);
+    ASSERT_TRUE(det->Finish().ok());
+    bool found = false;
+    for (const Match& m : det->matches()) found |= m.query_id == 1;
+    EXPECT_TRUE(found) << (reorder ? "reordered" : "verbatim");
+  }
+}
+
+TEST(ExactDetectorTest, ExactCopySimilarityIsOne) {
+  Rng rng(5);
+  auto query = RandomCells(&rng, 40, 0, 1000);
+  auto det = ExactDetector::Create(SmallConfig()).value();
+  ASSERT_TRUE(det->AddQueryCells(1, query, 16.0).ok());
+  Feed(det.get(), query, 0);
+  ASSERT_TRUE(det->Finish().ok());
+  ASSERT_FALSE(det->matches().empty());
+  // The first report may come from a partial-coverage candidate that
+  // already crossed δ; the full-coverage candidate reaches exactly 1.
+  EXPECT_GE(det->matches()[0].similarity, 0.7);
+  EXPECT_DOUBLE_EQ(det->BestSimilarity(1), 1.0);
+}
+
+TEST(ExactDetectorTest, NoFalsePositives) {
+  Rng rng(7);
+  auto det = ExactDetector::Create(SmallConfig()).value();
+  ASSERT_TRUE(det->AddQueryCells(1, RandomCells(&rng, 40, 0, 1000), 16.0).ok());
+  Feed(det.get(), RandomCells(&rng, 200, 5000, 9000), 0);
+  ASSERT_TRUE(det->Finish().ok());
+  EXPECT_TRUE(det->matches().empty());
+}
+
+TEST(ExactDetectorTest, SketchEstimateTracksExactOracle) {
+  // The core approximation claim: the K-min-hash engine's reported
+  // similarity approaches the exact engine's on the same stream.
+  Rng rng(11);
+  auto query = RandomCells(&rng, 50, 0, 2000);
+  DetectorConfig config = SmallConfig();
+  config.K = 1500;
+  config.delta = 0.5;
+  auto exact = ExactDetector::Create(config).value();
+  auto approx = CopyDetector::Create(config).value();
+  ASSERT_TRUE(exact->AddQueryCells(1, query, 20.0).ok());
+  ASSERT_TRUE(approx->AddQueryCells(1, query, 20.0).ok());
+  // Embed a 70 % overlapping variant of the query.
+  std::vector<CellId> variant = query;
+  for (size_t i = 0; i < variant.size(); i += 4) {
+    variant[i] = 10000 + static_cast<CellId>(i);
+  }
+  auto feed_all = [&](auto* det) {
+    Feed(det, RandomCells(&rng, 40, 5000, 9000), 0);
+    Feed(det, variant, 40);
+    VCD_CHECK(det->Finish().ok(), "finish");
+  };
+  Rng save = rng;  // identical streams for both engines
+  feed_all(exact.get());
+  rng = save;
+  feed_all(approx.get());
+  ASSERT_FALSE(exact->matches().empty());
+  ASSERT_FALSE(approx->matches().empty());
+  // Matched positions agree, similarities agree within min-hash noise.
+  EXPECT_EQ(exact->matches()[0].query_id, approx->matches()[0].query_id);
+  EXPECT_NEAR(exact->matches()[0].similarity, approx->matches()[0].similarity, 0.06);
+}
+
+TEST(ExactDetectorTest, BestSimilarityExposesOracle) {
+  Rng rng(13);
+  auto query = RandomCells(&rng, 30, 0, 500);
+  auto det = ExactDetector::Create(SmallConfig()).value();
+  ASSERT_TRUE(det->AddQueryCells(1, query, 12.0).ok());
+  EXPECT_DOUBLE_EQ(det->BestSimilarity(1), 0.0);
+  Feed(det.get(), query, 0);
+  ASSERT_TRUE(det->Finish().ok());
+  EXPECT_GT(det->BestSimilarity(1), 0.9);
+  EXPECT_DOUBLE_EQ(det->BestSimilarity(999), 0.0);
+}
+
+TEST(ExactDetectorTest, ResetStreamKeepsQueries) {
+  Rng rng(17);
+  auto query = RandomCells(&rng, 30, 0, 500);
+  auto det = ExactDetector::Create(SmallConfig()).value();
+  ASSERT_TRUE(det->AddQueryCells(1, query, 12.0).ok());
+  Feed(det.get(), query, 0);
+  ASSERT_TRUE(det->Finish().ok());
+  EXPECT_FALSE(det->matches().empty());
+  det->ResetStream();
+  EXPECT_TRUE(det->matches().empty());
+  Feed(det.get(), query, 0);
+  ASSERT_TRUE(det->Finish().ok());
+  EXPECT_FALSE(det->matches().empty());
+}
+
+}  // namespace
+}  // namespace vcd::core

@@ -1,0 +1,180 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vcd::core {
+namespace {
+
+using features::CellId;
+
+DetectorConfig SmallConfig() {
+  DetectorConfig c;
+  c.K = 128;
+  c.window_seconds = 4.0;
+  return c;
+}
+
+std::vector<CellId> RandomCells(Rng* rng, size_t n, uint32_t lo, uint32_t hi) {
+  std::vector<CellId> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(lo + static_cast<CellId>(rng->Uniform(hi - lo)));
+  }
+  return out;
+}
+
+sketch::Sketch SketchOf(const DetectorConfig& c, const std::vector<CellId>& ids) {
+  auto fam = sketch::MinHashFamily::Create(c.K, c.hash_seed).value();
+  sketch::Sketcher sk(&fam);
+  return sk.FromSequence(ids);
+}
+
+/// Builds a small key frame whose fingerprint is a deterministic function
+/// of \p fill — the controlled "content" used to drive the monitor.
+video::DcFrame TinyFrame(int64_t slot, float fill) {
+  video::DcFrame f;
+  f.blocks_x = 6;
+  f.blocks_y = 6;
+  f.frame_index = slot * 12;
+  f.timestamp = static_cast<double>(slot) / 2.5;
+  f.dc.resize(36);
+  // The spatial *profile* must depend on fill: Eq. 1's min-max
+  // normalization removes constant offsets, so an offset-only difference
+  // would fingerprint identically.
+  for (size_t i = 0; i < 36; ++i) {
+    f.dc[i] = 8.0f * 60.0f *
+              std::sin(0.7f * fill + 0.9f * static_cast<float>(i));
+  }
+  return f;
+}
+
+TEST(StreamMonitorTest, CreateValidatesConfig) {
+  DetectorConfig bad;
+  bad.K = 0;
+  EXPECT_FALSE(StreamMonitor::Create(bad).ok());
+  EXPECT_TRUE(StreamMonitor::Create(SmallConfig()).ok());
+}
+
+TEST(StreamMonitorTest, OpenCloseStreams) {
+  auto mon = StreamMonitor::Create(SmallConfig()).value();
+  auto s1 = mon->OpenStream("satellite-1");
+  auto s2 = mon->OpenStream("cable-7");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE(*s1, *s2);
+  EXPECT_EQ(mon->num_open_streams(), 2);
+  EXPECT_TRUE(mon->CloseStream(*s1).ok());
+  EXPECT_EQ(mon->num_open_streams(), 1);
+  EXPECT_EQ(mon->CloseStream(*s1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(mon->ProcessKeyFrame(*s1, TinyFrame(0, 10)).code(), StatusCode::kNotFound);
+}
+
+TEST(StreamMonitorTest, QueryPortfolioPropagation) {
+  auto mon = StreamMonitor::Create(SmallConfig()).value();
+  Rng rng(5);
+  auto cells = RandomCells(&rng, 40, 0, 500);
+  const auto sk = SketchOf(SmallConfig(), cells);
+  // Query added before any stream exists.
+  ASSERT_TRUE(mon->AddQuerySketch(1, sk, 40, 16.0).ok());
+  EXPECT_EQ(mon->AddQuerySketch(1, sk, 40, 16.0).code(), StatusCode::kAlreadyExists);
+  auto s1 = mon->OpenStream("a").value();
+  // Query added after a stream opened: must land on it too.
+  ASSERT_TRUE(mon->AddQuerySketch(2, SketchOf(SmallConfig(), RandomCells(&rng, 30, 1000, 1500)),
+                                  30, 12.0)
+                  .ok());
+  EXPECT_EQ(mon->num_queries(), 2);
+  // Remove everywhere.
+  ASSERT_TRUE(mon->RemoveQuery(1).ok());
+  EXPECT_EQ(mon->RemoveQuery(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(mon->num_queries(), 1);
+  (void)s1;
+}
+
+TEST(StreamMonitorTest, ImportValidatesFamily) {
+  auto mon = StreamMonitor::Create(SmallConfig()).value();
+  QueryDb db;
+  db.k = 64;  // mismatched K
+  db.hash_seed = SmallConfig().hash_seed;
+  EXPECT_EQ(mon->ImportQueries(db).code(), StatusCode::kFailedPrecondition);
+  db.k = SmallConfig().K;
+  db.hash_seed = 999;  // mismatched seed
+  EXPECT_EQ(mon->ImportQueries(db).code(), StatusCode::kFailedPrecondition);
+  db.hash_seed = SmallConfig().hash_seed;
+  EXPECT_TRUE(mon->ImportQueries(db).ok());  // empty db, matching family
+}
+
+TEST(StreamMonitorTest, DetectionsAttributedToStreams) {
+  // Two streams with the same copy embedded at different times: matches
+  // must carry the right stream id and name.
+  DetectorConfig c = SmallConfig();
+  c.delta = 0.6;
+  auto mon = StreamMonitor::Create(c).value();
+
+  // The query: the cell sequence the fingerprinter produces for a ramp of
+  // TinyFrames 100..139 — computed via a scratch detector fingerprinting.
+  auto scratch = CopyDetector::Create(c).value();
+  std::vector<video::DcFrame> qframes;
+  for (int i = 0; i < 40; ++i) qframes.push_back(TinyFrame(i, 100.0f + i));
+  ASSERT_TRUE(mon->AddQuery(1, qframes, 16.0).ok());
+
+  auto s1 = mon->OpenStream("east").value();
+  auto s2 = mon->OpenStream("west").value();
+  // Stream east: background then the copy.
+  int64_t slot = 0;
+  for (int i = 0; i < 30; ++i, ++slot) {
+    ASSERT_TRUE(mon->ProcessKeyFrame(s1, TinyFrame(slot, -80.0f + (i % 5))).ok());
+  }
+  for (int i = 0; i < 40; ++i, ++slot) {
+    ASSERT_TRUE(mon->ProcessKeyFrame(s1, TinyFrame(slot, 100.0f + i)).ok());
+  }
+  // Stream west: only background.
+  for (int64_t w = 0; w < 70; ++w) {
+    ASSERT_TRUE(mon->ProcessKeyFrame(s2, TinyFrame(w, -80.0f + (w % 5))).ok());
+  }
+  ASSERT_TRUE(mon->CloseStream(s1).ok());
+  ASSERT_TRUE(mon->CloseStream(s2).ok());
+
+  std::set<int> streams_with_matches;
+  for (const StreamMatch& m : mon->matches()) {
+    streams_with_matches.insert(m.stream_id);
+    EXPECT_EQ(m.match.query_id, 1);
+    EXPECT_EQ(m.stream_name, "east");
+  }
+  EXPECT_EQ(streams_with_matches, std::set<int>{s1});
+}
+
+TEST(StreamMonitorTest, StreamStats) {
+  auto mon = StreamMonitor::Create(SmallConfig()).value();
+  auto s = mon->OpenStream("x").value();
+  for (int64_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(mon->ProcessKeyFrame(s, TinyFrame(i, 10.0f)).ok());
+  }
+  auto stats = mon->StreamStats(s);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->key_frames, 25);
+  EXPECT_FALSE(mon->StreamStats(999).ok());
+}
+
+TEST(StreamMonitorTest, IndependentStreamStates) {
+  // The same frames fed to two streams at different offsets must not
+  // interfere: candidate lists are per-stream.
+  auto mon = StreamMonitor::Create(SmallConfig()).value();
+  auto s1 = mon->OpenStream("a").value();
+  auto s2 = mon->OpenStream("b").value();
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(mon->ProcessKeyFrame(s1, TinyFrame(i, 5.0f)).ok());
+  }
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(mon->ProcessKeyFrame(s2, TinyFrame(i, 5.0f)).ok());
+  }
+  EXPECT_EQ(mon->StreamStats(s1)->key_frames, 30);
+  EXPECT_EQ(mon->StreamStats(s2)->key_frames, 10);
+}
+
+}  // namespace
+}  // namespace vcd::core

@@ -1,0 +1,171 @@
+#include "features/dc_features.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vcd::features {
+namespace {
+
+using vcd::video::DcFrame;
+
+/// Builds a DC frame whose blocks in 3×3 region (r, c) all hold the value
+/// `values[r*3+c]` (values given as block means in [0,255]).
+DcFrame MakeFrame(const std::vector<float>& region_means, int blocks_x = 12,
+                  int blocks_y = 9) {
+  DcFrame f;
+  f.blocks_x = blocks_x;
+  f.blocks_y = blocks_y;
+  f.dc.resize(static_cast<size_t>(blocks_x) * blocks_y);
+  for (int by = 0; by < blocks_y; ++by) {
+    for (int bx = 0; bx < blocks_x; ++bx) {
+      const int r = std::min(by * 3 / blocks_y, 2);
+      const int c = std::min(bx * 3 / blocks_x, 2);
+      f.dc[static_cast<size_t>(by) * blocks_x + bx] =
+          8.0f * (region_means[static_cast<size_t>(r) * 3 + c] - 128.0f);
+    }
+  }
+  return f;
+}
+
+TEST(FeatureOptionsTest, Validation) {
+  FeatureOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  EXPECT_EQ(o.D(), 9);
+  o.d = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.d = 10;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FeatureOptions();
+  o.grid_rows = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(DBlockFeatureExtractorTest, RegionAveragesExact) {
+  std::vector<float> means = {10, 20, 30, 40, 50, 60, 70, 80, 90};
+  DcFrame f = MakeFrame(means);
+  FeatureOptions o;
+  o.d = 9;
+  auto ex = DBlockFeatureExtractor::Create(o).value();
+  auto avg = ex.RegionAverages(f);
+  ASSERT_EQ(avg.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_NEAR(avg[static_cast<size_t>(i)], 8.0f * (means[static_cast<size_t>(i)] - 128.0f), 1e-3)
+        << "region " << i;
+  }
+}
+
+TEST(DBlockFeatureExtractorTest, NormalizationSpansUnitInterval) {
+  std::vector<float> means = {10, 20, 30, 40, 50, 60, 70, 80, 90};
+  DcFrame f = MakeFrame(means);
+  FeatureOptions o;
+  o.d = 9;
+  auto ex = DBlockFeatureExtractor::Create(o).value();
+  auto feat = ex.Extract(f);
+  float mn = 1e9f, mx = -1e9f;
+  for (float v : feat) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_FLOAT_EQ(mn, 0.0f);
+  EXPECT_FLOAT_EQ(mx, 1.0f);
+}
+
+TEST(DBlockFeatureExtractorTest, Eq1AffineInvariance) {
+  // Eq. 1 min-max normalization makes features invariant to brightness
+  // shifts and contrast scaling — the paper's core robustness claim.
+  std::vector<float> means = {30, 90, 60, 120, 45, 75, 150, 100, 50};
+  std::vector<float> shifted(9), scaled(9);
+  for (int i = 0; i < 9; ++i) {
+    shifted[static_cast<size_t>(i)] = means[static_cast<size_t>(i)] + 25.0f;
+    scaled[static_cast<size_t>(i)] = 128.0f + (means[static_cast<size_t>(i)] - 128.0f) * 0.7f;
+  }
+  FeatureOptions o;
+  o.d = 7;
+  auto ex = DBlockFeatureExtractor::Create(o).value();
+  auto f0 = ex.Extract(MakeFrame(means));
+  auto f1 = ex.Extract(MakeFrame(shifted));
+  auto f2 = ex.Extract(MakeFrame(scaled));
+  for (size_t i = 0; i < f0.size(); ++i) {
+    EXPECT_NEAR(f0[i], f1[i], 1e-4) << "brightness shift changed feature " << i;
+    EXPECT_NEAR(f0[i], f2[i], 1e-4) << "contrast scale changed feature " << i;
+  }
+}
+
+TEST(DBlockFeatureExtractorTest, FlatFrameMapsToCenter) {
+  std::vector<float> means(9, 100.0f);
+  FeatureOptions o;
+  o.d = 5;
+  auto ex = DBlockFeatureExtractor::Create(o).value();
+  auto feat = ex.Extract(MakeFrame(means));
+  for (float v : feat) EXPECT_FLOAT_EQ(v, 0.5f);
+}
+
+TEST(DBlockFeatureExtractorTest, SelectionIsDeterministicPrefix) {
+  // Feature vectors for d and d' < d must agree on the shared prefix order.
+  std::vector<float> means = {10, 90, 45, 30, 70, 55, 20, 60, 80};
+  DcFrame f = MakeFrame(means);
+  FeatureOptions o5;
+  o5.d = 5;
+  FeatureOptions o7;
+  o7.d = 7;
+  auto e5 = DBlockFeatureExtractor::Create(o5).value();
+  auto e7 = DBlockFeatureExtractor::Create(o7).value();
+  auto f5 = e5.Extract(f);
+  auto f7 = e7.Extract(f);
+  for (size_t i = 0; i < f5.size(); ++i) EXPECT_FLOAT_EQ(f5[i], f7[i]);
+}
+
+TEST(DBlockFeatureExtractorTest, CenterRegionSelectedFirst) {
+  // With d=1 only the center region (index 4 of the 3×3 grid) is kept.
+  std::vector<float> means = {0, 0, 0, 0, 200, 0, 0, 0, 0};
+  FeatureOptions o;
+  o.d = 1;
+  auto ex = DBlockFeatureExtractor::Create(o).value();
+  auto feat = ex.Extract(MakeFrame(means));
+  ASSERT_EQ(feat.size(), 1u);
+  EXPECT_FLOAT_EQ(feat[0], 1.0f);  // center is the max region
+}
+
+TEST(DBlockFeatureExtractorTest, UnevenBlockGridCovered) {
+  // blocks_x=10, blocks_y=7 do not divide by 3; every block must still land
+  // in exactly one region (averages finite, no crash).
+  Rng rng(5);
+  DcFrame f;
+  f.blocks_x = 10;
+  f.blocks_y = 7;
+  f.dc.resize(70);
+  for (auto& v : f.dc) v = static_cast<float>(rng.UniformDouble(-800, 800));
+  FeatureOptions o;
+  o.d = 9;
+  auto ex = DBlockFeatureExtractor::Create(o).value();
+  auto avg = ex.RegionAverages(f);
+  for (float v : avg) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(DBlockFeatureExtractorTest, OrdinalOrderSurvivesMildNoise) {
+  // The ordinal pattern of region averages is the paper's stability claim:
+  // small perturbations rarely flip the argmax region.
+  Rng rng(7);
+  int argmax_flips = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> means(9);
+    for (auto& v : means) v = static_cast<float>(rng.UniformDouble(40, 200));
+    std::vector<float> noisy = means;
+    for (auto& v : noisy) v += static_cast<float>(rng.Gaussian() * 1.5);
+    auto argmax = [](const std::vector<float>& v) {
+      return std::max_element(v.begin(), v.end()) - v.begin();
+    };
+    if (argmax(means) != argmax(noisy)) ++argmax_flips;
+  }
+  EXPECT_LT(argmax_flips, trials / 10);
+}
+
+}  // namespace
+}  // namespace vcd::features

@@ -1,0 +1,123 @@
+#include "features/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "video/scene_model.h"
+#include "video/synthetic.h"
+
+namespace vcd::features {
+namespace {
+
+using vcd::video::DcFrame;
+using vcd::video::RenderDcFrames;
+using vcd::video::RenderOptions;
+using vcd::video::SceneModel;
+
+std::vector<DcFrame> KeyFrames(uint64_t seed, double seconds, double fps = 29.97,
+                               double noise = 0.0, uint64_t noise_seed = 1) {
+  SceneModel m = SceneModel::Generate(seed, seconds + 1.0);
+  RenderOptions ro;
+  ro.fps = fps;
+  ro.noise_sigma = noise;
+  ro.noise_seed = noise_seed;
+  auto frames = RenderDcFrames(m, 0.0, seconds, ro, 12);
+  VCD_CHECK(frames.ok(), "render failed");
+  return std::move(frames).value();
+}
+
+TEST(FrameFingerprinterTest, CreateValidation) {
+  FingerprintOptions o;
+  EXPECT_TRUE(FrameFingerprinter::Create(o).ok());
+  o.feature.d = 0;
+  EXPECT_FALSE(FrameFingerprinter::Create(o).ok());
+  o = FingerprintOptions();
+  o.u = 0;
+  EXPECT_FALSE(FrameFingerprinter::Create(o).ok());
+}
+
+TEST(FrameFingerprinterTest, NumCellsMatchesPartition) {
+  FingerprintOptions o;  // d=5, u=4 defaults
+  auto fp = FrameFingerprinter::Create(o).value();
+  EXPECT_EQ(fp.num_cells(), 2ull * 5 * 1024);
+}
+
+TEST(FrameFingerprinterTest, IdsWithinRange) {
+  auto fp = FrameFingerprinter::Create(FingerprintOptions()).value();
+  auto ids = fp.FingerprintSequence(KeyFrames(3, 10.0));
+  ASSERT_FALSE(ids.empty());
+  for (CellId id : ids) EXPECT_LT(id, fp.num_cells());
+}
+
+TEST(FrameFingerprinterTest, DeterministicPipeline) {
+  auto fp = FrameFingerprinter::Create(FingerprintOptions()).value();
+  auto a = fp.FingerprintSequence(KeyFrames(5, 8.0));
+  auto b = fp.FingerprintSequence(KeyFrames(5, 8.0));
+  EXPECT_EQ(a, b);
+}
+
+TEST(FrameFingerprinterTest, DifferentContentDifferentSignatures) {
+  auto fp = FrameFingerprinter::Create(FingerprintOptions()).value();
+  auto a = fp.FingerprintSequence(KeyFrames(10, 10.0));
+  auto b = fp.FingerprintSequence(KeyFrames(11, 10.0));
+  int same = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) same += (a[i] == b[i]);
+  EXPECT_LT(static_cast<double>(same) / static_cast<double>(n), 0.5);
+}
+
+TEST(FrameFingerprinterTest, CopiesAtDifferentFpsShareMostSignatures) {
+  // The robustness property everything rests on: the same content sampled
+  // at NTSC and PAL rates maps to heavily overlapping cell-id sets.
+  auto fp = FrameFingerprinter::Create(FingerprintOptions()).value();
+  auto ntsc = fp.FingerprintSequence(KeyFrames(21, 30.0, 29.97));
+  auto pal = fp.FingerprintSequence(KeyFrames(21, 30.0, 25.0));
+  std::set<CellId> sa(ntsc.begin(), ntsc.end()), sb(pal.begin(), pal.end());
+  size_t inter = 0;
+  for (CellId id : sa) inter += sb.count(id);
+  const double jaccard =
+      static_cast<double>(inter) / static_cast<double>(sa.size() + sb.size() - inter);
+  EXPECT_GT(jaccard, 0.6) << "|A∩B|=" << inter;
+}
+
+TEST(FrameFingerprinterTest, NoisyCopyStillOverlaps) {
+  auto fp = FrameFingerprinter::Create(FingerprintOptions()).value();
+  auto clean = fp.FingerprintSequence(KeyFrames(23, 30.0, 29.97));
+  auto noisy = fp.FingerprintSequence(KeyFrames(23, 30.0, 29.97, 3.0, 77));
+  std::set<CellId> sa(clean.begin(), clean.end()), sb(noisy.begin(), noisy.end());
+  size_t inter = 0;
+  for (CellId id : sa) inter += sb.count(id);
+  const double jaccard =
+      static_cast<double>(inter) / static_cast<double>(sa.size() + sb.size() - inter);
+  EXPECT_GT(jaccard, 0.5);
+}
+
+/// Parameterized sweep over (d, u): pipeline stays well-formed everywhere.
+class FingerprintSweepTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FingerprintSweepTest, ValidIdsAcrossParameterSpace) {
+  auto [d, u] = GetParam();
+  FingerprintOptions o;
+  o.feature.d = d;
+  o.u = u;
+  auto fp = FrameFingerprinter::Create(o);
+  ASSERT_TRUE(fp.ok()) << "d=" << d << " u=" << u;
+  auto ids = fp->FingerprintSequence(KeyFrames(31, 5.0));
+  for (CellId id : ids) EXPECT_LT(id, fp->num_cells());
+  EXPECT_EQ(fp->num_cells(),
+            2ull * d * static_cast<uint64_t>(std::pow(u, d)) + 0ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DU, FingerprintSweepTest,
+    ::testing::Values(std::pair{3, 2}, std::pair{3, 7}, std::pair{4, 4},
+                      std::pair{5, 2}, std::pair{5, 4}, std::pair{5, 7},
+                      std::pair{6, 3}, std::pair{7, 2}, std::pair{7, 4}));
+
+}  // namespace
+}  // namespace vcd::features

@@ -1,0 +1,171 @@
+#include "features/grid_pyramid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+namespace vcd::features {
+namespace {
+
+TEST(GridPyramidTest, CreateValidation) {
+  EXPECT_TRUE(GridPyramidPartition::Create(5, 4).ok());
+  EXPECT_FALSE(GridPyramidPartition::Create(0, 4).ok());
+  EXPECT_FALSE(GridPyramidPartition::Create(5, 0).ok());
+  // u^d overflow of the 32-bit cell space.
+  EXPECT_FALSE(GridPyramidPartition::Create(20, 10).ok());
+}
+
+TEST(GridPyramidTest, CellCounts) {
+  auto gp = GridPyramidPartition::Create(5, 4, PartitionScheme::kGridPyramid).value();
+  EXPECT_EQ(gp.num_cells(), 2ull * 5 * 1024);  // 2*d*u^d
+  auto g = GridPyramidPartition::Create(5, 4, PartitionScheme::kGrid).value();
+  EXPECT_EQ(g.num_cells(), 1024ull);
+  auto p = GridPyramidPartition::Create(5, 4, PartitionScheme::kPyramid).value();
+  EXPECT_EQ(p.num_cells(), 10ull);
+}
+
+TEST(GridPyramidTest, GridOrderRowMajor) {
+  auto gp = GridPyramidPartition::Create(2, 4, PartitionScheme::kGrid).value();
+  // f = (0.1, 0.6): slices (0, 2) → index 0*4+2 = 2.
+  EXPECT_EQ(gp.Assign({0.1f, 0.6f}), 2u);
+  // f = (0.9, 0.9): slices (3, 3) → 15.
+  EXPECT_EQ(gp.Assign({0.9f, 0.9f}), 15u);
+}
+
+TEST(GridPyramidTest, BoundaryValueOneStaysInLastSlice) {
+  auto gp = GridPyramidPartition::Create(1, 4, PartitionScheme::kGrid).value();
+  EXPECT_EQ(gp.Assign({1.0f}), 3u);
+}
+
+TEST(GridPyramidTest, OutOfRangeValuesClamped) {
+  auto gp = GridPyramidPartition::Create(2, 4, PartitionScheme::kGrid).value();
+  EXPECT_EQ(gp.Assign({-0.5f, 2.0f}), gp.Assign({0.0f, 1.0f}));
+}
+
+TEST(GridPyramidTest, PyramidOrderBelowAndAbove) {
+  auto gp = GridPyramidPartition::Create(3, 1, PartitionScheme::kPyramid).value();
+  // Whole space is one cell centered at (0.5, 0.5, 0.5).
+  // Deviation maximal on dim 1, below center → O_p = 1.
+  EXPECT_EQ(gp.Assign({0.5f, 0.1f, 0.5f}), 1u);
+  // Deviation maximal on dim 1, above center → O_p = 1 + d = 4.
+  EXPECT_EQ(gp.Assign({0.5f, 0.9f, 0.5f}), 4u);
+  // Deviation maximal on dim 2, below → 2.
+  EXPECT_EQ(gp.Assign({0.55f, 0.55f, 0.2f}), 2u);
+}
+
+TEST(GridPyramidTest, PyramidTieBreaksToLowestDim) {
+  auto gp = GridPyramidPartition::Create(2, 1, PartitionScheme::kPyramid).value();
+  // Equal deviation on both dims, both above → j_max = 0, O_p = 2.
+  EXPECT_EQ(gp.Assign({0.8f, 0.8f}), 2u);
+}
+
+TEST(GridPyramidTest, CombinedIdFormula) {
+  const int d = 2, u = 4;
+  auto gp = GridPyramidPartition::Create(d, u, PartitionScheme::kGridPyramid).value();
+  std::vector<float> f = {0.30f, 0.70f};
+  const uint64_t og = gp.GridOrder(f);
+  const int op = gp.PyramidOrder(f, gp.GridCellCenter(f));
+  EXPECT_EQ(gp.Assign(f), 2ull * d * og + static_cast<uint64_t>(op));
+}
+
+TEST(GridPyramidTest, AllIdsWithinRange) {
+  Rng rng(3);
+  for (auto scheme : {PartitionScheme::kGrid, PartitionScheme::kPyramid,
+                      PartitionScheme::kGridPyramid}) {
+    auto gp = GridPyramidPartition::Create(5, 4, scheme).value();
+    for (int t = 0; t < 2000; ++t) {
+      std::vector<float> f(5);
+      for (auto& v : f) v = static_cast<float>(rng.UniformDouble());
+      EXPECT_LT(gp.Assign(f), gp.num_cells());
+    }
+  }
+}
+
+TEST(GridPyramidTest, ManyCellsActuallyUsed) {
+  Rng rng(5);
+  auto gp = GridPyramidPartition::Create(3, 4, PartitionScheme::kGridPyramid).value();
+  std::set<CellId> seen;
+  for (int t = 0; t < 20000; ++t) {
+    std::vector<float> f(3);
+    for (auto& v : f) v = static_cast<float>(rng.UniformDouble());
+    seen.insert(gp.Assign(f));
+  }
+  // 2*3*64 = 384 cells; uniform sampling should hit most of them.
+  EXPECT_GT(seen.size(), 300u);
+}
+
+TEST(GridPyramidTest, GridCellCenterIsInsideCell) {
+  auto gp = GridPyramidPartition::Create(4, 5).value();
+  std::vector<float> f = {0.11f, 0.49f, 0.72f, 0.98f};
+  auto center = gp.GridCellCenter(f);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(center[j], f[j], 1.0f / 5.0f);
+  }
+}
+
+TEST(GridPyramidTest, PyramidOrderInsensitiveToNonArgmaxPerturbation) {
+  // The paper's §III-A claim, verbatim: "Unless the value j_max is changed,
+  // variances of other values will not affect the pyramid cell id." We
+  // perturb every non-argmax dimension arbitrarily — as long as it stays in
+  // its grid slice and below the dominant deviation, the cell id is
+  // unchanged. A pure-grid refinement of matched granularity has no such
+  // safe region.
+  Rng rng(7);
+  auto gp = GridPyramidPartition::Create(5, 4, PartitionScheme::kGridPyramid).value();
+  int checked = 0;
+  for (int t = 0; t < 2000; ++t) {
+    std::vector<float> f(5);
+    for (auto& v : f) v = static_cast<float>(rng.UniformDouble(0.02, 0.98));
+    const auto center = gp.GridCellCenter(f);
+    // Identify the dominant dimension and its deviation.
+    int jmax = 0;
+    float dev = -1;
+    for (int j = 0; j < 5; ++j) {
+      const float d = std::fabs(f[static_cast<size_t>(j)] - center[static_cast<size_t>(j)]);
+      if (d > dev) {
+        dev = d;
+        jmax = j;
+      }
+    }
+    if (dev < 0.02f) continue;  // no clear dominant direction; skip
+    std::vector<float> g = f;
+    for (int j = 0; j < 5; ++j) {
+      if (j == jmax) continue;
+      // Move dimension j anywhere within (center - dev, center + dev),
+      // clipped to its grid slice.
+      const float lo = std::max(center[static_cast<size_t>(j)] - dev * 0.95f,
+                                center[static_cast<size_t>(j)] - 0.124f);
+      const float hi = std::min(center[static_cast<size_t>(j)] + dev * 0.95f,
+                                center[static_cast<size_t>(j)] + 0.124f);
+      g[static_cast<size_t>(j)] = static_cast<float>(rng.UniformDouble(lo, hi));
+    }
+    EXPECT_EQ(gp.Assign(f), gp.Assign(g)) << "trial " << t;
+    ++checked;
+  }
+  EXPECT_GT(checked, 1000);
+}
+
+TEST(GridPyramidTest, GridPyramidRefinesGrid) {
+  // id / 2d recovers the grid order: the combined partition is a strict
+  // refinement of the grid partition.
+  Rng rng(9);
+  auto gp = GridPyramidPartition::Create(5, 4, PartitionScheme::kGridPyramid).value();
+  auto grid = GridPyramidPartition::Create(5, 4, PartitionScheme::kGrid).value();
+  for (int t = 0; t < 2000; ++t) {
+    std::vector<float> f(5);
+    for (auto& v : f) v = static_cast<float>(rng.UniformDouble());
+    EXPECT_EQ(gp.Assign(f) / 10, grid.Assign(f));
+  }
+}
+
+TEST(GridPyramidTest, DeterministicAssign) {
+  auto gp = GridPyramidPartition::Create(5, 4).value();
+  std::vector<float> f = {0.1f, 0.9f, 0.3f, 0.5f, 0.7f};
+  EXPECT_EQ(gp.Assign(f), gp.Assign(f));
+}
+
+}  // namespace
+}  // namespace vcd::features

@@ -1,0 +1,72 @@
+#include "sketch/jaccard.h"
+
+#include <gtest/gtest.h>
+
+namespace vcd::sketch {
+namespace {
+
+TEST(CellIdSetTest, FromSequenceDedupsAndSorts) {
+  auto s = CellIdSet::FromSequence({5, 1, 5, 3, 1});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids(), (std::vector<features::CellId>{1, 3, 5}));
+}
+
+TEST(CellIdSetTest, Contains) {
+  auto s = CellIdSet::FromSequence({2, 4, 6});
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(5));
+}
+
+TEST(CellIdSetTest, EmptySet) {
+  auto s = CellIdSet::FromSequence({});
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(s.Jaccard(s), 0.0);
+}
+
+TEST(CellIdSetTest, IntersectionSize) {
+  auto a = CellIdSet::FromSequence({1, 2, 3, 4});
+  auto b = CellIdSet::FromSequence({3, 4, 5, 6});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(b.IntersectionSize(a), 2u);
+}
+
+TEST(CellIdSetTest, JaccardKnownValues) {
+  auto a = CellIdSet::FromSequence({1, 2, 3, 4});
+  auto b = CellIdSet::FromSequence({3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(a.Jaccard(a), 1.0);
+}
+
+TEST(CellIdSetTest, JaccardDisjoint) {
+  auto a = CellIdSet::FromSequence({1, 2});
+  auto b = CellIdSet::FromSequence({3, 4});
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 0.0);
+}
+
+TEST(CellIdSetTest, JaccardSubset) {
+  auto a = CellIdSet::FromSequence({1, 2, 3, 4});
+  auto b = CellIdSet::FromSequence({2, 3});
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 0.5);
+}
+
+TEST(JaccardSimilarityTest, SequencesWithDuplicates) {
+  // Sequence order and multiplicity are irrelevant — Definition 2 is on
+  // sets, which is what gives the method reorder robustness.
+  std::vector<features::CellId> a = {1, 1, 2, 3, 3, 3};
+  std::vector<features::CellId> b = {3, 2, 1};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 1.0);
+}
+
+TEST(JaccardSimilarityTest, ReorderInvariance) {
+  std::vector<features::CellId> a = {10, 20, 30, 40, 50};
+  std::vector<features::CellId> b = {50, 10, 40, 20, 30};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 1.0);
+}
+
+TEST(JaccardSimilarityTest, OneEmpty) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace vcd::sketch

@@ -1,0 +1,195 @@
+#include "sketch/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sketch/jaccard.h"
+#include "util/rng.h"
+
+namespace vcd::sketch {
+namespace {
+
+using features::CellId;
+
+std::vector<CellId> RandomSet(Rng* rng, size_t n, uint32_t universe) {
+  std::set<CellId> s;
+  while (s.size() < n) s.insert(static_cast<CellId>(rng->Uniform(universe)));
+  return {s.begin(), s.end()};
+}
+
+TEST(MinHashFamilyTest, CreateValidation) {
+  EXPECT_TRUE(MinHashFamily::Create(1).ok());
+  EXPECT_TRUE(MinHashFamily::Create(800).ok());
+  EXPECT_FALSE(MinHashFamily::Create(0).ok());
+  EXPECT_FALSE(MinHashFamily::Create(-5).ok());
+}
+
+TEST(MinHashFamilyTest, DeterministicPerSeed) {
+  auto a = MinHashFamily::Create(16, 1).value();
+  auto b = MinHashFamily::Create(16, 1).value();
+  auto c = MinHashFamily::Create(16, 2).value();
+  for (int fn = 0; fn < 16; ++fn) {
+    EXPECT_EQ(a.Hash(fn, 123), b.Hash(fn, 123));
+    EXPECT_NE(a.Hash(fn, 123), c.Hash(fn, 123));
+  }
+}
+
+TEST(MinHashFamilyTest, FunctionsAreIndependent) {
+  auto fam = MinHashFamily::Create(8, 3).value();
+  std::set<uint64_t> values;
+  for (int fn = 0; fn < 8; ++fn) values.insert(fam.Hash(fn, 42));
+  EXPECT_EQ(values.size(), 8u);
+}
+
+TEST(MinHashFamilyTest, MinWiseUniformity) {
+  // Over a fixed set X, each element should win the min with probability
+  // ≈ 1/|X| (Theorem 1's defining property), measured across functions.
+  const int k = 4000;
+  auto fam = MinHashFamily::Create(k, 7).value();
+  std::vector<CellId> x = {5, 99, 1234, 5000, 9999};
+  std::vector<int> wins(x.size(), 0);
+  for (int fn = 0; fn < k; ++fn) {
+    size_t arg = 0;
+    uint64_t best = ~0ULL;
+    for (size_t i = 0; i < x.size(); ++i) {
+      uint64_t h = fam.Hash(fn, x[i]);
+      if (h < best) {
+        best = h;
+        arg = i;
+      }
+    }
+    ++wins[arg];
+  }
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(wins[i]) / k, 1.0 / x.size(), 0.03)
+        << "element " << x[i];
+  }
+}
+
+TEST(SketcherTest, EmptySketchIsAllMax) {
+  auto fam = MinHashFamily::Create(8).value();
+  Sketcher sk(&fam);
+  Sketch s = sk.Empty();
+  EXPECT_EQ(s.K(), 8);
+  for (uint64_t v : s.mins) EXPECT_EQ(v, ~0ULL);
+}
+
+TEST(SketcherTest, AddLowersMins) {
+  auto fam = MinHashFamily::Create(8).value();
+  Sketcher sk(&fam);
+  Sketch s = sk.Empty();
+  sk.Add(&s, 42);
+  for (int fn = 0; fn < 8; ++fn) {
+    EXPECT_EQ(s.mins[static_cast<size_t>(fn)], fam.Hash(fn, 42));
+  }
+}
+
+TEST(SketcherTest, OrderIndependence) {
+  auto fam = MinHashFamily::Create(32).value();
+  Sketcher sk(&fam);
+  std::vector<CellId> ids = {9, 1, 5, 3, 7};
+  Sketch a = sk.FromSequence(ids);
+  std::vector<CellId> rev(ids.rbegin(), ids.rend());
+  Sketch b = sk.FromSequence(rev);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SketcherTest, DuplicatesDoNotMatter) {
+  auto fam = MinHashFamily::Create(32).value();
+  Sketcher sk(&fam);
+  Sketch a = sk.FromSequence({1, 2, 3});
+  Sketch b = sk.FromSequence({1, 1, 2, 2, 3, 3, 3});
+  EXPECT_EQ(a, b);
+}
+
+TEST(SketcherTest, CombineEqualsUnionSketch) {
+  // Property 1: sketch(A ∪ B) = min(sketch(A), sketch(B)), tested exactly.
+  Rng rng(11);
+  auto fam = MinHashFamily::Create(64).value();
+  Sketcher sk(&fam);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = RandomSet(&rng, 20, 10000);
+    auto b = RandomSet(&rng, 30, 10000);
+    std::vector<CellId> uni = a;
+    uni.insert(uni.end(), b.begin(), b.end());
+    Sketch sa = sk.FromSequence(a);
+    Sketch sb = sk.FromSequence(b);
+    Sketch su = sk.FromSequence(uni);
+    Sketcher::Combine(&sa, sb);
+    EXPECT_EQ(sa, su);
+  }
+}
+
+TEST(SketcherTest, SimilarityIdenticalSetsIsOne) {
+  auto fam = MinHashFamily::Create(100).value();
+  Sketcher sk(&fam);
+  Sketch a = sk.FromSequence({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(Sketcher::Similarity(a, a), 1.0);
+}
+
+TEST(SketcherTest, SimilarityDisjointSetsNearZero) {
+  auto fam = MinHashFamily::Create(500).value();
+  Sketcher sk(&fam);
+  Rng rng(13);
+  Sketch a = sk.FromSequence(RandomSet(&rng, 50, 5000));
+  std::vector<CellId> shifted;
+  for (CellId id : RandomSet(&rng, 50, 5000)) shifted.push_back(id + 10000);
+  Sketch b = sk.FromSequence(shifted);
+  EXPECT_LT(Sketcher::Similarity(a, b), 0.02);
+}
+
+TEST(SketcherTest, EstimatorTracksExactJaccard) {
+  // Property-style test: across random set pairs with varied overlap, the
+  // K=1000 estimate stays within ~5 points of the exact Jaccard.
+  Rng rng(17);
+  auto fam = MinHashFamily::Create(1000, 99).value();
+  Sketcher sk(&fam);
+  for (int trial = 0; trial < 15; ++trial) {
+    const size_t common = 5 + rng.Uniform(60);
+    const size_t only_a = rng.Uniform(60);
+    const size_t only_b = rng.Uniform(60);
+    auto shared = RandomSet(&rng, common, 100000);
+    std::vector<CellId> a = shared, b = shared;
+    for (CellId id : RandomSet(&rng, only_a + 1, 100000)) a.push_back(id + 200000);
+    for (CellId id : RandomSet(&rng, only_b + 1, 100000)) b.push_back(id + 400000);
+    const double exact = JaccardSimilarity(a, b);
+    const double est = Sketcher::Similarity(sk.FromSequence(a), sk.FromSequence(b));
+    EXPECT_NEAR(est, exact, 0.055) << "trial " << trial;
+  }
+}
+
+TEST(SketcherTest, NumEqualCountsPositions) {
+  auto fam = MinHashFamily::Create(16).value();
+  Sketcher sk(&fam);
+  Sketch a = sk.FromSequence({1, 2, 3});
+  Sketch b = a;
+  b.mins[0] = 0;  // force one mismatch
+  EXPECT_EQ(Sketcher::NumEqual(a, b), 15);
+}
+
+/// Estimator variance shrinks like 1/K (binomial): parameterized sanity
+/// sweep over K.
+class MinHashKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashKSweep, EstimateWithinBinomialBound) {
+  const int k = GetParam();
+  Rng rng(23);
+  auto fam = MinHashFamily::Create(k, 5).value();
+  Sketcher sk(&fam);
+  auto shared = RandomSet(&rng, 40, 100000);
+  std::vector<CellId> a = shared, b = shared;
+  for (CellId id : RandomSet(&rng, 20, 100000)) a.push_back(id + 200000);
+  for (CellId id : RandomSet(&rng, 20, 100000)) b.push_back(id + 400000);
+  const double exact = JaccardSimilarity(a, b);
+  const double est = Sketcher::Similarity(sk.FromSequence(a), sk.FromSequence(b));
+  const double sigma = std::sqrt(exact * (1 - exact) / k);
+  EXPECT_NEAR(est, exact, 5 * sigma + 1e-9) << "K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(K, MinHashKSweep,
+                         ::testing::Values(100, 200, 400, 800, 1600, 3000));
+
+}  // namespace
+}  // namespace vcd::sketch

@@ -1,0 +1,110 @@
+#include "stream/basic_window.h"
+
+#include <gtest/gtest.h>
+
+namespace vcd::stream {
+namespace {
+
+TEST(BasicWindowAssemblerTest, CreateValidation) {
+  EXPECT_TRUE(BasicWindowAssembler::Create(5.0).ok());
+  EXPECT_FALSE(BasicWindowAssembler::Create(0.0).ok());
+  EXPECT_FALSE(BasicWindowAssembler::Create(-1.0).ok());
+}
+
+TEST(BasicWindowAssemblerTest, EmitsOnBoundaryCrossing) {
+  auto a = BasicWindowAssembler::Create(1.0).value();
+  BasicWindow w;
+  // Frames at 0.0, 0.4, 0.8 stay in the first window.
+  EXPECT_FALSE(a.Add(0, 0.0, 10, &w));
+  EXPECT_FALSE(a.Add(12, 0.4, 11, &w));
+  EXPECT_FALSE(a.Add(24, 0.8, 12, &w));
+  // Frame at 1.0 crosses: the first window is emitted.
+  ASSERT_TRUE(a.Add(30, 1.0, 13, &w));
+  EXPECT_EQ(w.index, 0);
+  EXPECT_EQ(w.start_frame, 0);
+  EXPECT_EQ(w.end_frame, 24);
+  EXPECT_EQ(w.ids, (std::vector<features::CellId>{10, 11, 12}));
+  EXPECT_DOUBLE_EQ(w.start_time, 0.0);
+  EXPECT_DOUBLE_EQ(w.end_time, 0.8);
+}
+
+TEST(BasicWindowAssemblerTest, FlushEmitsTrailingPartial) {
+  auto a = BasicWindowAssembler::Create(1.0).value();
+  BasicWindow w;
+  a.Add(0, 0.0, 1, &w);
+  a.Add(12, 0.4, 2, &w);
+  ASSERT_TRUE(a.Flush(&w));
+  EXPECT_EQ(w.ids.size(), 2u);
+  EXPECT_EQ(w.index, 0);
+  // Nothing left after flush.
+  EXPECT_FALSE(a.Flush(&w));
+}
+
+TEST(BasicWindowAssemblerTest, FlushOnEmptyIsFalse) {
+  auto a = BasicWindowAssembler::Create(1.0).value();
+  BasicWindow w;
+  EXPECT_FALSE(a.Flush(&w));
+}
+
+TEST(BasicWindowAssemblerTest, IndicesIncrement) {
+  auto a = BasicWindowAssembler::Create(1.0).value();
+  BasicWindow w;
+  int emitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Add(i, i * 0.25, static_cast<features::CellId>(i), &w)) {
+      EXPECT_EQ(w.index, emitted);
+      ++emitted;
+    }
+  }
+  // 100 frames at 0.25 s spacing = 24.75 s ⇒ 24 complete windows emitted.
+  EXPECT_EQ(emitted, 24);
+  ASSERT_TRUE(a.Flush(&w));
+  EXPECT_EQ(w.index, 24);
+  EXPECT_EQ(a.windows_emitted(), 25);
+}
+
+TEST(BasicWindowAssemblerTest, WindowsPartitionTheStream) {
+  auto a = BasicWindowAssembler::Create(2.0).value();
+  BasicWindow w;
+  std::vector<BasicWindow> windows;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Add(i, i * 0.3, static_cast<features::CellId>(i % 7), &w)) {
+      windows.push_back(w);
+    }
+  }
+  if (a.Flush(&w)) windows.push_back(w);
+  // Every frame appears in exactly one window, in order.
+  size_t total = 0;
+  int64_t prev_end = -1;
+  for (const auto& win : windows) {
+    EXPECT_GT(win.start_frame, prev_end);
+    EXPECT_GE(win.end_frame, win.start_frame);
+    prev_end = win.end_frame;
+    total += win.ids.size();
+  }
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(BasicWindowAssemblerTest, SparseFramesOnePerWindow) {
+  // Frames 3 s apart with w = 1 s: every frame closes the previous window.
+  auto a = BasicWindowAssembler::Create(1.0).value();
+  BasicWindow w;
+  EXPECT_FALSE(a.Add(0, 0.0, 1, &w));
+  EXPECT_TRUE(a.Add(90, 3.0, 2, &w));
+  EXPECT_EQ(w.ids.size(), 1u);
+  EXPECT_TRUE(a.Add(180, 6.0, 3, &w));
+  EXPECT_EQ(w.ids.size(), 1u);
+}
+
+TEST(BasicWindowAssemblerTest, NonZeroStartTime) {
+  auto a = BasicWindowAssembler::Create(1.0).value();
+  BasicWindow w;
+  EXPECT_FALSE(a.Add(300, 10.0, 1, &w));
+  EXPECT_FALSE(a.Add(312, 10.4, 2, &w));
+  ASSERT_TRUE(a.Add(330, 11.0, 3, &w));
+  EXPECT_DOUBLE_EQ(w.start_time, 10.0);
+  EXPECT_EQ(w.start_frame, 300);
+}
+
+}  // namespace
+}  // namespace vcd::stream

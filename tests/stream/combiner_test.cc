@@ -1,0 +1,184 @@
+#include "stream/combiner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vcd::stream {
+namespace {
+
+/// Test payload: tracks which window indices it covers.
+struct Cand {
+  int num_windows = 0;
+  int first = 0, last = 0;  // covered window index range
+};
+
+Cand Fresh(int i) { return Cand{1, i, i}; }
+
+void Merge(Cand& older, const Cand& newer) {
+  EXPECT_EQ(older.last + 1, newer.first) << "merge must join adjacent spans";
+  older.num_windows += newer.num_windows;
+  older.last = newer.last;
+}
+
+TEST(SequentialCandidatesTest, AllSuffixLengthsPresent) {
+  SequentialCandidates<Cand> seq;
+  const int max_windows = 5;
+  for (int i = 0; i < 10; ++i) {
+    seq.Step(Fresh(i), max_windows, Merge);
+    // After window i, candidates are the suffixes ending at i with lengths
+    // 1..min(i+1, max).
+    const auto& c = seq.candidates();
+    const int expect = std::min(i + 1, max_windows);
+    ASSERT_EQ(static_cast<int>(c.size()), expect) << "window " << i;
+    for (size_t j = 0; j < c.size(); ++j) {
+      EXPECT_EQ(c[j].last, i);
+      EXPECT_EQ(c[j].num_windows, expect - static_cast<int>(j));
+      EXPECT_EQ(c[j].first, i - c[j].num_windows + 1);
+    }
+  }
+}
+
+TEST(SequentialCandidatesTest, ExpiryDropsOldest) {
+  SequentialCandidates<Cand> seq;
+  for (int i = 0; i < 4; ++i) seq.Step(Fresh(i), 3, Merge);
+  for (const Cand& c : seq.candidates()) EXPECT_LE(c.num_windows, 3);
+}
+
+TEST(SequentialCandidatesTest, RemoveIf) {
+  SequentialCandidates<Cand> seq;
+  for (int i = 0; i < 5; ++i) seq.Step(Fresh(i), 10, Merge);
+  seq.RemoveIf([](const Cand& c) { return c.num_windows % 2 == 0; });
+  for (const Cand& c : seq.candidates()) EXPECT_EQ(c.num_windows % 2, 1);
+}
+
+TEST(SequentialCandidatesTest, Clear) {
+  SequentialCandidates<Cand> seq;
+  seq.Step(Fresh(0), 5, Merge);
+  seq.Clear();
+  EXPECT_TRUE(seq.candidates().empty());
+}
+
+TEST(GeometricCandidatesTest, BinaryCounterSizes) {
+  GeometricCandidates<Cand> geo;
+  for (int i = 0; i < 16; ++i) geo.Step(Fresh(i), 1000, Merge);
+  // 16 windows = 0b10000: one block of 16 at level 4.
+  int live = 0;
+  for (size_t level = 0; level < geo.ladder().size(); ++level) {
+    if (geo.ladder()[level].has_value()) {
+      ++live;
+      EXPECT_EQ(geo.ladder()[level]->num_windows, 1 << level);
+    }
+  }
+  EXPECT_EQ(live, 1);
+  EXPECT_EQ(geo.size(), 1u);
+}
+
+TEST(GeometricCandidatesTest, CounterValueMatchesWindowCount) {
+  GeometricCandidates<Cand> geo;
+  const int n = 13;  // 0b1101
+  for (int i = 0; i < n; ++i) geo.Step(Fresh(i), 1000, Merge);
+  int total = 0;
+  for (const auto& slot : geo.ladder()) {
+    if (slot.has_value()) total += slot->num_windows;
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(geo.size(), 3u);  // bits set in 13
+}
+
+TEST(GeometricCandidatesTest, BlocksAreContiguousNewestFirst) {
+  GeometricCandidates<Cand> geo;
+  const int n = 13;
+  for (int i = 0; i < n; ++i) geo.Step(Fresh(i), 1000, Merge);
+  // Level order is newest (smallest) to oldest (largest); spans must tile
+  // [0, n) in reverse.
+  int expected_last = n - 1;
+  for (const auto& slot : geo.ladder()) {
+    if (!slot.has_value()) continue;
+    EXPECT_EQ(slot->last, expected_last);
+    expected_last = slot->first - 1;
+  }
+  EXPECT_EQ(expected_last, -1);
+}
+
+TEST(GeometricCandidatesTest, VisitSuffixesYieldsSuffixSpans) {
+  GeometricCandidates<Cand> geo;
+  const int n = 13;
+  for (int i = 0; i < n; ++i) geo.Step(Fresh(i), 1000, Merge);
+  std::vector<Cand> visited;
+  geo.VisitSuffixes(
+      1000, [](const Cand& c) { return c; },
+      [](Cand& older, const Cand& newer) {
+        EXPECT_EQ(older.last + 1, newer.first);
+        older.num_windows += newer.num_windows;
+        older.last = newer.last;
+      },
+      [&](const Cand& c) { visited.push_back(c); });
+  ASSERT_FALSE(visited.empty());
+  // Every visited candidate ends at the latest window and lengths grow.
+  int prev = 0;
+  for (const Cand& c : visited) {
+    EXPECT_EQ(c.last, n - 1);
+    EXPECT_EQ(c.first, n - c.num_windows);
+    EXPECT_GT(c.num_windows, prev);
+    prev = c.num_windows;
+  }
+  // The largest suffix covers everything.
+  EXPECT_EQ(visited.back().num_windows, n);
+}
+
+TEST(GeometricCandidatesTest, VisitSuffixesHonorsMaxWindows) {
+  GeometricCandidates<Cand> geo;
+  for (int i = 0; i < 16; ++i) geo.Step(Fresh(i), 1000, Merge);
+  geo.Step(Fresh(16), 1000, Merge);  // blocks: 16 @L4, 1 @L0
+  std::vector<int> lengths;
+  geo.VisitSuffixes(
+      8, [](const Cand& c) { return c; },
+      [](Cand& older, const Cand& newer) {
+        older.num_windows += newer.num_windows;
+        older.last = newer.last;
+      },
+      [&](const Cand& c) { lengths.push_back(c.num_windows); });
+  // Only the length-1 suffix fits under max_windows = 8.
+  ASSERT_EQ(lengths.size(), 1u);
+  EXPECT_EQ(lengths[0], 1);
+}
+
+TEST(GeometricCandidatesTest, ExpiryDropsOversizedCarry) {
+  GeometricCandidates<Cand> geo;
+  // max_windows = 4: merging to a block of 8 must drop it.
+  for (int i = 0; i < 8; ++i) geo.Step(Fresh(i), 4, Merge);
+  for (const auto& slot : geo.ladder()) {
+    if (slot.has_value()) EXPECT_LE(slot->num_windows, 4);
+  }
+}
+
+TEST(GeometricCandidatesTest, LogarithmicLiveCount) {
+  GeometricCandidates<Cand> geo;
+  for (int i = 0; i < 1000; ++i) geo.Step(Fresh(i), 1 << 20, Merge);
+  // popcount(1000) = 6 live blocks; never more than log2(1000)+1.
+  EXPECT_LE(geo.size(), 10u);
+  EXPECT_EQ(geo.size(), 6u);
+}
+
+TEST(GeometricCandidatesTest, RemoveIfAndClear) {
+  GeometricCandidates<Cand> geo;
+  for (int i = 0; i < 7; ++i) geo.Step(Fresh(i), 100, Merge);
+  geo.RemoveIf([](const Cand& c) { return c.num_windows == 2; });
+  for (const auto& slot : geo.ladder()) {
+    if (slot.has_value()) EXPECT_NE(slot->num_windows, 2);
+  }
+  geo.Clear();
+  EXPECT_EQ(geo.size(), 0u);
+}
+
+TEST(GeometricCandidatesTest, ForEachVisitsAllLive) {
+  GeometricCandidates<Cand> geo;
+  for (int i = 0; i < 7; ++i) geo.Step(Fresh(i), 100, Merge);
+  int count = 0;
+  geo.ForEach([&](Cand&) { ++count; });
+  EXPECT_EQ(count, 3);  // popcount(7)
+}
+
+}  // namespace
+}  // namespace vcd::stream

@@ -1,0 +1,115 @@
+#include "util/bit_util.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vcd {
+namespace {
+
+TEST(PopCountTest, Basics) {
+  EXPECT_EQ(PopCount64(0), 0);
+  EXPECT_EQ(PopCount64(1), 1);
+  EXPECT_EQ(PopCount64(~0ULL), 64);
+  EXPECT_EQ(PopCount64(0x5555555555555555ULL), 32);
+}
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.num_words(), 3u);
+  EXPECT_EQ(v.CountOnes(), 0);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.Get(i));
+}
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector v(100);
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(99);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(99));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_EQ(v.CountOnes(), 4);
+  v.Clear(63);
+  EXPECT_FALSE(v.Get(63));
+  EXPECT_EQ(v.CountOnes(), 3);
+}
+
+TEST(BitVectorTest, Reset) {
+  BitVector v(64);
+  for (size_t i = 0; i < 64; i += 3) v.Set(i);
+  v.Reset();
+  EXPECT_EQ(v.CountOnes(), 0);
+}
+
+TEST(BitVectorTest, OrWith) {
+  BitVector a(128), b(128);
+  a.Set(3);
+  a.Set(70);
+  b.Set(3);
+  b.Set(100);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Get(3));
+  EXPECT_TRUE(a.Get(70));
+  EXPECT_TRUE(a.Get(100));
+  EXPECT_EQ(a.CountOnes(), 3);
+}
+
+TEST(BitVectorTest, ParityCountsSmall) {
+  BitVector v(8);
+  v.Set(0);  // even
+  v.Set(1);  // odd
+  v.Set(2);  // even
+  v.Set(5);  // odd
+  EXPECT_EQ(v.CountOnesWithParity(0), 2);
+  EXPECT_EQ(v.CountOnesWithParity(1), 2);
+}
+
+TEST(BitVectorTest, ParityCountsIgnoreBitsBeyondSize) {
+  // 66 bits: the last word is partially used; parity counts must mask it.
+  BitVector v(66);
+  v.Set(64);
+  v.Set(65);
+  EXPECT_EQ(v.CountOnesWithParity(0), 1);
+  EXPECT_EQ(v.CountOnesWithParity(1), 1);
+}
+
+TEST(BitVectorTest, ParityCountsMatchBruteForce) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.Uniform(300);
+    BitVector v(n);
+    int expect[2] = {0, 0};
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.4)) {
+        v.Set(i);
+        ++expect[i % 2];
+      }
+    }
+    EXPECT_EQ(v.CountOnesWithParity(0), expect[0]) << "n=" << n;
+    EXPECT_EQ(v.CountOnesWithParity(1), expect[1]) << "n=" << n;
+  }
+}
+
+TEST(BitVectorTest, Equality) {
+  BitVector a(10), b(10), c(11);
+  EXPECT_TRUE(a == b);
+  b.Set(5);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector v(0);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.CountOnes(), 0);
+  EXPECT_EQ(v.CountOnesWithParity(0), 0);
+  EXPECT_EQ(v.CountOnesWithParity(1), 0);
+}
+
+}  // namespace
+}  // namespace vcd

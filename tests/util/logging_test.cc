@@ -1,0 +1,33 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace vcd {
+namespace {
+
+TEST(LoggingTest, MinLevelFilters) {
+  // Only checks that the machinery runs and the level gate is honored; the
+  // output goes to stderr and is not captured here.
+  SetMinLogLevel(LogLevel::kError);
+  VCD_INFO("suppressed " << 1);
+  VCD_ERROR("emitted " << 2);
+  SetMinLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(static_cast<int>(internal::MinLogLevel()), static_cast<int>(LogLevel::kInfo));
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  EXPECT_NO_FATAL_FAILURE(VCD_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(VCD_CHECK(false, "boom"), "CHECK failed");
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckAbortsInDebug) {
+  EXPECT_DEATH(VCD_DCHECK(false, "dbg"), "CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace vcd

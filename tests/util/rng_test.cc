@@ -1,0 +1,116 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace vcd {
+namespace {
+
+TEST(SplitMix64Test, DeterministicPerSeed) {
+  SplitMix64 a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(SplitMix64Test, ZeroSeedStillMixes) {
+  SplitMix64 a(0);
+  EXPECT_NE(a.Next(), 0u);
+  EXPECT_NE(a.Next(), a.Next());
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformBoundedMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Uniform(100));
+  EXPECT_NEAR(sum / n, 49.5, 1.0);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianTailsExist) {
+  Rng rng(19);
+  int beyond2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) beyond2 += (std::fabs(rng.Gaussian()) > 2.0);
+  // P(|Z| > 2) ≈ 4.55 %.
+  EXPECT_NEAR(static_cast<double>(beyond2) / n, 0.0455, 0.01);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NoShortCycles) {
+  Rng rng(29);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(seen.insert(rng.Next()).second);
+}
+
+}  // namespace
+}  // namespace vcd

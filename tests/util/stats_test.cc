@@ -1,0 +1,70 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace vcd {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStatsTest, LargeStreamStable) {
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.Add(1e6 + (i % 2));  // mean 1e6 + 0.5
+  EXPECT_NEAR(s.mean(), 1e6 + 0.5, 1e-6);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-4);
+}
+
+TEST(PrecisionRecallTest, F1Harmonic) {
+  PrecisionRecall pr{0.5, 1.0};
+  EXPECT_NEAR(pr.F1(), 2.0 * 0.5 * 1.0 / 1.5, 1e-12);
+}
+
+TEST(PrecisionRecallTest, F1ZeroWhenBothZero) {
+  PrecisionRecall pr{0.0, 0.0};
+  EXPECT_EQ(pr.F1(), 0.0);
+}
+
+TEST(PrecisionRecallTest, F1PerfectScore) {
+  PrecisionRecall pr{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(pr.F1(), 1.0);
+}
+
+}  // namespace
+}  // namespace vcd

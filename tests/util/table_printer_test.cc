@@ -1,0 +1,57 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace vcd {
+namespace {
+
+TEST(TablePrinterTest, HeaderOnly) {
+  TablePrinter t({"a", "bb"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowsAligned) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.ToString();
+  // Each line should contain the cells; the 'v' column should start at the
+  // same offset on every row.
+  size_t h = s.find("v");
+  size_t r1 = s.find("1");
+  size_t line1_start = s.find("x");
+  size_t line1 = s.rfind('\n', r1);
+  EXPECT_EQ(r1 - (line1 + 1), h);
+  (void)line1_start;
+}
+
+TEST(TablePrinterTest, ShortRowsTolerated) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NO_FATAL_FAILURE(t.ToString());
+}
+
+TEST(TablePrinterTest, FmtDouble) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(0.5, 3), "0.500");
+  EXPECT_EQ(TablePrinter::Fmt(-1.0, 1), "-1.0");
+}
+
+TEST(TablePrinterTest, FmtInt) {
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-7}), "-7");
+}
+
+TEST(TablePrinterTest, EndsWithNewline) {
+  TablePrinter t({"h"});
+  t.AddRow({"r"});
+  std::string s = t.ToString();
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.back(), '\n');
+}
+
+}  // namespace
+}  // namespace vcd

@@ -1,0 +1,155 @@
+#include "video/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vcd::video {
+namespace {
+
+TEST(BitWriterTest, SingleBits) {
+  BitWriter w;
+  w.WriteBits(1, 1);
+  w.WriteBits(0, 1);
+  w.WriteBits(1, 1);
+  auto bytes = w.Finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitWriterTest, MultiByteValue) {
+  BitWriter w;
+  w.WriteBits(0xABCD, 16);
+  auto bytes = w.Finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xAB);
+  EXPECT_EQ(bytes[1], 0xCD);
+}
+
+TEST(BitRoundTripTest, RawBits) {
+  Rng rng(3);
+  BitWriter w;
+  std::vector<std::pair<uint32_t, int>> vals;
+  for (int i = 0; i < 500; ++i) {
+    int n = 1 + static_cast<int>(rng.Uniform(32));
+    uint32_t v = static_cast<uint32_t>(rng.Next());
+    if (n < 32) v &= (uint32_t{1} << n) - 1;
+    vals.emplace_back(v, n);
+    w.WriteBits(v, n);
+  }
+  auto bytes = w.Finish();
+  BitReader r(bytes.data(), bytes.size());
+  for (auto [v, n] : vals) {
+    uint32_t got = 0;
+    ASSERT_TRUE(r.ReadBits(n, &got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(ExpGolombTest, KnownCodes) {
+  // UE(0) = "1" (1 bit), UE(1) = "010", UE(2) = "011", UE(3) = "00100".
+  BitWriter w;
+  w.WriteUE(0);
+  auto b0 = w.Finish();
+  EXPECT_EQ(b0[0] >> 7, 1);
+
+  BitWriter w1;
+  w1.WriteUE(1);
+  auto b1 = w1.Finish();
+  EXPECT_EQ(b1[0] >> 5, 0b010);
+}
+
+TEST(ExpGolombTest, UnsignedRoundTrip) {
+  Rng rng(5);
+  BitWriter w;
+  std::vector<uint32_t> vals;
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(1 << 20));
+    vals.push_back(v);
+    w.WriteUE(v);
+  }
+  auto bytes = w.Finish();
+  BitReader r(bytes.data(), bytes.size());
+  for (uint32_t v : vals) {
+    uint32_t got = 0;
+    ASSERT_TRUE(r.ReadUE(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(ExpGolombTest, SignedRoundTrip) {
+  Rng rng(7);
+  BitWriter w;
+  std::vector<int32_t> vals;
+  for (int i = 0; i < 1000; ++i) {
+    int32_t v = static_cast<int32_t>(rng.UniformInt(-100000, 100000));
+    vals.push_back(v);
+    w.WriteSE(v);
+  }
+  // Include boundary values.
+  for (int32_t v : {0, 1, -1, 2, -2}) {
+    vals.push_back(v);
+    w.WriteSE(v);
+  }
+  auto bytes = w.Finish();
+  BitReader r(bytes.data(), bytes.size());
+  for (int32_t v : vals) {
+    int32_t got = 0;
+    ASSERT_TRUE(r.ReadSE(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(BitReaderTest, ExhaustionIsCorruption) {
+  BitWriter w;
+  w.WriteBits(0xFF, 8);
+  auto bytes = w.Finish();
+  BitReader r(bytes.data(), bytes.size());
+  uint32_t v;
+  ASSERT_TRUE(r.ReadBits(8, &v).ok());
+  EXPECT_EQ(r.ReadBits(1, &v).code(), StatusCode::kCorruption);
+}
+
+TEST(BitReaderTest, EmptyStream) {
+  BitReader r(nullptr, 0);
+  uint32_t v;
+  EXPECT_EQ(r.ReadBits(1, &v).code(), StatusCode::kCorruption);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BitReaderTest, MalformedExpGolombPrefix) {
+  // 5 zero bytes: 40 leading zeros exceed the 31-zero legal prefix.
+  std::vector<uint8_t> bytes(5, 0);
+  BitReader r(bytes.data(), bytes.size());
+  uint32_t v;
+  EXPECT_EQ(r.ReadUE(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(BitReaderTest, AlignAndSeek) {
+  BitWriter w;
+  w.WriteBits(0b101, 3);
+  w.AlignToByte();
+  w.WriteBits(0xEE, 8);
+  auto bytes = w.Finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  BitReader r(bytes.data(), bytes.size());
+  uint32_t v;
+  ASSERT_TRUE(r.ReadBits(3, &v).ok());
+  r.AlignToByte();
+  ASSERT_TRUE(r.ReadBits(8, &v).ok());
+  EXPECT_EQ(v, 0xEEu);
+  ASSERT_TRUE(r.SeekToBit(0).ok());
+  ASSERT_TRUE(r.ReadBits(3, &v).ok());
+  EXPECT_EQ(v, 0b101u);
+  EXPECT_EQ(r.SeekToBit(1000).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitWriterTest, FinishIsByteAligned) {
+  BitWriter w;
+  w.WriteBits(1, 1);
+  auto bytes = w.Finish();
+  EXPECT_EQ(bytes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vcd::video

@@ -1,0 +1,94 @@
+#include "video/dct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vcd::video {
+namespace {
+
+TEST(DctTest, ConstantBlockHasOnlyDc) {
+  std::array<float, 64> block;
+  block.fill(10.0f);
+  std::array<float, 64> coef;
+  Dct8x8::Forward(block, &coef);
+  // Orthonormal scaling: DC = 8 * value.
+  EXPECT_NEAR(coef[0], 80.0f, 1e-3f);
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(coef[i], 0.0f, 1e-3f) << "coef " << i;
+}
+
+TEST(DctTest, DcEqualsEightTimesMean) {
+  Rng rng(3);
+  std::array<float, 64> block;
+  double mean = 0;
+  for (auto& v : block) {
+    v = static_cast<float>(rng.UniformDouble(-128, 127));
+    mean += v;
+  }
+  mean /= 64.0;
+  std::array<float, 64> coef;
+  Dct8x8::Forward(block, &coef);
+  EXPECT_NEAR(coef[0], 8.0 * mean, 1e-2);
+}
+
+TEST(DctTest, RoundTripIsIdentity) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::array<float, 64> block, coef, back;
+    for (auto& v : block) v = static_cast<float>(rng.UniformDouble(-128, 127));
+    Dct8x8::Forward(block, &coef);
+    Dct8x8::Inverse(coef, &back);
+    for (int i = 0; i < 64; ++i) EXPECT_NEAR(back[i], block[i], 1e-2f);
+  }
+}
+
+TEST(DctTest, ParsevalEnergyPreserved) {
+  Rng rng(11);
+  std::array<float, 64> block, coef;
+  double es = 0;
+  for (auto& v : block) {
+    v = static_cast<float>(rng.UniformDouble(-100, 100));
+    es += static_cast<double>(v) * v;
+  }
+  Dct8x8::Forward(block, &coef);
+  double ec = 0;
+  for (auto c : coef) ec += static_cast<double>(c) * c;
+  EXPECT_NEAR(ec, es, es * 1e-4);
+}
+
+TEST(DctTest, Linearity) {
+  Rng rng(13);
+  std::array<float, 64> a, b, sum, ca, cb, cs;
+  for (int i = 0; i < 64; ++i) {
+    a[i] = static_cast<float>(rng.UniformDouble(-50, 50));
+    b[i] = static_cast<float>(rng.UniformDouble(-50, 50));
+    sum[i] = a[i] + 2.0f * b[i];
+  }
+  Dct8x8::Forward(a, &ca);
+  Dct8x8::Forward(b, &cb);
+  Dct8x8::Forward(sum, &cs);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(cs[i], ca[i] + 2.0f * cb[i], 1e-2f);
+}
+
+TEST(DctTest, HorizontalCosineConcentratesInRow0) {
+  // A pure horizontal cosine at frequency u=1 should put energy at (0, 1).
+  std::array<float, 64> block, coef;
+  const double pi = std::acos(-1.0);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      block[y * 8 + x] = static_cast<float>(std::cos((2 * x + 1) * pi / 16.0));
+    }
+  }
+  Dct8x8::Forward(block, &coef);
+  // coef index (row y=0, col u=1) = 0*8+1.
+  const float main = std::fabs(coef[1]);
+  for (int i = 0; i < 64; ++i) {
+    if (i == 1) continue;
+    EXPECT_LT(std::fabs(coef[i]), main * 0.01f) << "leakage at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace vcd::video

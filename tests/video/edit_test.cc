@@ -1,0 +1,200 @@
+#include "video/edit.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <algorithm>
+#include <set>
+
+#include "video/scene_model.h"
+#include "video/synthetic.h"
+
+namespace vcd::video {
+namespace {
+
+VideoBuffer Clip(double seconds = 1.0, double fps = 10.0, uint64_t seed = 3) {
+  SceneModel m = SceneModel::Generate(seed, seconds + 1.0);
+  RenderOptions ro;
+  ro.width = 32;
+  ro.height = 32;
+  ro.fps = fps;
+  auto v = RenderVideo(m, 0.0, seconds, ro);
+  VCD_CHECK(v.ok(), "render failed");
+  return std::move(v).value();
+}
+
+TEST(EditTest, BrightnessShiftsLuma) {
+  VideoBuffer in = Clip();
+  VideoBuffer out = AdjustBrightness(in, 20);
+  int higher = 0, total = 0;
+  for (size_t i = 0; i < in.frames[0].y_plane().size(); ++i) {
+    int a = in.frames[0].y_plane()[i];
+    int b = out.frames[0].y_plane()[i];
+    if (a + 20 <= 255) {
+      EXPECT_EQ(b, a + 20);
+      ++higher;
+    }
+    ++total;
+  }
+  EXPECT_GT(higher, total / 2);
+  // Chroma untouched.
+  EXPECT_EQ(in.frames[0].cb_plane(), out.frames[0].cb_plane());
+}
+
+TEST(EditTest, BrightnessClamps) {
+  VideoBuffer in = Clip();
+  VideoBuffer bright = AdjustBrightness(in, 300);
+  for (uint8_t v : bright.frames[0].y_plane()) EXPECT_EQ(v, 255);
+  VideoBuffer dark = AdjustBrightness(in, -300);
+  for (uint8_t v : dark.frames[0].y_plane()) EXPECT_EQ(v, 0);
+}
+
+TEST(EditTest, ColorShiftsChromaOnly) {
+  VideoBuffer in = Clip();
+  VideoBuffer out = AdjustColor(in, 10, -10);
+  EXPECT_EQ(in.frames[0].y_plane(), out.frames[0].y_plane());
+  EXPECT_NE(in.frames[0].cb_plane(), out.frames[0].cb_plane());
+  EXPECT_NE(in.frames[0].cr_plane(), out.frames[0].cr_plane());
+}
+
+TEST(EditTest, ContrastExpandsAround128) {
+  VideoBuffer in = Clip();
+  VideoBuffer out = AdjustContrast(in, 2.0);
+  for (size_t i = 0; i < 50; ++i) {
+    int a = in.frames[0].y_plane()[i];
+    int b = out.frames[0].y_plane()[i];
+    int expect = std::clamp(128 + (a - 128) * 2, 0, 255);
+    EXPECT_NEAR(b, expect, 1);
+  }
+}
+
+TEST(EditTest, ContrastIdentityGain) {
+  VideoBuffer in = Clip();
+  VideoBuffer out = AdjustContrast(in, 1.0);
+  EXPECT_EQ(in.frames[0].y_plane(), out.frames[0].y_plane());
+}
+
+TEST(EditTest, NoiseIsZeroMeanish) {
+  VideoBuffer in = Clip();
+  VideoBuffer out = AddGaussianNoise(in, 4.0, 99);
+  double delta = 0;
+  size_t n = in.frames[0].y_plane().size();
+  for (size_t i = 0; i < n; ++i) {
+    delta += static_cast<double>(out.frames[0].y_plane()[i]) -
+             static_cast<double>(in.frames[0].y_plane()[i]);
+  }
+  EXPECT_NEAR(delta / static_cast<double>(n), 0.0, 1.0);
+}
+
+TEST(EditTest, NoiseDeterministicPerSeed) {
+  VideoBuffer in = Clip();
+  VideoBuffer a = AddGaussianNoise(in, 4.0, 1);
+  VideoBuffer b = AddGaussianNoise(in, 4.0, 1);
+  VideoBuffer c = AddGaussianNoise(in, 4.0, 2);
+  EXPECT_TRUE(a.frames[0] == b.frames[0]);
+  EXPECT_FALSE(a.frames[0] == c.frames[0]);
+}
+
+TEST(EditTest, ResizeDimensions) {
+  VideoBuffer in = Clip();
+  auto out = Resize(in, 48, 24);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->frames[0].width(), 48);
+  EXPECT_EQ(out->frames[0].height(), 24);
+  EXPECT_EQ(out->frames.size(), in.frames.size());
+}
+
+TEST(EditTest, ResizeRejectsOddDims) {
+  VideoBuffer in = Clip();
+  EXPECT_FALSE(Resize(in, 47, 24).ok());
+  EXPECT_FALSE(Resize(in, 48, 0).ok());
+}
+
+TEST(EditTest, ResizeRoundTripPreservesContent) {
+  VideoBuffer in = Clip();
+  auto up = Resize(in, 64, 64);
+  ASSERT_TRUE(up.ok());
+  auto back = Resize(*up, 32, 32);
+  ASSERT_TRUE(back.ok());
+  double mad = 0;
+  size_t n = in.frames[0].y_plane().size();
+  for (size_t i = 0; i < n; ++i) {
+    mad += std::abs(static_cast<int>(in.frames[0].y_plane()[i]) -
+                    static_cast<int>(back->frames[0].y_plane()[i]));
+  }
+  EXPECT_LT(mad / static_cast<double>(n), 4.0);
+}
+
+TEST(EditTest, ResampleFpsPreservesDuration) {
+  VideoBuffer in = Clip(2.0, 30.0);
+  auto out = ResampleFps(in, 25.0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->fps, 25.0);
+  EXPECT_NEAR(out->DurationSeconds(), in.DurationSeconds(), 0.1);
+  EXPECT_EQ(out->frames.size(), 50u);
+}
+
+TEST(EditTest, ResampleFpsSamplesNearestFrames) {
+  VideoBuffer in = Clip(1.0, 10.0);
+  auto out = ResampleFps(in, 5.0);
+  ASSERT_TRUE(out.ok());
+  // Frame at t=0.2 (index 1 at 5 fps) should be source frame 2.
+  EXPECT_TRUE(out->frames[1] == in.frames[2]);
+}
+
+TEST(EditTest, ResampleRejectsBadFps) {
+  VideoBuffer in = Clip();
+  EXPECT_FALSE(ResampleFps(in, 0).ok());
+}
+
+TEST(EditTest, ReorderKeepsFrameMultiset) {
+  VideoBuffer in = Clip(2.0, 10.0);
+  VideoBuffer out = ReorderSegments(in, 0.5, 11);
+  ASSERT_EQ(out.frames.size(), in.frames.size());
+  // Every source frame appears exactly once (segments are permuted intact);
+  // verify via per-frame luma sums as a cheap multiset fingerprint.
+  auto key = [](const Frame& f) {
+    long sum = 0;
+    for (uint8_t v : f.y_plane()) sum += v;
+    return sum;
+  };
+  std::multiset<long> a, b;
+  for (const auto& f : in.frames) a.insert(key(f));
+  for (const auto& f : out.frames) b.insert(key(f));
+  EXPECT_EQ(a, b);
+}
+
+TEST(EditTest, ReorderActuallyReorders) {
+  VideoBuffer in = Clip(2.0, 10.0);
+  VideoBuffer out = ReorderSegments(in, 0.5, 11);
+  bool moved = false;
+  for (size_t i = 0; i < in.frames.size(); ++i) {
+    if (!(in.frames[i] == out.frames[i])) {
+      moved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(EditTest, ReorderSingleSegmentIsIdentity) {
+  VideoBuffer in = Clip(0.4, 10.0);
+  VideoBuffer out = ReorderSegments(in, 10.0, 11);
+  ASSERT_EQ(out.frames.size(), in.frames.size());
+  for (size_t i = 0; i < in.frames.size(); ++i) {
+    EXPECT_TRUE(in.frames[i] == out.frames[i]);
+  }
+}
+
+TEST(EditTest, AppendFrames) {
+  VideoBuffer a = Clip(0.5, 10.0, 1);
+  VideoBuffer b = Clip(0.3, 10.0, 2);
+  size_t na = a.frames.size();
+  AppendFrames(b, &a);
+  EXPECT_EQ(a.frames.size(), na + b.frames.size());
+  EXPECT_TRUE(a.frames[na] == b.frames[0]);
+}
+
+}  // namespace
+}  // namespace vcd::video

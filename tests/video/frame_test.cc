@@ -1,0 +1,67 @@
+#include "video/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace vcd::video {
+namespace {
+
+TEST(FrameTest, CreateValid) {
+  auto f = Frame::Create(64, 48);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->width(), 64);
+  EXPECT_EQ(f->height(), 48);
+  EXPECT_EQ(f->chroma_width(), 32);
+  EXPECT_EQ(f->chroma_height(), 24);
+  EXPECT_EQ(f->y_plane().size(), 64u * 48u);
+  EXPECT_EQ(f->cb_plane().size(), 32u * 24u);
+}
+
+TEST(FrameTest, CreateRejectsBadDims) {
+  EXPECT_FALSE(Frame::Create(0, 48).ok());
+  EXPECT_FALSE(Frame::Create(64, -2).ok());
+  EXPECT_FALSE(Frame::Create(63, 48).ok());  // odd width
+  EXPECT_FALSE(Frame::Create(64, 47).ok());  // odd height
+}
+
+TEST(FrameTest, DefaultsToVideoBlack) {
+  auto f = Frame::Create(16, 16).value();
+  EXPECT_EQ(f.Y(0, 0), 16);
+  EXPECT_EQ(f.Cb(0, 0), 128);
+  EXPECT_EQ(f.Cr(0, 0), 128);
+}
+
+TEST(FrameTest, SetAndGet) {
+  auto f = Frame::Create(16, 16).value();
+  f.SetY(3, 5, 200);
+  f.SetCb(1, 2, 90);
+  f.SetCr(7, 7, 160);
+  EXPECT_EQ(f.Y(3, 5), 200);
+  EXPECT_EQ(f.Cb(1, 2), 90);
+  EXPECT_EQ(f.Cr(7, 7), 160);
+}
+
+TEST(FrameTest, Equality) {
+  auto a = Frame::Create(16, 16).value();
+  auto b = Frame::Create(16, 16).value();
+  EXPECT_TRUE(a == b);
+  b.SetY(0, 0, 99);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(VideoBufferTest, Duration) {
+  VideoBuffer v;
+  v.fps = 25.0;
+  v.frames.resize(50, Frame::Create(16, 16).value());
+  EXPECT_EQ(v.size(), 50u);
+  EXPECT_DOUBLE_EQ(v.DurationSeconds(), 2.0);
+}
+
+TEST(VideoBufferTest, ZeroFpsDurationIsZero) {
+  VideoBuffer v;
+  v.fps = 0;
+  v.frames.resize(10, Frame::Create(16, 16).value());
+  EXPECT_EQ(v.DurationSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace vcd::video

@@ -1,0 +1,138 @@
+#include "video/partial_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "video/codec.h"
+#include "video/scene_model.h"
+#include "video/synthetic.h"
+
+namespace vcd::video {
+namespace {
+
+std::vector<uint8_t> EncodeTestClip(int frames, int gop, int* w = nullptr,
+                                    int* h = nullptr) {
+  SceneModel model = SceneModel::Generate(21, 10.0);
+  RenderOptions ro;
+  ro.width = 64;
+  ro.height = 48;
+  ro.fps = 10.0;
+  auto clip = RenderVideo(model, 0.0, frames / ro.fps, ro);
+  VCD_CHECK(clip.ok(), "render failed");
+  CodecParams p;
+  p.width = 64;
+  p.height = 48;
+  p.fps = 10.0;
+  p.gop_size = gop;
+  p.quantizer = 3;
+  if (w != nullptr) *w = p.width;
+  if (h != nullptr) *h = p.height;
+  auto bytes = Encoder::EncodeVideo(*clip, p);
+  VCD_CHECK(bytes.ok(), "encode failed");
+  return std::move(bytes).value();
+}
+
+TEST(PartialDecoderTest, ExtractsOneDcFramePerGop) {
+  auto bytes = EncodeTestClip(12, 4);
+  auto dcs = PartialDecoder::ExtractAll(bytes);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_EQ(dcs->size(), 3u);  // frames 0, 4, 8
+  EXPECT_EQ((*dcs)[0].frame_index, 0);
+  EXPECT_EQ((*dcs)[1].frame_index, 4);
+  EXPECT_EQ((*dcs)[2].frame_index, 8);
+}
+
+TEST(PartialDecoderTest, TimestampsFollowFps) {
+  auto bytes = EncodeTestClip(12, 4);
+  auto dcs = PartialDecoder::ExtractAll(bytes);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_NEAR((*dcs)[1].timestamp, 0.4, 1e-9);
+  EXPECT_NEAR((*dcs)[2].timestamp, 0.8, 1e-9);
+}
+
+TEST(PartialDecoderTest, BlockGridDimensions) {
+  auto bytes = EncodeTestClip(4, 4);
+  auto dcs = PartialDecoder::ExtractAll(bytes);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_EQ((*dcs)[0].blocks_x, 8);  // 64/8
+  EXPECT_EQ((*dcs)[0].blocks_y, 6);  // 48/8
+  EXPECT_EQ((*dcs)[0].dc.size(), 48u);
+}
+
+TEST(PartialDecoderTest, DcMatchesFullDecodeBlockMeans) {
+  auto bytes = EncodeTestClip(8, 4);
+  auto dcs = PartialDecoder::ExtractAll(bytes);
+  ASSERT_TRUE(dcs.ok());
+  auto full = Decoder::DecodeVideo(bytes);
+  ASSERT_TRUE(full.ok());
+  for (const DcFrame& dcf : *dcs) {
+    const Frame& frame = full->frames[static_cast<size_t>(dcf.frame_index)];
+    for (int by = 0; by < dcf.blocks_y; ++by) {
+      for (int bx = 0; bx < dcf.blocks_x; ++bx) {
+        double mean = 0;
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) mean += frame.Y(bx * 8 + x, by * 8 + y);
+        }
+        mean /= 64.0;
+        // DC quantization step is 8 → block-mean resolution is 1 level; AC
+        // truncation in the reconstruction adds a little more slack.
+        EXPECT_NEAR(dcf.BlockMean(bx, by), mean, 2.5)
+            << "frame " << dcf.frame_index << " block " << bx << "," << by;
+      }
+    }
+  }
+}
+
+TEST(PartialDecoderTest, HeaderExposed) {
+  auto bytes = EncodeTestClip(4, 2);
+  PartialDecoder pd;
+  ASSERT_TRUE(pd.Open(bytes.data(), bytes.size()).ok());
+  EXPECT_EQ(pd.header().width, 64);
+  EXPECT_EQ(pd.header().gop_size, 2);
+}
+
+TEST(PartialDecoderTest, EndOfStreamIsNotFound) {
+  auto bytes = EncodeTestClip(4, 4);
+  PartialDecoder pd;
+  ASSERT_TRUE(pd.Open(bytes.data(), bytes.size()).ok());
+  DcFrame f;
+  ASSERT_TRUE(pd.NextKeyFrame(&f).ok());
+  EXPECT_EQ(pd.NextKeyFrame(&f).code(), StatusCode::kNotFound);
+}
+
+TEST(PartialDecoderTest, AllIntraStreamYieldsEveryFrame) {
+  auto bytes = EncodeTestClip(5, 1);
+  auto dcs = PartialDecoder::ExtractAll(bytes);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_EQ(dcs->size(), 5u);
+}
+
+TEST(PartialDecoderTest, CorruptMarkerDetected) {
+  auto bytes = EncodeTestClip(4, 4);
+  bytes[StreamHeaderSize()] = 0x00;  // clobber first frame marker
+  PartialDecoder pd;
+  ASSERT_TRUE(pd.Open(bytes.data(), bytes.size()).ok());
+  DcFrame f;
+  EXPECT_EQ(pd.NextKeyFrame(&f).code(), StatusCode::kCorruption);
+}
+
+TEST(PartialDecoderTest, TruncatedPayloadDetected) {
+  auto bytes = EncodeTestClip(4, 4);
+  bytes.resize(StreamHeaderSize() + 3);
+  PartialDecoder pd;
+  ASSERT_TRUE(pd.Open(bytes.data(), bytes.size()).ok());
+  DcFrame f;
+  EXPECT_EQ(pd.NextKeyFrame(&f).code(), StatusCode::kCorruption);
+}
+
+TEST(PartialDecoderTest, BlockMeanInverseOfDc) {
+  DcFrame f;
+  f.blocks_x = 1;
+  f.blocks_y = 1;
+  f.dc = {80.0f};  // 8*(mean-128) = 80 → mean = 138
+  EXPECT_FLOAT_EQ(f.BlockMean(0, 0), 138.0f);
+}
+
+}  // namespace
+}  // namespace vcd::video

@@ -1,0 +1,109 @@
+#include "video/scene_model.h"
+
+#include <gtest/gtest.h>
+
+namespace vcd::video {
+namespace {
+
+TEST(SceneModelTest, DeterministicPerSeed) {
+  SceneModel a = SceneModel::Generate(42, 60.0);
+  SceneModel b = SceneModel::Generate(42, 60.0);
+  for (double t : {0.0, 1.7, 13.3, 59.0}) {
+    for (double x : {0.1, 0.5, 0.9}) {
+      EXPECT_FLOAT_EQ(a.SampleLuma(t, x, 0.3), b.SampleLuma(t, x, 0.3));
+    }
+  }
+}
+
+TEST(SceneModelTest, DifferentSeedsDiffer) {
+  SceneModel a = SceneModel::Generate(1, 30.0);
+  SceneModel b = SceneModel::Generate(2, 30.0);
+  int diff = 0;
+  for (double t = 0; t < 30.0; t += 2.3) {
+    if (a.SampleLuma(t, 0.5, 0.5) != b.SampleLuma(t, 0.5, 0.5)) ++diff;
+  }
+  EXPECT_GT(diff, 5);
+}
+
+TEST(SceneModelTest, ShotsCoverDuration) {
+  SceneModel m = SceneModel::Generate(7, 120.0);
+  ASSERT_FALSE(m.shots().empty());
+  EXPECT_EQ(m.shots().front().start, 0.0);
+  double end = 0;
+  for (size_t i = 0; i < m.shots().size(); ++i) {
+    const Shot& s = m.shots()[i];
+    EXPECT_NEAR(s.start, end, 1e-9) << "shot " << i << " not contiguous";
+    end = s.start + s.duration;
+  }
+  EXPECT_GE(end, 120.0);
+}
+
+TEST(SceneModelTest, ShotDurationsWithinStyle) {
+  SceneStyle style;
+  style.min_shot_seconds = 1.0;
+  style.max_shot_seconds = 3.0;
+  SceneModel m = SceneModel::Generate(11, 60.0, style);
+  for (const Shot& s : m.shots()) {
+    EXPECT_GE(s.duration, 1.0);
+    EXPECT_LE(s.duration, 3.0);
+  }
+}
+
+TEST(SceneModelTest, SamplesInNominalRanges) {
+  SceneModel m = SceneModel::Generate(13, 30.0);
+  for (double t = 0; t < 30.0; t += 0.7) {
+    for (double x = 0.05; x < 1.0; x += 0.19) {
+      for (double y = 0.05; y < 1.0; y += 0.23) {
+        float yv, cb, cr;
+        m.Sample(t, x, y, &yv, &cb, &cr);
+        EXPECT_GE(yv, 16.0f);
+        EXPECT_LE(yv, 235.0f);
+        EXPECT_GE(cb, 16.0f);
+        EXPECT_LE(cb, 240.0f);
+        EXPECT_GE(cr, 16.0f);
+        EXPECT_LE(cr, 240.0f);
+      }
+    }
+  }
+}
+
+TEST(SceneModelTest, ContentIsFunctionOfTimeNotFrameIndex) {
+  // Sampling at the same instant must agree no matter how we got there —
+  // the property that makes frame-rate re-encodes true copies.
+  SceneModel m = SceneModel::Generate(17, 30.0);
+  const double t = 12.345;
+  EXPECT_FLOAT_EQ(m.SampleLuma(t, 0.4, 0.6), m.SampleLuma(t, 0.4, 0.6));
+}
+
+TEST(SceneModelTest, ContentVariesSpatially) {
+  SceneModel m = SceneModel::Generate(19, 30.0);
+  // Some spatial variation must exist inside a shot (gradient + blobs).
+  float a = m.SampleLuma(5.0, 0.1, 0.1);
+  float b = m.SampleLuma(5.0, 0.9, 0.9);
+  float c = m.SampleLuma(5.0, 0.5, 0.5);
+  EXPECT_TRUE(a != b || b != c);
+}
+
+TEST(SceneModelTest, ContentVariesAcrossShots) {
+  SceneModel m = SceneModel::Generate(23, 60.0);
+  ASSERT_GE(m.shots().size(), 2u);
+  const Shot& s0 = m.shots()[0];
+  const Shot& s1 = m.shots()[1];
+  float a = m.SampleLuma(s0.start + 0.1, 0.5, 0.5);
+  float b = m.SampleLuma(s1.start + 0.1, 0.5, 0.5);
+  // Not guaranteed different in theory, but overwhelmingly so.
+  EXPECT_NE(a, b);
+}
+
+TEST(SceneModelTest, OutOfRangeTimeClamps) {
+  SceneModel m = SceneModel::Generate(29, 10.0);
+  EXPECT_NO_FATAL_FAILURE(m.SampleLuma(-1.0, 0.5, 0.5));
+  EXPECT_NO_FATAL_FAILURE(m.SampleLuma(1e6, 0.5, 0.5));
+}
+
+TEST(SceneModelDeathTest, NonPositiveDurationChecks) {
+  EXPECT_DEATH(SceneModel::Generate(1, 0.0), "duration");
+}
+
+}  // namespace
+}  // namespace vcd::video

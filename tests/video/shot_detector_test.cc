@@ -1,0 +1,133 @@
+#include "video/shot_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "video/scene_model.h"
+#include "video/synthetic.h"
+
+namespace vcd::video {
+namespace {
+
+/// Builds a DC frame with uniform block mean \p level.
+DcFrame Flat(double level, int64_t idx, double t) {
+  DcFrame f;
+  f.blocks_x = 8;
+  f.blocks_y = 6;
+  f.frame_index = idx;
+  f.timestamp = t;
+  f.dc.assign(48, static_cast<float>(8.0 * (level - 128.0)));
+  return f;
+}
+
+TEST(ShotDetectorOptionsTest, Validation) {
+  ShotDetectorOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.threshold = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = ShotDetectorOptions();
+  o.relative_factor = 0.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o = ShotDetectorOptions();
+  o.history = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(ShotDetectorTest, FrameDifference) {
+  DcFrame a = Flat(100, 0, 0), b = Flat(120, 1, 0.4);
+  EXPECT_NEAR(ShotDetector::FrameDifference(a, b), 20.0, 1e-6);
+  EXPECT_DOUBLE_EQ(ShotDetector::FrameDifference(a, a), 0.0);
+}
+
+TEST(ShotDetectorTest, DetectsHardCut) {
+  auto det = ShotDetector::Create().value();
+  int64_t i = 0;
+  // Ten frames at level 80, then ten at level 180.
+  for (; i < 10; ++i) EXPECT_FALSE(det.ProcessKeyFrame(Flat(80, i, i * 0.4)));
+  EXPECT_TRUE(det.ProcessKeyFrame(Flat(180, i, i * 0.4)));
+  ++i;
+  for (; i < 20; ++i) EXPECT_FALSE(det.ProcessKeyFrame(Flat(180, i, i * 0.4)));
+  det.Finish();
+  ASSERT_EQ(det.shots().size(), 2u);
+  EXPECT_EQ(det.shots()[0].begin_key_frame, 0);
+  EXPECT_EQ(det.shots()[0].end_key_frame, 9);
+  EXPECT_EQ(det.shots()[1].begin_key_frame, 10);
+  EXPECT_EQ(det.shots()[1].end_key_frame, 19);
+  EXPECT_NEAR(det.shots()[1].begin_time, 10 * 0.4, 1e-9);
+}
+
+TEST(ShotDetectorTest, GradualDriftIsNotACut) {
+  auto det = ShotDetector::Create().value();
+  for (int64_t i = 0; i < 40; ++i) {
+    EXPECT_FALSE(det.ProcessKeyFrame(Flat(80 + i * 2.0, i, i * 0.4)))
+        << "frame " << i;
+  }
+  det.Finish();
+  EXPECT_EQ(det.shots().size(), 1u);
+}
+
+TEST(ShotDetectorTest, FinishClosesLastShot) {
+  auto det = ShotDetector::Create().value();
+  det.ProcessKeyFrame(Flat(90, 0, 0.0));
+  det.ProcessKeyFrame(Flat(90, 1, 0.4));
+  EXPECT_TRUE(det.shots().empty());
+  det.Finish();
+  ASSERT_EQ(det.shots().size(), 1u);
+  EXPECT_EQ(det.shots()[0].end_key_frame, 1);
+}
+
+TEST(ShotDetectorTest, EmptyStream) {
+  auto det = ShotDetector::Create().value();
+  det.Finish();
+  EXPECT_TRUE(det.shots().empty());
+}
+
+TEST(ShotDetectorTest, RecoversSceneModelCuts) {
+  // End-to-end: render a shot-structured scene to DC frames and check the
+  // detected cut times line up with the model's shot boundaries.
+  SceneModel model = SceneModel::Generate(1234, 60.0);
+  RenderOptions ro;
+  ro.fps = 29.97;
+  auto frames = RenderDcFrames(model, 0.0, 60.0, ro, 12);
+  ASSERT_TRUE(frames.ok());
+  auto det = ShotDetector::Create().value();
+  for (const auto& f : *frames) det.ProcessKeyFrame(f);
+  det.Finish();
+  // The model has ~60/5 = 12 shots; DC-level cut detection should find a
+  // comparable number (some adjacent shots may look alike).
+  const size_t model_shots = model.shots().size();
+  EXPECT_GT(det.shots().size(), model_shots / 3);
+  EXPECT_LE(det.shots().size(), model_shots + 3);
+  // Every detected boundary should be within one key-frame interval of a
+  // true shot boundary.
+  int aligned = 0;
+  for (size_t s = 1; s < det.shots().size(); ++s) {
+    const double t = det.shots()[s].begin_time;
+    for (const vcd::video::Shot& ms : model.shots()) {
+      if (std::abs(ms.start - t) < 0.9) {
+        ++aligned;
+        break;
+      }
+    }
+  }
+  if (det.shots().size() > 1) {
+    EXPECT_GE(aligned, static_cast<int>(det.shots().size()) - 1 - 1);
+  }
+}
+
+TEST(ShotDetectorTest, MismatchedGeometryIgnoredSafely) {
+  auto det = ShotDetector::Create().value();
+  det.ProcessKeyFrame(Flat(80, 0, 0.0));
+  DcFrame other;
+  other.blocks_x = 4;
+  other.blocks_y = 4;
+  other.dc.assign(16, 0.0f);
+  other.frame_index = 1;
+  other.timestamp = 0.4;
+  EXPECT_FALSE(det.ProcessKeyFrame(other));
+  det.Finish();
+  EXPECT_EQ(det.shots().size(), 1u);
+}
+
+}  // namespace
+}  // namespace vcd::video

@@ -1,0 +1,150 @@
+#include "video/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "video/codec.h"
+#include "video/partial_decoder.h"
+
+namespace vcd::video {
+namespace {
+
+TEST(RenderVideoTest, FrameCountAndDims) {
+  SceneModel m = SceneModel::Generate(3, 5.0);
+  RenderOptions ro;
+  ro.width = 32;
+  ro.height = 32;
+  ro.fps = 10.0;
+  auto v = RenderVideo(m, 0.0, 1.0, ro);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->frames.size(), 10u);
+  EXPECT_EQ(v->frames[0].width(), 32);
+  EXPECT_EQ(v->fps, 10.0);
+}
+
+TEST(RenderVideoTest, RejectsBadOptions) {
+  SceneModel m = SceneModel::Generate(3, 5.0);
+  RenderOptions ro;
+  ro.width = 31;  // odd
+  EXPECT_FALSE(RenderVideo(m, 0, 1, ro).ok());
+  ro.width = 32;
+  ro.fps = 0;
+  EXPECT_FALSE(RenderVideo(m, 0, 1, ro).ok());
+}
+
+TEST(RenderVideoTest, SameModelSameOutput) {
+  SceneModel m = SceneModel::Generate(5, 5.0);
+  RenderOptions ro;
+  ro.width = 32;
+  ro.height = 32;
+  ro.fps = 5.0;
+  auto a = RenderVideo(m, 0.0, 1.0, ro);
+  auto b = RenderVideo(m, 0.0, 1.0, ro);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->frames[2] == b->frames[2]);
+}
+
+TEST(RenderVideoTest, NoiseChangesPixelsButNotStructure) {
+  SceneModel m = SceneModel::Generate(5, 5.0);
+  RenderOptions clean;
+  clean.width = 32;
+  clean.height = 32;
+  clean.fps = 5.0;
+  RenderOptions noisy = clean;
+  noisy.noise_sigma = 3.0;
+  auto a = RenderVideo(m, 0.0, 0.4, clean);
+  auto b = RenderVideo(m, 0.0, 0.4, noisy);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->frames[0] == b->frames[0]);
+  // Mean absolute deviation should be about sigma*sqrt(2/pi) ≈ 2.4.
+  double mad = 0;
+  for (size_t i = 0; i < a->frames[0].y_plane().size(); ++i) {
+    mad += std::abs(static_cast<int>(a->frames[0].y_plane()[i]) -
+                    static_cast<int>(b->frames[0].y_plane()[i]));
+  }
+  mad /= static_cast<double>(a->frames[0].y_plane().size());
+  EXPECT_GT(mad, 0.5);
+  EXPECT_LT(mad, 6.0);
+}
+
+TEST(RenderDcFramesTest, OnePerGop) {
+  SceneModel m = SceneModel::Generate(7, 10.0);
+  RenderOptions ro;
+  ro.width = 64;
+  ro.height = 48;
+  ro.fps = 10.0;
+  auto dcs = RenderDcFrames(m, 0.0, 2.0, ro, 5);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_EQ(dcs->size(), 4u);  // frames 0,5,10,15
+  EXPECT_EQ((*dcs)[1].frame_index, 5);
+  EXPECT_NEAR((*dcs)[1].timestamp, 0.5, 1e-9);
+}
+
+TEST(RenderDcFramesTest, MatchesPixelPathThroughCodec) {
+  // The DC fast path must approximate the real pipeline: render pixels,
+  // encode, partially decode, and compare the DC maps block by block.
+  SceneModel m = SceneModel::Generate(11, 10.0);
+  RenderOptions ro;
+  ro.width = 64;
+  ro.height = 48;
+  ro.fps = 10.0;
+  const int gop = 5;
+  auto fast = RenderDcFrames(m, 0.0, 2.0, ro, gop);
+  ASSERT_TRUE(fast.ok());
+
+  auto pixels = RenderVideo(m, 0.0, 2.0, ro);
+  ASSERT_TRUE(pixels.ok());
+  CodecParams p;
+  p.width = 64;
+  p.height = 48;
+  p.fps = 10.0;
+  p.gop_size = gop;
+  p.quantizer = 2;
+  auto bytes = Encoder::EncodeVideo(*pixels, p);
+  ASSERT_TRUE(bytes.ok());
+  auto real = PartialDecoder::ExtractAll(*bytes);
+  ASSERT_TRUE(real.ok());
+
+  ASSERT_EQ(fast->size(), real->size());
+  double total_err = 0;
+  int n = 0;
+  for (size_t f = 0; f < fast->size(); ++f) {
+    ASSERT_EQ((*fast)[f].dc.size(), (*real)[f].dc.size());
+    for (size_t b = 0; b < (*fast)[f].dc.size(); ++b) {
+      total_err +=
+          std::abs((*fast)[f].BlockMean(static_cast<int>(b % 8), static_cast<int>(b / 8)) -
+                   (*real)[f].BlockMean(static_cast<int>(b % 8), static_cast<int>(b / 8)));
+      ++n;
+    }
+  }
+  // Block means agree to a few luma levels on average (2×2 sampling vs the
+  // true 64-pixel mean plus quantization).
+  EXPECT_LT(total_err / n, 4.0);
+}
+
+TEST(RenderDcFramesTest, RejectsBadOptions) {
+  SceneModel m = SceneModel::Generate(1, 2.0);
+  RenderOptions ro;
+  ro.width = -1;
+  EXPECT_FALSE(RenderDcFrames(m, 0, 1, ro, 5).ok());
+  ro.width = 64;
+  ro.height = 48;
+  EXPECT_FALSE(RenderDcFrames(m, 0, 1, ro, 0).ok());
+}
+
+TEST(RenderVideoTest, TimeOffsetShiftsContent) {
+  SceneModel m = SceneModel::Generate(13, 20.0);
+  RenderOptions ro;
+  ro.width = 32;
+  ro.height = 32;
+  ro.fps = 5.0;
+  auto a = RenderVideo(m, 0.0, 0.4, ro);
+  auto b = RenderVideo(m, 10.0, 0.4, ro);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->frames[0] == b->frames[0]);
+}
+
+}  // namespace
+}  // namespace vcd::video

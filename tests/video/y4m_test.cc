@@ -1,0 +1,128 @@
+#include "video/y4m.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "video/scene_model.h"
+#include "video/synthetic.h"
+
+namespace vcd::video {
+namespace {
+
+VideoBuffer Clip(int frames = 5, double fps = 25.0, int w = 32, int h = 32) {
+  SceneModel m = SceneModel::Generate(7, 5.0);
+  RenderOptions ro;
+  ro.width = w;
+  ro.height = h;
+  ro.fps = fps;
+  auto v = RenderVideo(m, 0.0, frames / fps, ro);
+  VCD_CHECK(v.ok(), "render");
+  return std::move(v).value();
+}
+
+TEST(Y4mTest, RoundTripLossless) {
+  VideoBuffer in = Clip();
+  auto bytes = WriteY4m(in);
+  ASSERT_TRUE(bytes.ok());
+  auto out = ReadY4m(bytes->data(), bytes->size());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->frames.size(), in.frames.size());
+  EXPECT_DOUBLE_EQ(out->fps, in.fps);
+  for (size_t i = 0; i < in.frames.size(); ++i) {
+    EXPECT_TRUE(in.frames[i] == out->frames[i]) << "frame " << i;
+  }
+}
+
+TEST(Y4mTest, HeaderContents) {
+  VideoBuffer in = Clip(2, 25.0, 64, 48);
+  auto bytes = WriteY4m(in);
+  ASSERT_TRUE(bytes.ok());
+  std::string head(bytes->begin(), bytes->begin() + 40);
+  EXPECT_NE(head.find("YUV4MPEG2"), std::string::npos);
+  EXPECT_NE(head.find("W64"), std::string::npos);
+  EXPECT_NE(head.find("H48"), std::string::npos);
+  EXPECT_NE(head.find("F25:1"), std::string::npos);
+  EXPECT_NE(head.find("C420"), std::string::npos);
+}
+
+TEST(Y4mTest, NtscFpsRational) {
+  VideoBuffer in = Clip(2, 29.97);
+  auto bytes = WriteY4m(in);
+  ASSERT_TRUE(bytes.ok());
+  std::string head(bytes->begin(), bytes->begin() + 48);
+  EXPECT_NE(head.find("F30000:1001"), std::string::npos);
+  auto out = ReadY4m(bytes->data(), bytes->size());
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->fps, 29.97, 1e-2);
+}
+
+TEST(Y4mTest, WriteValidation) {
+  VideoBuffer empty;
+  empty.fps = 25.0;
+  EXPECT_FALSE(WriteY4m(empty).ok());
+  VideoBuffer badfps = Clip();
+  badfps.fps = 0;
+  EXPECT_FALSE(WriteY4m(badfps).ok());
+}
+
+TEST(Y4mTest, MixedDimensionsRejected) {
+  VideoBuffer in = Clip();
+  in.frames.push_back(Frame::Create(64, 64).value());
+  EXPECT_FALSE(WriteY4m(in).ok());
+}
+
+TEST(Y4mTest, ReadRejectsGarbage) {
+  const char* junk = "not a y4m stream at all\n";
+  EXPECT_EQ(ReadY4m(reinterpret_cast<const uint8_t*>(junk), 24).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_FALSE(ReadY4m(nullptr, 0).ok());
+}
+
+TEST(Y4mTest, ReadRejectsTruncatedFrame) {
+  VideoBuffer in = Clip(2);
+  auto bytes = WriteY4m(in);
+  ASSERT_TRUE(bytes.ok());
+  auto cut = std::vector<uint8_t>(bytes->begin(), bytes->end() - 100);
+  EXPECT_EQ(ReadY4m(cut.data(), cut.size()).status().code(), StatusCode::kCorruption);
+}
+
+TEST(Y4mTest, ReadRejectsUnsupportedChroma) {
+  std::string s = "YUV4MPEG2 W32 H32 F25:1 C444\nFRAME\n";
+  EXPECT_EQ(ReadY4m(reinterpret_cast<const uint8_t*>(s.data()), s.size())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Y4mTest, ReadToleratesExtraTags) {
+  VideoBuffer in = Clip(1);
+  auto bytes = WriteY4m(in);
+  ASSERT_TRUE(bytes.ok());
+  // Inject an X comment tag into the header line.
+  std::string s(bytes->begin(), bytes->end());
+  s.insert(s.find('\n'), " XCOMMENT=hi");
+  auto out = ReadY4m(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->frames.size(), 1u);
+}
+
+TEST(Y4mTest, FileRoundTrip) {
+  VideoBuffer in = Clip(3);
+  const std::string path = "/tmp/vcd_y4m_test.y4m";
+  ASSERT_TRUE(WriteY4mFile(in, path).ok());
+  auto out = ReadY4mFile(path);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->frames.size(), 3u);
+  EXPECT_TRUE(in.frames[2] == out->frames[2]);
+  std::remove(path.c_str());
+}
+
+TEST(Y4mTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadY4mFile("/tmp/definitely_missing_vcd.y4m").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace vcd::video

@@ -1,0 +1,258 @@
+#include "workload/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "features/fingerprint.h"
+#include "sketch/jaccard.h"
+
+namespace vcd::workload {
+namespace {
+
+DatasetOptions SmallOptions() {
+  DatasetOptions o;
+  o.num_shorts = 4;
+  o.min_short_seconds = 20;
+  o.max_short_seconds = 40;
+  o.total_seconds = 600;
+  o.seed = 11;
+  return o;
+}
+
+TEST(DatasetOptionsTest, Validation) {
+  EXPECT_TRUE(SmallOptions().Validate().ok());
+  DatasetOptions o = SmallOptions();
+  o.num_shorts = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = SmallOptions();
+  o.total_seconds = 100;  // 4 shorts × up to 40 s do not fit
+  EXPECT_FALSE(o.Validate().ok());
+  o = SmallOptions();
+  o.min_short_seconds = 50;
+  o.max_short_seconds = 40;
+  EXPECT_FALSE(o.Validate().ok());
+  o = SmallOptions();
+  o.fps = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(DatasetOptionsTest, ScaledShrinksStreamAndShorts) {
+  DatasetOptions o;  // paper scale: 200 shorts, 12 h
+  DatasetOptions s = o.Scaled(0.1);
+  EXPECT_EQ(s.num_shorts, 20);
+  EXPECT_DOUBLE_EQ(s.total_seconds, o.total_seconds * 0.1);
+  EXPECT_DOUBLE_EQ(s.min_short_seconds, o.min_short_seconds);
+}
+
+TEST(DatasetTest, BuildDeterministic) {
+  auto a = Dataset::Build(SmallOptions()).value();
+  auto b = Dataset::Build(SmallOptions()).value();
+  ASSERT_EQ(a.num_shorts(), b.num_shorts());
+  for (int i = 0; i < a.num_shorts(); ++i) {
+    EXPECT_EQ(a.query_spec(i).content_seed, b.query_spec(i).content_seed);
+    EXPECT_EQ(a.query_spec(i).duration_seconds, b.query_spec(i).duration_seconds);
+  }
+}
+
+TEST(DatasetTest, ShortDurationsInRange) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  for (int i = 0; i < ds.num_shorts(); ++i) {
+    EXPECT_GE(ds.query_spec(i).duration_seconds, 20.0);
+    EXPECT_LE(ds.query_spec(i).duration_seconds, 40.0);
+  }
+}
+
+TEST(DatasetTest, QueryOnlyQueriesExist) {
+  DatasetOptions o = SmallOptions();
+  o.num_query_only = 2;
+  auto ds = Dataset::Build(o).value();
+  EXPECT_EQ(ds.num_shorts(), 4);
+  EXPECT_EQ(ds.num_queries(), 6);
+  EXPECT_EQ(ds.query_spec(5).id, 6);
+}
+
+TEST(DatasetTest, QueryKeyFramesShapeAndTiming) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  auto frames = ds.QueryKeyFrames(0);
+  ASSERT_FALSE(frames.empty());
+  // One key frame per GOP at 29.97 fps.
+  EXPECT_NEAR(static_cast<double>(frames.size()),
+              ds.query_spec(0).duration_seconds * 29.97 / 12.0, 2.0);
+  EXPECT_EQ(frames[0].blocks_x, 44);
+  EXPECT_EQ(frames[0].blocks_y, 30);
+  EXPECT_NEAR(frames[1].timestamp - frames[0].timestamp, 12.0 / 29.97, 1e-6);
+}
+
+TEST(DatasetTest, StreamTruthMatchesInsertions) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  StreamData s = ds.BuildStream(StreamVariant::kVS1);
+  EXPECT_EQ(s.truth.size(), 4u);
+  std::set<int> ids;
+  for (const auto& g : s.truth) {
+    ids.insert(g.query_id);
+    EXPECT_GE(g.begin_frame, 0);
+    EXPECT_LT(g.end_frame, s.total_frames);
+    EXPECT_LT(g.begin_frame, g.end_frame);
+  }
+  EXPECT_EQ(ids, (std::set<int>{1, 2, 3, 4}));
+}
+
+TEST(DatasetTest, TruthIntervalsDoNotOverlap) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  StreamData s = ds.BuildStream(StreamVariant::kVS2);
+  auto truth = s.truth;
+  std::sort(truth.begin(), truth.end(),
+            [](const auto& a, const auto& b) { return a.begin_frame < b.begin_frame; });
+  for (size_t i = 1; i < truth.size(); ++i) {
+    EXPECT_GT(truth[i].begin_frame, truth[i - 1].end_frame);
+  }
+}
+
+TEST(DatasetTest, StreamDurationMatchesOptions) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  StreamData s = ds.BuildStream(StreamVariant::kVS1);
+  EXPECT_NEAR(s.DurationSeconds(), 600.0, 2.0);
+  // Key frames cover the stream at the GOP cadence.
+  EXPECT_NEAR(static_cast<double>(s.key_frames.size()),
+              600.0 * 29.97 / 12.0, 5.0);
+}
+
+TEST(DatasetTest, StreamDeterministic) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  StreamData a = ds.BuildStream(StreamVariant::kVS2);
+  StreamData b = ds.BuildStream(StreamVariant::kVS2);
+  ASSERT_EQ(a.key_frames.size(), b.key_frames.size());
+  for (size_t i = 0; i < a.key_frames.size(); i += 37) {
+    EXPECT_EQ(a.key_frames[i].dc, b.key_frames[i].dc) << "key frame " << i;
+  }
+}
+
+TEST(DatasetTest, Vs1CopyMatchesQueryCells) {
+  // The inserted VS1 copy must have near-identical cell-id sets to the
+  // subscribed query — that is what makes it a copy.
+  auto ds = Dataset::Build(SmallOptions()).value();
+  StreamData s = ds.BuildStream(StreamVariant::kVS1);
+  auto fp = features::FrameFingerprinter::Create(features::FingerprintOptions()).value();
+  for (int qi = 0; qi < ds.num_shorts(); ++qi) {
+    const auto& g = s.truth[static_cast<size_t>(0)];
+    // Find this query's truth entry.
+    const core::GroundTruthEntry* entry = nullptr;
+    for (const auto& t : s.truth) {
+      if (t.query_id == ds.query_spec(qi).id) entry = &t;
+    }
+    ASSERT_NE(entry, nullptr);
+    (void)g;
+    std::vector<features::CellId> stream_cells;
+    for (const auto& f : s.key_frames) {
+      if (f.frame_index >= entry->begin_frame && f.frame_index <= entry->end_frame) {
+        stream_cells.push_back(fp.Fingerprint(f));
+      }
+    }
+    auto query_cells = fp.FingerprintSequence(ds.QueryKeyFrames(qi));
+    const double sim = sketch::JaccardSimilarity(stream_cells, query_cells);
+    EXPECT_GT(sim, 0.75) << "query " << qi + 1;
+  }
+}
+
+TEST(DatasetTest, Vs2CopyStillOverlapsButLess) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  StreamData s1 = ds.BuildStream(StreamVariant::kVS1);
+  StreamData s2 = ds.BuildStream(StreamVariant::kVS2);
+  auto fp = features::FrameFingerprinter::Create(features::FingerprintOptions()).value();
+  double sim1 = 0, sim2 = 0;
+  for (int qi = 0; qi < ds.num_shorts(); ++qi) {
+    auto query_cells = fp.FingerprintSequence(ds.QueryKeyFrames(qi));
+    auto collect = [&](const StreamData& s) {
+      std::vector<features::CellId> cells;
+      for (const auto& t : s.truth) {
+        if (t.query_id != ds.query_spec(qi).id) continue;
+        for (const auto& f : s.key_frames) {
+          if (f.frame_index >= t.begin_frame && f.frame_index <= t.end_frame) {
+            cells.push_back(fp.Fingerprint(f));
+          }
+        }
+      }
+      return cells;
+    };
+    sim1 += sketch::JaccardSimilarity(collect(s1), query_cells);
+    sim2 += sketch::JaccardSimilarity(collect(s2), query_cells);
+  }
+  sim1 /= ds.num_shorts();
+  sim2 /= ds.num_shorts();
+  EXPECT_GT(sim1, sim2);   // edits cost some fidelity...
+  EXPECT_GT(sim2, 0.5);    // ...but the copy remains recognizable.
+}
+
+TEST(DatasetTest, EditedQueryKeyFramesAtPalRate) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  auto edited = ds.EditedQueryKeyFrames(0);
+  ASSERT_GT(edited.size(), 2u);
+  // PAL 25 fps, GOP 12 → 12/25 s between key frames.
+  EXPECT_NEAR(edited[1].timestamp - edited[0].timestamp, 12.0 / 25.0, 1e-6);
+}
+
+TEST(DatasetTest, EditSpecsWithinConfiguredRanges) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  const DatasetOptions& o = ds.options();
+  for (int qi = 0; qi < ds.num_queries(); ++qi) {
+    const EditSpec& e = ds.edit_spec(qi);
+    EXPECT_LE(std::abs(e.brightness_delta), o.vs2_brightness_max);
+    EXPECT_GE(std::abs(e.brightness_delta), 0.4 * o.vs2_brightness_max - 1e-9);
+    EXPECT_GE(e.contrast_gain, 1.0 - o.vs2_contrast_spread);
+    EXPECT_LE(e.contrast_gain, 1.0 + o.vs2_contrast_spread);
+    EXPECT_GT(e.noise_sigma, 0.0);
+    EXPECT_LE(e.noise_sigma, o.vs2_noise_sigma_max);
+    EXPECT_DOUBLE_EQ(e.source_fps, 25.0);
+    EXPECT_GE(e.reorder_segment_seconds, o.vs2_reorder_min_seconds);
+    EXPECT_LE(e.reorder_segment_seconds, o.vs2_reorder_max_seconds);
+  }
+}
+
+
+TEST(DatasetTest, DistinctContentRegime) {
+  DatasetOptions shared = SmallOptions();
+  DatasetOptions distinct = SmallOptions();
+  distinct.distinct_content = true;
+  auto ds_s = Dataset::Build(shared).value();
+  auto ds_d = Dataset::Build(distinct).value();
+  auto fp = features::FrameFingerprinter::Create(features::FingerprintOptions()).value();
+  // Cross-video cell overlap must be lower in the distinct regime.
+  auto cross_overlap = [&](const Dataset& ds) {
+    auto a = sketch::CellIdSet::FromSequence(
+        fp.FingerprintSequence(ds.QueryKeyFrames(0)));
+    auto b = sketch::CellIdSet::FromSequence(
+        fp.FingerprintSequence(ds.QueryKeyFrames(1)));
+    return a.Jaccard(b);
+  };
+  EXPECT_LT(cross_overlap(ds_d), cross_overlap(ds_s) + 1e-9);
+  // Copies of the SAME video remain detectable in both regimes.
+  StreamData stream = ds_d.BuildStream(StreamVariant::kVS1);
+  EXPECT_EQ(stream.truth.size(), 4u);
+}
+
+TEST(DatasetTest, SplicesLandOnKeyFrameBoundaries) {
+  auto ds = Dataset::Build(SmallOptions()).value();
+  StreamData s = ds.BuildStream(StreamVariant::kVS1);
+  for (const auto& g : s.truth) {
+    // Closed-GOP splice points: insertions start on the stream's key-frame
+    // grid (to within frame rounding of the recorded truth position).
+    EXPECT_LE(g.begin_frame % ds.options().gop_size, 1)
+        << "begin frame " << g.begin_frame;
+  }
+}
+
+TEST(DatasetTest, EditedCopyHasCropApplied) {
+  DatasetOptions with_crop = SmallOptions();
+  DatasetOptions no_crop = SmallOptions();
+  no_crop.vs2_crop_max = 0.0;
+  auto a = Dataset::Build(with_crop).value();
+  auto b = Dataset::Build(no_crop).value();
+  // Same seed: content identical; only the crop differs, so the edited
+  // copies' DC maps must differ while the originals agree.
+  EXPECT_GT(a.edit_spec(0).crop_fraction, 0.0);
+  EXPECT_EQ(b.edit_spec(0).crop_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace vcd::workload

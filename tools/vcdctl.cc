@@ -1,0 +1,327 @@
+/// \file vcdctl.cc
+/// Command-line front end to the vcdstream library: generate synthetic
+/// video, encode/decode/inspect VCDS bit streams, fingerprint, detect shot
+/// cuts, build query databases, and run copy detection over stream files.
+///
+/// Usage:
+///   vcdctl generate --seed N --seconds S --out clip.y4m [--fps F --w W --h H]
+///   vcdctl encode in.y4m out.vcds [--quantizer Q --gop G --fps F]
+///   vcdctl decode in.vcds out.y4m
+///   vcdctl info in.vcds
+///   vcdctl fingerprint in.vcds [--d D --u U]
+///   vcdctl shots in.vcds
+///   vcdctl build-queries out.vcdq id1=a.vcds [id2=b.vcds ...] [--k K]
+///   vcdctl monitor queries.vcdq stream1.vcds [stream2.vcds ...]
+///           [--delta D --window W]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/query_store.h"
+#include "features/fingerprint.h"
+#include "video/codec.h"
+#include "video/partial_decoder.h"
+#include "video/scene_model.h"
+#include "video/shot_detector.h"
+#include "video/synthetic.h"
+#include "video/y4m.h"
+
+using namespace vcd;
+
+namespace {
+
+/// Parsed --key value options plus positional arguments.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  static Args Parse(int argc, char** argv, int first) {
+    Args a;
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        std::string key = argv[i] + 2;
+        std::string value = "1";
+        const size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+          value = key.substr(eq + 1);
+          key = key.substr(0, eq);
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          value = argv[++i];
+        }
+        a.options[key] = value;
+      } else {
+        a.positional.push_back(argv[i]);
+      }
+    }
+    return a;
+  }
+
+  double Num(const std::string& key, double def) const {
+    auto it = options.find(key);
+    return it == options.end() ? def : std::atof(it->second.c_str());
+  }
+  std::string Str(const std::string& key, const std::string& def) const {
+    auto it = options.find(key);
+    return it == options.end() ? def : it->second;
+  }
+};
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(len > 0 ? len : 0));
+  const size_t n = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (n != bytes.size()) return Status::Internal("short read from " + path);
+  return bytes;
+}
+
+Status WriteFile(const std::vector<uint8_t>& bytes, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + path + " for writing");
+  const size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (n != bytes.size()) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+int CmdGenerate(const Args& a) {
+  const std::string out = a.Str("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate requires --out\n");
+    return 2;
+  }
+  const double seconds = a.Num("seconds", 10.0);
+  video::SceneModel model = video::SceneModel::Generate(
+      static_cast<uint64_t>(a.Num("seed", 1)), seconds + 1.0);
+  video::RenderOptions ro;
+  ro.width = static_cast<int>(a.Num("w", 352));
+  ro.height = static_cast<int>(a.Num("h", 240));
+  ro.fps = a.Num("fps", 29.97);
+  auto clip = video::RenderVideo(model, 0.0, seconds, ro);
+  if (!clip.ok()) return Fail(clip.status());
+  if (Status st = video::WriteY4mFile(*clip, out); !st.ok()) return Fail(st);
+  std::printf("wrote %zu frames (%dx%d @ %.2f fps) to %s\n", clip->frames.size(),
+              ro.width, ro.height, ro.fps, out.c_str());
+  return 0;
+}
+
+int CmdEncode(const Args& a) {
+  if (a.positional.size() != 2) {
+    std::fprintf(stderr, "usage: vcdctl encode in.y4m out.vcds\n");
+    return 2;
+  }
+  auto clip = video::ReadY4mFile(a.positional[0]);
+  if (!clip.ok()) return Fail(clip.status());
+  video::CodecParams p;
+  p.width = clip->frames.empty() ? 0 : clip->frames[0].width();
+  p.height = clip->frames.empty() ? 0 : clip->frames[0].height();
+  p.fps = a.Num("fps", clip->fps);
+  p.gop_size = static_cast<int>(a.Num("gop", 12));
+  p.quantizer = static_cast<int>(a.Num("quantizer", 4));
+  auto bytes = video::Encoder::EncodeVideo(*clip, p);
+  if (!bytes.ok()) return Fail(bytes.status());
+  if (Status st = WriteFile(*bytes, a.positional[1]); !st.ok()) return Fail(st);
+  std::printf("encoded %zu frames -> %.1f KB (%s)\n", clip->frames.size(),
+              static_cast<double>(bytes->size()) / 1024.0, a.positional[1].c_str());
+  return 0;
+}
+
+int CmdDecode(const Args& a) {
+  if (a.positional.size() != 2) {
+    std::fprintf(stderr, "usage: vcdctl decode in.vcds out.y4m\n");
+    return 2;
+  }
+  auto bytes = ReadFile(a.positional[0]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto clip = video::Decoder::DecodeVideo(*bytes);
+  if (!clip.ok()) return Fail(clip.status());
+  if (Status st = video::WriteY4mFile(*clip, a.positional[1]); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("decoded %zu frames to %s\n", clip->frames.size(),
+              a.positional[1].c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& a) {
+  if (a.positional.size() != 1) {
+    std::fprintf(stderr, "usage: vcdctl info in.vcds\n");
+    return 2;
+  }
+  auto bytes = ReadFile(a.positional[0]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  video::PartialDecoder pd;
+  if (Status st = pd.Open(bytes->data(), bytes->size()); !st.ok()) return Fail(st);
+  const auto& h = pd.header();
+  int key_frames = 0;
+  video::DcFrame f;
+  int64_t last_index = -1;
+  while (pd.NextKeyFrame(&f).ok()) {
+    ++key_frames;
+    last_index = f.frame_index;
+  }
+  std::printf("%s: %dx%d @ %.3f fps, GOP %d, quantizer %d\n",
+              a.positional[0].c_str(), h.width, h.height, h.fps, h.gop_size,
+              h.quantizer);
+  std::printf("  %.1f KB, %d key frames, ~%lld frames (%.1f s)\n",
+              static_cast<double>(bytes->size()) / 1024.0, key_frames,
+              static_cast<long long>(last_index + h.gop_size),
+              h.fps > 0 ? static_cast<double>(last_index + h.gop_size) / h.fps : 0.0);
+  return 0;
+}
+
+int CmdFingerprint(const Args& a) {
+  if (a.positional.size() != 1) {
+    std::fprintf(stderr, "usage: vcdctl fingerprint in.vcds\n");
+    return 2;
+  }
+  auto bytes = ReadFile(a.positional[0]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto frames = video::PartialDecoder::ExtractAll(*bytes);
+  if (!frames.ok()) return Fail(frames.status());
+  features::FingerprintOptions opts;
+  opts.feature.d = static_cast<int>(a.Num("d", 5));
+  opts.u = static_cast<int>(a.Num("u", 4));
+  auto fp = features::FrameFingerprinter::Create(opts);
+  if (!fp.ok()) return Fail(fp.status());
+  for (const auto& frame : *frames) {
+    std::printf("%8.2fs  frame %-8lld cell %u\n", frame.timestamp,
+                static_cast<long long>(frame.frame_index), fp->Fingerprint(frame));
+  }
+  return 0;
+}
+
+int CmdShots(const Args& a) {
+  if (a.positional.size() != 1) {
+    std::fprintf(stderr, "usage: vcdctl shots in.vcds\n");
+    return 2;
+  }
+  auto bytes = ReadFile(a.positional[0]);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto frames = video::PartialDecoder::ExtractAll(*bytes);
+  if (!frames.ok()) return Fail(frames.status());
+  auto det = video::ShotDetector::Create();
+  if (!det.ok()) return Fail(det.status());
+  for (const auto& frame : *frames) det->ProcessKeyFrame(frame);
+  det->Finish();
+  for (size_t i = 0; i < det->shots().size(); ++i) {
+    const auto& s = det->shots()[i];
+    std::printf("shot %2zu: %7.2fs - %7.2fs (key frames %lld..%lld)\n", i + 1,
+                s.begin_time, s.end_time, static_cast<long long>(s.begin_key_frame),
+                static_cast<long long>(s.end_key_frame));
+  }
+  return 0;
+}
+
+int CmdBuildQueries(const Args& a) {
+  if (a.positional.size() < 2) {
+    std::fprintf(stderr, "usage: vcdctl build-queries out.vcdq id=clip.vcds ...\n");
+    return 2;
+  }
+  core::DetectorConfig config;
+  config.K = static_cast<int>(a.Num("k", 800));
+  auto det = core::CopyDetector::Create(config);
+  if (!det.ok()) return Fail(det.status());
+  for (size_t i = 1; i < a.positional.size(); ++i) {
+    const std::string& spec = a.positional[i];
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "expected id=path, got %s\n", spec.c_str());
+      return 2;
+    }
+    const int id = std::atoi(spec.substr(0, eq).c_str());
+    auto bytes = ReadFile(spec.substr(eq + 1));
+    if (!bytes.ok()) return Fail(bytes.status());
+    auto frames = video::PartialDecoder::ExtractAll(*bytes);
+    if (!frames.ok()) return Fail(frames.status());
+    if (Status st = (*det)->AddQuery(id, *frames); !st.ok()) return Fail(st);
+  }
+  core::QueryDb db;
+  db.k = config.K;
+  db.hash_seed = config.hash_seed;
+  for (auto& [id, len, dur, sk] : (*det)->ExportQueries()) {
+    db.queries.push_back(core::StoredQuery{id, len, dur, std::move(sk)});
+  }
+  if (Status st = core::SaveQueriesFile(db, a.positional[0]); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %zu queries (K=%d) to %s\n", db.queries.size(), db.k,
+              a.positional[0].c_str());
+  return 0;
+}
+
+int CmdMonitor(const Args& a) {
+  if (a.positional.size() < 2) {
+    std::fprintf(stderr, "usage: vcdctl monitor queries.vcdq stream.vcds ...\n");
+    return 2;
+  }
+  auto db = core::LoadQueriesFile(a.positional[0]);
+  if (!db.ok()) return Fail(db.status());
+  core::DetectorConfig config;
+  config.K = db->k;
+  config.hash_seed = db->hash_seed;
+  config.delta = a.Num("delta", 0.7);
+  config.window_seconds = a.Num("window", 5.0);
+  auto mon = core::StreamMonitor::Create(config);
+  if (!mon.ok()) return Fail(mon.status());
+  if (Status st = (*mon)->ImportQueries(*db); !st.ok()) return Fail(st);
+  std::printf("monitoring with %d queries (K=%d, delta=%.2f, w=%.0fs)\n",
+              (*mon)->num_queries(), config.K, config.delta, config.window_seconds);
+  for (size_t s = 1; s < a.positional.size(); ++s) {
+    auto bytes = ReadFile(a.positional[s]);
+    if (!bytes.ok()) return Fail(bytes.status());
+    video::PartialDecoder pd;
+    if (Status st = pd.Open(bytes->data(), bytes->size()); !st.ok()) return Fail(st);
+    auto sid = (*mon)->OpenStream(a.positional[s]);
+    if (!sid.ok()) return Fail(sid.status());
+    video::DcFrame f;
+    while (pd.NextKeyFrame(&f).ok()) {
+      if (Status st = (*mon)->ProcessKeyFrame(*sid, f); !st.ok()) return Fail(st);
+    }
+    if (Status st = (*mon)->CloseStream(*sid); !st.ok()) return Fail(st);
+  }
+  for (const core::StreamMatch& m : (*mon)->matches()) {
+    std::printf("MATCH query %d on %s at t=[%.1f, %.1f]s sim=%.3f\n",
+                m.match.query_id, m.stream_name.c_str(), m.match.start_time,
+                m.match.end_time, m.match.similarity);
+  }
+  std::printf("%zu matches total\n", (*mon)->matches().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: vcdctl <generate|encode|decode|info|fingerprint|shots|"
+                 "build-queries|monitor> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = Args::Parse(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "encode") return CmdEncode(args);
+  if (cmd == "decode") return CmdDecode(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "fingerprint") return CmdFingerprint(args);
+  if (cmd == "shots") return CmdShots(args);
+  if (cmd == "build-queries") return CmdBuildQueries(args);
+  if (cmd == "monitor") return CmdMonitor(args);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
