@@ -1,0 +1,220 @@
+/// \file bench_parallel_streams.cc
+/// Throughput of the parallel sharded stream executor vs. the serial
+/// StreamMonitor: frames/sec over S concurrent synthetic streams as a
+/// function of worker-thread count.
+///
+/// Usage:
+///   bench_parallel_streams [--streams=8] [--frames=2000] [--k=800]
+///                          [--queries=20] [--threads=1,2,4,8] [--seed=42]
+///
+/// Every configuration processes the *same* precomputed DC-frame streams
+/// (content generation is excluded from the timed region), so the table
+/// isolates executor scaling. The serial row is the StreamMonitor baseline;
+/// speedup is relative to the 1-thread executor row.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "parallel/executor.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+using namespace vcd;
+
+namespace {
+
+struct Options {
+  int streams = 8;
+  int frames = 2000;  ///< key frames per stream
+  int k = 800;
+  int queries = 20;
+  uint64_t seed = 42;
+  std::vector<int> threads = {1, 2, 4, 8};
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--streams=", 10) == 0) o.streams = std::atoi(a + 10);
+    else if (std::strncmp(a, "--frames=", 9) == 0) o.frames = std::atoi(a + 9);
+    else if (std::strncmp(a, "--k=", 4) == 0) o.k = std::atoi(a + 4);
+    else if (std::strncmp(a, "--queries=", 10) == 0) o.queries = std::atoi(a + 10);
+    else if (std::strncmp(a, "--seed=", 7) == 0)
+      o.seed = static_cast<uint64_t>(std::atoll(a + 7));
+    else if (std::strncmp(a, "--threads=", 10) == 0) {
+      o.threads.clear();
+      for (const char* p = a + 10; *p != '\0';) {
+        o.threads.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// A synthetic key frame whose fingerprint varies with \p fill.
+video::DcFrame MakeFrame(int64_t slot, float fill) {
+  video::DcFrame f;
+  f.blocks_x = 22;
+  f.blocks_y = 18;
+  f.frame_index = slot * 12;
+  f.timestamp = static_cast<double>(slot) / 2.5;
+  f.dc.resize(static_cast<size_t>(f.blocks_x * f.blocks_y));
+  for (size_t i = 0; i < f.dc.size(); ++i) {
+    f.dc[i] = 8.0f * 60.0f * std::sin(0.7f * fill + 0.13f * static_cast<float>(i));
+  }
+  return f;
+}
+
+core::DetectorConfig MakeConfig(const Options& o) {
+  core::DetectorConfig c;
+  c.K = o.k;
+  c.window_seconds = 5.0;
+  c.delta = 0.7;
+  return c;
+}
+
+/// Per-stream content: mostly stream-specific background with an embedded
+/// copy of one query so the match path is exercised too.
+std::vector<std::vector<video::DcFrame>> BuildStreams(const Options& o) {
+  std::vector<std::vector<video::DcFrame>> streams(static_cast<size_t>(o.streams));
+  for (int s = 0; s < o.streams; ++s) {
+    auto& frames = streams[static_cast<size_t>(s)];
+    frames.reserve(static_cast<size_t>(o.frames));
+    const int copy_at = o.frames / 3 + 11 * s;
+    for (int i = 0; i < o.frames; ++i) {
+      float fill;
+      if (i >= copy_at && i < copy_at + 40) {
+        fill = 1000.0f + static_cast<float>(s % 2 == 0 ? i - copy_at : 0);
+      } else {
+        fill = static_cast<float>(s) * 37.0f + static_cast<float>(i % 23);
+      }
+      frames.push_back(MakeFrame(i, fill));
+    }
+  }
+  return streams;
+}
+
+std::vector<sketch::Sketch> BuildQuerySketches(const Options& o,
+                                               const core::DetectorConfig& c) {
+  auto fam = sketch::MinHashFamily::Create(c.K, c.hash_seed).value();
+  sketch::Sketcher sk(&fam);
+  Rng rng(o.seed);
+  std::vector<sketch::Sketch> out;
+  // Query 1 is the embedded copy segment (so the match/report path runs);
+  // the rest are background portfolio load that never matches.
+  std::vector<video::DcFrame> copy_frames;
+  for (int i = 0; i < 40; ++i) {
+    copy_frames.push_back(MakeFrame(i, 1000.0f + static_cast<float>(i)));
+  }
+  out.push_back(core::PrepareQuery(c, copy_frames, 16.0).value().sketch);
+  for (int q = 1; q < o.queries; ++q) {
+    std::vector<features::CellId> ids;
+    for (int i = 0; i < 40; ++i) {
+      ids.push_back(static_cast<features::CellId>(rng.Uniform(5000)));
+    }
+    out.push_back(sk.FromSequence(ids));
+  }
+  return out;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  size_t matches = 0;
+  double busy_seconds = 0.0;   ///< summed over shards (executor only)
+  size_t queue_high_water = 0;
+};
+
+/// One timed run: subscribe queries, open all streams, feed frames
+/// round-robin (the arrival pattern of concurrent live streams), close.
+template <typename Api>
+RunResult Feed(Api& api, const Options& o,
+               const std::vector<std::vector<video::DcFrame>>& streams,
+               const std::vector<sketch::Sketch>& queries) {
+  RunResult r;
+  for (int q = 0; q < o.queries; ++q) {
+    auto st = api.AddQuerySketch(q + 1, queries[static_cast<size_t>(q)], 40, 16.0);
+    if (!st.ok()) {
+      std::fprintf(stderr, "AddQuerySketch: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  std::vector<int> ids;
+  for (int s = 0; s < o.streams; ++s) {
+    ids.push_back(api.OpenStream("stream-" + std::to_string(s)).value());
+  }
+  Stopwatch sw;
+  for (int i = 0; i < o.frames; ++i) {
+    for (int s = 0; s < o.streams; ++s) {
+      (void)api.ProcessKeyFrame(ids[static_cast<size_t>(s)],
+                                streams[static_cast<size_t>(s)][static_cast<size_t>(i)]);
+    }
+  }
+  for (int id : ids) (void)api.CloseStream(id);
+  r.seconds = sw.ElapsedSeconds();
+  r.matches = api.matches().size();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = ParseOptions(argc, argv);
+  const core::DetectorConfig config = MakeConfig(o);
+  std::printf("# parallel sharded stream executor: %d streams x %d key frames, "
+              "K=%d, %d queries\n",
+              o.streams, o.frames, o.k, o.queries);
+  const auto streams = BuildStreams(o);
+  const auto queries = BuildQuerySketches(o, config);
+  const double total_frames = static_cast<double>(o.streams) * o.frames;
+
+  TablePrinter table({"executor", "threads", "seconds", "frames/sec", "speedup",
+                      "matches", "busy s", "q high-water"});
+
+  auto mon = core::StreamMonitor::Create(config).value();
+  const RunResult serial = Feed(*mon, o, streams, queries);
+  table.AddRow({"serial", "-", TablePrinter::Fmt(serial.seconds),
+                TablePrinter::Fmt(total_frames / serial.seconds, 0), "-",
+                std::to_string(serial.matches), "-", "-"});
+
+  double base_fps = 0.0;
+  for (int threads : o.threads) {
+    core::ParallelConfig pc;
+    pc.num_threads = threads;
+    pc.queue_capacity = 512;
+    pc.backpressure = core::BackpressurePolicy::kBlock;
+    auto exec = parallel::StreamExecutor::Create(config, pc).value();
+    RunResult r = Feed(*exec, o, streams, queries);
+    const parallel::ExecutorStats es = exec->Stats();
+    for (const auto& sh : es.shards) {
+      r.busy_seconds += sh.busy_seconds;
+      r.queue_high_water = std::max(r.queue_high_water, sh.queue_high_water);
+    }
+    const double fps = total_frames / r.seconds;
+    if (base_fps == 0.0) base_fps = fps;
+    if (r.matches != serial.matches) {
+      std::fprintf(stderr, "WARNING: match count diverged (%zu vs serial %zu)\n",
+                   r.matches, serial.matches);
+    }
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.2fx", fps / base_fps);
+    table.AddRow({"sharded", std::to_string(threads), TablePrinter::Fmt(r.seconds),
+                  TablePrinter::Fmt(fps, 0), speedup, std::to_string(r.matches),
+                  TablePrinter::Fmt(r.busy_seconds),
+                  std::to_string(r.queue_high_water)});
+  }
+  table.Print();
+  return 0;
+}

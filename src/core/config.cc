@@ -10,6 +10,18 @@ const char* CombinationOrderName(CombinationOrder o) {
   return o == CombinationOrder::kSequential ? "Sequential" : "Geometric";
 }
 
+const char* BackpressurePolicyName(BackpressurePolicy p) {
+  return p == BackpressurePolicy::kBlock ? "block" : "drop";
+}
+
+Status ParallelConfig::Validate() const {
+  if (num_threads < 0) return Status::InvalidArgument("num_threads must be >= 0");
+  if (queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  return Status::OK();
+}
+
 Status DetectorConfig::Validate() const {
   VCD_RETURN_IF_ERROR(fingerprint.feature.Validate());
   if (fingerprint.u < 1) return Status::InvalidArgument("u must be >= 1");

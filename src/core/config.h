@@ -27,6 +27,32 @@ enum class CombinationOrder {
 const char* RepresentationName(Representation r);
 const char* CombinationOrderName(CombinationOrder o);
 
+/// What a frame submission does when its shard's queue is at capacity
+/// (parallel executor only; see parallel/executor.h).
+enum class BackpressurePolicy {
+  kBlock,       ///< the producer blocks until the shard catches up
+  kDropNewest,  ///< the frame is discarded and counted in ExecutorStats
+};
+
+/// Human-readable name ("block"/"drop") for logs and CLI flags.
+const char* BackpressurePolicyName(BackpressurePolicy p);
+
+/// Configuration of the parallel sharded stream executor
+/// (parallel::StreamExecutor). Streams are sharded across worker threads
+/// with stable per-stream affinity; each shard owns a bounded submission
+/// queue.
+struct ParallelConfig {
+  /// Worker threads (= shards). 0 means std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Capacity of each shard's bounded submission queue (frames + commands).
+  int queue_capacity = 256;
+  /// Behaviour of ProcessKeyFrame when the shard queue is full.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// Validates ranges.
+  Status Validate() const;
+};
+
 /// Full detector configuration.
 struct DetectorConfig {
   /// Frame fingerprinting (d, u, partition scheme).

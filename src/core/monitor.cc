@@ -10,6 +10,32 @@ Result<std::unique_ptr<StreamMonitor>> StreamMonitor::Create(
   return std::unique_ptr<StreamMonitor>(new StreamMonitor(config));
 }
 
+Result<PreparedQuery> PrepareQuery(const DetectorConfig& config,
+                                   const std::vector<vcd::video::DcFrame>& key_frames,
+                                   double duration_seconds) {
+  if (key_frames.empty()) return Status::InvalidArgument("query has no key frames");
+  // Fingerprint + sketch once with a scratch detector-config pipeline so
+  // every stream shares the identical query sketch.
+  auto fp = features::FrameFingerprinter::Create(config.fingerprint);
+  if (!fp.ok()) return fp.status();
+  auto family = sketch::MinHashFamily::Create(config.K, config.hash_seed);
+  if (!family.ok()) return family.status();
+  sketch::Sketcher sketcher(&family.value());
+  const auto cells = fp->FingerprintSequence(key_frames);
+  if (duration_seconds <= 0) {
+    const double span = key_frames.back().timestamp - key_frames.front().timestamp;
+    const double spacing = key_frames.size() > 1
+                               ? span / static_cast<double>(key_frames.size() - 1)
+                               : config.window_seconds;
+    duration_seconds = span + spacing;
+  }
+  PreparedQuery q;
+  q.length_frames = static_cast<int>(cells.size());
+  q.duration_seconds = duration_seconds;
+  q.sketch = sketcher.FromSequence(cells);
+  return q;
+}
+
 Status StreamMonitor::AddQuerySketch(int id, const sketch::Sketch& sk,
                                      int length_frames, double duration_seconds) {
   if (sk.K() != config_.K) {
@@ -31,24 +57,10 @@ Status StreamMonitor::AddQuerySketch(int id, const sketch::Sketch& sk,
 Status StreamMonitor::AddQuery(int id,
                                const std::vector<vcd::video::DcFrame>& key_frames,
                                double duration_seconds) {
-  if (key_frames.empty()) return Status::InvalidArgument("query has no key frames");
-  // Fingerprint + sketch once with a scratch detector-config pipeline so
-  // every stream shares the identical query sketch.
-  auto fp = features::FrameFingerprinter::Create(config_.fingerprint);
-  if (!fp.ok()) return fp.status();
-  auto family = sketch::MinHashFamily::Create(config_.K, config_.hash_seed);
-  if (!family.ok()) return family.status();
-  sketch::Sketcher sketcher(&family.value());
-  const auto cells = fp->FingerprintSequence(key_frames);
-  if (duration_seconds <= 0) {
-    const double span = key_frames.back().timestamp - key_frames.front().timestamp;
-    const double spacing = key_frames.size() > 1
-                               ? span / static_cast<double>(key_frames.size() - 1)
-                               : config_.window_seconds;
-    duration_seconds = span + spacing;
-  }
-  return AddQuerySketch(id, sketcher.FromSequence(cells),
-                        static_cast<int>(cells.size()), duration_seconds);
+  auto prepared = PrepareQuery(config_, key_frames, duration_seconds);
+  if (!prepared.ok()) return prepared.status();
+  return AddQuerySketch(id, prepared->sketch, prepared->length_frames,
+                        prepared->duration_seconds);
 }
 
 Status StreamMonitor::ImportQueries(const QueryDb& db) {

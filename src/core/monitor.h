@@ -17,6 +17,19 @@
 /// `StreamMonitor` owns the portfolio; every opened stream gets its own
 /// detection state (candidate lists are inherently per-stream), and query
 /// subscribe/unsubscribe propagates to all streams online.
+///
+/// ### Thread safety
+/// `StreamMonitor` itself is *externally synchronized*: all mutating calls
+/// (`AddQuery*`, `ImportQueries`, `RemoveQuery`, `OpenStream`,
+/// `CloseStream`, `ProcessKeyFrame`) must come from one thread at a time.
+/// The accessors (`num_queries`, `num_open_streams`, `matches`,
+/// `StreamStats`) return *snapshots by value*, never references into
+/// internal containers, so a caller holding a result can never observe a
+/// dangling or half-mutated view — the contract the parallel executor
+/// (parallel/executor.h) relies on when it drives per-shard monitors'
+/// building blocks from worker threads. For lock-free multi-stream
+/// processing use `parallel::StreamExecutor`, which shards streams across
+/// worker threads and preserves this class's semantics.
 
 namespace vcd::core {
 
@@ -26,6 +39,23 @@ struct StreamMatch {
   std::string stream_name;
   Match match;
 };
+
+/// A query prepared for subscription: the sketch of its key-frame cell
+/// sequence plus the derived length/duration — everything a detector's
+/// AddQuerySketch needs.
+struct PreparedQuery {
+  int length_frames = 0;
+  double duration_seconds = 0.0;
+  sketch::Sketch sketch;
+};
+
+/// Fingerprints and sketches \p key_frames under \p config, inferring
+/// \p duration_seconds from the timestamps when it is ≤ 0. Shared by the
+/// serial monitor and the parallel executor so both subscribe *identical*
+/// query sketches.
+Result<PreparedQuery> PrepareQuery(const DetectorConfig& config,
+                                   const std::vector<vcd::video::DcFrame>& key_frames,
+                                   double duration_seconds);
 
 /// \brief Fan-out facade: one query portfolio, many monitored streams.
 class StreamMonitor {
@@ -50,7 +80,7 @@ class StreamMonitor {
   /// Unsubscribes a query everywhere.
   Status RemoveQuery(int id);
 
-  /// Number of active queries.
+  /// Number of active queries (snapshot).
   int num_queries() const { return static_cast<int>(portfolio_.size()); }
 
   /// Opens a new monitored stream; returns its id.
@@ -59,16 +89,17 @@ class StreamMonitor {
   /// Flushes and closes a stream. Its matches remain readable.
   Status CloseStream(int stream_id);
 
-  /// Number of currently open streams.
+  /// Number of currently open streams (snapshot).
   int num_open_streams() const { return static_cast<int>(streams_.size()); }
 
   /// Feeds one key frame of stream \p stream_id.
   Status ProcessKeyFrame(int stream_id, const vcd::video::DcFrame& frame);
 
   /// All matches so far, across open and closed streams, in arrival order.
-  const std::vector<StreamMatch>& matches() const { return matches_; }
+  /// Returns a snapshot copy — safe to keep across later mutations.
+  std::vector<StreamMatch> matches() const { return matches_; }
 
-  /// Detector stats for an open stream.
+  /// Detector stats for an open stream (snapshot copy).
   Result<DetectorStats> StreamStats(int stream_id) const;
 
  private:

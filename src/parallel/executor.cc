@@ -1,0 +1,243 @@
+#include "parallel/executor.h"
+
+#include <algorithm>
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace vcd::parallel {
+
+StreamExecutor::StreamExecutor(const core::DetectorConfig& config,
+                               const core::ParallelConfig& parallel)
+    : config_(config), pconfig_(parallel) {
+  int n = parallel.num_threads;
+  if (n == 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n < 1) n = 1;
+  }
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        i, parallel.backpressure, static_cast<size_t>(parallel.queue_capacity)));
+  }
+}
+
+StreamExecutor::~StreamExecutor() = default;
+
+Result<std::unique_ptr<StreamExecutor>> StreamExecutor::Create(
+    const core::DetectorConfig& config, const core::ParallelConfig& parallel) {
+  VCD_RETURN_IF_ERROR(config.Validate());
+  VCD_RETURN_IF_ERROR(parallel.Validate());
+  return std::unique_ptr<StreamExecutor>(new StreamExecutor(config, parallel));
+}
+
+Status StreamExecutor::AddQuerySketchLocked(int id, const sketch::Sketch& sk,
+                                            int length_frames,
+                                            double duration_seconds) {
+  if (sk.K() != config_.K) {
+    return Status::InvalidArgument("sketch K does not match executor config");
+  }
+  for (const PortfolioEntry& e : portfolio_) {
+    if (e.id == id) return Status::AlreadyExists("query id " + std::to_string(id));
+  }
+  portfolio_.push_back(PortfolioEntry{id, length_frames, duration_seconds, sk});
+  // Fan out while still holding control_mu_, so every shard sees portfolio
+  // commands and stream installs in the same relative order.
+  for (auto& shard : shards_) {
+    shard->SubmitCommand([id, sk, length_frames, duration_seconds](Shard* s) {
+      s->ApplyAddQuery(id, sk, length_frames, duration_seconds);
+    });
+  }
+  return Status::OK();
+}
+
+Status StreamExecutor::AddQuerySketch(int id, const sketch::Sketch& sk,
+                                      int length_frames, double duration_seconds) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return AddQuerySketchLocked(id, sk, length_frames, duration_seconds);
+}
+
+Status StreamExecutor::AddQuery(int id,
+                                const std::vector<vcd::video::DcFrame>& key_frames,
+                                double duration_seconds) {
+  auto prepared = core::PrepareQuery(config_, key_frames, duration_seconds);
+  if (!prepared.ok()) return prepared.status();
+  return AddQuerySketch(id, prepared->sketch, prepared->length_frames,
+                        prepared->duration_seconds);
+}
+
+Status StreamExecutor::ImportQueries(const core::QueryDb& db) {
+  if (db.k != config_.K) {
+    return Status::FailedPrecondition("query db K does not match executor config");
+  }
+  if (db.hash_seed != config_.hash_seed) {
+    return Status::FailedPrecondition("query db hash seed does not match config");
+  }
+  std::lock_guard<std::mutex> lock(control_mu_);
+  for (const core::StoredQuery& q : db.queries) {
+    VCD_RETURN_IF_ERROR(
+        AddQuerySketchLocked(q.id, q.sketch, q.length_frames, q.duration_seconds));
+  }
+  return Status::OK();
+}
+
+Status StreamExecutor::RemoveQuery(int id) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  bool found = false;
+  for (size_t i = 0; i < portfolio_.size(); ++i) {
+    if (portfolio_[i].id == id) {
+      portfolio_.erase(portfolio_.begin() + static_cast<long>(i));
+      found = true;
+      break;
+    }
+  }
+  if (!found) return Status::NotFound("query id " + std::to_string(id));
+  for (auto& shard : shards_) {
+    shard->SubmitCommand([id](Shard* s) { s->ApplyRemoveQuery(id); });
+  }
+  return Status::OK();
+}
+
+int StreamExecutor::num_queries() const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  return static_cast<int>(portfolio_.size());
+}
+
+Result<int> StreamExecutor::OpenStream(std::string name) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  auto det = core::CopyDetector::Create(config_);
+  if (!det.ok()) return det.status();
+  std::shared_ptr<core::CopyDetector> detector = std::move(*det);
+  for (const PortfolioEntry& e : portfolio_) {
+    VCD_RETURN_IF_ERROR(detector->AddQuerySketch(e.id, e.sketch, e.length_frames,
+                                                 e.duration_seconds));
+  }
+  const int id = next_stream_id_.fetch_add(1, std::memory_order_acq_rel);
+  num_open_streams_.fetch_add(1, std::memory_order_relaxed);
+  shard_for(id)->SubmitCommand(
+      [id, name = std::move(name), detector](Shard* s) mutable {
+        s->InstallStream(id, std::move(name), std::move(detector));
+      });
+  return id;
+}
+
+Status StreamExecutor::CloseStream(int stream_id) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (stream_id <= 0 ||
+      stream_id >= next_stream_id_.load(std::memory_order_acquire)) {
+    return Status::NotFound("no such stream");
+  }
+  const uint64_t close_seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  using Reply = std::pair<Status, std::vector<SeqMatch>>;
+  auto promise = std::make_shared<std::promise<Reply>>();
+  auto future = promise->get_future();
+  shard_for(stream_id)->SubmitCommand([stream_id, close_seq, promise](Shard* s) {
+    std::vector<SeqMatch> batch;
+    Status st = s->FinishStream(stream_id, close_seq, &batch);
+    promise->set_value(Reply{std::move(st), std::move(batch)});
+  });
+  Reply reply = future.get();
+  if (!reply.first.ok()) return reply.first;
+  num_open_streams_.fetch_sub(1, std::memory_order_relaxed);
+  FoldLocked(std::move(reply.second));
+  return Status::OK();
+}
+
+int StreamExecutor::num_open_streams() const {
+  return num_open_streams_.load(std::memory_order_relaxed);
+}
+
+Status StreamExecutor::ProcessKeyFrame(int stream_id, vcd::video::DcFrame frame) {
+  if (stream_id <= 0 ||
+      stream_id >= next_stream_id_.load(std::memory_order_acquire)) {
+    return Status::NotFound("no such stream");
+  }
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  frames_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (shard_for(stream_id)->SubmitFrame(seq, stream_id, std::move(frame)) ==
+      Shard::Submit::kDropped) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status StreamExecutor::Drain() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  using Reply = std::pair<Status, std::vector<SeqMatch>>;
+  std::vector<std::future<Reply>> futures;
+  futures.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    auto promise = std::make_shared<std::promise<Reply>>();
+    futures.push_back(promise->get_future());
+    shard->SubmitCommand([promise](Shard* s) {
+      std::vector<SeqMatch> batch;
+      Status st = s->TakeMatches(&batch);
+      promise->set_value(Reply{std::move(st), std::move(batch)});
+    });
+  }
+  Status first;
+  for (auto& f : futures) {
+    Reply reply = f.get();
+    if (first.ok()) first = reply.first;
+    FoldLocked(std::move(reply.second));
+  }
+  return first;
+}
+
+void StreamExecutor::FoldLocked(std::vector<SeqMatch> batch) {
+  if (batch.empty()) return;
+  merged_.insert(merged_.end(), std::make_move_iterator(batch.begin()),
+                 std::make_move_iterator(batch.end()));
+  // Batches are per-shard FIFO-ordered; a stable sort by submission seq
+  // restores global arrival order while keeping same-frame matches in
+  // detector emission order.
+  std::stable_sort(merged_.begin(), merged_.end(),
+                   [](const SeqMatch& a, const SeqMatch& b) { return a.seq < b.seq; });
+}
+
+std::vector<core::StreamMatch> StreamExecutor::matches() const {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  std::vector<core::StreamMatch> out;
+  out.reserve(merged_.size());
+  for (const SeqMatch& m : merged_) out.push_back(m.match);
+  return out;
+}
+
+Result<core::DetectorStats> StreamExecutor::StreamStats(int stream_id) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (stream_id <= 0 ||
+      stream_id >= next_stream_id_.load(std::memory_order_acquire)) {
+    return Status::NotFound("no such stream");
+  }
+  auto promise = std::make_shared<std::promise<Result<core::DetectorStats>>>();
+  auto future = promise->get_future();
+  shard_for(stream_id)->SubmitCommand(
+      [stream_id, promise](Shard* s) { promise->set_value(s->StatsOf(stream_id)); });
+  return future.get();
+}
+
+ExecutorStats StreamExecutor::Stats() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  using Reply = std::pair<ShardStats, core::DetectorStats>;
+  std::vector<std::future<Reply>> futures;
+  futures.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    auto promise = std::make_shared<std::promise<Reply>>();
+    futures.push_back(promise->get_future());
+    shard->SubmitCommand([promise](Shard* s) {
+      promise->set_value(Reply{s->Snapshot(), s->AggregateDetectorStats()});
+    });
+  }
+  ExecutorStats stats;
+  stats.frames_submitted = frames_submitted_.load(std::memory_order_relaxed);
+  stats.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+  for (auto& f : futures) {
+    Reply reply = f.get();
+    stats.shards.push_back(std::move(reply.first));
+    stats.shard_detector_stats.push_back(std::move(reply.second));
+  }
+  return stats;
+}
+
+}  // namespace vcd::parallel

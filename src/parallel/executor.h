@@ -1,0 +1,168 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/monitor.h"
+#include "core/query_store.h"
+#include "parallel/shard.h"
+
+/// \file executor.h
+/// Parallel sharded stream executor — the scale-out form of
+/// `core::StreamMonitor` (the paper's "many concurrent video streams"
+/// deployment picture, §II/§V-C).
+///
+/// Open streams are sharded across N worker threads with stable per-stream
+/// affinity (`shard = (stream_id - 1) % N`). Candidate lists are inherently
+/// per-stream, so shards share nothing on the frame path: `ProcessKeyFrame`
+/// touches only an atomic id bound check, a global sequence counter and the
+/// owning shard's bounded MPSC queue — no portfolio lock, no registry lock.
+///
+/// Query subscribe/unsubscribe propagates through per-shard command queues:
+/// commands ride the same FIFO as frames, so a portfolio change takes
+/// effect after every frame submitted before it and before every frame
+/// submitted after it — window-boundary-exact, and identical to the serial
+/// monitor's semantics for any single-threaded submission schedule.
+///
+/// Matches are collected mutex-free on the frame path: each shard's worker
+/// appends to a thread-local log tagged with the frame's global submission
+/// sequence number; `Drain()`/`CloseStream()` hand logs over via one-shot
+/// promises and merge them back into arrival order by that tag.
+///
+/// ### Thread safety
+/// - `ProcessKeyFrame` — safe from any number of threads concurrently
+///   (frames of one stream must come from one thread to have a defined
+///   order, as with any FIFO).
+/// - Control plane (`AddQuery*`, `ImportQueries`, `RemoveQuery`,
+///   `OpenStream`, `CloseStream`, `Drain`, `Stats`, `StreamStats`) — safe
+///   from any thread; serialized on an internal control mutex that the
+///   frame path never takes.
+/// - Accessors return snapshots by value.
+
+namespace vcd::parallel {
+
+/// Executor-wide counters plus one entry per shard.
+struct ExecutorStats {
+  int64_t frames_submitted = 0;  ///< accepted by ProcessKeyFrame
+  int64_t frames_dropped = 0;    ///< discarded by kDropNewest backpressure
+  std::vector<ShardStats> shards;
+  /// Aggregated detector stats per shard (index-aligned with `shards`).
+  std::vector<core::DetectorStats> shard_detector_stats;
+};
+
+/// \brief Worker-pool stream executor: StreamMonitor semantics, N threads.
+class StreamExecutor {
+ public:
+  /// Creates an executor; all streams share \p config, threading per
+  /// \p parallel. Fails on invalid config.
+  static Result<std::unique_ptr<StreamExecutor>> Create(
+      const core::DetectorConfig& config, const core::ParallelConfig& parallel);
+
+  /// Drains nothing: closes all shard queues (pending work still runs) and
+  /// joins the workers. Call Drain() first if you need the final matches.
+  ~StreamExecutor();
+
+  StreamExecutor(const StreamExecutor&) = delete;
+  StreamExecutor& operator=(const StreamExecutor&) = delete;
+
+  /// Subscribes a query (key-frame DC maps) on every stream, present and
+  /// future.
+  Status AddQuery(int id, const std::vector<vcd::video::DcFrame>& key_frames,
+                  double duration_seconds = -1.0);
+
+  /// Subscribes a pre-sketched query.
+  Status AddQuerySketch(int id, const sketch::Sketch& sk, int length_frames,
+                        double duration_seconds);
+
+  /// Loads a persisted query database (hash family must match the config).
+  Status ImportQueries(const core::QueryDb& db);
+
+  /// Unsubscribes a query everywhere.
+  Status RemoveQuery(int id);
+
+  /// Number of active queries (snapshot).
+  int num_queries() const;
+
+  /// Opens a new monitored stream; returns its id. The stream is pinned to
+  /// shard `(id - 1) % num_threads` for its whole lifetime.
+  Result<int> OpenStream(std::string name);
+
+  /// Flushes and closes a stream: waits for its queued frames, runs the
+  /// detector's Finish, and folds its matches into the merged log.
+  Status CloseStream(int stream_id);
+
+  /// Number of currently open streams (snapshot).
+  int num_open_streams() const;
+
+  /// Enqueues one key frame of stream \p stream_id on its shard.
+  /// Returns NotFound for ids never issued; OK otherwise — under
+  /// kDropNewest a full queue silently drops the frame and counts it in
+  /// ExecutorStats::frames_dropped, and frames racing a CloseStream are
+  /// counted as ShardStats::frames_rejected.
+  Status ProcessKeyFrame(int stream_id, vcd::video::DcFrame frame);
+
+  /// Barrier: waits until every frame and command submitted before this
+  /// call has been processed, then folds all shard match logs into the
+  /// merged log. Returns the first sticky processing error, if any.
+  Status Drain();
+
+  /// All matches folded so far (after Drain()/CloseStream()), merged back
+  /// into global arrival order. Snapshot copy.
+  std::vector<core::StreamMatch> matches() const;
+
+  /// Detector stats of one open stream (round-trips through its shard, so
+  /// it reflects every frame submitted before this call).
+  Result<core::DetectorStats> StreamStats(int stream_id);
+
+  /// Executor counters plus per-shard stats and aggregated detector stats.
+  /// Round-trips through every shard.
+  ExecutorStats Stats();
+
+  /// Number of shards (= worker threads).
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct PortfolioEntry {
+    int id;
+    int length_frames;
+    double duration_seconds;
+    sketch::Sketch sketch;
+  };
+
+  StreamExecutor(const core::DetectorConfig& config,
+                 const core::ParallelConfig& parallel);
+
+  Shard* shard_for(int stream_id) const {
+    return shards_[static_cast<size_t>(stream_id - 1) % shards_.size()].get();
+  }
+
+  /// AddQuerySketch body; requires control_mu_ held.
+  Status AddQuerySketchLocked(int id, const sketch::Sketch& sk, int length_frames,
+                              double duration_seconds);
+
+  /// Folds \p batch into merged_ keeping it sorted by sequence number.
+  /// Requires control_mu_ held.
+  void FoldLocked(std::vector<SeqMatch> batch);
+
+  const core::DetectorConfig config_;
+  const core::ParallelConfig pconfig_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Guards the portfolio, the merged log and control-plane ordering.
+  /// Never taken by ProcessKeyFrame.
+  mutable std::mutex control_mu_;
+  std::vector<PortfolioEntry> portfolio_;
+  std::vector<SeqMatch> merged_;
+
+  std::atomic<int> next_stream_id_{1};
+  std::atomic<int> num_open_streams_{0};
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<int64_t> frames_submitted_{0};
+  std::atomic<int64_t> frames_dropped_{0};
+};
+
+}  // namespace vcd::parallel

@@ -1,0 +1,34 @@
+#include "parallel/mpsc_queue.h"
+
+namespace vcd::parallel {
+
+void MpscQueueBase::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool MpscQueueBase::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t MpscQueueBase::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+size_t MpscQueueBase::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+void MpscQueueBase::RecordDepthLocked(size_t depth) {
+  depth_ = depth;
+  if (depth > high_water_) high_water_ = depth;
+}
+
+}  // namespace vcd::parallel

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+/// \file mpsc_queue.h
+/// Bounded multi-producer single-consumer queue — the per-shard submission
+/// channel of the parallel stream executor.
+///
+/// Producers are the caller threads of `StreamExecutor::ProcessKeyFrame` and
+/// the control plane (commands); the single consumer is the shard's worker
+/// thread. Backpressure is the producer's choice per push: `Push` blocks
+/// while the queue is full, `TryPush` fails immediately (the executor turns
+/// that into a drop counter under `BackpressurePolicy::kDropNewest`).
+///
+/// The queue also keeps the occupancy gauges the executor reports
+/// (`depth`, `high_water`) so backpressure tuning is observable.
+
+namespace vcd::parallel {
+
+/// \brief Non-template state of a bounded MPSC queue: the lock, the
+/// wait/wake machinery, the closed flag and the occupancy gauges.
+class MpscQueueBase {
+ public:
+  /// Closes the queue: pending items remain poppable, further pushes fail,
+  /// and a consumer blocked in Pop wakes up once the queue drains.
+  void Close();
+
+  /// True once Close() was called.
+  bool closed() const;
+
+  /// Current number of queued items.
+  size_t depth() const;
+
+  /// Highest occupancy ever observed (queue depth high-water mark).
+  size_t high_water() const;
+
+ protected:
+  explicit MpscQueueBase(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Updates depth/high-water after a push/pop. Requires mu_ held.
+  void RecordDepthLocked(size_t depth);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  size_t depth_ = 0;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+/// \brief Bounded blocking MPSC queue of T.
+template <typename T>
+class BoundedMpscQueue : public MpscQueueBase {
+ public:
+  explicit BoundedMpscQueue(size_t capacity) : MpscQueueBase(capacity) {}
+
+  /// Blocking push; waits while the queue is full. Returns false iff the
+  /// queue was closed (the item is then discarded).
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      RecordDepthLocked(items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when the queue is full or closed.
+  bool TryPush(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      RecordDepthLocked(items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; waits for an item. Returns false iff the queue is closed
+  /// *and* drained — the consumer's termination condition.
+  bool Pop(T* out) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+      RecordDepthLocked(items_.size());
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+ private:
+  std::deque<T> items_;
+};
+
+}  // namespace vcd::parallel

@@ -1,0 +1,157 @@
+#include "parallel/shard.h"
+
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace vcd::parallel {
+
+Shard::Shard(int shard_id, core::BackpressurePolicy backpressure,
+             size_t queue_capacity)
+    : shard_id_(shard_id),
+      backpressure_(backpressure),
+      queue_(queue_capacity),
+      worker_([this] { Run(); }) {}
+
+Shard::~Shard() {
+  queue_.Close();
+  if (worker_.joinable()) worker_.join();
+}
+
+Shard::Submit Shard::SubmitFrame(uint64_t seq, int stream_id,
+                                 vcd::video::DcFrame frame) {
+  Task t;
+  t.seq = seq;
+  t.stream_id = stream_id;
+  t.frame = std::move(frame);
+  if (backpressure_ == core::BackpressurePolicy::kBlock) {
+    queue_.Push(std::move(t));
+    return Submit::kAccepted;
+  }
+  return queue_.TryPush(std::move(t)) ? Submit::kAccepted : Submit::kDropped;
+}
+
+void Shard::SubmitCommand(Command cmd) {
+  Task t;
+  t.command = std::move(cmd);
+  queue_.Push(std::move(t));
+}
+
+ShardStats Shard::Snapshot() const {
+  ShardStats s;
+  s.shard_id = shard_id_;
+  s.num_streams = num_streams_.load(std::memory_order_relaxed);
+  s.frames_processed = frames_processed_.load(std::memory_order_relaxed);
+  s.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
+  s.commands_processed = commands_processed_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.depth();
+  s.queue_high_water = queue_.high_water();
+  s.busy_seconds =
+      static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+void Shard::Run() {
+  Task t;
+  while (queue_.Pop(&t)) {
+    Stopwatch sw;
+    if (t.command) {
+      t.command(this);
+      commands_processed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ProcessFrame(t);
+    }
+    busy_nanos_.fetch_add(static_cast<int64_t>(sw.ElapsedSeconds() * 1e9),
+                          std::memory_order_relaxed);
+  }
+}
+
+void Shard::ProcessFrame(const Task& t) {
+  auto it = streams_.find(t.stream_id);
+  if (it == streams_.end()) {
+    // The stream was closed (or never installed) before this frame ran —
+    // the asynchronous analogue of the serial monitor's NotFound.
+    frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Status st = it->second.detector->ProcessKeyFrame(t.frame);
+  if (!st.ok() && first_error_.ok()) first_error_ = st;
+  DrainSlotMatches(t.stream_id, &it->second, t.seq);
+  frames_processed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Shard::DrainSlotMatches(int stream_id, StreamSlot* slot, uint64_t seq) {
+  const auto& ms = slot->detector->matches();
+  for (; slot->matches_consumed < ms.size(); ++slot->matches_consumed) {
+    log_.push_back(SeqMatch{
+        seq, core::StreamMatch{stream_id, slot->name, ms[slot->matches_consumed]}});
+  }
+}
+
+void Shard::InstallStream(int stream_id, std::string name,
+                          std::shared_ptr<core::CopyDetector> detector) {
+  StreamSlot slot;
+  slot.name = std::move(name);
+  slot.detector = std::move(detector);
+  streams_.emplace(stream_id, std::move(slot));
+  num_streams_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status Shard::FinishStream(int stream_id, uint64_t close_seq,
+                           std::vector<SeqMatch>* out) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return Status::NotFound("no such stream");
+  Status st = it->second.detector->Finish();
+  DrainSlotMatches(stream_id, &it->second, close_seq);
+  out->swap(log_);
+  streams_.erase(it);
+  num_streams_.fetch_sub(1, std::memory_order_relaxed);
+  return st;
+}
+
+void Shard::ApplyAddQuery(int id, const sketch::Sketch& sk, int length_frames,
+                          double duration_seconds) {
+  for (auto& [sid, slot] : streams_) {
+    Status st = slot.detector->AddQuerySketch(id, sk, length_frames, duration_seconds);
+    if (!st.ok() && first_error_.ok()) first_error_ = st;
+  }
+}
+
+void Shard::ApplyRemoveQuery(int id) {
+  for (auto& [sid, slot] : streams_) {
+    Status st = slot.detector->RemoveQuery(id);
+    if (!st.ok() && first_error_.ok()) first_error_ = st;
+  }
+}
+
+Status Shard::TakeMatches(std::vector<SeqMatch>* out) {
+  out->insert(out->end(), std::make_move_iterator(log_.begin()),
+              std::make_move_iterator(log_.end()));
+  log_.clear();
+  return first_error_;
+}
+
+Result<core::DetectorStats> Shard::StatsOf(int stream_id) const {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return Status::NotFound("no such stream");
+  return it->second.detector->stats();
+}
+
+core::DetectorStats Shard::AggregateDetectorStats() const {
+  core::DetectorStats agg;
+  for (const auto& [sid, slot] : streams_) {
+    const core::DetectorStats& s = slot.detector->stats();
+    agg.key_frames += s.key_frames;
+    agg.windows += s.windows;
+    agg.sketch_combines += s.sketch_combines;
+    agg.sketch_compares += s.sketch_compares;
+    agg.bitsig_ors += s.bitsig_ors;
+    agg.bitsig_builds += s.bitsig_builds;
+    agg.candidates_pruned += s.candidates_pruned;
+    agg.signatures_per_window.Merge(s.signatures_per_window);
+    agg.candidates_per_window.Merge(s.candidates_per_window);
+  }
+  return agg;
+}
+
+}  // namespace vcd::parallel

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/detector.h"
+#include "core/monitor.h"
+#include "parallel/mpsc_queue.h"
+#include "video/partial_decoder.h"
+
+/// \file shard.h
+/// One shard of the parallel stream executor: a worker thread, its bounded
+/// submission queue, and the detection state of the streams pinned to it.
+///
+/// Candidate lists are inherently per-stream (core/monitor.h), so shards
+/// share nothing on the frame path: every stream's detector lives on exactly
+/// one shard, and all mutation happens on that shard's worker thread. The
+/// control plane talks to a shard only through commands enqueued into the
+/// same FIFO queue as frames, which is what makes ordering deterministic:
+/// a command takes effect after every frame submitted before it and before
+/// every frame submitted after it — exactly the serial-monitor semantics.
+
+namespace vcd::parallel {
+
+/// A match tagged with the global submission sequence number of the frame
+/// (or close command) that produced it — the merge key that restores
+/// arrival order across shards.
+struct SeqMatch {
+  uint64_t seq = 0;
+  core::StreamMatch match;
+};
+
+/// Counters one shard exposes. Snapshots are cheap (relaxed atomics + queue
+/// gauges) and may be taken while the shard is running.
+struct ShardStats {
+  int shard_id = 0;
+  int num_streams = 0;             ///< streams currently pinned to this shard
+  int64_t frames_processed = 0;    ///< frames run through a detector
+  int64_t frames_rejected = 0;     ///< frames for unknown/closed streams
+  int64_t commands_processed = 0;  ///< control commands applied
+  size_t queue_depth = 0;          ///< current submission-queue occupancy
+  size_t queue_high_water = 0;     ///< max occupancy ever observed
+  double busy_seconds = 0.0;       ///< wall time spent processing tasks
+};
+
+/// \brief Worker thread + queue + per-stream detectors of one shard.
+class Shard {
+ public:
+  /// A control command, executed on the shard's worker thread. Commands run
+  /// in FIFO order with frames and are never dropped by backpressure.
+  using Command = std::function<void(Shard*)>;
+
+  /// Result of a frame submission.
+  enum class Submit { kAccepted, kDropped };
+
+  Shard(int shard_id, core::BackpressurePolicy backpressure, size_t queue_capacity);
+
+  /// Closes the queue, drains remaining tasks and joins the worker.
+  ~Shard();
+
+  // --- producer side (any thread) ---------------------------------------
+
+  /// Enqueues one key frame of \p stream_id. Blocks when the queue is full
+  /// under kBlock; returns kDropped under kDropNewest.
+  Submit SubmitFrame(uint64_t seq, int stream_id, vcd::video::DcFrame frame);
+
+  /// Enqueues a control command. Always blocks when full — commands are
+  /// never dropped, whatever the backpressure policy.
+  void SubmitCommand(Command cmd);
+
+  /// Cheap counter snapshot; safe from any thread at any time.
+  ShardStats Snapshot() const;
+
+  // --- shard-thread side (call only from inside a Command) --------------
+
+  /// Installs a stream with a pre-built detector (portfolio already applied).
+  void InstallStream(int stream_id, std::string name,
+                     std::shared_ptr<core::CopyDetector> detector);
+
+  /// Finishes a stream: flushes its trailing window, moves its final
+  /// matches (tagged \p close_seq) into \p out and forgets it.
+  Status FinishStream(int stream_id, uint64_t close_seq, std::vector<SeqMatch>* out);
+
+  /// Applies a query subscription to every stream on this shard.
+  void ApplyAddQuery(int id, const sketch::Sketch& sk, int length_frames,
+                     double duration_seconds);
+
+  /// Applies a query unsubscription to every stream on this shard.
+  void ApplyRemoveQuery(int id);
+
+  /// Moves the accumulated match log into \p out and returns the sticky
+  /// first processing error (OK when none).
+  Status TakeMatches(std::vector<SeqMatch>* out);
+
+  /// Detector stats of one stream; NotFound if it is not on this shard.
+  Result<core::DetectorStats> StatsOf(int stream_id) const;
+
+  /// Aggregated detector stats over all streams currently on this shard.
+  core::DetectorStats AggregateDetectorStats() const;
+
+ private:
+  /// One queued unit of work: a frame when `command` is empty, else a
+  /// command.
+  struct Task {
+    uint64_t seq = 0;
+    int stream_id = 0;
+    vcd::video::DcFrame frame;
+    Command command;
+  };
+
+  struct StreamSlot {
+    std::string name;
+    std::shared_ptr<core::CopyDetector> detector;
+    size_t matches_consumed = 0;
+  };
+
+  /// Worker loop: pops tasks until the queue is closed and drained.
+  void Run();
+
+  /// Processes one frame task on the worker thread.
+  void ProcessFrame(const Task& t);
+
+  /// Appends the not-yet-consumed matches of \p slot to log_, tagged \p seq.
+  void DrainSlotMatches(int stream_id, StreamSlot* slot, uint64_t seq);
+
+  const int shard_id_;
+  const core::BackpressurePolicy backpressure_;
+  BoundedMpscQueue<Task> queue_;
+
+  // Worker-thread-owned state (no locking: single consumer).
+  std::map<int, StreamSlot> streams_;
+  std::vector<SeqMatch> log_;
+  Status first_error_;
+
+  // Counters readable from any thread.
+  std::atomic<int> num_streams_{0};
+  std::atomic<int64_t> frames_processed_{0};
+  std::atomic<int64_t> frames_rejected_{0};
+  std::atomic<int64_t> commands_processed_{0};
+  std::atomic<int64_t> busy_nanos_{0};
+
+  std::thread worker_;
+};
+
+}  // namespace vcd::parallel

@@ -26,6 +26,26 @@ class RunningStats {
     sum_ += x;
   }
 
+  /// Merges another accumulator into this one, as if all of \p other's
+  /// observations had been Add()ed here (parallel combination of Welford
+  /// state, Chan et al.). Used to aggregate per-stream stats across shards.
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const int64_t n = n_ + other.n_;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / static_cast<double>(n);
+    n_ = n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   /// Number of observations.
   int64_t count() const { return n_; }
   /// Arithmetic mean (0 if empty).

@@ -68,6 +68,59 @@ TEST(PropertyTest, SketchCombineAssociative) {
   EXPECT_EQ(ab_c, a_bc);
 }
 
+/// Property: element-wise-min combination is commutative (Property 1) —
+/// with associativity, the algebraic fact that lets the parallel executor's
+/// shards build window sketches independently and merge them in any
+/// completion order without changing the result. Fuzzed over seeded random
+/// sketches of varying K and set size.
+TEST(PropertyTest, SketchCombineCommutative) {
+  Rng rng(137);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int k = 8 + static_cast<int>(rng.Uniform(120));
+    auto fam = MinHashFamily::Create(k, rng.Next()).value();
+    Sketcher sk(&fam);
+    const Sketch a = sk.FromSequence(RandomIds(&rng, 1 + rng.Uniform(60), 4000));
+    const Sketch b = sk.FromSequence(RandomIds(&rng, 1 + rng.Uniform(60), 4000));
+    Sketch ab = a;
+    Sketcher::Combine(&ab, b);
+    Sketch ba = b;
+    Sketcher::Combine(&ba, a);
+    EXPECT_EQ(ab, ba) << "trial " << trial << " k=" << k;
+  }
+}
+
+/// Property: bit-signature OR (Def. 3) is associative and commutative —
+/// the same out-of-order-merge guarantee for the Bit representation.
+TEST(PropertyTest, BitSignatureOrAssociativeCommutative) {
+  Rng rng(139);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int k = 8 + static_cast<int>(rng.Uniform(72));
+    auto fam = MinHashFamily::Create(k, rng.Next()).value();
+    Sketcher sk(&fam);
+    const Sketch query = sk.FromSequence(RandomIds(&rng, 30, 2500));
+    const BitSignature s1 = BitSignature::FromSketches(
+        sk.FromSequence(RandomIds(&rng, 1 + rng.Uniform(20), 2500)), query);
+    const BitSignature s2 = BitSignature::FromSketches(
+        sk.FromSequence(RandomIds(&rng, 1 + rng.Uniform(20), 2500)), query);
+    const BitSignature s3 = BitSignature::FromSketches(
+        sk.FromSequence(RandomIds(&rng, 1 + rng.Uniform(20), 2500)), query);
+    // Commutativity.
+    BitSignature s12 = s1;
+    s12.OrWith(s2);
+    BitSignature s21 = s2;
+    s21.OrWith(s1);
+    EXPECT_TRUE(s12 == s21) << "trial " << trial;
+    // Associativity.
+    BitSignature left = s12;
+    left.OrWith(s3);
+    BitSignature s23 = s2;
+    s23.OrWith(s3);
+    BitSignature right = s1;
+    right.OrWith(s23);
+    EXPECT_TRUE(left == right) << "trial " << trial;
+  }
+}
+
 /// Property: bit-signature OR distributes over multi-way combination — the
 /// signature of an n-way combined candidate equals the OR of the n parts'
 /// signatures, for any n.

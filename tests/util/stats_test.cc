@@ -51,6 +51,30 @@ TEST(RunningStatsTest, LargeStreamStable) {
   EXPECT_NEAR(s.variance(), 0.25, 1e-4);
 }
 
+TEST(RunningStatsTest, MergeEqualsSequentialAdds) {
+  // Merging shard-local accumulators must equal one accumulator that saw
+  // every observation (the parallel executor aggregates per-shard stats).
+  RunningStats whole, left, right, empty;
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.25 * i - 3.0;
+    whole.Add(x);
+    (i < 17 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  left.Merge(empty);  // merging an empty accumulator is a no-op
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+
+  RunningStats into_empty;
+  into_empty.Merge(whole);
+  EXPECT_EQ(into_empty.count(), whole.count());
+  EXPECT_DOUBLE_EQ(into_empty.mean(), whole.mean());
+}
+
 TEST(PrecisionRecallTest, F1Harmonic) {
   PrecisionRecall pr{0.5, 1.0};
   EXPECT_NEAR(pr.F1(), 2.0 * 0.5 * 1.0 / 1.5, 1e-12);

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Build + test matrix: plain, ThreadSanitizer, AddressSanitizer/UBSan.
+#
+# Usage:
+#   tools/check.sh           # run the full matrix
+#   tools/check.sh plain     # just the plain build + ctest
+#   tools/check.sh tsan      # just the TSan build + ctest
+#   tools/check.sh asan      # just the ASan/UBSan build + ctest
+#
+# Sanitizer builds skip benches/examples (VCD_BUILD_BENCH/EXAMPLES=OFF) —
+# the tests are the contract; the benches are timing tools.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+MATRIX="${1:-all}"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+  echo "=== [$name] OK ==="
+}
+
+case "$MATRIX" in
+  plain|all) run_config plain build ;;&
+  tsan|all)
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      run_config tsan build-tsan -DVCD_SANITIZE=thread \
+        -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
+  asan|all)
+    ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+      run_config asan build-asan -DVCD_SANITIZE=address \
+        -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
+  plain|tsan|asan|all) ;;
+  *) echo "unknown matrix entry: $MATRIX (want plain|tsan|asan|all)" >&2; exit 2 ;;
+esac

@@ -12,7 +12,7 @@
 ///   vcdctl shots in.vcds
 ///   vcdctl build-queries out.vcdq id1=a.vcds [id2=b.vcds ...] [--k K]
 ///   vcdctl monitor queries.vcdq stream1.vcds [stream2.vcds ...]
-///           [--delta D --window W]
+///           [--delta D --window W --threads N --queue C --backpressure block|drop]
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +23,7 @@
 
 #include "core/monitor.h"
 #include "core/query_store.h"
+#include "parallel/executor.h"
 #include "features/fingerprint.h"
 #include "video/codec.h"
 #include "video/partial_decoder.h"
@@ -264,6 +265,92 @@ int CmdBuildQueries(const Args& a) {
   return 0;
 }
 
+void PrintMatches(const std::vector<core::StreamMatch>& matches) {
+  for (const core::StreamMatch& m : matches) {
+    std::printf("MATCH query %d on %s at t=[%.1f, %.1f]s sim=%.3f\n",
+                m.match.query_id, m.stream_name.c_str(), m.match.start_time,
+                m.match.end_time, m.match.similarity);
+  }
+  std::printf("%zu matches total\n", matches.size());
+}
+
+/// Parallel path of `vcdctl monitor`: streams are opened on the sharded
+/// executor and fed round-robin (the arrival pattern of concurrent live
+/// feeds), so different files progress on different worker threads.
+int MonitorParallel(const Args& a, const core::DetectorConfig& config,
+                    const core::QueryDb& db, int threads) {
+  core::ParallelConfig pc;
+  pc.num_threads = threads;
+  pc.queue_capacity = static_cast<int>(a.Num("queue", 256));
+  const std::string bp = a.Str("backpressure", "block");
+  if (bp == "drop") {
+    pc.backpressure = core::BackpressurePolicy::kDropNewest;
+  } else if (bp == "block") {
+    pc.backpressure = core::BackpressurePolicy::kBlock;
+  } else {
+    std::fprintf(stderr, "error: --backpressure must be block or drop (got %s)\n",
+                 bp.c_str());
+    return 2;
+  }
+  auto exec = parallel::StreamExecutor::Create(config, pc);
+  if (!exec.ok()) return Fail(exec.status());
+  if (Status st = (*exec)->ImportQueries(db); !st.ok()) return Fail(st);
+  std::printf("monitoring with %d queries (K=%d, delta=%.2f, w=%.0fs, "
+              "%d threads, queue %d, %s)\n",
+              (*exec)->num_queries(), config.K, config.delta,
+              config.window_seconds, (*exec)->num_shards(), pc.queue_capacity,
+              core::BackpressurePolicyName(pc.backpressure));
+
+  std::vector<std::vector<uint8_t>> bytes;       // keeps decoder storage alive
+  std::vector<video::PartialDecoder> decoders(a.positional.size() - 1);
+  std::vector<int> sids;
+  for (size_t s = 1; s < a.positional.size(); ++s) {
+    auto b = ReadFile(a.positional[s]);
+    if (!b.ok()) return Fail(b.status());
+    bytes.push_back(std::move(*b));
+    if (Status st = decoders[s - 1].Open(bytes.back().data(), bytes.back().size());
+        !st.ok()) {
+      return Fail(st);
+    }
+    auto sid = (*exec)->OpenStream(a.positional[s]);
+    if (!sid.ok()) return Fail(sid.status());
+    sids.push_back(*sid);
+  }
+  bool any = true;
+  video::DcFrame f;
+  std::vector<bool> done(decoders.size(), false);
+  while (any) {
+    any = false;
+    for (size_t i = 0; i < decoders.size(); ++i) {
+      if (done[i]) continue;
+      if (!decoders[i].NextKeyFrame(&f).ok()) {
+        done[i] = true;
+        continue;
+      }
+      any = true;
+      if (Status st = (*exec)->ProcessKeyFrame(sids[i], std::move(f)); !st.ok()) {
+        return Fail(st);
+      }
+    }
+  }
+  for (int sid : sids) {
+    if (Status st = (*exec)->CloseStream(sid); !st.ok()) return Fail(st);
+  }
+  if (Status st = (*exec)->Drain(); !st.ok()) return Fail(st);
+  PrintMatches((*exec)->matches());
+  const parallel::ExecutorStats stats = (*exec)->Stats();
+  for (const auto& sh : stats.shards) {
+    std::printf("shard %d: %lld frames, busy %.3fs, queue high-water %zu\n",
+                sh.shard_id, static_cast<long long>(sh.frames_processed),
+                sh.busy_seconds, sh.queue_high_water);
+  }
+  if (stats.frames_dropped > 0) {
+    std::printf("%lld frames dropped by backpressure\n",
+                static_cast<long long>(stats.frames_dropped));
+  }
+  return 0;
+}
+
 int CmdMonitor(const Args& a) {
   if (a.positional.size() < 2) {
     std::fprintf(stderr, "usage: vcdctl monitor queries.vcdq stream.vcds ...\n");
@@ -276,6 +363,12 @@ int CmdMonitor(const Args& a) {
   config.hash_seed = db->hash_seed;
   config.delta = a.Num("delta", 0.7);
   config.window_seconds = a.Num("window", 5.0);
+  const int threads = static_cast<int>(a.Num("threads", 0));
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0 (got %d)\n", threads);
+    return 2;
+  }
+  if (threads > 0) return MonitorParallel(a, config, *db, threads);
   auto mon = core::StreamMonitor::Create(config);
   if (!mon.ok()) return Fail(mon.status());
   if (Status st = (*mon)->ImportQueries(*db); !st.ok()) return Fail(st);
@@ -294,12 +387,7 @@ int CmdMonitor(const Args& a) {
     }
     if (Status st = (*mon)->CloseStream(*sid); !st.ok()) return Fail(st);
   }
-  for (const core::StreamMatch& m : (*mon)->matches()) {
-    std::printf("MATCH query %d on %s at t=[%.1f, %.1f]s sim=%.3f\n",
-                m.match.query_id, m.stream_name.c_str(), m.match.start_time,
-                m.match.end_time, m.match.similarity);
-  }
-  std::printf("%zu matches total\n", (*mon)->matches().size());
+  PrintMatches((*mon)->matches());
   return 0;
 }
 
