@@ -1,9 +1,11 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 namespace vcd::bench {
 
@@ -110,6 +112,77 @@ std::string MethodName(const core::DetectorConfig& c) {
   s += "/";
   s += core::CombinationOrderName(c.order);
   return s;
+}
+
+void BenchJsonWriter::AddMeta(const std::string& key, const std::string& rendered) {
+  meta_.emplace_back(key, rendered);
+}
+
+void BenchJsonWriter::AddRow(
+    std::vector<std::pair<std::string, std::string>> fields) {
+  rows_.push_back(std::move(fields));
+}
+
+std::string BenchJsonWriter::Str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string BenchJsonWriter::Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string BenchJsonWriter::Num(int64_t v) { return std::to_string(v); }
+
+std::string BenchJsonWriter::Bool(bool b) { return b ? "true" : "false"; }
+
+Status BenchJsonWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path);
+  const auto emit_object = [&out](
+      const std::vector<std::pair<std::string, std::string>>& fields,
+      const char* indent) {
+    out << "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\n" << indent << "  " << Str(fields[i].first) << ": "
+          << fields[i].second;
+    }
+    out << "\n" << indent << "}";
+  };
+  out << "{\n  \"bench\": " << Str(name_) << ",\n  \"meta\": ";
+  emit_object(meta_, "  ");
+  out << ",\n  \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out << ",";
+    out << "\n    ";
+    emit_object(rows_[r], "    ");
+  }
+  out << "\n  ]\n}\n";
+  out.close();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
 }
 
 void PrintBanner(const char* title, const BenchOptions& bo,

@@ -3,6 +3,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/detector.h"
@@ -71,6 +72,40 @@ Result<workload::RunResult> RunMethod(core::CopyDetector* det, QueryBank* bank,
 
 /// "Sketch"/"Bit" + "Index"/"NoIndex" + order, as used in figure legends.
 std::string MethodName(const core::DetectorConfig& c);
+
+/// \brief Machine-readable benchmark output: accumulates metadata and result
+/// rows and writes them as one JSON document
+/// `{"bench": ..., "meta": {...}, "rows": [{...}, ...]}` so sweeps can be
+/// diffed and plotted without re-parsing the human-oriented tables.
+///
+/// Values are passed pre-rendered through Str()/Num()/Bool(), which keeps
+/// the writer a dumb serializer with no variant type.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  /// Adds one `"key": value` pair to the meta object. \p rendered must come
+  /// from Str()/Num()/Bool().
+  void AddMeta(const std::string& key, const std::string& rendered);
+
+  /// Adds one result row of already-rendered `(key, value)` fields.
+  void AddRow(std::vector<std::pair<std::string, std::string>> fields);
+
+  /// Writes the document to \p path (overwrites).
+  Status WriteFile(const std::string& path) const;
+
+  /// JSON string literal with escaping.
+  static std::string Str(const std::string& s);
+  /// JSON number (finite doubles; non-finite renders as null).
+  static std::string Num(double v);
+  static std::string Num(int64_t v);
+  static std::string Bool(bool b);
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /// Prints the standard bench banner.
 void PrintBanner(const char* title, const BenchOptions& bo,

@@ -6,6 +6,11 @@
 /// Usage:
 ///   bench_parallel_streams [--streams=8] [--frames=2000] [--k=800]
 ///                          [--queries=20] [--threads=1,2,4,8] [--seed=42]
+///                          [--json=BENCH_parallel.json]
+///
+/// Besides the human-oriented table, every run writes the same rows as a
+/// machine-readable JSON document (default BENCH_parallel.json; --json= with
+/// an empty value disables it).
 ///
 /// Every configuration processes the *same* precomputed DC-frame streams
 /// (content generation is excluded from the timed region), so the table
@@ -20,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/monitor.h"
 #include "parallel/executor.h"
 #include "util/rng.h"
@@ -37,6 +43,7 @@ struct Options {
   int queries = 20;
   uint64_t seed = 42;
   std::vector<int> threads = {1, 2, 4, 8};
+  std::string json_path = "BENCH_parallel.json";  ///< empty = no JSON output
 };
 
 Options ParseOptions(int argc, char** argv) {
@@ -49,6 +56,7 @@ Options ParseOptions(int argc, char** argv) {
     else if (std::strncmp(a, "--queries=", 10) == 0) o.queries = std::atoi(a + 10);
     else if (std::strncmp(a, "--seed=", 7) == 0)
       o.seed = static_cast<uint64_t>(std::atoll(a + 7));
+    else if (std::strncmp(a, "--json=", 7) == 0) o.json_path = a + 7;
     else if (std::strncmp(a, "--threads=", 10) == 0) {
       o.threads.clear();
       for (const char* p = a + 10; *p != '\0';) {
@@ -183,11 +191,27 @@ int main(int argc, char** argv) {
   TablePrinter table({"executor", "threads", "seconds", "frames/sec", "speedup",
                       "matches", "busy s", "q high-water"});
 
+  using bench::BenchJsonWriter;
+  BenchJsonWriter json("parallel_streams");
+  json.AddMeta("streams", BenchJsonWriter::Num(int64_t{o.streams}));
+  json.AddMeta("frames_per_stream", BenchJsonWriter::Num(int64_t{o.frames}));
+  json.AddMeta("k", BenchJsonWriter::Num(int64_t{o.k}));
+  json.AddMeta("queries", BenchJsonWriter::Num(int64_t{o.queries}));
+  json.AddMeta("seed", BenchJsonWriter::Num(static_cast<int64_t>(o.seed)));
+
   auto mon = core::StreamMonitor::Create(config).value();
   const RunResult serial = Feed(*mon, o, streams, queries);
   table.AddRow({"serial", "-", TablePrinter::Fmt(serial.seconds),
                 TablePrinter::Fmt(total_frames / serial.seconds, 0), "-",
                 std::to_string(serial.matches), "-", "-"});
+  json.AddRow({{"executor", BenchJsonWriter::Str("serial")},
+               {"threads", BenchJsonWriter::Num(int64_t{0})},
+               {"seconds", BenchJsonWriter::Num(serial.seconds)},
+               {"fps", BenchJsonWriter::Num(total_frames / serial.seconds)},
+               {"speedup", "null"},
+               {"matches", BenchJsonWriter::Num(static_cast<int64_t>(serial.matches))},
+               {"busy_seconds", "null"},
+               {"queue_high_water", "null"}});
 
   double base_fps = 0.0;
   for (int threads : o.threads) {
@@ -214,7 +238,25 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(fps, 0), speedup, std::to_string(r.matches),
                   TablePrinter::Fmt(r.busy_seconds),
                   std::to_string(r.queue_high_water)});
+    json.AddRow(
+        {{"executor", BenchJsonWriter::Str("sharded")},
+         {"threads", BenchJsonWriter::Num(int64_t{threads})},
+         {"seconds", BenchJsonWriter::Num(r.seconds)},
+         {"fps", BenchJsonWriter::Num(fps)},
+         {"speedup", BenchJsonWriter::Num(fps / base_fps)},
+         {"matches", BenchJsonWriter::Num(static_cast<int64_t>(r.matches))},
+         {"busy_seconds", BenchJsonWriter::Num(r.busy_seconds)},
+         {"queue_high_water",
+          BenchJsonWriter::Num(static_cast<int64_t>(r.queue_high_water))}});
   }
   table.Print();
+  if (!o.json_path.empty()) {
+    Status st = json.WriteFile(o.json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "JSON output: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", o.json_path.c_str());
+  }
   return 0;
 }

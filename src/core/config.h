@@ -83,6 +83,13 @@ struct DetectorConfig {
   /// (default); 0 = report every matching candidate.
   double report_cooldown_seconds = -1.0;
 
+  /// Debug validator: when set, every processed basic window is followed by
+  /// a full CopyDetector::ValidateState() sweep (candidate expiry bound,
+  /// sorted signature/related lists, bit-signature well-formedness) and any
+  /// violation aborts via VCD_CHECK_OK. O(candidates × K) per window — for
+  /// tests and debugging only, off by default.
+  bool validate_state = false;
+
   /// Validates ranges.
   Status Validate() const;
 };

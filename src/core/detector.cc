@@ -23,8 +23,8 @@ Result<std::unique_ptr<CopyDetector>> CopyDetector::Create(const DetectorConfig&
   if (!fp.ok()) return fp.status();
   auto family = sketch::MinHashFamily::Create(config.K, config.hash_seed);
   if (!family.ok()) return family.status();
-  auto det = std::unique_ptr<CopyDetector>(
-      new CopyDetector(config, std::move(fp).value(), std::move(family).value()));
+  auto det = std::unique_ptr<CopyDetector>(new CopyDetector(
+      config, std::move(fp).value(), std::move(family).value()));
   auto assembler = stream::BasicWindowAssembler::Create(config.window_seconds);
   if (!assembler.ok()) return assembler.status();
   det->assembler_.emplace(std::move(assembler).value());
@@ -420,6 +420,68 @@ void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
     }
   }
   RecordWindowStats();
+  if (config_.validate_state) VCD_CHECK_OK(ValidateState());
+}
+
+Status CopyDetector::ValidateState() const {
+  const auto check_span = [&](int num_windows) -> Status {
+    if (num_windows < 1 || num_windows > global_max_windows_) {
+      return Status::Internal("candidate num_windows " + std::to_string(num_windows) +
+                              " outside [1, " + std::to_string(global_max_windows_) +
+                              "] (λL expiry bound)");
+    }
+    return Status::OK();
+  };
+  const auto check_bit = [&](const BitCand& c) -> Status {
+    VCD_RETURN_IF_ERROR(check_span(c.num_windows));
+    int prev_q = -1;
+    for (const BitCand::Sig& s : c.sigs) {
+      if (s.q < 0 || s.q >= static_cast<int>(queries_.size())) {
+        return Status::Internal("signature for out-of-range query ordinal " +
+                                std::to_string(s.q));
+      }
+      if (s.q <= prev_q) {
+        return Status::Internal("signature list not strictly sorted by ordinal");
+      }
+      prev_q = s.q;
+      if (s.sig.K() != config_.K) {
+        return Status::Internal("bit signature K does not match config");
+      }
+      VCD_RETURN_IF_ERROR(s.sig.Validate());
+    }
+    return Status::OK();
+  };
+  const auto check_sketch = [&](const SketchCand& c) -> Status {
+    VCD_RETURN_IF_ERROR(check_span(c.num_windows));
+    if (c.sketch.K() != config_.K) {
+      return Status::Internal("candidate sketch K does not match config");
+    }
+    int prev_q = -1;
+    for (int q : c.related) {
+      if (q < 0 || q >= static_cast<int>(queries_.size())) {
+        return Status::Internal("related list has out-of-range query ordinal " +
+                                std::to_string(q));
+      }
+      if (q <= prev_q) {
+        return Status::Internal("related list not strictly sorted");
+      }
+      prev_q = q;
+    }
+    return Status::OK();
+  };
+
+  for (const BitCand& c : seq_bit_.candidates()) VCD_RETURN_IF_ERROR(check_bit(c));
+  for (const auto& slot : geo_bit_.ladder()) {
+    if (slot.has_value()) VCD_RETURN_IF_ERROR(check_bit(*slot));
+  }
+  for (const SketchCand& c : seq_sketch_.candidates()) {
+    VCD_RETURN_IF_ERROR(check_sketch(c));
+  }
+  for (const auto& slot : geo_sketch_.ladder()) {
+    if (slot.has_value()) VCD_RETURN_IF_ERROR(check_sketch(*slot));
+  }
+  if (index_.has_value()) VCD_RETURN_IF_ERROR(index_->Validate());
+  return Status::OK();
 }
 
 }  // namespace vcd::core

@@ -106,6 +106,18 @@ class CopyDetector {
   /// The configuration in effect.
   const DetectorConfig& config() const { return config_; }
 
+  /// \brief Debug validator over all live candidate state.
+  ///
+  /// Checks, for every candidate in whichever combination structure is
+  /// active: `1 ≤ num_windows ≤ ⌈λ·L_max/w⌉` (the global expiry bound —
+  /// expired candidates must not survive a Step), signature lists strictly
+  /// sorted by query ordinal with in-range ordinals, related-query lists
+  /// strictly sorted, and every bit signature well-formed with K matching
+  /// the config (BitSignature::Validate). Returns the first violation.
+  /// Called from tests and, when config().validate_state is set, after
+  /// every processed window.
+  Status ValidateState() const;
+
   /// The fingerprinter (shared with dataset tooling so queries and stream
   /// use identical features).
   const features::FrameFingerprinter& fingerprinter() const { return *fingerprinter_; }

@@ -36,8 +36,9 @@ Result<PreparedQuery> PrepareQuery(const DetectorConfig& config,
   return q;
 }
 
-Status StreamMonitor::AddQuerySketch(int id, const sketch::Sketch& sk,
-                                     int length_frames, double duration_seconds) {
+Status StreamMonitor::AddQuerySketchLocked(int id, const sketch::Sketch& sk,
+                                           int length_frames,
+                                           double duration_seconds) {
   if (sk.K() != config_.K) {
     return Status::InvalidArgument("sketch K does not match monitor config");
   }
@@ -52,6 +53,12 @@ Status StreamMonitor::AddQuerySketch(int id, const sketch::Sketch& sk,
   }
   portfolio_.push_back(PortfolioEntry{id, length_frames, duration_seconds, sk});
   return Status::OK();
+}
+
+Status StreamMonitor::AddQuerySketch(int id, const sketch::Sketch& sk,
+                                     int length_frames, double duration_seconds) {
+  MutexLock lock(mu_);
+  return AddQuerySketchLocked(id, sk, length_frames, duration_seconds);
 }
 
 Status StreamMonitor::AddQuery(int id,
@@ -70,14 +77,16 @@ Status StreamMonitor::ImportQueries(const QueryDb& db) {
   if (db.hash_seed != config_.hash_seed) {
     return Status::FailedPrecondition("query db hash seed does not match config");
   }
+  MutexLock lock(mu_);
   for (const StoredQuery& q : db.queries) {
     VCD_RETURN_IF_ERROR(
-        AddQuerySketch(q.id, q.sketch, q.length_frames, q.duration_seconds));
+        AddQuerySketchLocked(q.id, q.sketch, q.length_frames, q.duration_seconds));
   }
   return Status::OK();
 }
 
 Status StreamMonitor::RemoveQuery(int id) {
+  MutexLock lock(mu_);
   bool found = false;
   for (size_t i = 0; i < portfolio_.size(); ++i) {
     if (portfolio_[i].id == id) {
@@ -94,6 +103,7 @@ Status StreamMonitor::RemoveQuery(int id) {
 }
 
 Result<int> StreamMonitor::OpenStream(std::string name) {
+  MutexLock lock(mu_);
   auto det = CopyDetector::Create(config_);
   if (!det.ok()) return det.status();
   for (const PortfolioEntry& e : portfolio_) {
@@ -118,6 +128,7 @@ void StreamMonitor::DrainMatches(int stream_id, StreamState* state) {
 
 Status StreamMonitor::ProcessKeyFrame(int stream_id,
                                       const vcd::video::DcFrame& frame) {
+  MutexLock lock(mu_);
   auto it = streams_.find(stream_id);
   if (it == streams_.end()) return Status::NotFound("no such stream");
   VCD_RETURN_IF_ERROR(it->second.detector->ProcessKeyFrame(frame));
@@ -126,6 +137,7 @@ Status StreamMonitor::ProcessKeyFrame(int stream_id,
 }
 
 Status StreamMonitor::CloseStream(int stream_id) {
+  MutexLock lock(mu_);
   auto it = streams_.find(stream_id);
   if (it == streams_.end()) return Status::NotFound("no such stream");
   VCD_RETURN_IF_ERROR(it->second.detector->Finish());
@@ -135,6 +147,7 @@ Status StreamMonitor::CloseStream(int stream_id) {
 }
 
 Result<DetectorStats> StreamMonitor::StreamStats(int stream_id) const {
+  MutexLock lock(mu_);
   auto it = streams_.find(stream_id);
   if (it == streams_.end()) return Status::NotFound("no such stream");
   return it->second.detector->stats();

@@ -7,6 +7,8 @@
 
 #include "core/detector.h"
 #include "core/query_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// \file monitor.h
 /// Monitoring many *concurrent* video streams against one shared query
@@ -19,17 +21,20 @@
 /// subscribe/unsubscribe propagates to all streams online.
 ///
 /// ### Thread safety
-/// `StreamMonitor` itself is *externally synchronized*: all mutating calls
-/// (`AddQuery*`, `ImportQueries`, `RemoveQuery`, `OpenStream`,
-/// `CloseStream`, `ProcessKeyFrame`) must come from one thread at a time.
+/// `StreamMonitor` is *internally synchronized* on one annotated mutex
+/// (`vcd::Mutex`, checked by Clang Thread Safety Analysis under
+/// `VCD_WERROR`): every public method may be called from any thread, and
+/// all of them serialize on `mu_` — the serial monitor stays a serial
+/// engine, it just can no longer be corrupted by a stray concurrent call.
 /// The accessors (`num_queries`, `num_open_streams`, `matches`,
 /// `StreamStats`) return *snapshots by value*, never references into
 /// internal containers, so a caller holding a result can never observe a
 /// dangling or half-mutated view — the contract the parallel executor
 /// (parallel/executor.h) relies on when it drives per-shard monitors'
-/// building blocks from worker threads. For lock-free multi-stream
+/// building blocks from worker threads. For *scalable* multi-stream
 /// processing use `parallel::StreamExecutor`, which shards streams across
-/// worker threads and preserves this class's semantics.
+/// worker threads (no shared lock on the frame path) and preserves this
+/// class's semantics.
 
 namespace vcd::core {
 
@@ -66,41 +71,51 @@ class StreamMonitor {
   /// Subscribes a query (key-frame DC maps) on every stream, present and
   /// future.
   Status AddQuery(int id, const std::vector<vcd::video::DcFrame>& key_frames,
-                  double duration_seconds = -1.0);
+                  double duration_seconds = -1.0) VCD_EXCLUDES(mu_);
 
   /// Subscribes a pre-sketched query (e.g. from a loaded QueryDb whose K
   /// and hash seed match this monitor's config).
   Status AddQuerySketch(int id, const sketch::Sketch& sk, int length_frames,
-                        double duration_seconds);
+                        double duration_seconds) VCD_EXCLUDES(mu_);
 
   /// Loads a persisted query database. Fails unless its hash-family
   /// parameters match the monitor's config.
-  Status ImportQueries(const QueryDb& db);
+  Status ImportQueries(const QueryDb& db) VCD_EXCLUDES(mu_);
 
   /// Unsubscribes a query everywhere.
-  Status RemoveQuery(int id);
+  Status RemoveQuery(int id) VCD_EXCLUDES(mu_);
 
   /// Number of active queries (snapshot).
-  int num_queries() const { return static_cast<int>(portfolio_.size()); }
+  int num_queries() const VCD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return static_cast<int>(portfolio_.size());
+  }
 
   /// Opens a new monitored stream; returns its id.
-  Result<int> OpenStream(std::string name);
+  Result<int> OpenStream(std::string name) VCD_EXCLUDES(mu_);
 
   /// Flushes and closes a stream. Its matches remain readable.
-  Status CloseStream(int stream_id);
+  Status CloseStream(int stream_id) VCD_EXCLUDES(mu_);
 
   /// Number of currently open streams (snapshot).
-  int num_open_streams() const { return static_cast<int>(streams_.size()); }
+  int num_open_streams() const VCD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return static_cast<int>(streams_.size());
+  }
 
   /// Feeds one key frame of stream \p stream_id.
-  Status ProcessKeyFrame(int stream_id, const vcd::video::DcFrame& frame);
+  Status ProcessKeyFrame(int stream_id, const vcd::video::DcFrame& frame)
+      VCD_EXCLUDES(mu_);
 
   /// All matches so far, across open and closed streams, in arrival order.
   /// Returns a snapshot copy — safe to keep across later mutations.
-  std::vector<StreamMatch> matches() const { return matches_; }
+  std::vector<StreamMatch> matches() const VCD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return matches_;
+  }
 
   /// Detector stats for an open stream (snapshot copy).
-  Result<DetectorStats> StreamStats(int stream_id) const;
+  Result<DetectorStats> StreamStats(int stream_id) const VCD_EXCLUDES(mu_);
 
  private:
   struct StreamState {
@@ -117,14 +132,21 @@ class StreamMonitor {
 
   explicit StreamMonitor(const DetectorConfig& config) : config_(config) {}
 
+  /// AddQuerySketch body; requires mu_ held.
+  Status AddQuerySketchLocked(int id, const sketch::Sketch& sk, int length_frames,
+                              double duration_seconds) VCD_REQUIRES(mu_);
+
   /// Moves freshly produced matches of \p state into the global log.
-  void DrainMatches(int stream_id, StreamState* state);
+  void DrainMatches(int stream_id, StreamState* state) VCD_REQUIRES(mu_);
 
   DetectorConfig config_;
-  std::vector<PortfolioEntry> portfolio_;
-  std::map<int, StreamState> streams_;
-  int next_stream_id_ = 1;
-  std::vector<StreamMatch> matches_;
+
+  /// Guards the portfolio, the stream table and the match log.
+  mutable Mutex mu_;
+  std::vector<PortfolioEntry> portfolio_ VCD_GUARDED_BY(mu_);
+  std::map<int, StreamState> streams_ VCD_GUARDED_BY(mu_);
+  int next_stream_id_ VCD_GUARDED_BY(mu_) = 1;
+  std::vector<StreamMatch> matches_ VCD_GUARDED_BY(mu_);
 };
 
 }  // namespace vcd::core

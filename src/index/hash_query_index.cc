@@ -265,7 +265,7 @@ Result<sketch::Sketch> HashQueryIndex::QuerySketch(int query_id) const {
   return sk;
 }
 
-Status HashQueryIndex::CheckInvariants() const {
+Status HashQueryIndex::Validate() const {
   const int k = K();
   const size_t m = row0_info_.size();
   for (int r = 0; r < k; ++r) {

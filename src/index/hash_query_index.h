@@ -78,8 +78,21 @@ class HashQueryIndex {
   Result<sketch::Sketch> QuerySketch(int query_id) const;
 
   /// Verifies all structural invariants (row sortedness, up/down chain
-  /// consistency, row-0 info alignment). Exposed for tests.
-  Status CheckInvariants() const;
+  /// consistency, row-0 info alignment). Exposed for tests and the
+  /// detector's debug validate_state sweep.
+  Status Validate() const;
+
+  /// Overwrites the stored min-hash value at (\p row, \p pos) — exists only
+  /// so tests can corrupt the array and assert Validate() reports it.
+  /// Library code must not call this.
+  void CorruptValueForTest(int row, int pos, uint64_t value) {
+    rows_[static_cast<size_t>(row)][static_cast<size_t>(pos)].value = value;
+  }
+
+  /// Overwrites the up link at (\p row, \p pos) — test-only, as above.
+  void CorruptUpLinkForTest(int row, int pos, int32_t up) {
+    rows_[static_cast<size_t>(row)][static_cast<size_t>(pos)].up = up;
+  }
 
  private:
   /// One HQ element. `up` is unused (-1) at row 0, `down` at row K-1.

@@ -54,7 +54,7 @@ Status StreamExecutor::AddQuerySketchLocked(int id, const sketch::Sketch& sk,
 
 Status StreamExecutor::AddQuerySketch(int id, const sketch::Sketch& sk,
                                       int length_frames, double duration_seconds) {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   return AddQuerySketchLocked(id, sk, length_frames, duration_seconds);
 }
 
@@ -74,7 +74,7 @@ Status StreamExecutor::ImportQueries(const core::QueryDb& db) {
   if (db.hash_seed != config_.hash_seed) {
     return Status::FailedPrecondition("query db hash seed does not match config");
   }
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   for (const core::StoredQuery& q : db.queries) {
     VCD_RETURN_IF_ERROR(
         AddQuerySketchLocked(q.id, q.sketch, q.length_frames, q.duration_seconds));
@@ -83,7 +83,7 @@ Status StreamExecutor::ImportQueries(const core::QueryDb& db) {
 }
 
 Status StreamExecutor::RemoveQuery(int id) {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   bool found = false;
   for (size_t i = 0; i < portfolio_.size(); ++i) {
     if (portfolio_[i].id == id) {
@@ -100,12 +100,12 @@ Status StreamExecutor::RemoveQuery(int id) {
 }
 
 int StreamExecutor::num_queries() const {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   return static_cast<int>(portfolio_.size());
 }
 
 Result<int> StreamExecutor::OpenStream(std::string name) {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   auto det = core::CopyDetector::Create(config_);
   if (!det.ok()) return det.status();
   std::shared_ptr<core::CopyDetector> detector = std::move(*det);
@@ -123,7 +123,7 @@ Result<int> StreamExecutor::OpenStream(std::string name) {
 }
 
 Status StreamExecutor::CloseStream(int stream_id) {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   if (stream_id <= 0 ||
       stream_id >= next_stream_id_.load(std::memory_order_acquire)) {
     return Status::NotFound("no such stream");
@@ -163,7 +163,7 @@ Status StreamExecutor::ProcessKeyFrame(int stream_id, vcd::video::DcFrame frame)
 }
 
 Status StreamExecutor::Drain() {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   using Reply = std::pair<Status, std::vector<SeqMatch>>;
   std::vector<std::future<Reply>> futures;
   futures.reserve(shards_.size());
@@ -197,7 +197,7 @@ void StreamExecutor::FoldLocked(std::vector<SeqMatch> batch) {
 }
 
 std::vector<core::StreamMatch> StreamExecutor::matches() const {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   std::vector<core::StreamMatch> out;
   out.reserve(merged_.size());
   for (const SeqMatch& m : merged_) out.push_back(m.match);
@@ -205,7 +205,7 @@ std::vector<core::StreamMatch> StreamExecutor::matches() const {
 }
 
 Result<core::DetectorStats> StreamExecutor::StreamStats(int stream_id) {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   if (stream_id <= 0 ||
       stream_id >= next_stream_id_.load(std::memory_order_acquire)) {
     return Status::NotFound("no such stream");
@@ -218,7 +218,7 @@ Result<core::DetectorStats> StreamExecutor::StreamStats(int stream_id) {
 }
 
 ExecutorStats StreamExecutor::Stats() {
-  std::lock_guard<std::mutex> lock(control_mu_);
+  MutexLock lock(control_mu_);
   using Reply = std::pair<ShardStats, core::DetectorStats>;
   std::vector<std::future<Reply>> futures;
   futures.reserve(shards_.size());

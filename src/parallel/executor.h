@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +9,8 @@
 #include "core/monitor.h"
 #include "core/query_store.h"
 #include "parallel/shard.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// \file executor.h
 /// Parallel sharded stream executor — the scale-out form of
@@ -72,28 +73,28 @@ class StreamExecutor {
   /// Subscribes a query (key-frame DC maps) on every stream, present and
   /// future.
   Status AddQuery(int id, const std::vector<vcd::video::DcFrame>& key_frames,
-                  double duration_seconds = -1.0);
+                  double duration_seconds = -1.0) VCD_EXCLUDES(control_mu_);
 
   /// Subscribes a pre-sketched query.
   Status AddQuerySketch(int id, const sketch::Sketch& sk, int length_frames,
-                        double duration_seconds);
+                        double duration_seconds) VCD_EXCLUDES(control_mu_);
 
   /// Loads a persisted query database (hash family must match the config).
-  Status ImportQueries(const core::QueryDb& db);
+  Status ImportQueries(const core::QueryDb& db) VCD_EXCLUDES(control_mu_);
 
   /// Unsubscribes a query everywhere.
-  Status RemoveQuery(int id);
+  Status RemoveQuery(int id) VCD_EXCLUDES(control_mu_);
 
   /// Number of active queries (snapshot).
-  int num_queries() const;
+  int num_queries() const VCD_EXCLUDES(control_mu_);
 
   /// Opens a new monitored stream; returns its id. The stream is pinned to
   /// shard `(id - 1) % num_threads` for its whole lifetime.
-  Result<int> OpenStream(std::string name);
+  Result<int> OpenStream(std::string name) VCD_EXCLUDES(control_mu_);
 
   /// Flushes and closes a stream: waits for its queued frames, runs the
   /// detector's Finish, and folds its matches into the merged log.
-  Status CloseStream(int stream_id);
+  Status CloseStream(int stream_id) VCD_EXCLUDES(control_mu_);
 
   /// Number of currently open streams (snapshot).
   int num_open_streams() const;
@@ -108,19 +109,19 @@ class StreamExecutor {
   /// Barrier: waits until every frame and command submitted before this
   /// call has been processed, then folds all shard match logs into the
   /// merged log. Returns the first sticky processing error, if any.
-  Status Drain();
+  Status Drain() VCD_EXCLUDES(control_mu_);
 
   /// All matches folded so far (after Drain()/CloseStream()), merged back
   /// into global arrival order. Snapshot copy.
-  std::vector<core::StreamMatch> matches() const;
+  std::vector<core::StreamMatch> matches() const VCD_EXCLUDES(control_mu_);
 
   /// Detector stats of one open stream (round-trips through its shard, so
   /// it reflects every frame submitted before this call).
-  Result<core::DetectorStats> StreamStats(int stream_id);
+  Result<core::DetectorStats> StreamStats(int stream_id) VCD_EXCLUDES(control_mu_);
 
   /// Executor counters plus per-shard stats and aggregated detector stats.
   /// Round-trips through every shard.
-  ExecutorStats Stats();
+  ExecutorStats Stats() VCD_EXCLUDES(control_mu_);
 
   /// Number of shards (= worker threads).
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -142,11 +143,11 @@ class StreamExecutor {
 
   /// AddQuerySketch body; requires control_mu_ held.
   Status AddQuerySketchLocked(int id, const sketch::Sketch& sk, int length_frames,
-                              double duration_seconds);
+                              double duration_seconds) VCD_REQUIRES(control_mu_);
 
   /// Folds \p batch into merged_ keeping it sorted by sequence number.
   /// Requires control_mu_ held.
-  void FoldLocked(std::vector<SeqMatch> batch);
+  void FoldLocked(std::vector<SeqMatch> batch) VCD_REQUIRES(control_mu_);
 
   const core::DetectorConfig config_;
   const core::ParallelConfig pconfig_;
@@ -154,9 +155,9 @@ class StreamExecutor {
 
   /// Guards the portfolio, the merged log and control-plane ordering.
   /// Never taken by ProcessKeyFrame.
-  mutable std::mutex control_mu_;
-  std::vector<PortfolioEntry> portfolio_;
-  std::vector<SeqMatch> merged_;
+  mutable Mutex control_mu_;
+  std::vector<PortfolioEntry> portfolio_ VCD_GUARDED_BY(control_mu_);
+  std::vector<SeqMatch> merged_ VCD_GUARDED_BY(control_mu_);
 
   std::atomic<int> next_stream_id_{1};
   std::atomic<int> num_open_streams_{0};

@@ -1,10 +1,11 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// \file mpsc_queue.h
 /// Bounded multi-producer single-consumer queue — the per-shard submission
@@ -18,6 +19,10 @@
 ///
 /// The queue also keeps the occupancy gauges the executor reports
 /// (`depth`, `high_water`) so backpressure tuning is observable.
+///
+/// All mutable state is `VCD_GUARDED_BY(mu_)`: under Clang's
+/// `-Werror=thread-safety` (CMake `VCD_WERROR`/`VCD_LINT`) an access
+/// without the lock is a compile error.
 
 namespace vcd::parallel {
 
@@ -27,30 +32,30 @@ class MpscQueueBase {
  public:
   /// Closes the queue: pending items remain poppable, further pushes fail,
   /// and a consumer blocked in Pop wakes up once the queue drains.
-  void Close();
+  void Close() VCD_EXCLUDES(mu_);
 
   /// True once Close() was called.
-  bool closed() const;
+  bool closed() const VCD_EXCLUDES(mu_);
 
   /// Current number of queued items.
-  size_t depth() const;
+  size_t depth() const VCD_EXCLUDES(mu_);
 
   /// Highest occupancy ever observed (queue depth high-water mark).
-  size_t high_water() const;
+  size_t high_water() const VCD_EXCLUDES(mu_);
 
  protected:
   explicit MpscQueueBase(size_t capacity) : capacity_(capacity ? capacity : 1) {}
 
   /// Updates depth/high-water after a push/pop. Requires mu_ held.
-  void RecordDepthLocked(size_t depth);
+  void RecordDepthLocked(size_t depth) VCD_REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  size_t depth_ = 0;
-  size_t high_water_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  size_t depth_ VCD_GUARDED_BY(mu_) = 0;
+  size_t high_water_ VCD_GUARDED_BY(mu_) = 0;
+  bool closed_ VCD_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Bounded blocking MPSC queue of T.
@@ -61,47 +66,47 @@ class BoundedMpscQueue : public MpscQueueBase {
 
   /// Blocking push; waits while the queue is full. Returns false iff the
   /// queue was closed (the item is then discarded).
-  bool Push(T item) {
+  bool Push(T item) VCD_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
       RecordDepthLocked(items_.size());
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push; returns false when the queue is full or closed.
-  bool TryPush(T item) {
+  bool TryPush(T item) VCD_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       RecordDepthLocked(items_.size());
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocking pop; waits for an item. Returns false iff the queue is closed
   /// *and* drained — the consumer's termination condition.
-  bool Pop(T* out) {
+  bool Pop(T* out) VCD_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
       if (items_.empty()) return false;
       *out = std::move(items_.front());
       items_.pop_front();
       RecordDepthLocked(items_.size());
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
  private:
-  std::deque<T> items_;
+  std::deque<T> items_ VCD_GUARDED_BY(mu_);
 };
 
 }  // namespace vcd::parallel

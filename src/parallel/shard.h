@@ -26,6 +26,15 @@
 /// same FIFO queue as frames, which is what makes ordering deterministic:
 /// a command takes effect after every frame submitted before it and before
 /// every frame submitted after it — exactly the serial-monitor semantics.
+///
+/// ### Lock discipline
+/// A shard holds no mutex of its own. Its synchronization point is the
+/// bounded MPSC queue (whose state is `VCD_GUARDED_BY` its lock, see
+/// parallel/mpsc_queue.h); `streams_`, `log_` and `first_error_` are owned
+/// by the single consumer thread — a confinement Clang's Thread Safety
+/// Analysis cannot express, so the split below is enforced by convention:
+/// the "shard-thread side" methods run only inside a queued Command, and
+/// cross-thread reads go through the relaxed-atomic counters in Snapshot().
 
 namespace vcd::parallel {
 

@@ -2,6 +2,7 @@
 
 #include "sketch/minhash.h"
 #include "util/bit_util.h"
+#include "util/status.h"
 
 /// \file bit_signature.h
 /// The bit-vector signature of a candidate sketch against a query sketch
@@ -68,8 +69,38 @@ class BitSignature {
     return static_cast<double>(NumLess()) <= static_cast<double>(k_) * (1.0 - delta) + 1e-9;
   }
 
+  /// \brief Structural invariant check (debug validator).
+  ///
+  /// A well-formed signature has exactly 2K bits and no position in the
+  /// impossible (even=0, odd=1) state — "cand < query but not cand ≤ query".
+  /// That state is unreachable through SetRelation/OrWith; seeing it means
+  /// memory corruption or a bad merge. The popcount bounds of Lemma 1/2
+  /// (odd ≤ even ≤ K, hence NumEqual ∈ [0, K]) follow from per-position
+  /// validity and are re-checked directly as a defence in depth.
+  Status Validate() const {
+    if (bits_.size() != static_cast<size_t>(2 * k_)) {
+      return Status::Internal("BitSignature: bit count != 2K");
+    }
+    for (int r = 0; r < k_; ++r) {
+      if (!bits_.Get(static_cast<size_t>(2 * r)) &&
+          bits_.Get(static_cast<size_t>(2 * r + 1))) {
+        return Status::Internal("BitSignature: impossible (0,1) relation pair");
+      }
+    }
+    const int even = bits_.CountOnesWithParity(0);
+    const int odd = bits_.CountOnesWithParity(1);
+    if (odd > even || even > k_) {
+      return Status::Internal("BitSignature: popcount bounds violated");
+    }
+    return Status::OK();
+  }
+
   /// Raw bits (for tests).
   const BitVector& bits() const { return bits_; }
+
+  /// Mutable raw bits — exists only so tests can corrupt a signature and
+  /// assert that Validate() reports it. Library code must not call this.
+  BitVector& mutable_bits_for_test() { return bits_; }
 
   bool operator==(const BitSignature& other) const {
     return k_ == other.k_ && bits_ == other.bits_;

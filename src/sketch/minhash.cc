@@ -1,6 +1,8 @@
 #include "sketch/minhash.h"
 
+#include <algorithm>
 #include <limits>
+#include <string>
 
 #include "util/logging.h"
 #include "util/rng.h"
@@ -43,6 +45,21 @@ void Sketcher::Combine(Sketch* into, const Sketch& other) {
   for (size_t i = 0; i < into->mins.size(); ++i) {
     if (other.mins[i] < into->mins[i]) into->mins[i] = other.mins[i];
   }
+}
+
+Status Sketcher::ValidateCombined(const Sketch& combined, const Sketch& a,
+                                  const Sketch& b) {
+  if (a.K() != b.K() || combined.K() != a.K()) {
+    return Status::Internal("ValidateCombined: sketch sizes differ");
+  }
+  for (size_t i = 0; i < combined.mins.size(); ++i) {
+    const uint64_t want = std::min(a.mins[i], b.mins[i]);
+    if (combined.mins[i] != want) {
+      return Status::Internal("ValidateCombined: position " + std::to_string(i) +
+                              " is not the element-wise min (Property 1)");
+    }
+  }
+  return Status::OK();
 }
 
 int Sketcher::NumEqual(const Sketch& a, const Sketch& b) {

@@ -80,6 +80,13 @@ class Sketcher {
   /// Element-wise min combine — Property 1. Sizes must match.
   static void Combine(Sketch* into, const Sketch& other);
 
+  /// \brief Debug validator for Property 1: \p combined must be the exact
+  /// element-wise minimum of \p a and \p b (in particular, combining can
+  /// never *raise* a min value — the monotonicity candidate merging relies
+  /// on). Returns Internal with the offending position otherwise.
+  static Status ValidateCombined(const Sketch& combined, const Sketch& a,
+                                 const Sketch& b);
+
   /// Fraction of equal positions: the similarity estimate of Definition 2.
   static double Similarity(const Sketch& a, const Sketch& b);
 

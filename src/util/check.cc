@@ -1,0 +1,14 @@
+#include "util/check.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace vcd::internal {
+
+void CheckFail(const char* file, int line, const std::string& msg) {
+  LogMessage(LogLevel::kError, file, line, msg);
+  std::abort();
+}
+
+}  // namespace vcd::internal

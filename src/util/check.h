@@ -1,0 +1,111 @@
+#pragma once
+
+#include <sstream>
+
+/// \file check.h
+/// Invariant-checking macros with formatted failure messages.
+///
+/// `VCD_CHECK(cond)` / `VCD_CHECK(cond, msg << streamed)` aborts with the
+/// failing expression, an optional streamed message and the source location
+/// in **all** build types — use it for invariants whose violation means the
+/// process must not continue (corrupt index state, broken lock discipline).
+/// `VCD_DCHECK` compiles away under NDEBUG — use it on hot paths.
+///
+/// The comparison forms (`VCD_CHECK_EQ(a, b)`, …) additionally print both
+/// operand values, so a failure report carries the data needed to debug it:
+///
+/// ```
+/// CHECK failed: rows_[r].size() == m (799 vs 800) — HQ row truncated
+/// ```
+///
+/// `VCD_CHECK_OK(status_expr)` is the Status-flavored form: it fails with
+/// the status's ToString(). All macros evaluate their operands exactly once.
+
+namespace vcd::internal {
+
+/// Logs \p msg at error level with \p file:\p line and aborts.
+[[noreturn]] void CheckFail(const char* file, int line, const std::string& msg);
+
+}  // namespace vcd::internal
+
+/// Hard invariant check; aborts with a message on violation (all builds).
+/// Usage: `VCD_CHECK(cond)` or `VCD_CHECK(cond, "context " << value)`.
+#define VCD_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream _vcd_oss;                                        \
+      _vcd_oss << "CHECK failed: " #cond;                                 \
+      __VA_OPT__(_vcd_oss << " — " << __VA_ARGS__;)                       \
+      ::vcd::internal::CheckFail(__FILE__, __LINE__, _vcd_oss.str());     \
+    }                                                                     \
+  } while (0)
+
+/// Checks that a `Status`-returning expression is OK; aborts with the
+/// status text otherwise.
+#define VCD_CHECK_OK(expr, ...)                                           \
+  do {                                                                    \
+    const auto& _vcd_st = (expr);                                         \
+    if (!_vcd_st.ok()) {                                                  \
+      std::ostringstream _vcd_oss;                                        \
+      _vcd_oss << "CHECK failed: " #expr " — " << _vcd_st.ToString();     \
+      __VA_OPT__(_vcd_oss << " — " << __VA_ARGS__;)                       \
+      ::vcd::internal::CheckFail(__FILE__, __LINE__, _vcd_oss.str());     \
+    }                                                                     \
+  } while (0)
+
+/// Shared body of the binary comparison checks; prints both values.
+#define VCD_CHECK_OP(op, a, b, ...)                                       \
+  do {                                                                    \
+    const auto& _vcd_a = (a);                                             \
+    const auto& _vcd_b = (b);                                             \
+    if (!(_vcd_a op _vcd_b)) {                                            \
+      std::ostringstream _vcd_oss;                                        \
+      _vcd_oss << "CHECK failed: " #a " " #op " " #b " (" << _vcd_a       \
+               << " vs " << _vcd_b << ")";                                \
+      __VA_OPT__(_vcd_oss << " — " << __VA_ARGS__;)                       \
+      ::vcd::internal::CheckFail(__FILE__, __LINE__, _vcd_oss.str());     \
+    }                                                                     \
+  } while (0)
+
+#define VCD_CHECK_EQ(a, b, ...) VCD_CHECK_OP(==, a, b, __VA_ARGS__)
+#define VCD_CHECK_NE(a, b, ...) VCD_CHECK_OP(!=, a, b, __VA_ARGS__)
+#define VCD_CHECK_LT(a, b, ...) VCD_CHECK_OP(<, a, b, __VA_ARGS__)
+#define VCD_CHECK_LE(a, b, ...) VCD_CHECK_OP(<=, a, b, __VA_ARGS__)
+#define VCD_CHECK_GT(a, b, ...) VCD_CHECK_OP(>, a, b, __VA_ARGS__)
+#define VCD_CHECK_GE(a, b, ...) VCD_CHECK_OP(>=, a, b, __VA_ARGS__)
+
+#ifndef NDEBUG
+#define VCD_DCHECK(cond, ...) VCD_CHECK(cond, __VA_ARGS__)
+#define VCD_DCHECK_OK(expr, ...) VCD_CHECK_OK(expr, __VA_ARGS__)
+#define VCD_DCHECK_EQ(a, b, ...) VCD_CHECK_EQ(a, b, __VA_ARGS__)
+#define VCD_DCHECK_NE(a, b, ...) VCD_CHECK_NE(a, b, __VA_ARGS__)
+#define VCD_DCHECK_LT(a, b, ...) VCD_CHECK_LT(a, b, __VA_ARGS__)
+#define VCD_DCHECK_LE(a, b, ...) VCD_CHECK_LE(a, b, __VA_ARGS__)
+#define VCD_DCHECK_GT(a, b, ...) VCD_CHECK_GT(a, b, __VA_ARGS__)
+#define VCD_DCHECK_GE(a, b, ...) VCD_CHECK_GE(a, b, __VA_ARGS__)
+#else
+#define VCD_DCHECK(cond, ...) \
+  do {                        \
+  } while (0)
+#define VCD_DCHECK_OK(expr, ...) \
+  do {                           \
+  } while (0)
+#define VCD_DCHECK_EQ(a, b, ...) \
+  do {                           \
+  } while (0)
+#define VCD_DCHECK_NE(a, b, ...) \
+  do {                           \
+  } while (0)
+#define VCD_DCHECK_LT(a, b, ...) \
+  do {                           \
+  } while (0)
+#define VCD_DCHECK_LE(a, b, ...) \
+  do {                           \
+  } while (0)
+#define VCD_DCHECK_GT(a, b, ...) \
+  do {                           \
+  } while (0)
+#define VCD_DCHECK_GE(a, b, ...) \
+  do {                           \
+  } while (0)
+#endif

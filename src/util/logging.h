@@ -5,8 +5,12 @@
 #include <sstream>
 #include <string>
 
+#include "util/check.h"
+
 /// \file logging.h
-/// Minimal leveled logging plus assertion macros.
+/// Minimal leveled logging. The assertion macros (`VCD_CHECK`,
+/// `VCD_DCHECK`, and the comparison/status forms) live in util/check.h,
+/// re-exported here so existing includes keep working.
 
 namespace vcd {
 
@@ -41,23 +45,3 @@ inline void SetMinLogLevel(LogLevel level) { internal::MinLogLevel() = level; }
 #define VCD_INFO(msg) VCD_LOG(::vcd::LogLevel::kInfo, msg)
 #define VCD_WARN(msg) VCD_LOG(::vcd::LogLevel::kWarn, msg)
 #define VCD_ERROR(msg) VCD_LOG(::vcd::LogLevel::kError, msg)
-
-/// Hard invariant check; aborts with a message on violation (all builds).
-#define VCD_CHECK(cond, msg)                                                    \
-  do {                                                                          \
-    if (!(cond)) {                                                              \
-      std::ostringstream _oss;                                                  \
-      _oss << "CHECK failed: " #cond " — " << msg;                              \
-      ::vcd::internal::LogMessage(::vcd::LogLevel::kError, __FILE__, __LINE__,  \
-                                  _oss.str());                                  \
-      std::abort();                                                             \
-    }                                                                           \
-  } while (0)
-
-#ifndef NDEBUG
-#define VCD_DCHECK(cond, msg) VCD_CHECK(cond, msg)
-#else
-#define VCD_DCHECK(cond, msg) \
-  do {                        \
-  } while (0)
-#endif

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+/// \file mutex.h
+/// Annotated mutex primitives for Clang Thread Safety Analysis.
+///
+/// `vcd::Mutex` wraps `std::mutex` and carries the `capability` attribute, so
+/// members declared `VCD_GUARDED_BY(mu_)` are machine-checked: with
+/// `-Werror=thread-safety` (CMake `VCD_WERROR`/`VCD_LINT`, Clang only) an
+/// access without the lock held is a build break, not a latent race.
+/// `MutexLock` is the scoped guard the analysis understands; `CondVar` pairs
+/// with `Mutex` for wait/notify (the analysis has no native condvar model,
+/// so `Wait` is annotated as requiring the mutex and re-establishes it).
+///
+/// All library code with locked state uses these instead of raw
+/// `std::mutex`/`std::lock_guard` (enforced by tools/lint.sh).
+
+namespace vcd {
+
+class CondVar;
+
+/// \brief Annotated standard mutex (a Clang TSA "capability").
+class VCD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the lock is held.
+  void Lock() VCD_ACQUIRE() { mu_.lock(); }
+
+  /// Releases the lock.
+  void Unlock() VCD_RELEASE() { mu_.unlock(); }
+
+  /// Acquires the lock iff it returns true.
+  bool TryLock() VCD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII guard over a `Mutex` (a Clang TSA "scoped capability").
+class VCD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VCD_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() VCD_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable paired with `Mutex`.
+///
+/// `Wait` must be called with the mutex held (annotated `VCD_REQUIRES`); it
+/// atomically releases the mutex while blocked and re-acquires it before
+/// returning, exactly like `std::condition_variable::wait`.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Releases \p mu, blocks until notified, re-acquires \p mu.
+  void Wait(Mutex& mu) VCD_REQUIRES(mu) VCD_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the mutex
+  }
+
+  /// Waits until `pred()` holds. \p pred runs with \p mu held.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) VCD_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Wakes one waiter.
+  void NotifyOne() { cv_.notify_one(); }
+
+  /// Wakes all waiters.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace vcd

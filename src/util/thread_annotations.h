@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file thread_annotations.h
+/// Portable wrappers for Clang's Thread Safety Analysis attributes.
+///
+/// The macros expand to `__attribute__((...))` under Clang (where
+/// `-Wthread-safety` turns locking-discipline violations into compile
+/// diagnostics, and `-Werror=thread-safety` into build breaks — see the
+/// `VCD_WERROR`/`VCD_LINT` CMake options) and to nothing elsewhere, so
+/// annotated code builds unchanged with GCC/MSVC.
+///
+/// Usage pattern (see util/mutex.h for the annotated mutex itself):
+/// ```
+/// vcd::Mutex mu_;
+/// std::vector<int> items_ VCD_GUARDED_BY(mu_);
+/// void AppendLocked(int v) VCD_REQUIRES(mu_);   // caller must hold mu_
+/// int Count() const VCD_EXCLUDES(mu_);          // takes mu_ itself
+/// ```
+
+#if defined(__clang__) && (!defined(SWIG))
+#define VCD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VCD_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Declares a type as a lockable capability (classes like Mutex).
+#define VCD_CAPABILITY(x) VCD_THREAD_ANNOTATION(capability(x))
+
+/// Declares a scoped-lock type (acquires in ctor, releases in dtor).
+#define VCD_SCOPED_CAPABILITY VCD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define VCD_GUARDED_BY(x) VCD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define VCD_PT_GUARDED_BY(x) VCD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define VCD_REQUIRES(...) \
+  VCD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities held *shared* on entry.
+#define VCD_REQUIRES_SHARED(...) \
+  VCD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities (held on exit, not on entry).
+#define VCD_ACQUIRE(...) \
+  VCD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capabilities (held on entry, not on exit).
+#define VCD_RELEASE(...) \
+  VCD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities iff it returns the given value.
+#define VCD_TRY_ACQUIRE(...) \
+  VCD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capabilities held (it takes them).
+#define VCD_EXCLUDES(...) VCD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, for the analysis) that the capability is held.
+#define VCD_ASSERT_CAPABILITY(x) \
+  VCD_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define VCD_RETURN_CAPABILITY(x) VCD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Documents lock-ordering: this capability is acquired after the listed.
+#define VCD_ACQUIRED_AFTER(...) VCD_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Documents lock-ordering: this capability is acquired before the listed.
+#define VCD_ACQUIRED_BEFORE(...) VCD_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Opts a function out of the analysis (use sparingly; say why).
+#define VCD_NO_THREAD_SAFETY_ANALYSIS \
+  VCD_THREAD_ANNOTATION(no_thread_safety_analysis)

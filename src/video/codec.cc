@@ -259,7 +259,9 @@ Status Encoder::Init(const CodecParams& params) {
   VCD_RETURN_IF_ERROR(params.Validate());
   params_ = params;
   out_.clear();
-  out_.insert(out_.end(), kMagic, kMagic + 4);
+  // push_back rather than range-insert: GCC 12's -O2 inliner issues a bogus
+  // -Warray-bounds/-Wstringop-overflow for insert() from a constexpr array.
+  for (uint8_t b : kMagic) out_.push_back(b);
   out_.push_back(kVersion);
   PutU16(&out_, static_cast<uint16_t>(params.width));
   PutU16(&out_, static_cast<uint16_t>(params.height));

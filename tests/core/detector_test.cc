@@ -246,6 +246,28 @@ TEST(CopyDetectorTest, CandidatesExpireAtLambdaL) {
   EXPECT_LE(stats.candidates_per_window.max(), 8.0 + 1e-9);
 }
 
+TEST(CopyDetectorTest, ValidateStateHoldsAcrossConfigurations) {
+  // Run the full scenario under every representation × order × index
+  // combination with the per-window debug sweep enabled: any violated
+  // candidate invariant (expiry bound, sort order, malformed signature)
+  // aborts inside ProcessWindow, and the final explicit call covers the
+  // post-Finish state.
+  for (auto rep : {Representation::kBit, Representation::kSketch}) {
+    for (auto ord : {CombinationOrder::kSequential, CombinationOrder::kGeometric}) {
+      for (bool use_index : {true, false}) {
+        Scenario s;
+        DetectorConfig c = SmallConfig();
+        c.representation = rep;
+        c.order = ord;
+        c.use_index = use_index;
+        c.validate_state = true;
+        auto det = s.Run(c, s.query);
+        EXPECT_TRUE(det->ValidateState().ok());
+      }
+    }
+  }
+}
+
 TEST(CopyDetectorTest, StatsCountKeyFramesAndWindows) {
   auto det = CopyDetector::Create(SmallConfig()).value();
   ASSERT_TRUE(det->AddQueryCells(1, {1, 2, 3}, 10.0).ok());

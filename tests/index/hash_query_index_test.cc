@@ -56,7 +56,28 @@ TEST(HashQueryIndexTest, BuildInvariants) {
   auto idx = HashQueryIndex::Build(RandomSketches(fam, 20, &rng), Infos(20)).value();
   EXPECT_EQ(idx.K(), 32);
   EXPECT_EQ(idx.num_queries(), 20);
-  EXPECT_TRUE(idx.CheckInvariants().ok());
+  EXPECT_TRUE(idx.Validate().ok());
+}
+
+TEST(HashQueryIndexTest, ValidateReportsCorruptedRowOrder) {
+  auto fam = MinHashFamily::Create(16).value();
+  Rng rng(11);
+  auto idx = HashQueryIndex::Build(RandomSketches(fam, 8, &rng), Infos(8)).value();
+  ASSERT_TRUE(idx.Validate().ok());
+  // Push the first entry of row 2 above its neighbour: rows must stay sorted
+  // by value, so Validate has to notice.
+  idx.CorruptValueForTest(2, 0, ~uint64_t{0});
+  EXPECT_FALSE(idx.Validate().ok());
+}
+
+TEST(HashQueryIndexTest, ValidateReportsBrokenUpLink) {
+  auto fam = MinHashFamily::Create(16).value();
+  Rng rng(12);
+  auto idx = HashQueryIndex::Build(RandomSketches(fam, 8, &rng), Infos(8)).value();
+  ASSERT_TRUE(idx.Validate().ok());
+  // Point one up link outside the row: the up/down chains must mirror.
+  idx.CorruptUpLinkForTest(1, 0, 9999);
+  EXPECT_FALSE(idx.Validate().ok());
 }
 
 TEST(HashQueryIndexTest, QuerySketchRoundTrip) {
@@ -185,7 +206,7 @@ TEST(HashQueryIndexTest, InsertMaintainsInvariantsAndProbe) {
   ASSERT_TRUE(idx.Insert(sketches[8], QueryInfo{9, 108}).ok());
   ASSERT_TRUE(idx.Insert(sketches[9], QueryInfo{10, 109}).ok());
   EXPECT_EQ(idx.num_queries(), 10);
-  EXPECT_TRUE(idx.CheckInvariants().ok());
+  EXPECT_TRUE(idx.Validate().ok());
   // The incrementally built index behaves like a batch-built one.
   auto batch = HashQueryIndex::Build(sketches, Infos(10)).value();
   auto w = sketches[9];
@@ -225,7 +246,7 @@ TEST(HashQueryIndexTest, RemoveMaintainsInvariants) {
   ASSERT_TRUE(idx.Remove(12).ok());
   ASSERT_TRUE(idx.Remove(1).ok());
   EXPECT_EQ(idx.num_queries(), 9);
-  EXPECT_TRUE(idx.CheckInvariants().ok());
+  EXPECT_TRUE(idx.Validate().ok());
   EXPECT_EQ(idx.Remove(5).code(), StatusCode::kNotFound);
   // Removed queries never come back from probes.
   auto rl = idx.Probe(sketches[4], 0.0, false);
@@ -262,7 +283,7 @@ TEST(HashQueryIndexTest, InsertRemoveChurnStressKeepsInvariants) {
       ASSERT_TRUE(idx.Remove(*it).ok());
       live.erase(it);
     }
-    ASSERT_TRUE(idx.CheckInvariants().ok()) << "step " << step;
+    ASSERT_TRUE(idx.Validate().ok()) << "step " << step;
     ASSERT_EQ(idx.num_queries(), static_cast<int>(live.size()));
   }
 }
@@ -272,7 +293,7 @@ TEST(HashQueryIndexTest, SingleQueryIndex) {
   Rng rng(41);
   auto sketches = RandomSketches(fam, 1, &rng);
   auto idx = HashQueryIndex::Build(sketches, {QueryInfo{7, 42}}).value();
-  EXPECT_TRUE(idx.CheckInvariants().ok());
+  EXPECT_TRUE(idx.Validate().ok());
   auto rl = idx.Probe(sketches[0], 0.7);
   ASSERT_EQ(rl.size(), 1u);
   EXPECT_EQ(rl[0].info.id, 7);
@@ -284,7 +305,7 @@ TEST(HashQueryIndexTest, KEqualsOneWorks) {
   Rng rng(43);
   auto sketches = RandomSketches(fam, 5, &rng, 10, 50);
   auto idx = HashQueryIndex::Build(sketches, Infos(5)).value();
-  EXPECT_TRUE(idx.CheckInvariants().ok());
+  EXPECT_TRUE(idx.Validate().ok());
   auto rl = idx.Probe(sketches[0], 0.5, false);
   bool found = false;
   for (const auto& rq : rl) found |= rq.info.id == 1;
@@ -316,7 +337,7 @@ TEST(HashQueryIndexTest, EveryQueryFindsItselfPerfectly) {
 
 TEST(HashQueryIndexTest, ColCacheSurvivesChurn) {
   // The cached row-0 column must stay consistent through arbitrary
-  // insert/remove interleavings (checked by CheckInvariants' col rules).
+  // insert/remove interleavings (checked by Validate' col rules).
   auto fam = MinHashFamily::Create(12).value();
   Rng rng(53);
   auto sketches = RandomSketches(fam, 20, &rng, 15, 100);
@@ -329,7 +350,7 @@ TEST(HashQueryIndexTest, ColCacheSurvivesChurn) {
                            QueryInfo{q + 1, 100 + q})
                     .ok());
     ASSERT_TRUE(idx.Remove(q - 9).ok());
-    ASSERT_TRUE(idx.CheckInvariants().ok()) << "after churn step " << q;
+    ASSERT_TRUE(idx.Validate().ok()) << "after churn step " << q;
   }
   EXPECT_EQ(idx.num_queries(), 10);
 }

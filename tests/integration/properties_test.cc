@@ -200,7 +200,7 @@ TEST(PropertyTest, IndexProbeEquivalenceSweep) {
       infos.push_back(index::QueryInfo{q + 1, 50});
     }
     auto idx = index::HashQueryIndex::Build(sketches, infos).value();
-    ASSERT_TRUE(idx.CheckInvariants().ok());
+    ASSERT_TRUE(idx.Validate().ok());
     Sketch w = sk.FromSequence(RandomIds(&rng, 15, 400));
     auto rl = idx.Probe(w, 0.7, false);
     std::set<int> got;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Negative-compile test for Clang Thread Safety Analysis.
+#
+# Usage: thread_safety_compile_test.sh <c++-compiler> <repo-root>
+#
+# Asserts that, under `-Wthread-safety -Werror=thread-safety`:
+#   1. thread_safety_positive.cc (correct locking) compiles, and
+#   2. thread_safety_negative.cc (unlocked guarded access + REQUIRES call
+#      without the lock) does NOT compile, with thread-safety diagnostics.
+#
+# On compilers without the analysis (GCC: the VCD_* annotation macros are
+# no-ops and -Wthread-safety is unknown) the test exits 77, which ctest
+# maps to SKIPPED via SKIP_RETURN_CODE.
+set -u
+
+CXX="${1:?usage: $0 <c++-compiler> <repo-root>}"
+ROOT="${2:?usage: $0 <c++-compiler> <repo-root>}"
+DIR="$ROOT/tests/lint"
+FLAGS=(-std=c++20 -fsyntax-only "-I$ROOT/src" -Wthread-safety -Werror=thread-safety)
+
+probe_err=$("$CXX" "${FLAGS[@]}" "$DIR/thread_safety_positive.cc" 2>&1)
+probe_rc=$?
+if [ $probe_rc -ne 0 ] && echo "$probe_err" | grep -qiE "unrecognized|unknown.*-Wthread-safety"; then
+  echo "SKIP: $CXX does not support -Wthread-safety (annotations are no-ops)"
+  exit 77
+fi
+if [ $probe_rc -ne 0 ]; then
+  echo "FAIL: correctly locked control TU did not compile:"
+  echo "$probe_err"
+  exit 1
+fi
+
+neg_err=$("$CXX" "${FLAGS[@]}" "$DIR/thread_safety_negative.cc" 2>&1)
+neg_rc=$?
+if [ $neg_rc -eq 0 ]; then
+  echo "FAIL: thread_safety_negative.cc compiled — the analysis is not firing"
+  exit 1
+fi
+if ! echo "$neg_err" | grep -q "thread-safety"; then
+  echo "FAIL: negative TU failed for a reason other than thread safety:"
+  echo "$neg_err"
+  exit 1
+fi
+
+echo "OK: analysis fires (negative TU rejected with thread-safety errors)"
+exit 0

@@ -1,0 +1,47 @@
+/// \file thread_safety_negative.cc
+/// Negative-compile probe: this TU violates the locking discipline the
+/// annotations declare, in the two ways a future refactor most likely
+/// would — touching a `VCD_GUARDED_BY` member without its mutex, and
+/// calling a `VCD_REQUIRES` function without holding the lock.
+///
+/// Under Clang with `-Wthread-safety -Werror=thread-safety` it MUST fail
+/// to compile; tests/lint/thread_safety_compile_test.sh asserts exactly
+/// that (and skips on compilers without the analysis, where the macros are
+/// no-ops). If this file ever compiles under the lint build, the analysis
+/// stopped firing and the annotations are decoration — fail the build.
+
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int v) {  // BUG: no lock taken
+    values_.push_back(v);
+  }
+
+  int Total() const {  // BUG: calls a VCD_REQUIRES function without mu_
+    return TotalLocked();
+  }
+
+ private:
+  int TotalLocked() const VCD_REQUIRES(mu_) {
+    int sum = 0;
+    for (int v : values_) sum += v;
+    return sum;
+  }
+
+  mutable vcd::Mutex mu_;
+  std::vector<int> values_ VCD_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Total() == 1 ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+/// \file thread_safety_positive.cc
+/// Control for the thread-safety negative-compile test: the same shape of
+/// code as thread_safety_negative.cc, but with correct lock discipline.
+/// This TU must compile cleanly under `-Wthread-safety -Werror=thread-safety`;
+/// if it does not, the toolchain (not the tested code) is broken and
+/// tests/lint/thread_safety_compile_test.sh fails loudly.
+
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int v) VCD_EXCLUDES(mu_) {
+    vcd::MutexLock lock(mu_);
+    AddLocked(v);
+  }
+
+  int Total() const VCD_EXCLUDES(mu_) {
+    vcd::MutexLock lock(mu_);
+    int sum = 0;
+    for (int v : values_) sum += v;
+    return sum;
+  }
+
+ private:
+  void AddLocked(int v) VCD_REQUIRES(mu_) { values_.push_back(v); }
+
+  mutable vcd::Mutex mu_;
+  std::vector<int> values_ VCD_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Total() == 1 ? 0 : 1;
+}

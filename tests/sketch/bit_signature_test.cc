@@ -163,5 +163,29 @@ TEST(BitSignatureTest, Equality) {
   EXPECT_FALSE(a == c);
 }
 
+TEST(BitSignatureValidateTest, AcceptsBuiltAndMergedSignatures) {
+  Sketch cand = MakeSketch({9, 5, 2});
+  Sketch query = MakeSketch({5, 5, 5});
+  BitSignature sig = BitSignature::FromSketches(cand, query);
+  EXPECT_TRUE(sig.Validate().ok());
+  BitSignature other = BitSignature::FromSketches(query, query);
+  sig.OrWith(other);
+  EXPECT_TRUE(sig.Validate().ok());
+  EXPECT_TRUE(BitSignature(7).Validate().ok());  // all-">" is well-formed
+}
+
+TEST(BitSignatureValidateTest, ReportsImpossibleRelationPair) {
+  Sketch cand = MakeSketch({9, 5, 2});
+  Sketch query = MakeSketch({5, 5, 5});
+  BitSignature sig = BitSignature::FromSketches(cand, query);
+  ASSERT_TRUE(sig.Validate().ok());
+  // Force (even=0, odd=1) at position 0: "cand < query but not cand ≤ query".
+  sig.mutable_bits_for_test().Clear(0);
+  sig.mutable_bits_for_test().Set(1);
+  Status st = sig.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("(0,1)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace vcd::sketch

@@ -191,5 +191,39 @@ TEST_P(MinHashKSweep, EstimateWithinBinomialBound) {
 INSTANTIATE_TEST_SUITE_P(K, MinHashKSweep,
                          ::testing::Values(100, 200, 400, 800, 1600, 3000));
 
+TEST(SketcherValidateTest, AcceptsRealCombine) {
+  Rng rng(7);
+  auto fam = MinHashFamily::Create(16, 3).value();
+  Sketcher sk(&fam);
+  Sketch a = sk.FromSequence(RandomSet(&rng, 30, 5000));
+  Sketch b = sk.FromSequence(RandomSet(&rng, 30, 5000));
+  Sketch combined = a;
+  Sketcher::Combine(&combined, b);
+  EXPECT_TRUE(Sketcher::ValidateCombined(combined, a, b).ok());
+}
+
+TEST(SketcherValidateTest, ReportsCorruptedCombine) {
+  Rng rng(8);
+  auto fam = MinHashFamily::Create(16, 3).value();
+  Sketcher sk(&fam);
+  Sketch a = sk.FromSequence(RandomSet(&rng, 30, 5000));
+  Sketch b = sk.FromSequence(RandomSet(&rng, 30, 5000));
+  Sketch combined = a;
+  Sketcher::Combine(&combined, b);
+  // Raise one position above the true minimum — Property 1 forbids this.
+  combined.mins[4] = combined.mins[4] + 1;
+  Status st = Sketcher::ValidateCombined(combined, a, b);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("Property 1"), std::string::npos);
+}
+
+TEST(SketcherValidateTest, ReportsSizeMismatch) {
+  Sketch a, b, c;
+  a.mins = {1, 2};
+  b.mins = {1, 2};
+  c.mins = {1};
+  EXPECT_FALSE(Sketcher::ValidateCombined(c, a, b).ok());
+}
+
 }  // namespace
 }  // namespace vcd::sketch

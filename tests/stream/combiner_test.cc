@@ -149,7 +149,9 @@ TEST(GeometricCandidatesTest, ExpiryDropsOversizedCarry) {
   // max_windows = 4: merging to a block of 8 must drop it.
   for (int i = 0; i < 8; ++i) geo.Step(Fresh(i), 4, Merge);
   for (const auto& slot : geo.ladder()) {
-    if (slot.has_value()) EXPECT_LE(slot->num_windows, 4);
+    if (slot.has_value()) {
+      EXPECT_LE(slot->num_windows, 4);
+    }
   }
 }
 
@@ -166,7 +168,9 @@ TEST(GeometricCandidatesTest, RemoveIfAndClear) {
   for (int i = 0; i < 7; ++i) geo.Step(Fresh(i), 100, Merge);
   geo.RemoveIf([](const Cand& c) { return c.num_windows == 2; });
   for (const auto& slot : geo.ladder()) {
-    if (slot.has_value()) EXPECT_NE(slot->num_windows, 2);
+    if (slot.has_value()) {
+      EXPECT_NE(slot->num_windows, 2);
+    }
   }
   geo.Clear();
   EXPECT_EQ(geo.size(), 0u);

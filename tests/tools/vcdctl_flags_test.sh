@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Pins vcdctl monitor's flag validation: malformed --threads/--queue/
+# --backpressure values must exit 2 with a usage message BEFORE any file
+# I/O happens — the query-db path below does not exist, so reaching the
+# loader would fail with a different error and no usage line.
+#
+# Usage: vcdctl_flags_test.sh <path-to-vcdctl>
+set -u
+
+VCDCTL="${1:?usage: $0 <path-to-vcdctl>}"
+FAILED=0
+
+expect_flag_error() {
+  local desc="$1"
+  shift
+  local err rc
+  err=$("$VCDCTL" "$@" 2>&1 >/dev/null)
+  rc=$?
+  if [ $rc -ne 2 ]; then
+    echo "FAIL: $desc: expected exit 2, got $rc"
+    FAILED=1
+  fi
+  if ! echo "$err" | grep -q "usage: vcdctl monitor"; then
+    echo "FAIL: $desc: stderr lacks the usage message:"
+    echo "$err"
+    FAILED=1
+  fi
+}
+
+NO_SUCH_DB="/nonexistent/queries.vcdq"
+NO_SUCH_STREAM="/nonexistent/stream.vcds"
+
+expect_flag_error "negative --threads" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=-1
+expect_flag_error "zero --queue" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --queue=0
+expect_flag_error "negative --queue" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --queue=-5
+expect_flag_error "bad --backpressure" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --backpressure=banana
+expect_flag_error "missing stream operand" \
+  monitor "$NO_SUCH_DB"
+
+# Valid flags with a missing db must get PAST flag validation: non-zero exit
+# from the loader, but no usage message (it is not a usage error).
+err=$("$VCDCTL" monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 2>&1 >/dev/null)
+rc=$?
+if [ $rc -eq 0 ] || [ $rc -eq 2 ]; then
+  echo "FAIL: valid flags + missing db: expected a loader failure, got rc=$rc"
+  FAILED=1
+fi
+if echo "$err" | grep -q "usage: vcdctl monitor"; then
+  echo "FAIL: valid flags + missing db printed the usage message"
+  FAILED=1
+fi
+
+if [ $FAILED -ne 0 ]; then
+  exit 1
+fi
+echo "OK: vcdctl monitor flag validation behaves as pinned"
+exit 0

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Build + test matrix: plain, ThreadSanitizer, AddressSanitizer/UBSan.
+# Build + test matrix: plain, ThreadSanitizer, AddressSanitizer/UBSan, lint.
 #
 # Usage:
 #   tools/check.sh           # run the full matrix
 #   tools/check.sh plain     # just the plain build + ctest
 #   tools/check.sh tsan      # just the TSan build + ctest
 #   tools/check.sh asan      # just the ASan/UBSan build + ctest
+#   tools/check.sh lint      # just tools/lint.sh (tidy/format legs skip
+#                            # with a notice when the LLVM tools are absent)
 #
 # Sanitizer builds skip benches/examples (VCD_BUILD_BENCH/EXAMPLES=OFF) —
 # the tests are the contract; the benches are timing tools.
@@ -38,6 +40,10 @@ case "$MATRIX" in
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
       run_config asan build-asan -DVCD_SANITIZE=address \
         -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
-  plain|tsan|asan|all) ;;
-  *) echo "unknown matrix entry: $MATRIX (want plain|tsan|asan|all)" >&2; exit 2 ;;
+  lint|all)
+    echo "=== [lint] tools/lint.sh ==="
+    bash tools/lint.sh
+    echo "=== [lint] OK ===" ;;&
+  plain|tsan|asan|lint|all) ;;
+  *) echo "unknown matrix entry: $MATRIX (want plain|tsan|asan|lint|all)" >&2; exit 2 ;;
 esac

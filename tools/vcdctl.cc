@@ -351,9 +351,37 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
   return 0;
 }
 
+void MonitorUsage() {
+  std::fprintf(stderr,
+               "usage: vcdctl monitor queries.vcdq stream.vcds ... "
+               "[--delta D --window W --threads N --queue C "
+               "--backpressure block|drop]\n");
+}
+
 int CmdMonitor(const Args& a) {
   if (a.positional.size() < 2) {
-    std::fprintf(stderr, "usage: vcdctl monitor queries.vcdq stream.vcds ...\n");
+    MonitorUsage();
+    return 2;
+  }
+  // All flag validation happens before any file I/O, so a bad invocation
+  // fails fast with a usage message instead of a missing-file error.
+  const int threads = static_cast<int>(a.Num("threads", 0));
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0 (got %d)\n", threads);
+    MonitorUsage();
+    return 2;
+  }
+  const int queue = static_cast<int>(a.Num("queue", 256));
+  if (queue < 1) {
+    std::fprintf(stderr, "error: --queue must be >= 1 (got %d)\n", queue);
+    MonitorUsage();
+    return 2;
+  }
+  const std::string bp = a.Str("backpressure", "block");
+  if (bp != "block" && bp != "drop") {
+    std::fprintf(stderr, "error: --backpressure must be block or drop (got %s)\n",
+                 bp.c_str());
+    MonitorUsage();
     return 2;
   }
   auto db = core::LoadQueriesFile(a.positional[0]);
@@ -363,11 +391,6 @@ int CmdMonitor(const Args& a) {
   config.hash_seed = db->hash_seed;
   config.delta = a.Num("delta", 0.7);
   config.window_seconds = a.Num("window", 5.0);
-  const int threads = static_cast<int>(a.Num("threads", 0));
-  if (threads < 0) {
-    std::fprintf(stderr, "error: --threads must be >= 0 (got %d)\n", threads);
-    return 2;
-  }
   if (threads > 0) return MonitorParallel(a, config, *db, threads);
   auto mon = core::StreamMonitor::Create(config);
   if (!mon.ok()) return Fail(mon.status());
