@@ -11,6 +11,7 @@
 #include "index/hash_query_index.h"
 #include "sketch/bit_signature.h"
 #include "sketch/minhash.h"
+#include "sketch/signature_pool.h"
 #include "util/rng.h"
 
 namespace {
@@ -174,6 +175,144 @@ void BM_IndexInsert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IndexInsert)->Arg(50)->Arg(200);
+
+// --- slab kernels vs per-object signature ops ------------------------------
+// Each BM_Pool* / BM_Obj* pair does the same logical work over a fixed
+// candidate set: the Obj variant dispatches per BitSignature object (one
+// heap vector each), the Pool variant runs the SignaturePool batch kernel
+// over a contiguous slab. Arg is K; the candidate set is 256 signatures.
+
+constexpr size_t kPoolBenchSigs = 256;
+
+struct PoolBenchFixture {
+  sketch::SignaturePool pool;
+  std::vector<sketch::SignaturePool::Handle> dst;
+  std::vector<sketch::SignaturePool::Handle> src;
+  std::vector<BitSignature> obj_dst;
+  std::vector<BitSignature> obj_src;
+
+  explicit PoolBenchFixture(int k) : pool(k) {
+    auto fam = MinHashFamily::Create(k).value();
+    Sketcher sk(&fam);
+    Rng rng(11);
+    Sketch q = sk.FromSequence(RandomIds(&rng, 30));
+    for (size_t i = 0; i < kPoolBenchSigs; ++i) {
+      Sketch a = sk.FromSequence(RandomIds(&rng, 30));
+      Sketch b = sk.FromSequence(RandomIds(&rng, 30));
+      dst.push_back(pool.Allocate());
+      pool.BuildFromSketches(dst.back(), a, q);
+      src.push_back(pool.Allocate());
+      pool.BuildFromSketches(src.back(), b, q);
+      obj_dst.push_back(BitSignature::FromSketches(a, q));
+      obj_src.push_back(BitSignature::FromSketches(b, q));
+    }
+  }
+};
+
+void BM_ObjOrLoop(benchmark::State& state) {
+  PoolBenchFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (size_t i = 0; i < kPoolBenchSigs; ++i) f.obj_dst[i].OrWith(f.obj_src[i]);
+    benchmark::DoNotOptimize(f.obj_dst.data());
+  }
+}
+BENCHMARK(BM_ObjOrLoop)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_PoolOrRange(benchmark::State& state) {
+  PoolBenchFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    f.pool.OrRange(f.dst.data(), f.src.data(), kPoolBenchSigs);
+    benchmark::DoNotOptimize(f.pool.words(f.dst[0]));
+  }
+}
+BENCHMARK(BM_PoolOrRange)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_PoolOrRangeFused(benchmark::State& state) {
+  // The merge-path variant: OR plus NumLess of the result in one pass.
+  PoolBenchFixture f(static_cast<int>(state.range(0)));
+  std::vector<int> less(kPoolBenchSigs);
+  for (auto _ : state) {
+    f.pool.OrRange(f.dst.data(), f.src.data(), kPoolBenchSigs, less.data());
+    benchmark::DoNotOptimize(less.data());
+  }
+}
+BENCHMARK(BM_PoolOrRangeFused)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_ObjNumEqualLoop(benchmark::State& state) {
+  PoolBenchFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    int sum = 0;
+    for (size_t i = 0; i < kPoolBenchSigs; ++i) sum += f.obj_dst[i].NumEqual();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ObjNumEqualLoop)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_PoolNumEqualBatch(benchmark::State& state) {
+  PoolBenchFixture f(static_cast<int>(state.range(0)));
+  std::vector<int> eq(kPoolBenchSigs);
+  std::vector<int> less(kPoolBenchSigs);
+  for (auto _ : state) {
+    f.pool.NumEqualBatch(f.dst.data(), kPoolBenchSigs, eq.data(), less.data());
+    benchmark::DoNotOptimize(eq.data());
+  }
+}
+BENCHMARK(BM_PoolNumEqualBatch)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_ObjLemma2Loop(benchmark::State& state) {
+  PoolBenchFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    int viable = 0;
+    for (size_t i = 0; i < kPoolBenchSigs; ++i) {
+      viable += f.obj_dst[i].SatisfiesLemma2(0.7);
+    }
+    benchmark::DoNotOptimize(viable);
+  }
+}
+BENCHMARK(BM_ObjLemma2Loop)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_PoolPruneScan(benchmark::State& state) {
+  PoolBenchFixture f(static_cast<int>(state.range(0)));
+  std::vector<uint8_t> prune(kPoolBenchSigs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.pool.PruneScan(f.dst.data(), kPoolBenchSigs, 0.7, prune.data()));
+  }
+}
+BENCHMARK(BM_PoolPruneScan)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_ObjSignatureLifecycle(benchmark::State& state) {
+  // Candidate birth/death cost: construct-from-sketches then destroy.
+  const int k = static_cast<int>(state.range(0));
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(12);
+  Sketch a = sk.FromSequence(RandomIds(&rng, 30));
+  Sketch q = sk.FromSequence(RandomIds(&rng, 30));
+  for (auto _ : state) {
+    BitSignature sig = BitSignature::FromSketches(a, q);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_ObjSignatureLifecycle)->Arg(100)->Arg(800)->Arg(3000);
+
+void BM_PoolSignatureLifecycle(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(12);
+  Sketch a = sk.FromSequence(RandomIds(&rng, 30));
+  Sketch q = sk.FromSequence(RandomIds(&rng, 30));
+  sketch::SignaturePool pool(k);
+  pool.Free(pool.Allocate());  // pre-grow so the loop hits the free-list path
+  for (auto _ : state) {
+    const auto h = pool.Allocate();
+    pool.BuildFromSketches(h, a, q);
+    benchmark::DoNotOptimize(pool.words(h));
+    pool.Free(h);
+  }
+}
+BENCHMARK(BM_PoolSignatureLifecycle)->Arg(100)->Arg(800)->Arg(3000);
 
 /// Lemma-2 pruning ablation: a short synthetic stream through BitNoIndex
 /// with pruning on vs off.

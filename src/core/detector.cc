@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <string>
-#include <unordered_map>
 
 #include "util/logging.h"
 
@@ -28,6 +28,8 @@ Result<std::unique_ptr<CopyDetector>> CopyDetector::Create(const DetectorConfig&
   auto assembler = stream::BasicWindowAssembler::Create(config.window_seconds);
   if (!assembler.ok()) return assembler.status();
   det->assembler_.emplace(std::move(assembler).value());
+  det->sig_pool_.emplace(config.K);
+  det->sketch_pool_.emplace(config.K);
   return det;
 }
 
@@ -62,10 +64,8 @@ Status CopyDetector::AddQuerySketch(int id, sketch::Sketch sk, int length_frames
   if (duration_seconds <= 0) {
     return Status::InvalidArgument("query duration must be positive");
   }
-  for (const QueryRec& q : queries_) {
-    if (q.info.id == id && q.active) {
-      return Status::AlreadyExists("query id " + std::to_string(id));
-    }
+  if (id_to_ordinal_.count(id) != 0) {
+    return Status::AlreadyExists("query id " + std::to_string(id));
   }
   QueryRec rec;
   rec.info.id = id;
@@ -82,6 +82,8 @@ Status CopyDetector::AddQuerySketch(int id, sketch::Sketch sk, int length_frames
   }
   global_max_windows_ = std::max(global_max_windows_, rec.max_windows);
   queries_.push_back(std::move(rec));
+  query_window_cap_.push_back(queries_.back().max_windows);
+  id_to_ordinal_[id] = static_cast<int>(queries_.size()) - 1;
   return Status::OK();
 }
 
@@ -96,20 +98,22 @@ CopyDetector::ExportQueries() const {
 }
 
 Status CopyDetector::RemoveQuery(int id) {
-  for (QueryRec& q : queries_) {
-    if (q.info.id == id && q.active) {
-      q.active = false;
-      if (config_.use_index && index_.has_value()) {
-        VCD_RETURN_IF_ERROR(index_->Remove(id));
-      }
-      global_max_windows_ = 1;
-      for (const QueryRec& r : queries_) {
-        if (r.active) global_max_windows_ = std::max(global_max_windows_, r.max_windows);
-      }
-      return Status::OK();
-    }
+  auto it = id_to_ordinal_.find(id);
+  if (it == id_to_ordinal_.end()) {
+    return Status::NotFound("query id " + std::to_string(id));
   }
-  return Status::NotFound("query id " + std::to_string(id));
+  QueryRec& q = queries_[static_cast<size_t>(it->second)];
+  q.active = false;
+  query_window_cap_[static_cast<size_t>(it->second)] = 0;
+  id_to_ordinal_.erase(it);
+  if (config_.use_index && index_.has_value()) {
+    VCD_RETURN_IF_ERROR(index_->Remove(id));
+  }
+  global_max_windows_ = 1;
+  for (const QueryRec& r : queries_) {
+    if (r.active) global_max_windows_ = std::max(global_max_windows_, r.max_windows);
+  }
+  return Status::OK();
 }
 
 Status CopyDetector::RebuildIndex() {
@@ -139,17 +143,18 @@ Status CopyDetector::ProcessFingerprint(int64_t frame_index, double timestamp,
                                         features::CellId id) {
   if (index_dirty_) VCD_RETURN_IF_ERROR(RebuildIndex());
   ++stats_.key_frames;
-  stream::BasicWindow done;
-  if (assembler_->Add(frame_index, timestamp, id, &done)) {
-    ProcessWindow(done);
+  // The assembler swaps the completed window's id buffer into
+  // scratch_.window, so the steady-state window cycle reuses two buffers
+  // instead of allocating.
+  if (assembler_->Add(frame_index, timestamp, id, &scratch_.window)) {
+    ProcessWindow(scratch_.window);
   }
   return Status::OK();
 }
 
 Status CopyDetector::Finish() {
   if (index_dirty_) VCD_RETURN_IF_ERROR(RebuildIndex());
-  stream::BasicWindow done;
-  if (assembler_->Flush(&done)) ProcessWindow(done);
+  if (assembler_->Flush(&scratch_.window)) ProcessWindow(scratch_.window);
   return Status::OK();
 }
 
@@ -160,6 +165,12 @@ void CopyDetector::ResetStream() {
   seq_sketch_.Clear();
   geo_bit_.Clear();
   geo_sketch_.Clear();
+  const auto retire_bit = [&](PooledBitCand& c) { RetirePooledBit(&c); };
+  const auto retire_sketch = [&](PooledSketchCand& c) { RetirePooledSketch(&c); };
+  pseq_bit_.Clear(retire_bit);
+  pseq_sketch_.Clear(retire_sketch);
+  pgeo_bit_.Clear(retire_bit);
+  pgeo_sketch_.Clear(retire_sketch);
   matches_.clear();
   stats_ = DetectorStats{};
   for (QueryRec& q : queries_) q.suppress_until = -1.0;
@@ -185,6 +196,8 @@ void CopyDetector::EmitMatch(int q, int64_t start_frame, int64_t end_frame,
   matches_.push_back(m);
 }
 
+// --- scalar reference path --------------------------------------------------
+
 CopyDetector::BitCand CopyDetector::MakeBitCand(const stream::BasicWindow& window,
                                                 const sketch::Sketch& wsk) {
   BitCand c;
@@ -200,19 +213,16 @@ CopyDetector::BitCand CopyDetector::MakeBitCand(const stream::BasicWindow& windo
     stats_.bitsig_builds += static_cast<int64_t>(rl.size());
     c.sigs.reserve(rl.size());
     for (index::RelatedQuery& rq : rl) {
-      // Map query id back to its ordinal.
-      for (size_t q = 0; q < queries_.size(); ++q) {
-        if (queries_[q].active && queries_[q].info.id == rq.info.id) {
-          c.sigs.push_back(BitCand::Sig{static_cast<int>(q), std::move(rq.bitsig)});
-          break;
-        }
-      }
+      const int q = OrdinalOf(rq.info.id);
+      if (q < 0) continue;
+      c.sigs.push_back(BitCand::Sig{q, std::move(rq.bitsig)});
     }
     std::sort(c.sigs.begin(), c.sigs.end(),
               [](const BitCand::Sig& a, const BitCand::Sig& b) { return a.q < b.q; });
   } else {
     for (size_t q = 0; q < queries_.size(); ++q) {
       if (!queries_[q].active) continue;
+      // NOLINT(vcd-pooled-hotpath): scalar reference path
       sketch::BitSignature sig =
           sketch::BitSignature::FromSketches(wsk, queries_[q].sketch);
       ++stats_.bitsig_builds;
@@ -239,12 +249,8 @@ CopyDetector::SketchCand CopyDetector::MakeSketchCand(const stream::BasicWindow&
     std::vector<index::QueryInfo> rel = index_->ProbeRelated(wsk);
     c.related.reserve(rel.size());
     for (const index::QueryInfo& info : rel) {
-      for (size_t q = 0; q < queries_.size(); ++q) {
-        if (queries_[q].active && queries_[q].info.id == info.id) {
-          c.related.push_back(static_cast<int>(q));
-          break;
-        }
-      }
+      const int q = OrdinalOf(info.id);
+      if (q >= 0) c.related.push_back(q);
     }
     std::sort(c.related.begin(), c.related.end());
   }
@@ -338,42 +344,264 @@ bool CopyDetector::TestSketchCand(SketchCand& c) {
   return true;
 }
 
-void CopyDetector::RecordWindowStats() {
-  int64_t sig_count = 0;
-  int64_t cand_count = 0;
-  const bool bit = config_.representation == Representation::kBit;
-  const bool seq = config_.order == CombinationOrder::kSequential;
-  if (bit && seq) {
-    for (const BitCand& c : seq_bit_.candidates()) {
-      sig_count += static_cast<int64_t>(c.sigs.size());
-      ++cand_count;
+// --- pooled hot path --------------------------------------------------------
+
+
+void CopyDetector::InitPooledBitCand(PooledBitCand* c,
+                                     const stream::BasicWindow& window,
+                                     const sketch::Sketch& wsk) {
+  c->num_windows = 1;
+  c->start_frame = window.start_frame;
+  c->end_frame = window.end_frame;
+  c->start_time = window.start_time;
+  c->end_time = window.end_time;
+  c->sigs.clear();
+  sketch::SignaturePool& pool = *sig_pool_;
+  if (config_.use_index) {
+    if (!index_.has_value()) return;
+    index_->ProbeInto(wsk, config_.delta, config_.enable_pruning, &pool,
+                      &scratch_.probe, &scratch_.pooled_related);
+    stats_.bitsig_builds += static_cast<int64_t>(scratch_.pooled_related.size());
+    for (const index::PooledRelatedQuery& rq : scratch_.pooled_related) {
+      const int q = OrdinalOf(rq.info.id);
+      if (q < 0) {
+        pool.Free(rq.sig);
+        continue;
+      }
+      c->sigs.push_back(PooledSigRef{q, rq.sig});
     }
-  } else if (bit && !seq) {
-    for (const auto& slot : geo_bit_.ladder()) {
-      if (!slot.has_value()) continue;
-      sig_count += static_cast<int64_t>(slot->sigs.size());
-      ++cand_count;
-    }
-  } else if (!bit && seq) {
-    for (const SketchCand& c : seq_sketch_.candidates()) {
-      sig_count += config_.use_index ? static_cast<int64_t>(c.related.size())
-                                     : static_cast<int64_t>(queries_.size());
-      ++cand_count;
-    }
+    std::sort(c->sigs.begin(), c->sigs.end(),
+              [](const PooledSigRef& a, const PooledSigRef& b) { return a.q < b.q; });
   } else {
-    for (const auto& slot : geo_sketch_.ladder()) {
-      if (!slot.has_value()) continue;
-      sig_count += config_.use_index ? static_cast<int64_t>(slot->related.size())
-                                     : static_cast<int64_t>(queries_.size());
-      ++cand_count;
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      if (!queries_[q].active) continue;
+      const sketch::SignaturePool::Handle h = pool.Allocate();
+      pool.BuildFromSketches(h, wsk, queries_[q].sketch);
+      ++stats_.bitsig_builds;
+      if (config_.enable_pruning && !pool.SatisfiesLemma2(h, config_.delta)) {
+        ++stats_.candidates_pruned;
+        pool.Free(h);
+        continue;
+      }
+      c->sigs.push_back(PooledSigRef{static_cast<int>(q), h});
     }
   }
-  stats_.signatures_per_window.Add(static_cast<double>(sig_count));
-  stats_.candidates_per_window.Add(static_cast<double>(cand_count));
 }
+
+void CopyDetector::InitPooledSketchCand(PooledSketchCand* c,
+                                        const stream::BasicWindow& window,
+                                        const sketch::Sketch& wsk) {
+  c->num_windows = 1;
+  c->start_frame = window.start_frame;
+  c->end_frame = window.end_frame;
+  c->start_time = window.start_time;
+  c->end_time = window.end_time;
+  c->related.clear();
+  c->sketch = sketch_pool_->Allocate();  // shell arrives retired (kInvalid)
+  sketch_pool_->Assign(c->sketch, wsk);
+  if (config_.use_index && index_.has_value()) {
+    index_->ProbeRelatedInto(wsk, &scratch_.probe, &scratch_.related_infos);
+    for (const index::QueryInfo& info : scratch_.related_infos) {
+      const int q = OrdinalOf(info.id);
+      if (q >= 0) c->related.push_back(q);
+    }
+    std::sort(c->related.begin(), c->related.end());
+  }
+}
+
+void CopyDetector::MergePooledBit(PooledBitCand& older, const PooledBitCand& newer) {
+  sketch::SignaturePool& pool = *sig_pool_;
+  // Union-merge into the scratch buffer: common ordinals are queued for one
+  // batched OrRange pass; newer-only entries are cloned (the newer candidate
+  // keeps ownership of its own slots and is retired by its container).
+  std::vector<PooledSigRef>& merged = scratch_.merge_sigs;
+  std::vector<sketch::SignaturePool::Handle>& or_dst = scratch_.or_dst;
+  std::vector<sketch::SignaturePool::Handle>& or_src = scratch_.or_src;
+  std::vector<int>& or_idx = scratch_.merge_or_idx;
+  const bool pruning = config_.enable_pruning;
+  merged.clear();
+  or_dst.clear();
+  or_src.clear();
+  if (pruning) or_idx.clear();
+  size_t i = 0, j = 0;
+  while (i < older.sigs.size() || j < newer.sigs.size()) {
+    if (j >= newer.sigs.size() ||
+        (i < older.sigs.size() && older.sigs[i].q < newer.sigs[j].q)) {
+      if (pruning) or_idx.push_back(-1);
+      merged.push_back(older.sigs[i++]);
+    } else if (i >= older.sigs.size() || newer.sigs[j].q < older.sigs[i].q) {
+      const PooledSigRef& s = newer.sigs[j++];
+      if (pruning) or_idx.push_back(-1);
+      merged.push_back(PooledSigRef{s.q, pool.Clone(s.sig)});
+    } else {
+      PooledSigRef out = older.sigs[i++];
+      if (pruning) or_idx.push_back(static_cast<int>(or_dst.size()));
+      or_dst.push_back(out.sig);
+      or_src.push_back(newer.sigs[j++].sig);
+      ++stats_.bitsig_ors;
+      merged.push_back(out);
+    }
+  }
+  if (!pruning) {
+    pool.OrRange(or_dst.data(), or_src.data(), or_dst.size());
+  } else {
+    // Fused pass: the OR kernel hands back NumLess of each combined slot,
+    // so the Lemma-2 merge scan costs no extra slab traversal. Non-OR'd
+    // entries (cloned newer-only / carried older-only) are scanned
+    // individually — the same prune decision PruneScan would make.
+    std::vector<int>& or_less = scratch_.or_less;
+    or_less.resize(or_dst.size());
+    pool.OrRange(or_dst.data(), or_src.data(), or_dst.size(), or_less.data());
+    const double max_less =
+        static_cast<double>(config_.K) * (1.0 - config_.delta) + 1e-9;
+    size_t out = 0;
+    for (size_t t = 0; t < merged.size(); ++t) {
+      const int oi = or_idx[t];
+      const int less = oi >= 0 ? or_less[static_cast<size_t>(oi)]
+                               : pool.NumLess(merged[t].sig);
+      if (static_cast<double>(less) > max_less) {
+        ++stats_.candidates_pruned;
+        pool.Free(merged[t].sig);
+      } else {
+        merged[out++] = merged[t];
+      }
+    }
+    merged.resize(out);
+  }
+  older.sigs.swap(merged);
+  older.num_windows += newer.num_windows;
+  older.end_frame = newer.end_frame;
+  older.end_time = newer.end_time;
+}
+
+void CopyDetector::MergePooledSketch(PooledSketchCand& older,
+                                     const PooledSketchCand& newer) {
+  sketch_pool_->CombineMin(older.sketch, newer.sketch);
+  ++stats_.sketch_combines;
+  if (config_.use_index) {
+    std::vector<int>& merged = scratch_.merge_related;
+    merged.clear();
+    std::set_union(older.related.begin(), older.related.end(),
+                   newer.related.begin(), newer.related.end(),
+                   std::back_inserter(merged));
+    older.related.swap(merged);
+  }
+  older.num_windows += newer.num_windows;
+  older.end_frame = newer.end_frame;
+  older.end_time = newer.end_time;
+}
+
+bool CopyDetector::TestPooledBitCand(PooledBitCand& c) {
+  sketch::SignaturePool& pool = *sig_pool_;
+  const size_t n = c.sigs.size();
+  std::vector<sketch::SignaturePool::Handle>& hs = scratch_.handle_buf;
+  std::vector<int>& eq = scratch_.eq_buf;
+  std::vector<int>& less = scratch_.less_buf;
+  hs.clear();
+  for (const PooledSigRef& s : c.sigs) hs.push_back(s.sig);
+  eq.resize(n);
+  less.resize(n);
+  pool.NumEqualBatch(hs.data(), n, eq.data(), less.data());
+  // Same arithmetic as BitSignature::SatisfiesLemma2 / Similarity.
+  const double less_bound =
+      static_cast<double>(config_.K) * (1.0 - config_.delta) + 1e-9;
+  const int* caps = query_window_cap_.data();
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    PooledSigRef& s = c.sigs[i];
+    // caps[q] is 0 once unsubscribed, so one packed-array compare covers
+    // both the active check and the per-query λL expiry.
+    if (c.num_windows > caps[s.q]) {
+      pool.Free(s.sig);  // unsubscribed or past per-query λL expiry: drop
+      continue;
+    }
+    if (config_.enable_pruning && static_cast<double>(less[i]) > less_bound) {
+      ++stats_.candidates_pruned;
+      pool.Free(s.sig);
+      continue;
+    }
+    const double sim = static_cast<double>(eq[i]) / config_.K;
+    if (sim >= config_.delta) {
+      EmitMatch(s.q, c.start_frame, c.end_frame, c.start_time, c.end_time, sim);
+    }
+    if (out != i) c.sigs[out] = s;
+    ++out;
+  }
+  c.sigs.resize(out);
+  return !c.sigs.empty();
+}
+
+bool CopyDetector::TestPooledSketchCand(PooledSketchCand& c) {
+  auto test_one = [&](int q_ord) {
+    const QueryRec& q = queries_[static_cast<size_t>(q_ord)];
+    if (!q.active) return;
+    if (c.num_windows > q.max_windows) return;
+    ++stats_.sketch_compares;
+    const double sim = sketch_pool_->SimilarityAgainst(c.sketch, q.sketch);
+    if (sim >= config_.delta) {
+      EmitMatch(q_ord, c.start_frame, c.end_frame, c.start_time, c.end_time, sim);
+    }
+  };
+  if (config_.use_index) {
+    for (int q : c.related) test_one(q);
+  } else {
+    for (size_t q = 0; q < queries_.size(); ++q) test_one(static_cast<int>(q));
+  }
+  return true;
+}
+
+void CopyDetector::AssignPooledBit(PooledBitCand* dst, const PooledBitCand& src) {
+  dst->num_windows = src.num_windows;
+  dst->start_frame = src.start_frame;
+  dst->end_frame = src.end_frame;
+  dst->start_time = src.start_time;
+  dst->end_time = src.end_time;
+  dst->sigs.clear();
+  for (const PooledSigRef& s : src.sigs) {
+    dst->sigs.push_back(PooledSigRef{s.q, sig_pool_->Clone(s.sig)});
+  }
+}
+
+void CopyDetector::AssignPooledSketch(PooledSketchCand* dst,
+                                      const PooledSketchCand& src) {
+  dst->num_windows = src.num_windows;
+  dst->start_frame = src.start_frame;
+  dst->end_frame = src.end_frame;
+  dst->start_time = src.start_time;
+  dst->end_time = src.end_time;
+  dst->sketch = sketch_pool_->Allocate();  // shell arrives retired
+  sketch_pool_->Copy(dst->sketch, src.sketch);
+  dst->related.assign(src.related.begin(), src.related.end());
+}
+
+void CopyDetector::RetirePooledBit(PooledBitCand* c) {
+  for (const PooledSigRef& s : c->sigs) sig_pool_->Free(s.sig);
+  c->sigs.clear();
+}
+
+void CopyDetector::RetirePooledSketch(PooledSketchCand* c) {
+  if (c->sketch != sketch::SketchPool::kInvalidHandle) {
+    sketch_pool_->Free(c->sketch);
+    c->sketch = sketch::SketchPool::kInvalidHandle;
+  }
+  c->related.clear();
+}
+
+// --- per-window dispatch ----------------------------------------------------
 
 void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
   ++stats_.windows;
+  if (config_.use_pooled_kernels) {
+    ProcessWindowPooled(window);
+  } else {
+    ProcessWindowScalar(window);
+  }
+  RecordWindowStats();
+  if (config_.validate_state) VCD_CHECK_OK(ValidateState());
+}
+
+void CopyDetector::ProcessWindowScalar(const stream::BasicWindow& window) {
+  // NOLINT(vcd-pooled-hotpath): scalar reference path
   const sketch::Sketch wsk = sketcher_.FromSequence(window.ids);
   const bool bit = config_.representation == Representation::kBit;
   const bool seq = config_.order == CombinationOrder::kSequential;
@@ -384,7 +612,7 @@ void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
                     [&](BitCand& older, const BitCand& newer) {
                       MergeBit(older, newer);
                     });
-      for (BitCand& c : seq_bit_.candidates()) TestBitCand(c);
+      seq_bit_.ForEach([&](BitCand& c) { TestBitCand(c); });
       seq_bit_.RemoveIf([](const BitCand& c) { return c.sigs.empty(); });
     } else {
       geo_bit_.Step(std::move(fresh), global_max_windows_,
@@ -405,7 +633,7 @@ void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
                        [&](SketchCand& older, const SketchCand& newer) {
                          MergeSketch(older, newer);
                        });
-      for (SketchCand& c : seq_sketch_.candidates()) TestSketchCand(c);
+      seq_sketch_.ForEach([&](SketchCand& c) { TestSketchCand(c); });
     } else {
       geo_sketch_.Step(std::move(fresh), global_max_windows_,
                        [&](SketchCand& older, const SketchCand& newer) {
@@ -419,11 +647,121 @@ void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
           [&](SketchCand& c) { TestSketchCand(c); });
     }
   }
-  RecordWindowStats();
-  if (config_.validate_state) VCD_CHECK_OK(ValidateState());
+}
+
+void CopyDetector::ProcessWindowPooled(const stream::BasicWindow& window) {
+  sketcher_.FromSequenceInto(window.ids, &scratch_.window_sketch);
+  const sketch::Sketch& wsk = scratch_.window_sketch;
+  const bool bit = config_.representation == Representation::kBit;
+  const bool seq = config_.order == CombinationOrder::kSequential;
+  if (bit) {
+    const auto init = [&](PooledBitCand& c) { InitPooledBitCand(&c, window, wsk); };
+    const auto merge = [&](PooledBitCand& older, const PooledBitCand& newer) {
+      MergePooledBit(older, newer);
+    };
+    const auto retire = [&](PooledBitCand& c) { RetirePooledBit(&c); };
+    if (seq) {
+      pseq_bit_.Step(global_max_windows_, init, merge, retire);
+      pseq_bit_.ForEach([&](PooledBitCand& c) { TestPooledBitCand(c); });
+      pseq_bit_.RemoveIf([](const PooledBitCand& c) { return c.sigs.empty(); },
+                         retire);
+    } else {
+      pgeo_bit_.Step(global_max_windows_, init, merge, retire);
+      pgeo_bit_.VisitSuffixesInto(
+          global_max_windows_, &scratch_.bit_cum, &scratch_.bit_tmp,
+          [&](PooledBitCand& dst, const PooledBitCand& src) {
+            AssignPooledBit(&dst, src);
+          },
+          merge, [&](PooledBitCand& c) { TestPooledBitCand(c); }, retire);
+      // Blocks are kept even when all their signatures prune away, exactly
+      // as on the scalar path.
+    }
+  } else {
+    const auto init = [&](PooledSketchCand& c) {
+      InitPooledSketchCand(&c, window, wsk);
+    };
+    const auto merge = [&](PooledSketchCand& older, const PooledSketchCand& newer) {
+      MergePooledSketch(older, newer);
+    };
+    const auto retire = [&](PooledSketchCand& c) { RetirePooledSketch(&c); };
+    if (seq) {
+      pseq_sketch_.Step(global_max_windows_, init, merge, retire);
+      pseq_sketch_.ForEach([&](PooledSketchCand& c) { TestPooledSketchCand(c); });
+    } else {
+      pgeo_sketch_.Step(global_max_windows_, init, merge, retire);
+      pgeo_sketch_.VisitSuffixesInto(
+          global_max_windows_, &scratch_.sketch_cum, &scratch_.sketch_tmp,
+          [&](PooledSketchCand& dst, const PooledSketchCand& src) {
+            AssignPooledSketch(&dst, src);
+          },
+          merge, [&](PooledSketchCand& c) { TestPooledSketchCand(c); }, retire);
+    }
+  }
+}
+
+void CopyDetector::RecordWindowStats() {
+  int64_t sig_count = 0;
+  int64_t cand_count = 0;
+  const bool bit = config_.representation == Representation::kBit;
+  const bool seq = config_.order == CombinationOrder::kSequential;
+  const bool pooled = config_.use_pooled_kernels;
+  const auto count_bit = [&](const auto& c) {
+    sig_count += static_cast<int64_t>(c.sigs.size());
+    ++cand_count;
+  };
+  const auto count_sketch = [&](const auto& c) {
+    sig_count += config_.use_index ? static_cast<int64_t>(c.related.size())
+                                   : static_cast<int64_t>(queries_.size());
+    ++cand_count;
+  };
+  if (bit && seq) {
+    if (pooled) {
+      pseq_bit_.ForEach(count_bit);
+    } else {
+      seq_bit_.ForEach(count_bit);
+    }
+  } else if (bit && !seq) {
+    if (pooled) {
+      pgeo_bit_.ForEach(count_bit);
+    } else {
+      geo_bit_.ForEach(count_bit);
+    }
+  } else if (!bit && seq) {
+    if (pooled) {
+      pseq_sketch_.ForEach(count_sketch);
+    } else {
+      seq_sketch_.ForEach(count_sketch);
+    }
+  } else {
+    if (pooled) {
+      pgeo_sketch_.ForEach(count_sketch);
+    } else {
+      geo_sketch_.ForEach(count_sketch);
+    }
+  }
+  stats_.signatures_per_window.Add(static_cast<double>(sig_count));
+  stats_.candidates_per_window.Add(static_cast<double>(cand_count));
+  int64_t slots = 0;
+  if (pooled) {
+    slots = bit ? static_cast<int64_t>(sig_pool_->live_count())
+                : static_cast<int64_t>(sketch_pool_->live_count());
+  }
+  stats_.pool_slots_per_window.Add(static_cast<double>(slots));
 }
 
 Status CopyDetector::ValidateState() const {
+  // The packed window-cap mirror must track queries_ exactly: the hot test
+  // loop trusts it for both the active check and the λL expiry bound.
+  if (query_window_cap_.size() != queries_.size()) {
+    return Status::Internal("query_window_cap_ size out of sync with queries_");
+  }
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const int expect = queries_[q].active ? queries_[q].max_windows : 0;
+    if (query_window_cap_[q] != expect) {
+      return Status::Internal("query_window_cap_[" + std::to_string(q) +
+                              "] out of sync with its QueryRec");
+    }
+  }
   const auto check_span = [&](int num_windows) -> Status {
     if (num_windows < 1 || num_windows > global_max_windows_) {
       return Status::Internal("candidate num_windows " + std::to_string(num_windows) +
@@ -432,17 +770,21 @@ Status CopyDetector::ValidateState() const {
     }
     return Status::OK();
   };
+  const auto check_ordinals = [&](int q, int prev_q) -> Status {
+    if (q < 0 || q >= static_cast<int>(queries_.size())) {
+      return Status::Internal("signature for out-of-range query ordinal " +
+                              std::to_string(q));
+    }
+    if (q <= prev_q) {
+      return Status::Internal("signature list not strictly sorted by ordinal");
+    }
+    return Status::OK();
+  };
   const auto check_bit = [&](const BitCand& c) -> Status {
     VCD_RETURN_IF_ERROR(check_span(c.num_windows));
     int prev_q = -1;
     for (const BitCand::Sig& s : c.sigs) {
-      if (s.q < 0 || s.q >= static_cast<int>(queries_.size())) {
-        return Status::Internal("signature for out-of-range query ordinal " +
-                                std::to_string(s.q));
-      }
-      if (s.q <= prev_q) {
-        return Status::Internal("signature list not strictly sorted by ordinal");
-      }
+      VCD_RETURN_IF_ERROR(check_ordinals(s.q, prev_q));
       prev_q = s.q;
       if (s.sig.K() != config_.K) {
         return Status::Internal("bit signature K does not match config");
@@ -469,16 +811,86 @@ Status CopyDetector::ValidateState() const {
     }
     return Status::OK();
   };
+  // Pooled candidates: every referenced slot must be live, well-formed when
+  // materialized, and — counted across all candidates — account for exactly
+  // the pools' live slots (no leaked and no doubly-owned handles).
+  size_t bit_handles = 0;
+  size_t sketch_handles = 0;
+  const auto check_pooled_bit = [&](const PooledBitCand& c) -> Status {
+    VCD_RETURN_IF_ERROR(check_span(c.num_windows));
+    int prev_q = -1;
+    for (const PooledSigRef& s : c.sigs) {
+      VCD_RETURN_IF_ERROR(check_ordinals(s.q, prev_q));
+      prev_q = s.q;
+      if (!sig_pool_->IsLive(s.sig)) {
+        return Status::Internal("pooled candidate references a dead signature slot");
+      }
+      VCD_RETURN_IF_ERROR(sig_pool_->ToBitSignature(s.sig).Validate());
+      ++bit_handles;
+    }
+    return Status::OK();
+  };
+  const auto check_pooled_sketch = [&](const PooledSketchCand& c) -> Status {
+    VCD_RETURN_IF_ERROR(check_span(c.num_windows));
+    if (!sketch_pool_->IsLive(c.sketch)) {
+      return Status::Internal("pooled candidate references a dead sketch slot");
+    }
+    ++sketch_handles;
+    int prev_q = -1;
+    for (int q : c.related) {
+      if (q < 0 || q >= static_cast<int>(queries_.size())) {
+        return Status::Internal("related list has out-of-range query ordinal " +
+                                std::to_string(q));
+      }
+      if (q <= prev_q) {
+        return Status::Internal("related list not strictly sorted");
+      }
+      prev_q = q;
+    }
+    return Status::OK();
+  };
 
-  for (const BitCand& c : seq_bit_.candidates()) VCD_RETURN_IF_ERROR(check_bit(c));
+  for (size_t i = 0; i < seq_bit_.size(); ++i) {
+    VCD_RETURN_IF_ERROR(check_bit(seq_bit_.at(i)));
+  }
   for (const auto& slot : geo_bit_.ladder()) {
     if (slot.has_value()) VCD_RETURN_IF_ERROR(check_bit(*slot));
   }
-  for (const SketchCand& c : seq_sketch_.candidates()) {
-    VCD_RETURN_IF_ERROR(check_sketch(c));
+  for (size_t i = 0; i < seq_sketch_.size(); ++i) {
+    VCD_RETURN_IF_ERROR(check_sketch(seq_sketch_.at(i)));
   }
   for (const auto& slot : geo_sketch_.ladder()) {
     if (slot.has_value()) VCD_RETURN_IF_ERROR(check_sketch(*slot));
+  }
+  for (size_t i = 0; i < pseq_bit_.size(); ++i) {
+    VCD_RETURN_IF_ERROR(check_pooled_bit(pseq_bit_.at(i)));
+  }
+  for (const auto& slot : pgeo_bit_.ladder()) {
+    if (slot.has_value()) VCD_RETURN_IF_ERROR(check_pooled_bit(*slot));
+  }
+  for (size_t i = 0; i < pseq_sketch_.size(); ++i) {
+    VCD_RETURN_IF_ERROR(check_pooled_sketch(pseq_sketch_.at(i)));
+  }
+  for (const auto& slot : pgeo_sketch_.ladder()) {
+    if (slot.has_value()) VCD_RETURN_IF_ERROR(check_pooled_sketch(*slot));
+  }
+  if (sig_pool_.has_value()) {
+    VCD_RETURN_IF_ERROR(sig_pool_->Validate());
+    if (bit_handles != sig_pool_->live_count()) {
+      return Status::Internal(
+          "signature pool live count " + std::to_string(sig_pool_->live_count()) +
+          " does not match " + std::to_string(bit_handles) +
+          " handles held by candidates");
+    }
+  }
+  if (sketch_pool_.has_value()) {
+    VCD_RETURN_IF_ERROR(sketch_pool_->Validate());
+    if (sketch_handles != sketch_pool_->live_count()) {
+      return Status::Internal(
+          "sketch pool live count " + std::to_string(sketch_pool_->live_count()) +
+          " does not match " + std::to_string(sketch_handles) +
+          " handles held by candidates");
+    }
   }
   if (index_.has_value()) VCD_RETURN_IF_ERROR(index_->Validate());
   return Status::OK();

@@ -3,6 +3,7 @@
 #include <memory>
 #include <tuple>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -11,6 +12,8 @@
 #include "index/hash_query_index.h"
 #include "sketch/bit_signature.h"
 #include "sketch/minhash.h"
+#include "sketch/signature_pool.h"
+#include "sketch/sketch_pool.h"
 #include "stream/basic_window.h"
 #include "stream/combiner.h"
 #include "util/stats.h"
@@ -37,6 +40,9 @@ struct DetectorStats {
   int64_t candidates_pruned = 0;    ///< Lemma-2 removals
   RunningStats signatures_per_window;  ///< Fig. 10's memory metric
   RunningStats candidates_per_window;
+  /// Live arena slots after each window (pooled path only; 0 otherwise) —
+  /// the memory gauge of the flat candidate storage.
+  RunningStats pool_slots_per_window;
 };
 
 /// \brief Detects copies of subscribed query videos on a key-frame stream.
@@ -127,31 +133,79 @@ class CopyDetector {
   struct QueryRec {
     index::QueryInfo info;    ///< id and length in key frames
     double duration_seconds = 0.0;
-    sketch::Sketch sketch;
+    sketch::Sketch sketch;  // NOLINT(vcd-pooled-hotpath): per-query, cold
     int max_windows = 0;      ///< ⌈λL/w⌉
     double suppress_until = -1.0;  ///< stream time before which reports are muted
     bool active = true;
   };
 
-  /// Candidate payload for the Sketch representation.
+  /// Candidate payload for the Sketch representation (scalar reference
+  /// path; the pooled hot path uses PooledSketchCand).
   struct SketchCand {
     int num_windows = 0;
     int64_t start_frame = 0, end_frame = 0;
     double start_time = 0.0, end_time = 0.0;
-    sketch::Sketch sketch;
+    sketch::Sketch sketch;  // NOLINT(vcd-pooled-hotpath): scalar reference
     std::vector<int> related;  ///< query ordinals, sorted (empty when !use_index)
   };
 
-  /// Candidate payload for the Bit representation.
+  /// Candidate payload for the Bit representation (scalar reference path).
   struct BitCand {
     struct Sig {
       int q = 0;  ///< query ordinal
-      sketch::BitSignature sig;
+      sketch::BitSignature sig;  // NOLINT(vcd-pooled-hotpath): scalar reference
     };
     int num_windows = 0;
     int64_t start_frame = 0, end_frame = 0;
     double start_time = 0.0, end_time = 0.0;
     std::vector<Sig> sigs;  ///< sorted by q
+  };
+
+  /// One (query ordinal, SignaturePool slot) pair of a pooled candidate.
+  struct PooledSigRef {
+    int q = 0;
+    sketch::SignaturePool::Handle sig = sketch::SignaturePool::kInvalidHandle;
+  };
+
+  /// Bit-representation candidate on the pooled hot path: all signature
+  /// bits live in sig_pool_; the candidate holds only slot handles.
+  struct PooledBitCand {
+    int num_windows = 0;
+    int64_t start_frame = 0, end_frame = 0;
+    double start_time = 0.0, end_time = 0.0;
+    std::vector<PooledSigRef> sigs;  ///< sorted by q
+  };
+
+  /// Sketch-representation candidate on the pooled hot path: the min-hash
+  /// array lives in sketch_pool_.
+  struct PooledSketchCand {
+    int num_windows = 0;
+    int64_t start_frame = 0, end_frame = 0;
+    double start_time = 0.0, end_time = 0.0;
+    sketch::SketchPool::Handle sketch = sketch::SketchPool::kInvalidHandle;
+    std::vector<int> related;  ///< query ordinals, sorted (empty when !use_index)
+  };
+
+  /// Reusable per-window working set of the pooled hot path. Every vector
+  /// keeps its capacity across windows, so steady-state ProcessWindow
+  /// performs zero heap allocations.
+  struct WindowScratch {
+    stream::BasicWindow window;        ///< assembler swap buffer
+    // NOLINT(vcd-pooled-hotpath): single reused buffer, not per-candidate
+    sketch::Sketch window_sketch;      ///< FromSequenceInto target
+    index::ProbeScratch probe;         ///< index probe working set
+    std::vector<index::PooledRelatedQuery> pooled_related;
+    std::vector<index::QueryInfo> related_infos;
+    std::vector<PooledSigRef> merge_sigs;    ///< MergePooledBit union buffer
+    std::vector<sketch::SignaturePool::Handle> or_dst, or_src;
+    std::vector<sketch::SignaturePool::Handle> handle_buf;
+    std::vector<int> eq_buf, less_buf;       ///< NumEqualBatch outputs
+    std::vector<uint8_t> prune_buf;          ///< PruneScan output
+    std::vector<int> merge_or_idx;  ///< per merged sig: OR-queue index or -1
+    std::vector<int> or_less;       ///< fused OrRange NumLess output
+    std::vector<int> merge_related;          ///< related-set union buffer
+    PooledBitCand bit_cum, bit_tmp;          ///< geometric suffix shells
+    PooledSketchCand sketch_cum, sketch_tmp;
   };
 
   CopyDetector(const DetectorConfig& config, features::FrameFingerprinter fp,
@@ -160,8 +214,13 @@ class CopyDetector {
   /// Rebuilds the Hash-Query index from the active queries.
   Status RebuildIndex();
 
-  /// Processes one completed basic window.
+  /// Processes one completed basic window (dispatches to the pooled or the
+  /// scalar reference path per config().use_pooled_kernels).
   void ProcessWindow(const stream::BasicWindow& window);
+  /// Scalar reference body of ProcessWindow.
+  void ProcessWindowScalar(const stream::BasicWindow& window);
+  /// Pooled/batched body of ProcessWindow — allocation-free at steady state.
+  void ProcessWindowPooled(const stream::BasicWindow& window);
 
   /// Builds the fresh single-window Bit candidate for \p window.
   BitCand MakeBitCand(const stream::BasicWindow& window, const sketch::Sketch& wsk);
@@ -181,6 +240,39 @@ class CopyDetector {
   bool TestBitCand(BitCand& c);
   bool TestSketchCand(SketchCand& c);
 
+  // --- pooled hot path ---------------------------------------------------
+
+  /// Fills recycled shell \p c with the fresh single-window Bit candidate
+  /// (signatures allocated from sig_pool_). Mirror of MakeBitCand.
+  void InitPooledBitCand(PooledBitCand* c, const stream::BasicWindow& window,
+                         const sketch::Sketch& wsk);
+  /// Mirror of MakeSketchCand for the pooled path.
+  void InitPooledSketchCand(PooledSketchCand* c,
+                            const stream::BasicWindow& window,
+                            const sketch::Sketch& wsk);
+  /// Mirror of MergeBit using the OrRange/PruneScan slab kernels.
+  void MergePooledBit(PooledBitCand& older, const PooledBitCand& newer);
+  /// Mirror of MergeSketch using the strided CombineMin kernel.
+  void MergePooledSketch(PooledSketchCand& older, const PooledSketchCand& newer);
+  /// Mirror of TestBitCand using the NumEqualBatch slab kernel.
+  bool TestPooledBitCand(PooledBitCand& c);
+  /// Mirror of TestSketchCand against sketch_pool_ slots.
+  bool TestPooledSketchCand(PooledSketchCand& c);
+  /// Clones pooled candidate \p src into retired shell \p dst (fresh pool
+  /// slots; used by the geometric suffix sweep).
+  void AssignPooledBit(PooledBitCand* dst, const PooledBitCand& src);
+  void AssignPooledSketch(PooledSketchCand* dst, const PooledSketchCand& src);
+  /// Releases a pooled candidate's arena slots back to the pools and clears
+  /// its lists (the container parks the shell for reuse afterwards).
+  void RetirePooledBit(PooledBitCand* c);
+  void RetirePooledSketch(PooledSketchCand* c);
+
+  /// O(1) id → ordinal lookup over active queries; -1 when absent.
+  int OrdinalOf(int query_id) const {
+    auto it = id_to_ordinal_.find(query_id);
+    return it == id_to_ordinal_.end() ? -1 : it->second;
+  }
+
   /// Emits a match for query ordinal \p q unless muted.
   void EmitMatch(int q, int64_t start_frame, int64_t end_frame, double start_time,
                  double end_time, double sim);
@@ -195,14 +287,31 @@ class CopyDetector {
   std::optional<stream::BasicWindowAssembler> assembler_;
 
   std::vector<QueryRec> queries_;
+  /// Per-ordinal λL window cap, 0 once unsubscribed — a flat mirror of
+  /// queries_[q].active/max_windows so the per-signature expiry check in the
+  /// hot test loop reads a packed int array instead of the QueryRec structs.
+  std::vector<int> query_window_cap_;
+  /// id → ordinal of the *active* record with that id (ids of removed
+  /// queries are erased; re-adding an id maps it to its new ordinal).
+  std::unordered_map<int, int> id_to_ordinal_;
   std::optional<index::HashQueryIndex> index_;
   bool index_dirty_ = false;
   int global_max_windows_ = 1;
 
+  // Scalar reference combination structures.
   stream::SequentialCandidates<BitCand> seq_bit_;
   stream::SequentialCandidates<SketchCand> seq_sketch_;
   stream::GeometricCandidates<BitCand> geo_bit_;
   stream::GeometricCandidates<SketchCand> geo_sketch_;
+
+  // Pooled combination structures and their arenas (hot path).
+  stream::SequentialCandidates<PooledBitCand> pseq_bit_;
+  stream::SequentialCandidates<PooledSketchCand> pseq_sketch_;
+  stream::GeometricCandidates<PooledBitCand> pgeo_bit_;
+  stream::GeometricCandidates<PooledSketchCand> pgeo_sketch_;
+  std::optional<sketch::SignaturePool> sig_pool_;
+  std::optional<sketch::SketchPool> sketch_pool_;
+  WindowScratch scratch_;
 
   std::vector<Match> matches_;
   DetectorStats stats_;

@@ -51,7 +51,7 @@ struct StreamMatch {
 struct PreparedQuery {
   int length_frames = 0;
   double duration_seconds = 0.0;
-  sketch::Sketch sketch;
+  sketch::Sketch sketch;  // NOLINT(vcd-pooled-hotpath): per-query, cold
 };
 
 /// Fingerprints and sketches \p key_frames under \p config, inferring
@@ -127,7 +127,7 @@ class StreamMonitor {
     int id;
     int length_frames;
     double duration_seconds;
-    sketch::Sketch sketch;
+    sketch::Sketch sketch;  // NOLINT(vcd-pooled-hotpath): per-query, cold
   };
 
   explicit StreamMonitor(const DetectorConfig& config) : config_(config) {}

@@ -26,7 +26,7 @@ struct StoredQuery {
   int id = 0;
   int length_frames = 0;
   double duration_seconds = 0.0;
-  sketch::Sketch sketch;
+  sketch::Sketch sketch;  // NOLINT(vcd-pooled-hotpath): per-query, cold
 };
 
 /// A persisted query database.

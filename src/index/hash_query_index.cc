@@ -231,6 +231,96 @@ std::vector<RelatedQuery> HashQueryIndex::Probe(const sketch::Sketch& window,
   return out;
 }
 
+void HashQueryIndex::ProbeInto(const sketch::Sketch& window, double delta,
+                               bool enable_pruning, sketch::SignaturePool* pool,
+                               ProbeScratch* scratch,
+                               std::vector<PooledRelatedQuery>* out) const {
+  const int k = K();
+  // Mirror of Probe() with the signature bits written into pool slots; see
+  // the comments there for the algorithm. The only behavioural difference
+  // is resource handling: pruned queries free their slot immediately.
+  const double max_less = static_cast<double>(k) * (1.0 - delta) + 1e-9;
+  scratch->seen.assign(row0_info_.size(), 0);
+  scratch->live.clear();
+  out->clear();
+  auto& live = scratch->live;
+  for (int r = 0; r < k; ++r) {
+    const uint64_t wv = window.mins[static_cast<size_t>(r)];
+    const auto& row = rows_[static_cast<size_t>(r)];
+    for (size_t e = 0; e < live.size();) {
+      ProbeScratch::Live& ele = live[e];
+      if (r > 0) {
+        ele.lp = rows_[static_cast<size_t>(r - 1)][static_cast<size_t>(ele.lp)].down;
+      }
+      const uint64_t qv = row[static_cast<size_t>(ele.lp)].value;
+      pool->SetRelation(ele.sig, r, wv, qv);
+      if (wv < qv) ++ele.num_less;
+      if (enable_pruning && ele.num_less > max_less) {
+        pool->Free(ele.sig);
+        live[e] = live.back();  // seen[col] stays set: no revival
+        live.pop_back();
+      } else {
+        ++e;
+      }
+    }
+    auto [lo, hi] = EqualRange(r, wv);
+    for (int j = lo; j < hi; ++j) {
+      const int col = row[static_cast<size_t>(j)].col;
+      if (scratch->seen[static_cast<size_t>(col)]) continue;
+      scratch->seen[static_cast<size_t>(col)] = 1;
+      ProbeScratch::Live ele;
+      ele.lp = j;
+      ele.col = col;
+      ele.sig = pool->Allocate();
+      pool->SetRelation(ele.sig, r, wv, wv);  // "=" at the discovery row
+      int p = j;
+      for (int rr = r; rr > 0; --rr) {
+        p = rows_[static_cast<size_t>(rr)][static_cast<size_t>(p)].up;
+        const uint64_t wvr = window.mins[static_cast<size_t>(rr - 1)];
+        const uint64_t qvr =
+            rows_[static_cast<size_t>(rr - 1)][static_cast<size_t>(p)].value;
+        pool->SetRelation(ele.sig, rr - 1, wvr, qvr);
+        if (wvr < qvr) ++ele.num_less;
+      }
+      ele.info = row0_info_[static_cast<size_t>(col)];
+      if (enable_pruning && ele.num_less > max_less) {  // stays seen
+        pool->Free(ele.sig);
+        continue;
+      }
+      live.push_back(ele);
+    }
+  }
+  out->reserve(live.size());
+  for (const ProbeScratch::Live& e : live) {
+    out->push_back(PooledRelatedQuery{e.info, e.sig});
+  }
+  live.clear();
+}
+
+void HashQueryIndex::ProbeRelatedInto(const sketch::Sketch& window,
+                                      ProbeScratch* scratch,
+                                      std::vector<QueryInfo>* out) const {
+  const int k = K();
+  scratch->seen.assign(row0_info_.size(), 0);
+  scratch->row0_positions.clear();
+  out->clear();
+  for (int r = 0; r < k; ++r) {
+    const auto& row = rows_[static_cast<size_t>(r)];
+    auto [lo, hi] = EqualRange(r, window.mins[static_cast<size_t>(r)]);
+    for (int j = lo; j < hi; ++j) {
+      const int col = row[static_cast<size_t>(j)].col;
+      if (scratch->seen[static_cast<size_t>(col)]) continue;
+      scratch->seen[static_cast<size_t>(col)] = 1;
+      scratch->row0_positions.push_back(col);
+    }
+  }
+  std::sort(scratch->row0_positions.begin(), scratch->row0_positions.end());
+  out->reserve(scratch->row0_positions.size());
+  for (int p : scratch->row0_positions) {
+    out->push_back(row0_info_[static_cast<size_t>(p)]);
+  }
+}
+
 std::vector<QueryInfo> HashQueryIndex::ProbeRelated(const sketch::Sketch& window) const {
   const int k = K();
   // The cached `col` identifies each equal hit's query in O(1); a bitmap

@@ -5,6 +5,7 @@
 
 #include "sketch/bit_signature.h"
 #include "sketch/minhash.h"
+#include "sketch/signature_pool.h"
 #include "util/status.h"
 
 /// \file hash_query_index.h
@@ -33,6 +34,30 @@ struct QueryInfo {
 struct RelatedQuery {
   QueryInfo info;
   sketch::BitSignature bitsig;
+};
+
+/// `R_L` element on the pooled path: the signature lives in a
+/// SignaturePool slot owned by the caller's pool.
+struct PooledRelatedQuery {
+  QueryInfo info;
+  sketch::SignaturePool::Handle sig = sketch::SignaturePool::kInvalidHandle;
+};
+
+/// Reusable per-probe buffers for the allocation-free ProbeInto /
+/// ProbeRelatedInto paths. Callers keep one instance per detector and pass
+/// it to every probe; its vectors retain their capacity across windows.
+struct ProbeScratch {
+  /// One in-flight related query of ProbeInto (the paper's `lp` walker).
+  struct Live {
+    QueryInfo info;
+    sketch::SignaturePool::Handle sig = sketch::SignaturePool::kInvalidHandle;
+    int lp = -1;
+    int col = -1;
+    int num_less = 0;
+  };
+  std::vector<char> seen;
+  std::vector<Live> live;
+  std::vector<int> row0_positions;
 };
 
 /// \brief The K×m triple array with online insert/remove and ProbeIndex.
@@ -72,6 +97,22 @@ class HashQueryIndex {
   /// related queries (those sharing at least one min-hash value), without
   /// building bit signatures.
   std::vector<QueryInfo> ProbeRelated(const sketch::Sketch& window) const;
+
+  /// \brief Probe (Fig. 5) writing each related query's bit signature
+  /// straight into a SignaturePool slot — the allocation-free hot path.
+  ///
+  /// Semantically identical to Probe(): \p out receives one entry per
+  /// surviving related query, with the signature bits in `pool`. Slots of
+  /// queries pruned mid-probe are freed back to the pool. \p scratch holds
+  /// the per-probe working set; its buffers are reused across calls.
+  void ProbeInto(const sketch::Sketch& window, double delta,
+                 bool enable_pruning, sketch::SignaturePool* pool,
+                 ProbeScratch* scratch,
+                 std::vector<PooledRelatedQuery>* out) const;
+
+  /// ProbeRelated into caller-owned buffers (no allocation after warmup).
+  void ProbeRelatedInto(const sketch::Sketch& window, ProbeScratch* scratch,
+                        std::vector<QueryInfo>* out) const;
 
   /// Reconstructs the sketch of query \p query_id by walking the `down`
   /// chain from its row-0 entry — the reverse lookup the paper describes.

@@ -150,6 +150,7 @@ core::DetectorStats Shard::AggregateDetectorStats() const {
     agg.candidates_pruned += s.candidates_pruned;
     agg.signatures_per_window.Merge(s.signatures_per_window);
     agg.candidates_per_window.Merge(s.candidates_per_window);
+    agg.pool_slots_per_window.Merge(s.pool_slots_per_window);
   }
   return agg;
 }

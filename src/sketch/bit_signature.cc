@@ -1,5 +1,7 @@
 #include "sketch/bit_signature.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace vcd::sketch {
@@ -11,6 +13,14 @@ BitSignature BitSignature::FromSketches(const Sketch& cand, const Sketch& query)
     sig.SetRelation(r, cand.mins[static_cast<size_t>(r)],
                     query.mins[static_cast<size_t>(r)]);
   }
+  return sig;
+}
+
+BitSignature BitSignature::FromRawWords(int k, const uint64_t* words,
+                                        size_t nwords) {
+  BitSignature sig(k);
+  VCD_DCHECK(sig.bits_.num_words() == nwords, "word count mismatch");
+  std::copy_n(words, nwords, sig.bits_.mutable_words());
   return sig;
 }
 

@@ -32,6 +32,11 @@ class BitSignature {
   /// Builds the signature of \p cand against \p query (equal K required).
   static BitSignature FromSketches(const Sketch& cand, const Sketch& query);
 
+  /// Builds a signature from \p nwords raw backing words (bit-faithful,
+  /// including any invalid states, so Validate() can vet the source). Used
+  /// to materialize SignaturePool slots on the scalar reference path.
+  static BitSignature FromRawWords(int k, const uint64_t* words, size_t nwords);
+
   /// Number of hash functions K.
   int K() const { return k_; }
 

@@ -40,6 +40,13 @@ Sketch Sketcher::FromSequence(const std::vector<features::CellId>& ids) const {
   return s;
 }
 
+void Sketcher::FromSequenceInto(const std::vector<features::CellId>& ids,
+                                Sketch* out) const {
+  out->mins.assign(static_cast<size_t>(family_->K()),
+                   std::numeric_limits<uint64_t>::max());
+  for (features::CellId id : ids) Add(out, id);
+}
+
 void Sketcher::Combine(Sketch* into, const Sketch& other) {
   VCD_DCHECK(into->K() == other.K(), "cannot combine sketches of different K");
   for (size_t i = 0; i < into->mins.size(); ++i) {

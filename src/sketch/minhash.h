@@ -74,6 +74,11 @@ class Sketcher {
   /// Sketch of a whole cell-id sequence (its set).
   Sketch FromSequence(const std::vector<features::CellId>& ids) const;
 
+  /// FromSequence into a caller-owned sketch, reusing its `mins` capacity —
+  /// the per-window hot path performs no heap allocation through this.
+  void FromSequenceInto(const std::vector<features::CellId>& ids,
+                        Sketch* out) const;
+
   /// The family in use.
   const MinHashFamily& family() const { return *family_; }
 

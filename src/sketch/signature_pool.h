@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/bit_signature.h"
+#include "sketch/minhash.h"
+#include "util/status.h"
+
+/// \file signature_pool.h
+/// Flat arena storage for 2K-bit signatures (paper §V-A) plus batched
+/// slab kernels.
+///
+/// The per-object `BitSignature` owns a heap `std::vector<uint64_t>`, so a
+/// candidate set of S signatures costs S small allocations, S pointer
+/// dereferences per kernel, and malloc traffic on every candidate birth and
+/// expiry. `SignaturePool` instead stores every signature of one combination
+/// structure in a single contiguous `uint64_t` slab with a fixed
+/// words-per-signature stride. Callers hold 32-bit slot handles:
+///
+///  - handles are slot *indices*, so slab growth (which may move the
+///    backing memory) and slot reuse never invalidate a live handle;
+///  - `Free` pushes the slot onto a free-list and never shrinks or
+///    compacts the slab, so candidate expiry is O(1) and allocation-free;
+///  - the batch kernels (`OrRange`, `NumEqualBatch`, `PruneScan`) walk the
+///    slab with plain strided word loops — no per-signature dispatch —
+///    which the compiler can unroll and vectorize.
+///
+/// Bit layout per slot is identical to `BitSignature`: bit 2r means
+/// "cand ≤ query" and bit 2r+1 means "cand < query" for hash position r.
+/// Bits at positions ≥ 2K inside the last word are kept zero as an
+/// invariant (slots are zeroed on Allocate and only valid positions are
+/// ever set), so the kernels need no tail masking.
+
+namespace vcd::sketch {
+
+/// \brief Arena of fixed-stride 2K-bit signatures with a free-list and
+/// batched evaluation kernels.
+class SignaturePool {
+ public:
+  /// A slot index. Stable for the lifetime of the allocation.
+  using Handle = uint32_t;
+  static constexpr Handle kInvalidHandle = UINT32_MAX;
+
+  /// Creates an empty pool for signatures of \p k hash functions (k ≥ 1).
+  explicit SignaturePool(int k);
+
+  /// Number of hash functions K.
+  int K() const { return k_; }
+  /// Slab stride: 64-bit words per signature slot.
+  size_t words_per_sig() const { return stride_; }
+  /// Total slots ever created (live + free).
+  size_t capacity() const { return live_.size(); }
+  /// Currently allocated slots.
+  size_t live_count() const { return live_count_; }
+  /// True if \p h names a currently allocated slot.
+  bool IsLive(Handle h) const {
+    return h < live_.size() && live_[h] != 0;
+  }
+
+  /// Allocates a zeroed slot — the all-">" signature. Reuses a freed slot
+  /// when one exists; otherwise grows the slab (handles stay valid).
+  Handle Allocate();
+
+  /// Returns \p h to the free-list. The slab never shrinks, so other live
+  /// handles are unaffected.
+  void Free(Handle h);
+
+  /// Allocates a slot holding a copy of live slot \p src.
+  Handle Clone(Handle src);
+
+  /// Slot word access.
+  uint64_t* words(Handle h) { return slab_.data() + size_t{h} * stride_; }
+  /// \copydoc words
+  const uint64_t* words(Handle h) const {
+    return slab_.data() + size_t{h} * stride_;
+  }
+
+  // --- per-slot scalar ops (mirror BitSignature) -------------------------
+
+  /// Sets the relation pair at hash position \p r from raw min-hash values.
+  void SetRelation(Handle h, int r, uint64_t cand_value, uint64_t query_value) {
+    const uint64_t pair = static_cast<uint64_t>(cand_value <= query_value) |
+                          (static_cast<uint64_t>(cand_value < query_value) << 1);
+    words(h)[static_cast<size_t>(2 * r) >> 6] |=
+        pair << (static_cast<size_t>(2 * r) & 63);
+  }
+
+  /// Fills slot \p h with the signature of \p cand against \p query
+  /// (BitSignature::FromSketches without the heap object). The slot must be
+  /// freshly allocated (all zero).
+  void BuildFromSketches(Handle h, const Sketch& cand, const Sketch& query);
+
+  /// OR-combines live slot \p src into live slot \p dst (§V-A merge).
+  void Or(Handle dst, Handle src) {
+    uint64_t* d = words(dst);
+    const uint64_t* s = words(src);
+    for (size_t w = 0; w < stride_; ++w) d[w] |= s[w];
+  }
+
+  /// Number of "=" positions of slot \p h (Lemma 1 numerator).
+  int NumEqual(Handle h) const;
+  /// Number of "<" positions of slot \p h (the N_s of Lemma 2).
+  int NumLess(Handle h) const;
+  /// Lemma 1 similarity of slot \p h.
+  double Similarity(Handle h) const {
+    return k_ > 0 ? static_cast<double>(NumEqual(h)) / k_ : 0.0;
+  }
+  /// Lemma 2 viability of slot \p h at threshold \p delta.
+  bool SatisfiesLemma2(Handle h, double delta) const {
+    return static_cast<double>(NumLess(h)) <=
+           static_cast<double>(k_) * (1.0 - delta) + 1e-9;
+  }
+
+  /// Materializes slot \p h as a scalar BitSignature (reference/debug path;
+  /// copies the raw words bit-faithfully, including any corruption, so
+  /// BitSignature::Validate can vet pool contents).
+  BitSignature ToBitSignature(Handle h) const {
+    return BitSignature::FromRawWords(k_, words(h), stride_);
+  }
+
+  // --- batch kernels ------------------------------------------------------
+
+  /// ORs `src[i]` into `dst[i]` for i in [0, n). One linear pass over the
+  /// handle arrays; the inner word loop has a fixed trip count. When
+  /// \p num_less_out is non-null it receives NumLess of each combined
+  /// `dst[i]`, computed from the words already in registers — fusing the
+  /// Lemma-2 merge scan into the OR pass instead of re-reading the slab.
+  void OrRange(const Handle* dst, const Handle* src, size_t n,
+               int* num_less_out = nullptr);
+
+  /// Computes NumEqual and NumLess for n slots in one pass.
+  /// \p num_equal / \p num_less must hold n ints; either may be null.
+  void NumEqualBatch(const Handle* hs, size_t n, int* num_equal,
+                     int* num_less) const;
+
+  /// Lemma-2 scan: sets `prune[i] = 1` when slot `hs[i]` can no longer
+  /// reach threshold \p delta (N_s > K(1−δ)), else 0. Returns the number
+  /// of pruned slots.
+  size_t PruneScan(const Handle* hs, size_t n, double delta,
+                   uint8_t* prune) const;
+
+  /// \brief Structural invariant check (debug validator).
+  ///
+  /// Verifies free-list/live-flag consistency (every free handle in range,
+  /// flagged free, listed exactly once; live count = capacity − free count)
+  /// and, for every live slot, the BitSignature well-formedness conditions:
+  /// no impossible (even=0, odd=1) relation pair and all tail bits beyond
+  /// 2K zero. Returns the first violation.
+  Status Validate() const;
+
+ private:
+  int k_;
+  size_t stride_;
+  std::vector<uint64_t> slab_;
+  std::vector<Handle> free_;
+  std::vector<uint8_t> live_;  ///< per-slot allocation flag
+  size_t live_count_ = 0;
+};
+
+}  // namespace vcd::sketch

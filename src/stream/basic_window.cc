@@ -11,8 +11,16 @@ Result<BasicWindowAssembler> BasicWindowAssembler::Create(double window_seconds)
 
 void BasicWindowAssembler::Emit(BasicWindow* out) {
   acc_.index = next_index_++;
-  *out = std::move(acc_);
-  acc_ = BasicWindow{};
+  // Swap the id buffers instead of moving: a caller that reuses one
+  // BasicWindow across calls hands its capacity back to the accumulator,
+  // making the steady-state window cycle allocation-free.
+  out->index = acc_.index;
+  out->start_frame = acc_.start_frame;
+  out->end_frame = acc_.end_frame;
+  out->start_time = acc_.start_time;
+  out->end_time = acc_.end_time;
+  out->ids.swap(acc_.ids);
+  acc_.ids.clear();
   open_ = false;
 }
 

@@ -1,0 +1,230 @@
+/// \file pooled_equivalence_test.cc
+/// The pooled hot path (flat arenas + batched slab kernels) is an exact
+/// drop-in for the scalar reference path: over identical schedules the two
+/// must produce byte-identical match lists and identical operation counters
+/// (builds, ORs, prunes, combines, compares) for every combination of
+/// representation, combination order, index use, and pruning — including
+/// mid-stream query portfolio churn and query-id reuse.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace vcd::core {
+namespace {
+
+using features::CellId;
+
+constexpr double kKeyFps = 2.5;  // key-frame slots per second (GOP 12 @30fps)
+
+DetectorConfig BaseConfig() {
+  DetectorConfig c;
+  c.K = 128;
+  c.window_seconds = 4.0;  // 10 key frames per window
+  c.delta = 0.65;
+  return c;
+}
+
+std::vector<CellId> RandomContent(Rng* rng, size_t n, uint32_t lo, uint32_t hi) {
+  std::vector<CellId> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(lo + static_cast<CellId>(rng->Uniform(hi - lo)));
+  }
+  return out;
+}
+
+/// Byte-exact encoding of one match (doubles bit-compared).
+std::string MatchKey(const Match& m) {
+  char buf[sizeof(int) + sizeof(int64_t) * 2 + sizeof(double) * 3];
+  char* p = buf;
+  const auto put = [&p](const void* v, size_t n) {
+    std::memcpy(p, v, n);
+    p += n;
+  };
+  put(&m.query_id, sizeof m.query_id);
+  put(&m.start_frame, sizeof m.start_frame);
+  put(&m.end_frame, sizeof m.end_frame);
+  put(&m.start_time, sizeof m.start_time);
+  put(&m.end_time, sizeof m.end_time);
+  put(&m.similarity, sizeof m.similarity);
+  return std::string(buf, sizeof buf);
+}
+
+struct RunResult {
+  std::vector<std::string> matches;
+  int64_t windows, builds, ors, pruned, combines, compares;
+  int64_t sig_count;
+  double sig_sum, cand_sum;
+};
+
+/// One fixed schedule: two queries up front, a third subscribed mid-stream,
+/// one removed and its id re-added with different content (ordinal reuse),
+/// with two copies embedded in the stream.
+RunResult RunSchedule(DetectorConfig config) {
+  config.validate_state = true;  // full state sweep after every window
+  Rng rng(20080615);
+  const std::vector<CellId> query1 = RandomContent(&rng, 40, 0, 1000);
+  const std::vector<CellId> query2 = RandomContent(&rng, 30, 1000, 2000);
+  const std::vector<CellId> query3 = RandomContent(&rng, 35, 2000, 3000);
+
+  auto det = CopyDetector::Create(config).value();
+  VCD_CHECK(det->AddQueryCells(1, query1, 16.0).ok(), "add q1");
+  VCD_CHECK(det->AddQueryCells(2, query2, 12.0).ok(), "add q2");
+
+  int64_t slot = 0;
+  const auto feed = [&](const std::vector<CellId>& ids) {
+    for (CellId id : ids) {
+      VCD_CHECK(det->ProcessFingerprint(slot * 12,
+                                        static_cast<double>(slot) / kKeyFps, id)
+                    .ok(),
+                "feed");
+      ++slot;
+    }
+  };
+
+  feed(RandomContent(&rng, 60, 5000, 9000));  // background
+  feed(query1);                               // copy of q1
+  feed(RandomContent(&rng, 30, 5000, 9000));
+  // Portfolio churn mid-stream: drop q2, re-use its id for new content.
+  VCD_CHECK(det->RemoveQuery(2).ok(), "remove q2");
+  VCD_CHECK(det->AddQueryCells(2, query3, 14.0).ok(), "re-add id 2");
+  feed(RandomContent(&rng, 30, 5000, 9000));
+  feed(query3);  // copy of the re-added query
+  feed(RandomContent(&rng, 40, 5000, 9000));
+  VCD_CHECK(det->Finish().ok(), "finish");
+  VCD_CHECK(det->ValidateState().ok(), "validate");
+
+  RunResult r;
+  for (const Match& m : det->matches()) r.matches.push_back(MatchKey(m));
+  const DetectorStats& s = det->stats();
+  r.windows = s.windows;
+  r.builds = s.bitsig_builds;
+  r.ors = s.bitsig_ors;
+  r.pruned = s.candidates_pruned;
+  r.combines = s.sketch_combines;
+  r.compares = s.sketch_compares;
+  r.sig_count = s.signatures_per_window.count();
+  r.sig_sum = s.signatures_per_window.sum();
+  r.cand_sum = s.candidates_per_window.sum();
+  return r;
+}
+
+struct PooledEquivCase {
+  Representation rep;
+  CombinationOrder order;
+  bool use_index;
+  bool enable_pruning;
+};
+
+class PooledEquivalenceTest : public ::testing::TestWithParam<PooledEquivCase> {};
+
+TEST_P(PooledEquivalenceTest, PooledMatchesScalarByteExactly) {
+  const PooledEquivCase& p = GetParam();
+  DetectorConfig config = BaseConfig();
+  config.representation = p.rep;
+  config.order = p.order;
+  config.use_index = p.use_index;
+  config.enable_pruning = p.enable_pruning;
+
+  config.use_pooled_kernels = false;
+  const RunResult scalar = RunSchedule(config);
+  config.use_pooled_kernels = true;
+  const RunResult pooled = RunSchedule(config);
+
+  ASSERT_FALSE(scalar.matches.empty()) << "schedule must produce matches";
+  EXPECT_EQ(pooled.matches, scalar.matches);
+  EXPECT_EQ(pooled.windows, scalar.windows);
+  EXPECT_EQ(pooled.builds, scalar.builds);
+  EXPECT_EQ(pooled.ors, scalar.ors);
+  EXPECT_EQ(pooled.pruned, scalar.pruned);
+  EXPECT_EQ(pooled.combines, scalar.combines);
+  EXPECT_EQ(pooled.compares, scalar.compares);
+  EXPECT_EQ(pooled.sig_count, scalar.sig_count);
+  EXPECT_EQ(pooled.sig_sum, scalar.sig_sum);
+  EXPECT_EQ(pooled.cand_sum, scalar.cand_sum);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<PooledEquivCase>& info) {
+  const PooledEquivCase& p = info.param;
+  std::string name = p.rep == Representation::kBit ? "Bit" : "Sketch";
+  name += p.order == CombinationOrder::kSequential ? "Seq" : "Geo";
+  name += p.use_index ? "Idx" : "NoIdx";
+  name += p.enable_pruning ? "Prune" : "NoPrune";
+  return name;
+}
+
+std::vector<PooledEquivCase> AllCases() {
+  std::vector<PooledEquivCase> cases;
+  for (Representation rep : {Representation::kBit, Representation::kSketch}) {
+    for (CombinationOrder order :
+         {CombinationOrder::kSequential, CombinationOrder::kGeometric}) {
+      for (bool idx : {true, false}) {
+        for (bool prune : {true, false}) {
+          cases.push_back(PooledEquivCase{rep, order, idx, prune});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, PooledEquivalenceTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+/// Satellite regression: RemoveQuery then AddQuery with the same id must
+/// route new matches to the re-added record via the id→ordinal map (the old
+/// nested linear scan found the first — stale — record).
+TEST(QueryIdReuseTest, ReaddedIdMatchesNewContentOnly) {
+  for (bool pooled : {false, true}) {
+    Rng rng(77);
+    DetectorConfig config = BaseConfig();
+    config.use_pooled_kernels = pooled;
+    config.validate_state = true;
+    const std::vector<CellId> old_content = RandomContent(&rng, 40, 0, 1000);
+    const std::vector<CellId> new_content = RandomContent(&rng, 40, 1000, 2000);
+
+    auto det = CopyDetector::Create(config).value();
+    ASSERT_TRUE(det->AddQueryCells(7, old_content, 16.0).ok());
+    ASSERT_TRUE(det->RemoveQuery(7).ok());
+    ASSERT_TRUE(det->AddQueryCells(7, new_content, 16.0).ok());
+    // Duplicate add of a live id must still be rejected.
+    EXPECT_EQ(det->AddQueryCells(7, old_content, 16.0).code(),
+              StatusCode::kAlreadyExists);
+
+    int64_t slot = 0;
+    const auto feed = [&](const std::vector<CellId>& ids) {
+      for (CellId id : ids) {
+        ASSERT_TRUE(det->ProcessFingerprint(
+                           slot * 12, static_cast<double>(slot) / kKeyFps, id)
+                        .ok());
+        ++slot;
+      }
+    };
+    feed(RandomContent(&rng, 30, 5000, 9000));
+    feed(old_content);  // copy of the *removed* subscription: must not match
+    feed(RandomContent(&rng, 30, 5000, 9000));
+    const int64_t new_copy_start = slot * 12;
+    feed(new_content);  // copy of the re-added subscription: must match
+    feed(RandomContent(&rng, 30, 5000, 9000));
+    ASSERT_TRUE(det->Finish().ok());
+
+    bool matched_new = false;
+    for (const Match& m : det->matches()) {
+      EXPECT_EQ(m.query_id, 7);
+      EXPECT_GE(m.end_frame, new_copy_start)
+          << (pooled ? "pooled" : "scalar")
+          << ": match attributed to the removed subscription's content";
+      matched_new = true;
+    }
+    EXPECT_TRUE(matched_new) << (pooled ? "pooled" : "scalar");
+  }
+}
+
+}  // namespace
+}  // namespace vcd::core

@@ -28,13 +28,13 @@ TEST(SequentialCandidatesTest, AllSuffixLengthsPresent) {
     seq.Step(Fresh(i), max_windows, Merge);
     // After window i, candidates are the suffixes ending at i with lengths
     // 1..min(i+1, max).
-    const auto& c = seq.candidates();
     const int expect = std::min(i + 1, max_windows);
-    ASSERT_EQ(static_cast<int>(c.size()), expect) << "window " << i;
-    for (size_t j = 0; j < c.size(); ++j) {
-      EXPECT_EQ(c[j].last, i);
-      EXPECT_EQ(c[j].num_windows, expect - static_cast<int>(j));
-      EXPECT_EQ(c[j].first, i - c[j].num_windows + 1);
+    ASSERT_EQ(static_cast<int>(seq.size()), expect) << "window " << i;
+    for (size_t j = 0; j < seq.size(); ++j) {
+      const Cand& c = seq.at(j);
+      EXPECT_EQ(c.last, i);
+      EXPECT_EQ(c.num_windows, expect - static_cast<int>(j));
+      EXPECT_EQ(c.first, i - c.num_windows + 1);
     }
   }
 }
@@ -42,21 +42,165 @@ TEST(SequentialCandidatesTest, AllSuffixLengthsPresent) {
 TEST(SequentialCandidatesTest, ExpiryDropsOldest) {
   SequentialCandidates<Cand> seq;
   for (int i = 0; i < 4; ++i) seq.Step(Fresh(i), 3, Merge);
-  for (const Cand& c : seq.candidates()) EXPECT_LE(c.num_windows, 3);
+  seq.ForEach([](const Cand& c) { EXPECT_LE(c.num_windows, 3); });
 }
 
 TEST(SequentialCandidatesTest, RemoveIf) {
   SequentialCandidates<Cand> seq;
   for (int i = 0; i < 5; ++i) seq.Step(Fresh(i), 10, Merge);
   seq.RemoveIf([](const Cand& c) { return c.num_windows % 2 == 0; });
-  for (const Cand& c : seq.candidates()) EXPECT_EQ(c.num_windows % 2, 1);
+  seq.ForEach([](const Cand& c) { EXPECT_EQ(c.num_windows % 2, 1); });
 }
 
 TEST(SequentialCandidatesTest, Clear) {
   SequentialCandidates<Cand> seq;
   seq.Step(Fresh(0), 5, Merge);
   seq.Clear();
-  EXPECT_TRUE(seq.candidates().empty());
+  EXPECT_TRUE(seq.empty());
+}
+
+// --- in-place recycling protocol -------------------------------------------
+
+/// Payload with an external "resource" flag so tests can assert retire is
+/// called exactly once per dropped candidate before shell reuse.
+struct RCand {
+  int num_windows = 0;
+  int first = 0, last = 0;
+  bool owns = false;  ///< simulated external resource (e.g. pool handle)
+};
+
+TEST(SequentialCandidatesTest, InPlaceStepMatchesValueStep) {
+  SequentialCandidates<Cand> value_seq;
+  SequentialCandidates<RCand> inplace_seq;
+  int retired = 0;
+  for (int i = 0; i < 20; ++i) {
+    value_seq.Step(Fresh(i), 6, Merge);
+    inplace_seq.Step(
+        6,
+        [&](RCand& c) {
+          c.num_windows = 1;
+          c.first = c.last = i;
+          c.owns = true;
+        },
+        [](RCand& older, const RCand& newer) {
+          EXPECT_EQ(older.last + 1, newer.first);
+          older.num_windows += newer.num_windows;
+          older.last = newer.last;
+        },
+        [&](RCand& c) {
+          EXPECT_TRUE(c.owns) << "retire must see a live candidate";
+          c.owns = false;
+          ++retired;
+        });
+    ASSERT_EQ(value_seq.size(), inplace_seq.size());
+    for (size_t j = 0; j < value_seq.size(); ++j) {
+      EXPECT_EQ(value_seq.at(j).num_windows, inplace_seq.at(j).num_windows);
+      EXPECT_EQ(value_seq.at(j).first, inplace_seq.at(j).first);
+      EXPECT_EQ(value_seq.at(j).last, inplace_seq.at(j).last);
+      EXPECT_TRUE(inplace_seq.at(j).owns);
+    }
+  }
+  // Windows 0..19 with max 6: windows 0..13 produced an expiry each.
+  EXPECT_EQ(retired, 14);
+}
+
+TEST(SequentialCandidatesTest, RemoveIfRetiresDropped) {
+  SequentialCandidates<RCand> seq;
+  for (int i = 0; i < 5; ++i) {
+    seq.Step(
+        100,
+        [&](RCand& c) {
+          c = RCand{1, i, i, true};
+        },
+        [](RCand& older, const RCand& newer) {
+          older.num_windows += newer.num_windows;
+          older.last = newer.last;
+        },
+        [](RCand& c) { c.owns = false; });
+  }
+  int retired = 0;
+  seq.RemoveIf([](const RCand& c) { return c.num_windows % 2 == 0; },
+               [&](RCand& c) {
+                 EXPECT_TRUE(c.owns);
+                 c.owns = false;
+                 ++retired;
+               });
+  EXPECT_EQ(retired, 2);  // lengths 2 and 4 dropped
+  seq.ForEach([](const RCand& c) { EXPECT_TRUE(c.owns); });
+  retired = 0;
+  seq.Clear([&](RCand& c) {
+    c.owns = false;
+    ++retired;
+  });
+  EXPECT_EQ(retired, 3);
+  EXPECT_TRUE(seq.empty());
+}
+
+TEST(GeometricCandidatesTest, InPlaceStepMatchesValueStep) {
+  GeometricCandidates<Cand> value_geo;
+  GeometricCandidates<RCand> inplace_geo;
+  for (int i = 0; i < 29; ++i) {
+    value_geo.Step(Fresh(i), 8, Merge);
+    inplace_geo.Step(
+        8,
+        [&](RCand& c) {
+          c.num_windows = 1;
+          c.first = c.last = i;
+          c.owns = true;
+        },
+        [](RCand& older, const RCand& newer) {
+          EXPECT_EQ(older.last + 1, newer.first);
+          older.num_windows += newer.num_windows;
+          older.last = newer.last;
+        },
+        [](RCand& c) {
+          EXPECT_TRUE(c.owns);
+          c.owns = false;
+        });
+    ASSERT_EQ(value_geo.ladder().size(), inplace_geo.ladder().size());
+    for (size_t l = 0; l < value_geo.ladder().size(); ++l) {
+      ASSERT_EQ(value_geo.ladder()[l].has_value(),
+                inplace_geo.ladder()[l].has_value());
+      if (!value_geo.ladder()[l].has_value()) continue;
+      EXPECT_EQ(value_geo.ladder()[l]->num_windows,
+                inplace_geo.ladder()[l]->num_windows);
+      EXPECT_EQ(value_geo.ladder()[l]->first, inplace_geo.ladder()[l]->first);
+      EXPECT_EQ(value_geo.ladder()[l]->last, inplace_geo.ladder()[l]->last);
+      EXPECT_TRUE(inplace_geo.ladder()[l]->owns);
+    }
+  }
+}
+
+TEST(GeometricCandidatesTest, VisitSuffixesIntoMatchesVisitSuffixes) {
+  GeometricCandidates<Cand> geo;
+  for (int i = 0; i < 13; ++i) geo.Step(Fresh(i), 1000, Merge);
+  std::vector<Cand> copied;
+  geo.VisitSuffixes(
+      1000, [](const Cand& c) { return c; },
+      [](Cand& older, const Cand& newer) {
+        older.num_windows += newer.num_windows;
+        older.last = newer.last;
+      },
+      [&](const Cand& c) { copied.push_back(c); });
+  std::vector<Cand> inplace;
+  Cand cum, tmp;
+  int retired = 0;
+  geo.VisitSuffixesInto(
+      1000, &cum, &tmp,
+      [](Cand& dst, const Cand& src) { dst = src; },
+      [](Cand& older, const Cand& newer) {
+        older.num_windows += newer.num_windows;
+        older.last = newer.last;
+      },
+      [&](const Cand& c) { inplace.push_back(c); }, [&](Cand&) { ++retired; });
+  ASSERT_EQ(copied.size(), inplace.size());
+  for (size_t i = 0; i < copied.size(); ++i) {
+    EXPECT_EQ(copied[i].num_windows, inplace[i].num_windows);
+    EXPECT_EQ(copied[i].first, inplace[i].first);
+    EXPECT_EQ(copied[i].last, inplace[i].last);
+  }
+  // Every intermediate cum plus the final one must have been retired.
+  EXPECT_EQ(retired, static_cast<int>(inplace.size()));
 }
 
 TEST(GeometricCandidatesTest, BinaryCounterSizes) {

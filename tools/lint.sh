@@ -83,6 +83,38 @@ run_grep_lint() {
     FAILED=1
   fi
 
+  # Rule 4: the per-window hot path (src/core/, src/stream/) must not grow
+  # new owning signature/sketch objects — candidate state lives in
+  # SignaturePool/SketchPool slabs and is referenced by handle. Flags
+  # `new BitSignature` and by-value BitSignature/Sketch declarations;
+  # legitimate owners (per-query records, reused scratch buffers, the
+  # scalar reference path) carry `NOLINT(vcd-pooled-hotpath)` with a reason
+  # on the same or preceding line.
+  bad=$(grep -nE '(sketch::)?(BitSignature|Sketch)[[:space:]]+[A-Za-z_]+[[:space:]]*[;={]|new[[:space:]]+(sketch::)?BitSignature' \
+        $(find src/core src/stream -name '*.cc' -o -name '*.h') \
+        | grep -vE '//.*(BitSignature|Sketch)' \
+        | grep -vE 'NOLINT\(vcd-pooled-hotpath\)' || true)
+  if [ -n "$bad" ]; then
+    while IFS= read -r hit; do
+      local file line
+      file="${hit%%:*}"
+      line="${hit#*:}"; line="${line%%:*}"
+      if [ "$line" -gt 1 ] && sed -n "$((line - 1))p" "$file" \
+           | grep -qE 'NOLINT\(vcd-pooled-hotpath\)'; then
+        continue
+      fi
+      if [ -z "${rule4_failed:-}" ]; then
+        echo "FAIL: owning BitSignature/Sketch on the pooled hot path" \
+             "(use SignaturePool/SketchPool handles, or annotate" \
+             "NOLINT(vcd-pooled-hotpath) with a reason):"
+        rule4_failed=1
+        FAILED=1
+      fi
+      echo "$hit"
+    done <<< "$bad"
+  fi
+
+
   echo "=== [lint:grep] done ==="
 }
 
