@@ -14,11 +14,41 @@ const char* BackpressurePolicyName(BackpressurePolicy p) {
   return p == BackpressurePolicy::kBlock ? "block" : "drop";
 }
 
+const char* CorruptionPolicyName(CorruptionPolicy p) {
+  switch (p) {
+    case CorruptionPolicy::kSkip:
+      return "skip";
+    case CorruptionPolicy::kQuarantine:
+      return "quarantine";
+    case CorruptionPolicy::kFail:
+      return "fail";
+  }
+  return "unknown";
+}
+
 Status ParallelConfig::Validate() const {
   if (num_threads < 0) return Status::InvalidArgument("num_threads must be >= 0");
   if (queue_capacity < 1) {
     return Status::InvalidArgument("queue_capacity must be >= 1");
   }
+  if (degraded_after_faults < 1) {
+    return Status::InvalidArgument("degraded_after_faults must be >= 1");
+  }
+  if (quarantine_after_faults < degraded_after_faults) {
+    return Status::InvalidArgument(
+        "quarantine_after_faults must be >= degraded_after_faults");
+  }
+  if (recover_after_frames < 1) {
+    return Status::InvalidArgument("recover_after_frames must be >= 1");
+  }
+  if (quarantine_backoff_frames < 1) {
+    return Status::InvalidArgument("quarantine_backoff_frames must be >= 1");
+  }
+  if (quarantine_backoff_max_frames < quarantine_backoff_frames) {
+    return Status::InvalidArgument(
+        "quarantine_backoff_max_frames must be >= quarantine_backoff_frames");
+  }
+  if (watchdog_ms < 0) return Status::InvalidArgument("watchdog_ms must be >= 0");
   return Status::OK();
 }
 

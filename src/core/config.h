@@ -37,6 +37,19 @@ enum class BackpressurePolicy {
 /// Human-readable name ("block"/"drop") for logs and CLI flags.
 const char* BackpressurePolicyName(BackpressurePolicy p);
 
+/// What a stream does when its frames arrive degraded (corrupt payloads,
+/// decode errors, clock skew) — the per-stream health state machine of the
+/// parallel executor (DESIGN.md §12).
+enum class CorruptionPolicy {
+  kSkip,        ///< keep processing; degraded windows skip sketching
+  kQuarantine,  ///< repeated faults quarantine the stream, with exponential
+                ///< backoff readmission
+  kFail,        ///< the first fault fails the stream hard (sticky error)
+};
+
+/// Human-readable name ("skip"/"quarantine"/"fail") for logs and CLI flags.
+const char* CorruptionPolicyName(CorruptionPolicy p);
+
 /// Configuration of the parallel sharded stream executor
 /// (parallel::StreamExecutor). Streams are sharded across worker threads
 /// with stable per-stream affinity; each shard owns a bounded submission
@@ -48,6 +61,28 @@ struct ParallelConfig {
   int queue_capacity = 256;
   /// Behaviour of ProcessKeyFrame when the shard queue is full.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// Per-stream reaction to degraded frames.
+  CorruptionPolicy on_corruption = CorruptionPolicy::kSkip;
+  /// Consecutive degraded frames before a stream turns kDegraded.
+  int degraded_after_faults = 3;
+  /// Consecutive degraded frames before a kQuarantine stream is
+  /// quarantined (must be >= degraded_after_faults).
+  int quarantine_after_faults = 8;
+  /// Consecutive clean frames before a degraded stream is kHealthy again
+  /// (also resets the quarantine backoff).
+  int recover_after_frames = 16;
+  /// Frames discarded by the first quarantine; doubles per re-quarantine
+  /// up to quarantine_backoff_max_frames. Frame-count (not wall-clock)
+  /// backoff keeps readmission deterministic under test.
+  int quarantine_backoff_frames = 32;
+  /// Upper bound of the exponential quarantine backoff.
+  int quarantine_backoff_max_frames = 1024;
+
+  /// Watchdog tick in milliseconds; > 0 starts a watchdog thread that
+  /// fails over shards whose queue stops draining (and readmits them when
+  /// they drain again). 0 disables the watchdog.
+  int watchdog_ms = 0;
 
   /// Validates ranges.
   Status Validate() const;

@@ -135,18 +135,43 @@ Status CopyDetector::RebuildIndex() {
 }
 
 Status CopyDetector::ProcessKeyFrame(const vcd::video::DcFrame& frame) {
+  if (frame.degraded) return ProcessDegraded(frame.frame_index, frame.timestamp);
   return ProcessFingerprint(frame.frame_index, frame.timestamp,
                             fingerprinter_->Fingerprint(frame));
 }
 
 Status CopyDetector::ProcessFingerprint(int64_t frame_index, double timestamp,
                                         features::CellId id) {
+  if (saw_frame_ && timestamp < max_timestamp_) {
+    // Clock skew: a frame behind the stream clock would land its id in the
+    // wrong basic window. Demote it to degraded instead of poisoning the
+    // window sequence.
+    ++stats_.out_of_order_frames;
+    return ProcessDegraded(frame_index, timestamp);
+  }
   if (index_dirty_) VCD_RETURN_IF_ERROR(RebuildIndex());
+  saw_frame_ = true;
+  max_timestamp_ = timestamp;
   ++stats_.key_frames;
   // The assembler swaps the completed window's id buffer into
   // scratch_.window, so the steady-state window cycle reuses two buffers
   // instead of allocating.
   if (assembler_->Add(frame_index, timestamp, id, &scratch_.window)) {
+    ProcessWindow(scratch_.window);
+  }
+  return Status::OK();
+}
+
+Status CopyDetector::ProcessDegraded(int64_t frame_index, double timestamp) {
+  if (index_dirty_) VCD_RETURN_IF_ERROR(RebuildIndex());
+  // A skewed timestamp must not move the window clock backwards (or jump
+  // it forward past genuine frames): clamp into the observed range.
+  if (saw_frame_ && timestamp < max_timestamp_) timestamp = max_timestamp_;
+  saw_frame_ = true;
+  max_timestamp_ = timestamp;
+  ++stats_.key_frames;
+  ++stats_.degraded_frames;
+  if (assembler_->AddDegraded(frame_index, timestamp, &scratch_.window)) {
     ProcessWindow(scratch_.window);
   }
   return Status::OK();
@@ -173,6 +198,8 @@ void CopyDetector::ResetStream() {
   pgeo_sketch_.Clear(retire_sketch);
   matches_.clear();
   stats_ = DetectorStats{};
+  max_timestamp_ = 0.0;
+  saw_frame_ = false;
   for (QueryRec& q : queries_) q.suppress_until = -1.0;
 }
 
@@ -591,7 +618,13 @@ void CopyDetector::RetirePooledSketch(PooledSketchCand* c) {
 
 void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
   ++stats_.windows;
-  if (config_.use_pooled_kernels) {
+  if (window.degraded) {
+    // The window's id set is incomplete: a sketch of it would be garbage
+    // and an OR into candidate signatures is irreversible. Skip combination
+    // entirely — candidates neither absorb this window nor advance, and
+    // the arenas/index are untouched, so ValidateState holds unchanged.
+    ++stats_.degraded_windows;
+  } else if (config_.use_pooled_kernels) {
     ProcessWindowPooled(window);
   } else {
     ProcessWindowScalar(window);

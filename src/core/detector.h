@@ -38,6 +38,9 @@ struct DetectorStats {
   int64_t bitsig_ors = 0;           ///< bit-signature OR merges
   int64_t bitsig_builds = 0;        ///< signatures built from raw sketches
   int64_t candidates_pruned = 0;    ///< Lemma-2 removals
+  int64_t degraded_frames = 0;      ///< frames consumed without a fingerprint
+  int64_t degraded_windows = 0;     ///< windows whose sketch was skipped
+  int64_t out_of_order_frames = 0;  ///< frames demoted by the clock-skew guard
   RunningStats signatures_per_window;  ///< Fig. 10's memory metric
   RunningStats candidates_per_window;
   /// Live arena slots after each window (pooled path only; 0 otherwise) —
@@ -88,7 +91,11 @@ class CopyDetector {
   /// Number of subscribed queries.
   int num_queries() const { return static_cast<int>(queries_.size()); }
 
-  /// Feeds one key frame of the monitored stream.
+  /// Feeds one key frame of the monitored stream. A frame flagged
+  /// `degraded` (or one whose timestamp runs backwards — clock skew)
+  /// contributes no fingerprint: it advances the basic-window clock and
+  /// marks the affected window degraded, so that window's sketch
+  /// combination is skipped while candidate/arena state stays consistent.
   Status ProcessKeyFrame(const vcd::video::DcFrame& frame);
 
   /// Feeds one already-fingerprinted key frame (for pre-fingerprinted
@@ -96,6 +103,10 @@ class CopyDetector {
   /// frames, \p timestamp in seconds.
   Status ProcessFingerprint(int64_t frame_index, double timestamp,
                             features::CellId id);
+
+  /// Feeds one degraded key frame: no fingerprint, the frame only advances
+  /// the window clock and taints its basic window (see ProcessKeyFrame).
+  Status ProcessDegraded(int64_t frame_index, double timestamp);
 
   /// Flushes the trailing partial basic window.
   Status Finish();
@@ -297,6 +308,11 @@ class CopyDetector {
   std::optional<index::HashQueryIndex> index_;
   bool index_dirty_ = false;
   int global_max_windows_ = 1;
+  /// Clock-skew guard: the highest timestamp seen on the stream. Frames
+  /// arriving behind it are demoted to degraded (their fingerprint would
+  /// land in the wrong basic window).
+  double max_timestamp_ = 0.0;
+  bool saw_frame_ = false;
 
   // Scalar reference combination structures.
   stream::SequentialCandidates<BitCand> seq_bit_;

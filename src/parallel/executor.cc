@@ -1,6 +1,7 @@
 #include "parallel/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <string>
 #include <thread>
@@ -18,18 +19,91 @@ StreamExecutor::StreamExecutor(const core::DetectorConfig& config,
   }
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>(
-        i, parallel.backpressure, static_cast<size_t>(parallel.queue_capacity)));
+    shards_.push_back(std::make_unique<Shard>(i, parallel));
+  }
+  if (pconfig_.watchdog_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
-StreamExecutor::~StreamExecutor() = default;
+StreamExecutor::~StreamExecutor() {
+  if (watchdog_.joinable()) {
+    {
+      MutexLock lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.NotifyOne();
+    watchdog_.join();
+  }
+  // shards_ destruction closes the queues and joins the workers; a shard
+  // that was failed over still drains everything that was queued.
+}
 
 Result<std::unique_ptr<StreamExecutor>> StreamExecutor::Create(
     const core::DetectorConfig& config, const core::ParallelConfig& parallel) {
   VCD_RETURN_IF_ERROR(config.Validate());
   VCD_RETURN_IF_ERROR(parallel.Validate());
   return std::unique_ptr<StreamExecutor>(new StreamExecutor(config, parallel));
+}
+
+void StreamExecutor::WatchdogLoop() {
+  // A shard is "making progress" when any of its task-consumption counters
+  // move: processed and rejected frames, health-machine discards, and
+  // commands all count — a quarantined stream's discards are progress.
+  const auto progress_of = [](const ShardStats& s) {
+    return s.frames_processed + s.frames_rejected + s.commands_processed +
+           s.frames_quarantined + s.frames_failed;
+  };
+  std::vector<int64_t> last_progress(shards_.size(), -1);
+  std::vector<int> stale_ticks(shards_.size(), 0);
+  MutexLock lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.WaitFor(watchdog_mu_,
+                         std::chrono::milliseconds(pconfig_.watchdog_ms));
+    if (watchdog_stop_) break;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const ShardStats s = shards_[i]->Snapshot();
+      const int64_t progress = progress_of(s);
+      if (s.queue_depth > 0 && progress == last_progress[i]) {
+        // Work is queued but nothing moved since the last tick: the worker
+        // is stalled. Two consecutive stale ticks avoid failing over a
+        // shard that was merely mid-task when two snapshots straddled it.
+        if (++stale_ticks[i] >= 2) shards_[i]->MarkFailed();
+      } else {
+        stale_ticks[i] = 0;
+        if (shards_[i]->failed()) shards_[i]->ClearFailed();
+      }
+      last_progress[i] = progress;
+    }
+  }
+}
+
+template <typename T>
+bool StreamExecutor::WaitOrFailover(std::future<T>& f, Shard* shard) {
+  for (;;) {
+    if (f.wait_for(std::chrono::milliseconds(2)) == std::future_status::ready) {
+      return true;
+    }
+    if (shard->failed()) return false;
+  }
+}
+
+void StreamExecutor::ReapOrphansLocked() {
+  for (size_t i = 0; i < orphans_.size();) {
+    if (orphans_[i].reply.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++i;
+      continue;
+    }
+    auto reply = orphans_[i].reply.get();
+    if (!orphans_[i].is_close || reply.first.ok()) {
+      if (orphans_[i].is_close) {
+        num_open_streams_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      FoldLocked(std::move(reply.second));
+    }
+    orphans_.erase(orphans_.begin() + static_cast<long>(i));
+  }
 }
 
 Status StreamExecutor::AddQuerySketchLocked(int id, const sketch::Sketch& sk,
@@ -106,6 +180,7 @@ int StreamExecutor::num_queries() const {
 
 Result<int> StreamExecutor::OpenStream(std::string name) {
   MutexLock lock(control_mu_);
+  ReapOrphansLocked();
   auto det = core::CopyDetector::Create(config_);
   if (!det.ok()) return det.status();
   std::shared_ptr<core::CopyDetector> detector = std::move(*det);
@@ -124,6 +199,7 @@ Result<int> StreamExecutor::OpenStream(std::string name) {
 
 Status StreamExecutor::CloseStream(int stream_id) {
   MutexLock lock(control_mu_);
+  ReapOrphansLocked();
   if (stream_id <= 0 ||
       stream_id >= next_stream_id_.load(std::memory_order_acquire)) {
     return Status::NotFound("no such stream");
@@ -132,11 +208,21 @@ Status StreamExecutor::CloseStream(int stream_id) {
   using Reply = std::pair<Status, std::vector<SeqMatch>>;
   auto promise = std::make_shared<std::promise<Reply>>();
   auto future = promise->get_future();
-  shard_for(stream_id)->SubmitCommand([stream_id, close_seq, promise](Shard* s) {
+  Shard* shard = shard_for(stream_id);
+  shard->SubmitCommand([stream_id, close_seq, promise](Shard* s) {
     std::vector<SeqMatch> batch;
     Status st = s->FinishStream(stream_id, close_seq, &batch);
     promise->set_value(Reply{std::move(st), std::move(batch)});
   });
+  if (!WaitOrFailover(future, shard)) {
+    // The close command is still queued and will run when the shard drains
+    // (commands use the unbounded channel, so a wedged frame queue cannot
+    // block it forever). Its reply — with this stream's final matches —
+    // is reaped by a later control-plane call.
+    orphans_.push_back(Orphan{std::move(future), /*is_close=*/true});
+    return Status::Unavailable("stream " + std::to_string(stream_id) +
+                               ": shard failed over; close pending");
+  }
   Reply reply = future.get();
   if (!reply.first.ok()) return reply.first;
   num_open_streams_.fetch_sub(1, std::memory_order_relaxed);
@@ -155,15 +241,22 @@ Status StreamExecutor::ProcessKeyFrame(int stream_id, vcd::video::DcFrame frame)
   }
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   frames_submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (shard_for(stream_id)->SubmitFrame(seq, stream_id, std::move(frame)) ==
-      Shard::Submit::kDropped) {
-    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+  switch (shard_for(stream_id)->SubmitFrame(seq, stream_id, std::move(frame))) {
+    case Shard::Submit::kAccepted:
+      break;
+    case Shard::Submit::kDropped:
+      frames_dropped_backpressure_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Shard::Submit::kFailedOver:
+      frames_dropped_failover_.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
   return Status::OK();
 }
 
 Status StreamExecutor::Drain() {
   MutexLock lock(control_mu_);
+  ReapOrphansLocked();
   using Reply = std::pair<Status, std::vector<SeqMatch>>;
   std::vector<std::future<Reply>> futures;
   futures.reserve(shards_.size());
@@ -177,8 +270,16 @@ Status StreamExecutor::Drain() {
     });
   }
   Status first;
-  for (auto& f : futures) {
-    Reply reply = f.get();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    if (!WaitOrFailover(futures[i], shards_[i].get())) {
+      if (first.ok()) {
+        first = Status::Unavailable("shard " + std::to_string(i) +
+                                    " failed over; drain incomplete");
+      }
+      orphans_.push_back(Orphan{std::move(futures[i]), /*is_close=*/false});
+      continue;
+    }
+    Reply reply = futures[i].get();
     if (first.ok()) first = reply.first;
     FoldLocked(std::move(reply.second));
   }
@@ -212,13 +313,37 @@ Result<core::DetectorStats> StreamExecutor::StreamStats(int stream_id) {
   }
   auto promise = std::make_shared<std::promise<Result<core::DetectorStats>>>();
   auto future = promise->get_future();
-  shard_for(stream_id)->SubmitCommand(
+  Shard* shard = shard_for(stream_id);
+  shard->SubmitCommand(
       [stream_id, promise](Shard* s) { promise->set_value(s->StatsOf(stream_id)); });
+  if (!WaitOrFailover(future, shard)) {
+    return Status::Unavailable("stream " + std::to_string(stream_id) +
+                               ": shard failed over");
+  }
+  return future.get();
+}
+
+Result<StreamHealth> StreamExecutor::HealthOf(int stream_id) {
+  MutexLock lock(control_mu_);
+  if (stream_id <= 0 ||
+      stream_id >= next_stream_id_.load(std::memory_order_acquire)) {
+    return Status::NotFound("no such stream");
+  }
+  auto promise = std::make_shared<std::promise<Result<StreamHealth>>>();
+  auto future = promise->get_future();
+  Shard* shard = shard_for(stream_id);
+  shard->SubmitCommand(
+      [stream_id, promise](Shard* s) { promise->set_value(s->HealthOf(stream_id)); });
+  if (!WaitOrFailover(future, shard)) {
+    return Status::Unavailable("stream " + std::to_string(stream_id) +
+                               ": shard failed over");
+  }
   return future.get();
 }
 
 ExecutorStats StreamExecutor::Stats() {
   MutexLock lock(control_mu_);
+  ReapOrphansLocked();
   using Reply = std::pair<ShardStats, core::DetectorStats>;
   std::vector<std::future<Reply>> futures;
   futures.reserve(shards_.size());
@@ -231,9 +356,19 @@ ExecutorStats StreamExecutor::Stats() {
   }
   ExecutorStats stats;
   stats.frames_submitted = frames_submitted_.load(std::memory_order_relaxed);
-  stats.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
-  for (auto& f : futures) {
-    Reply reply = f.get();
+  stats.frames_dropped_backpressure =
+      frames_dropped_backpressure_.load(std::memory_order_relaxed);
+  stats.frames_dropped_failover =
+      frames_dropped_failover_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    if (!WaitOrFailover(futures[i], shards_[i].get())) {
+      // Report the failed shard from its lock-free snapshot; its detector
+      // stats are unknown until it drains.
+      stats.shards.push_back(shards_[i]->Snapshot());
+      stats.shard_detector_stats.emplace_back();
+      continue;
+    }
+    Reply reply = futures[i].get();
     stats.shards.push_back(std::move(reply.first));
     stats.shard_detector_stats.push_back(std::move(reply.second));
   }

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <atomic>
+#include <future>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
@@ -34,14 +37,27 @@
 /// sequence number; `Drain()`/`CloseStream()` hand logs over via one-shot
 /// promises and merge them back into arrival order by that tag.
 ///
+/// ### Failure handling (DESIGN.md §12)
+/// Streams carry a per-stream health state machine on their shard (see
+/// shard.h `StreamHealth`), driven by `ParallelConfig::on_corruption`. When
+/// `watchdog_ms > 0` a watchdog thread snapshots every shard each tick; a
+/// shard whose queue is non-empty but whose progress counters have not moved
+/// for two consecutive ticks is **failed over**: producers get
+/// `Submit::kFailedOver` (counted in `frames_dropped_failover`), and
+/// control-plane round trips against it return `Status::Unavailable`
+/// instead of blocking. The watchdog clears the mark as soon as the shard
+/// drains again. A `CloseStream`/`Drain` reply abandoned on failover is kept
+/// as an orphan future and reaped by a later control-plane call, so the
+/// matches it carried are folded in late rather than lost.
+///
 /// ### Thread safety
 /// - `ProcessKeyFrame` — safe from any number of threads concurrently
 ///   (frames of one stream must come from one thread to have a defined
 ///   order, as with any FIFO).
 /// - Control plane (`AddQuery*`, `ImportQueries`, `RemoveQuery`,
-///   `OpenStream`, `CloseStream`, `Drain`, `Stats`, `StreamStats`) — safe
-///   from any thread; serialized on an internal control mutex that the
-///   frame path never takes.
+///   `OpenStream`, `CloseStream`, `Drain`, `Stats`, `StreamStats`,
+///   `HealthOf`) — safe from any thread; serialized on an internal control
+///   mutex that the frame path never takes.
 /// - Accessors return snapshots by value.
 
 namespace vcd::parallel {
@@ -49,7 +65,11 @@ namespace vcd::parallel {
 /// Executor-wide counters plus one entry per shard.
 struct ExecutorStats {
   int64_t frames_submitted = 0;  ///< accepted by ProcessKeyFrame
-  int64_t frames_dropped = 0;    ///< discarded by kDropNewest backpressure
+  /// Discarded because the shard queue was full under kDropNewest (or an
+  /// injected kQueueOverflow fault simulated that condition).
+  int64_t frames_dropped_backpressure = 0;
+  /// Discarded because the owning shard was failed over by the watchdog.
+  int64_t frames_dropped_failover = 0;
   std::vector<ShardStats> shards;
   /// Aggregated detector stats per shard (index-aligned with `shards`).
   std::vector<core::DetectorStats> shard_detector_stats;
@@ -59,12 +79,14 @@ struct ExecutorStats {
 class StreamExecutor {
  public:
   /// Creates an executor; all streams share \p config, threading per
-  /// \p parallel. Fails on invalid config.
+  /// \p parallel. Fails on invalid config. When `parallel.watchdog_ms > 0`
+  /// a shard watchdog thread is started (see file comment).
   static Result<std::unique_ptr<StreamExecutor>> Create(
       const core::DetectorConfig& config, const core::ParallelConfig& parallel);
 
-  /// Drains nothing: closes all shard queues (pending work still runs) and
-  /// joins the workers. Call Drain() first if you need the final matches.
+  /// Stops the watchdog, closes all shard queues (pending work still runs)
+  /// and joins the workers. Call Drain() first if you need the final
+  /// matches.
   ~StreamExecutor();
 
   StreamExecutor(const StreamExecutor&) = delete;
@@ -93,22 +115,34 @@ class StreamExecutor {
   Result<int> OpenStream(std::string name) VCD_EXCLUDES(control_mu_);
 
   /// Flushes and closes a stream: waits for its queued frames, runs the
-  /// detector's Finish, and folds its matches into the merged log.
+  /// detector's Finish, and folds its matches into the merged log. If the
+  /// stream's shard is failed over, returns Unavailable without blocking;
+  /// the close still takes effect when the shard drains, and its matches
+  /// are folded in by a later control-plane call (orphan reaping).
   Status CloseStream(int stream_id) VCD_EXCLUDES(control_mu_);
 
-  /// Number of currently open streams (snapshot).
+  /// Number of currently open streams (snapshot). A close abandoned on
+  /// failover keeps counting until its orphaned reply is reaped.
   int num_open_streams() const;
 
   /// Enqueues one key frame of stream \p stream_id on its shard.
-  /// Returns NotFound for ids never issued; OK otherwise — under
-  /// kDropNewest a full queue silently drops the frame and counts it in
-  /// ExecutorStats::frames_dropped, and frames racing a CloseStream are
-  /// counted as ShardStats::frames_rejected.
+  /// Returns NotFound for ids never issued; OK otherwise. A frame can be
+  /// discarded after acceptance, but is then counted in exactly one bucket:
+  /// - ExecutorStats::frames_dropped_backpressure — kDropNewest, full queue
+  ///   (never enqueued);
+  /// - ExecutorStats::frames_dropped_failover — owning shard failed over
+  ///   (never enqueued);
+  /// - ShardStats::frames_rejected — enqueued, but raced a CloseStream and
+  ///   the stream was gone when the frame ran;
+  /// - ShardStats::frames_quarantined / frames_failed — enqueued, but the
+  ///   stream's health machine discarded it (DESIGN.md §12).
   Status ProcessKeyFrame(int stream_id, vcd::video::DcFrame frame);
 
   /// Barrier: waits until every frame and command submitted before this
   /// call has been processed, then folds all shard match logs into the
-  /// merged log. Returns the first sticky processing error, if any.
+  /// merged log. Returns the first sticky processing error, if any; a
+  /// failed-over shard contributes Unavailable and is skipped (its log is
+  /// reaped later rather than waited for).
   Status Drain() VCD_EXCLUDES(control_mu_);
 
   /// All matches folded so far (after Drain()/CloseStream()), merged back
@@ -116,11 +150,18 @@ class StreamExecutor {
   std::vector<core::StreamMatch> matches() const VCD_EXCLUDES(control_mu_);
 
   /// Detector stats of one open stream (round-trips through its shard, so
-  /// it reflects every frame submitted before this call).
+  /// it reflects every frame submitted before this call). Unavailable if
+  /// the shard is failed over.
   Result<core::DetectorStats> StreamStats(int stream_id) VCD_EXCLUDES(control_mu_);
 
+  /// Ingestion health of one open stream (round-trips through its shard).
+  /// Unavailable if the shard is failed over.
+  Result<StreamHealth> HealthOf(int stream_id) VCD_EXCLUDES(control_mu_);
+
   /// Executor counters plus per-shard stats and aggregated detector stats.
-  /// Round-trips through every shard.
+  /// Round-trips through every live shard; a failed-over shard is reported
+  /// from its lock-free Snapshot() with empty detector stats instead of
+  /// being waited on.
   ExecutorStats Stats() VCD_EXCLUDES(control_mu_);
 
   /// Number of shards (= worker threads).
@@ -132,6 +173,14 @@ class StreamExecutor {
     int length_frames;
     double duration_seconds;
     sketch::Sketch sketch;
+  };
+
+  /// A CloseStream/Drain reply abandoned because its shard was failed over.
+  /// The promise still completes when the shard drains; ReapOrphansLocked
+  /// folds the carried matches in then.
+  struct Orphan {
+    std::future<std::pair<Status, std::vector<SeqMatch>>> reply;
+    bool is_close = false;  ///< successful close decrements num_open_streams_
   };
 
   StreamExecutor(const core::DetectorConfig& config,
@@ -149,21 +198,42 @@ class StreamExecutor {
   /// Requires control_mu_ held.
   void FoldLocked(std::vector<SeqMatch> batch) VCD_REQUIRES(control_mu_);
 
+  /// Consumes every orphaned reply that has become ready (non-blocking).
+  void ReapOrphansLocked() VCD_REQUIRES(control_mu_);
+
+  /// Polls \p f until ready, or until \p shard is failed over — a failed
+  /// shard must never block the control plane. True when the reply is ready.
+  template <typename T>
+  static bool WaitOrFailover(std::future<T>& f, Shard* shard);
+
+  /// Watchdog thread body: ticks every watchdog_ms, fails over shards whose
+  /// queue is non-empty but whose progress counters stopped moving, and
+  /// clears the mark once they drain again.
+  void WatchdogLoop();
+
   const core::DetectorConfig config_;
   const core::ParallelConfig pconfig_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  /// Guards the portfolio, the merged log and control-plane ordering.
-  /// Never taken by ProcessKeyFrame.
+  /// Guards the portfolio, the merged log, the orphan list and
+  /// control-plane ordering. Never taken by ProcessKeyFrame.
   mutable Mutex control_mu_;
   std::vector<PortfolioEntry> portfolio_ VCD_GUARDED_BY(control_mu_);
   std::vector<SeqMatch> merged_ VCD_GUARDED_BY(control_mu_);
+  std::vector<Orphan> orphans_ VCD_GUARDED_BY(control_mu_);
 
   std::atomic<int> next_stream_id_{1};
   std::atomic<int> num_open_streams_{0};
   std::atomic<uint64_t> next_seq_{1};
   std::atomic<int64_t> frames_submitted_{0};
-  std::atomic<int64_t> frames_dropped_{0};
+  std::atomic<int64_t> frames_dropped_backpressure_{0};
+  std::atomic<int64_t> frames_dropped_failover_{0};
+
+  // Watchdog machinery (thread only started when pconfig_.watchdog_ms > 0).
+  Mutex watchdog_mu_;
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ VCD_GUARDED_BY(watchdog_mu_) = false;
+  std::thread watchdog_;
 };
 
 }  // namespace vcd::parallel

@@ -78,6 +78,21 @@ class BoundedMpscQueue : public MpscQueueBase {
     return true;
   }
 
+  /// Push that ignores the capacity bound — the control-plane channel.
+  /// Commands must reach a shard even when its frame queue is saturated or
+  /// its worker is stalled; bounding them would let a wedged shard deadlock
+  /// CloseStream/Drain (see DESIGN.md §12). Returns false iff closed.
+  bool PushUnbounded(T item) VCD_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      RecordDepthLocked(items_.size());
+    }
+    not_empty_.NotifyOne();
+    return true;
+  }
+
   /// Non-blocking push; returns false when the queue is full or closed.
   bool TryPush(T item) VCD_EXCLUDES(mu_) {
     {

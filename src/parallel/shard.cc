@@ -1,16 +1,33 @@
 #include "parallel/shard.h"
 
+#include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
 
+#include "util/faultfx.h"
 #include "util/stopwatch.h"
 
 namespace vcd::parallel {
 
-Shard::Shard(int shard_id, core::BackpressurePolicy backpressure,
-             size_t queue_capacity)
+const char* StreamHealthName(StreamHealth h) {
+  switch (h) {
+    case StreamHealth::kHealthy:
+      return "healthy";
+    case StreamHealth::kDegraded:
+      return "degraded";
+    case StreamHealth::kQuarantined:
+      return "quarantined";
+    case StreamHealth::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+Shard::Shard(int shard_id, const core::ParallelConfig& config)
     : shard_id_(shard_id),
-      backpressure_(backpressure),
-      queue_(queue_capacity),
+      config_(config),
+      queue_(static_cast<size_t>(config.queue_capacity)),
       worker_([this] { Run(); }) {}
 
 Shard::~Shard() {
@@ -20,11 +37,17 @@ Shard::~Shard() {
 
 Shard::Submit Shard::SubmitFrame(uint64_t seq, int stream_id,
                                  vcd::video::DcFrame frame) {
+  if (failed()) return Submit::kFailedOver;
+  if (faultfx::ShouldFire(faultfx::Site::kQueueOverflow,
+                          static_cast<uint64_t>(stream_id))) {
+    // Simulated overload: behave exactly as a full queue under kDropNewest.
+    return Submit::kDropped;
+  }
   Task t;
   t.seq = seq;
   t.stream_id = stream_id;
   t.frame = std::move(frame);
-  if (backpressure_ == core::BackpressurePolicy::kBlock) {
+  if (config_.backpressure == core::BackpressurePolicy::kBlock) {
     queue_.Push(std::move(t));
     return Submit::kAccepted;
   }
@@ -34,7 +57,7 @@ Shard::Submit Shard::SubmitFrame(uint64_t seq, int stream_id,
 void Shard::SubmitCommand(Command cmd) {
   Task t;
   t.command = std::move(cmd);
-  queue_.Push(std::move(t));
+  queue_.PushUnbounded(std::move(t));
 }
 
 ShardStats Shard::Snapshot() const {
@@ -48,12 +71,27 @@ ShardStats Shard::Snapshot() const {
   s.queue_high_water = queue_.high_water();
   s.busy_seconds =
       static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  s.frames_degraded = frames_degraded_.load(std::memory_order_relaxed);
+  s.frames_quarantined = frames_quarantined_.load(std::memory_order_relaxed);
+  s.frames_failed = frames_failed_.load(std::memory_order_relaxed);
+  s.quarantine_events = quarantine_events_.load(std::memory_order_relaxed);
+  s.streams_quarantined = streams_quarantined_.load(std::memory_order_relaxed);
+  s.streams_failed = streams_failed_.load(std::memory_order_relaxed);
+  s.failed_over = failed();
   return s;
 }
 
 void Shard::Run() {
   Task t;
   while (queue_.Pop(&t)) {
+    double stall_ms = 0.0;
+    // Keyed shard_id + 1 so a plan can target one shard (key 0 = any).
+    if (faultfx::ShouldFire(faultfx::Site::kShardStall,
+                            static_cast<uint64_t>(shard_id_) + 1, &stall_ms) &&
+        stall_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(stall_ms)));
+    }
     Stopwatch sw;
     if (t.command) {
       t.command(this);
@@ -66,7 +104,7 @@ void Shard::Run() {
   }
 }
 
-void Shard::ProcessFrame(const Task& t) {
+void Shard::ProcessFrame(Task& t) {
   auto it = streams_.find(t.stream_id);
   if (it == streams_.end()) {
     // The stream was closed (or never installed) before this frame ran —
@@ -74,10 +112,85 @@ void Shard::ProcessFrame(const Task& t) {
     frames_rejected_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  Status st = it->second.detector->ProcessKeyFrame(t.frame);
+  StreamSlot& slot = it->second;
+  if (slot.health == StreamHealth::kFailed) {
+    frames_failed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (slot.health == StreamHealth::kQuarantined) {
+    frames_quarantined_.fetch_add(1, std::memory_order_relaxed);
+    if (--slot.quarantine_remaining <= 0) {
+      // Backoff served: readmit on probation (kDegraded, not kHealthy —
+      // it still needs recover_after_frames clean frames).
+      slot.health = StreamHealth::kDegraded;
+      slot.consecutive_faults = 0;
+      slot.consecutive_clean = 0;
+      streams_quarantined_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  const uint64_t key = static_cast<uint64_t>(t.stream_id);
+  bool fault = t.frame.degraded;
+  if (faultfx::ShouldFire(faultfx::Site::kDecodeError, key)) {
+    t.frame.degraded = true;
+    fault = true;
+  }
+  double skew = 0.0;
+  if (faultfx::ShouldFire(faultfx::Site::kClockSkew, key, &skew)) {
+    t.frame.timestamp += skew;
+  }
+  Status st = slot.detector->ProcessKeyFrame(t.frame);
   if (!st.ok() && first_error_.ok()) first_error_ = st;
-  DrainSlotMatches(t.stream_id, &it->second, t.seq);
+  DrainSlotMatches(t.stream_id, &slot, t.seq);
   frames_processed_.fetch_add(1, std::memory_order_relaxed);
+  // Clock skew counts as a fault for the health machine: the detector
+  // demoted the frame (out_of_order_frames) even though it arrived with
+  // degraded = false.
+  if (slot.saw_timestamp && t.frame.timestamp < slot.max_timestamp) fault = true;
+  slot.max_timestamp = std::max(slot.max_timestamp, t.frame.timestamp);
+  slot.saw_timestamp = true;
+  if (fault) frames_degraded_.fetch_add(1, std::memory_order_relaxed);
+  UpdateHealth(t.stream_id, &slot, fault);
+}
+
+void Shard::UpdateHealth(int stream_id, StreamSlot* slot, bool fault) {
+  if (!fault) {
+    slot->consecutive_faults = 0;
+    if (slot->health != StreamHealth::kHealthy &&
+        ++slot->consecutive_clean >= config_.recover_after_frames) {
+      slot->health = StreamHealth::kHealthy;
+      slot->backoff_frames = config_.quarantine_backoff_frames;
+      slot->consecutive_clean = 0;
+    }
+    return;
+  }
+  slot->consecutive_clean = 0;
+  ++slot->consecutive_faults;
+  if (config_.on_corruption == core::CorruptionPolicy::kFail) {
+    slot->health = StreamHealth::kFailed;
+    streams_failed_.fetch_add(1, std::memory_order_relaxed);
+    if (first_error_.ok()) {
+      first_error_ = Status::Corruption(
+          "stream " + std::to_string(stream_id) +
+          " (" + slot->name + ") failed on corrupted input (policy fail)");
+    }
+    return;
+  }
+  if (config_.on_corruption == core::CorruptionPolicy::kQuarantine &&
+      slot->consecutive_faults >= config_.quarantine_after_faults) {
+    slot->health = StreamHealth::kQuarantined;
+    slot->quarantine_remaining = slot->backoff_frames;
+    slot->backoff_frames =
+        std::min<int64_t>(slot->backoff_frames * 2,
+                          config_.quarantine_backoff_max_frames);
+    slot->consecutive_faults = 0;
+    quarantine_events_.fetch_add(1, std::memory_order_relaxed);
+    streams_quarantined_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (slot->consecutive_faults >= config_.degraded_after_faults) {
+    slot->health = StreamHealth::kDegraded;
+  }
 }
 
 void Shard::DrainSlotMatches(int stream_id, StreamSlot* slot, uint64_t seq) {
@@ -93,6 +206,7 @@ void Shard::InstallStream(int stream_id, std::string name,
   StreamSlot slot;
   slot.name = std::move(name);
   slot.detector = std::move(detector);
+  slot.backoff_frames = config_.quarantine_backoff_frames;
   streams_.emplace(stream_id, std::move(slot));
   num_streams_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -101,6 +215,12 @@ Status Shard::FinishStream(int stream_id, uint64_t close_seq,
                            std::vector<SeqMatch>* out) {
   auto it = streams_.find(stream_id);
   if (it == streams_.end()) return Status::NotFound("no such stream");
+  if (it->second.health == StreamHealth::kQuarantined) {
+    streams_quarantined_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (it->second.health == StreamHealth::kFailed) {
+    streams_failed_.fetch_sub(1, std::memory_order_relaxed);
+  }
   Status st = it->second.detector->Finish();
   DrainSlotMatches(stream_id, &it->second, close_seq);
   out->swap(log_);
@@ -137,6 +257,12 @@ Result<core::DetectorStats> Shard::StatsOf(int stream_id) const {
   return it->second.detector->stats();
 }
 
+Result<StreamHealth> Shard::HealthOf(int stream_id) const {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return Status::NotFound("no such stream");
+  return it->second.health;
+}
+
 core::DetectorStats Shard::AggregateDetectorStats() const {
   core::DetectorStats agg;
   for (const auto& [sid, slot] : streams_) {
@@ -148,6 +274,9 @@ core::DetectorStats Shard::AggregateDetectorStats() const {
     agg.bitsig_ors += s.bitsig_ors;
     agg.bitsig_builds += s.bitsig_builds;
     agg.candidates_pruned += s.candidates_pruned;
+    agg.degraded_frames += s.degraded_frames;
+    agg.degraded_windows += s.degraded_windows;
+    agg.out_of_order_frames += s.out_of_order_frames;
     agg.signatures_per_window.Merge(s.signatures_per_window);
     agg.candidates_per_window.Merge(s.candidates_per_window);
     agg.pool_slots_per_window.Merge(s.pool_slots_per_window);

@@ -46,6 +46,23 @@ struct SeqMatch {
   core::StreamMatch match;
 };
 
+/// Per-stream ingestion health (DESIGN.md §12). Transitions happen on the
+/// owning shard's worker thread as frames arrive:
+/// healthy → degraded (consecutive faults) → quarantined (kQuarantine
+/// policy; frames discarded for an exponentially backed-off count) →
+/// degraded (readmission on probation) → healthy (consecutive clean
+/// frames). Under CorruptionPolicy::kFail the first fault moves the stream
+/// to kFailed permanently.
+enum class StreamHealth {
+  kHealthy = 0,
+  kDegraded,
+  kQuarantined,
+  kFailed,
+};
+
+/// Human-readable health name ("healthy"/"degraded"/...).
+const char* StreamHealthName(StreamHealth h);
+
 /// Counters one shard exposes. Snapshots are cheap (relaxed atomics + queue
 /// gauges) and may be taken while the shard is running.
 struct ShardStats {
@@ -57,6 +74,16 @@ struct ShardStats {
   size_t queue_depth = 0;          ///< current submission-queue occupancy
   size_t queue_high_water = 0;     ///< max occupancy ever observed
   double busy_seconds = 0.0;       ///< wall time spent processing tasks
+
+  // Failure taxonomy (DESIGN.md §12). frames_degraded is a subset of
+  // frames_processed; the discard counters are disjoint from it.
+  int64_t frames_degraded = 0;     ///< processed frames that carried a fault
+  int64_t frames_quarantined = 0;  ///< frames discarded while quarantined
+  int64_t frames_failed = 0;       ///< frames discarded on a kFailed stream
+  int64_t quarantine_events = 0;   ///< times any stream entered quarantine
+  int streams_quarantined = 0;     ///< streams currently quarantined (gauge)
+  int streams_failed = 0;          ///< streams currently failed (gauge)
+  bool failed_over = false;        ///< watchdog has failed this shard over
 };
 
 /// \brief Worker thread + queue + per-stream detectors of one shard.
@@ -67,9 +94,13 @@ class Shard {
   using Command = std::function<void(Shard*)>;
 
   /// Result of a frame submission.
-  enum class Submit { kAccepted, kDropped };
+  enum class Submit {
+    kAccepted,
+    kDropped,     ///< kDropNewest backpressure: the queue was full
+    kFailedOver,  ///< the watchdog has failed this shard over
+  };
 
-  Shard(int shard_id, core::BackpressurePolicy backpressure, size_t queue_capacity);
+  Shard(int shard_id, const core::ParallelConfig& config);
 
   /// Closes the queue, drains remaining tasks and joins the worker.
   ~Shard();
@@ -77,15 +108,31 @@ class Shard {
   // --- producer side (any thread) ---------------------------------------
 
   /// Enqueues one key frame of \p stream_id. Blocks when the queue is full
-  /// under kBlock; returns kDropped under kDropNewest.
+  /// under kBlock; returns kDropped under kDropNewest. While the shard is
+  /// failed over (watchdog), returns kFailedOver without touching the
+  /// queue — a failed shard must never block a producer.
   Submit SubmitFrame(uint64_t seq, int stream_id, vcd::video::DcFrame frame);
 
-  /// Enqueues a control command. Always blocks when full — commands are
-  /// never dropped, whatever the backpressure policy.
+  /// Enqueues a control command. Commands bypass the capacity bound
+  /// (PushUnbounded) and are never dropped, whatever the backpressure
+  /// policy — a saturated or stalled frame queue cannot wedge the control
+  /// plane.
   void SubmitCommand(Command cmd);
 
   /// Cheap counter snapshot; safe from any thread at any time.
   ShardStats Snapshot() const;
+
+  // --- watchdog side (any thread) ----------------------------------------
+
+  /// Marks the shard failed over: producers get kFailedOver, control-plane
+  /// round trips return Unavailable instead of waiting on it.
+  void MarkFailed() { failed_.store(true, std::memory_order_release); }
+
+  /// Clears the failover mark once the shard drains again.
+  void ClearFailed() { failed_.store(false, std::memory_order_release); }
+
+  /// True while the shard is failed over.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
 
   // --- shard-thread side (call only from inside a Command) --------------
 
@@ -111,6 +158,9 @@ class Shard {
   /// Detector stats of one stream; NotFound if it is not on this shard.
   Result<core::DetectorStats> StatsOf(int stream_id) const;
 
+  /// Ingestion health of one stream; NotFound if it is not on this shard.
+  Result<StreamHealth> HealthOf(int stream_id) const;
+
   /// Aggregated detector stats over all streams currently on this shard.
   core::DetectorStats AggregateDetectorStats() const;
 
@@ -128,19 +178,34 @@ class Shard {
     std::string name;
     std::shared_ptr<core::CopyDetector> detector;
     size_t matches_consumed = 0;
+
+    // Health state machine (worker-thread-owned, frame-count based so
+    // transitions are deterministic under test).
+    StreamHealth health = StreamHealth::kHealthy;
+    int consecutive_faults = 0;
+    int consecutive_clean = 0;
+    int64_t quarantine_remaining = 0;  ///< frames left to discard
+    int64_t backoff_frames = 0;        ///< next quarantine's length
+    double max_timestamp = 0.0;        ///< clock-skew fault detection
+    bool saw_timestamp = false;
   };
 
   /// Worker loop: pops tasks until the queue is closed and drained.
   void Run();
 
-  /// Processes one frame task on the worker thread.
-  void ProcessFrame(const Task& t);
+  /// Processes one frame task on the worker thread (may perturb the frame
+  /// via injected faults, hence mutable).
+  void ProcessFrame(Task& t);
+
+  /// Advances \p slot's health state machine after a frame whose fault
+  /// status is \p fault.
+  void UpdateHealth(int stream_id, StreamSlot* slot, bool fault);
 
   /// Appends the not-yet-consumed matches of \p slot to log_, tagged \p seq.
   void DrainSlotMatches(int stream_id, StreamSlot* slot, uint64_t seq);
 
   const int shard_id_;
-  const core::BackpressurePolicy backpressure_;
+  const core::ParallelConfig config_;
   BoundedMpscQueue<Task> queue_;
 
   // Worker-thread-owned state (no locking: single consumer).
@@ -154,6 +219,13 @@ class Shard {
   std::atomic<int64_t> frames_rejected_{0};
   std::atomic<int64_t> commands_processed_{0};
   std::atomic<int64_t> busy_nanos_{0};
+  std::atomic<int64_t> frames_degraded_{0};
+  std::atomic<int64_t> frames_quarantined_{0};
+  std::atomic<int64_t> frames_failed_{0};
+  std::atomic<int64_t> quarantine_events_{0};
+  std::atomic<int> streams_quarantined_{0};
+  std::atomic<int> streams_failed_{0};
+  std::atomic<bool> failed_{false};
 
   std::thread worker_;
 };

@@ -19,13 +19,15 @@ void BasicWindowAssembler::Emit(BasicWindow* out) {
   out->end_frame = acc_.end_frame;
   out->start_time = acc_.start_time;
   out->end_time = acc_.end_time;
+  out->degraded = acc_.degraded;
   out->ids.swap(acc_.ids);
   acc_.ids.clear();
+  acc_.degraded = false;
   open_ = false;
 }
 
-bool BasicWindowAssembler::Add(int64_t frame_index, double timestamp,
-                               features::CellId id, BasicWindow* out) {
+bool BasicWindowAssembler::AdvanceWindow(int64_t frame_index, double timestamp,
+                                         BasicWindow* out) {
   bool emitted = false;
   if (open_ && timestamp >= window_start_time_ + window_seconds_) {
     Emit(out);
@@ -39,12 +41,25 @@ bool BasicWindowAssembler::Add(int64_t frame_index, double timestamp,
   }
   acc_.end_frame = frame_index;
   acc_.end_time = timestamp;
+  return emitted;
+}
+
+bool BasicWindowAssembler::Add(int64_t frame_index, double timestamp,
+                               features::CellId id, BasicWindow* out) {
+  const bool emitted = AdvanceWindow(frame_index, timestamp, out);
   acc_.ids.push_back(id);
   return emitted;
 }
 
+bool BasicWindowAssembler::AddDegraded(int64_t frame_index, double timestamp,
+                                       BasicWindow* out) {
+  const bool emitted = AdvanceWindow(frame_index, timestamp, out);
+  acc_.degraded = true;
+  return emitted;
+}
+
 bool BasicWindowAssembler::Flush(BasicWindow* out) {
-  if (!open_ || acc_.ids.empty()) return false;
+  if (!open_ || (acc_.ids.empty() && !acc_.degraded)) return false;
   Emit(out);
   return true;
 }

@@ -21,6 +21,10 @@ struct BasicWindow {
   int64_t end_frame = 0;    ///< last stream frame covered (inclusive)
   double start_time = 0.0;  ///< seconds
   double end_time = 0.0;    ///< seconds
+  /// True when any frame of the window was degraded (corrupt payload,
+  /// clock skew): its id set is incomplete, so the detector must not
+  /// sketch or combine it (DESIGN.md §12).
+  bool degraded = false;
   std::vector<features::CellId> ids;
 };
 
@@ -40,6 +44,12 @@ class BasicWindowAssembler {
   bool Add(int64_t frame_index, double timestamp, features::CellId id,
            BasicWindow* out);
 
+  /// Adds one *degraded* key frame: advances the window span exactly like
+  /// Add but contributes no cell id and marks the accumulating window
+  /// degraded (its id set would be incomplete). Window-boundary semantics
+  /// are identical to Add, so degraded and clean streams stay aligned.
+  bool AddDegraded(int64_t frame_index, double timestamp, BasicWindow* out);
+
   /// Emits the trailing partial window, if any. Returns false when empty.
   bool Flush(BasicWindow* out);
 
@@ -51,6 +61,11 @@ class BasicWindowAssembler {
 
   /// Moves the accumulating window into \p out and resets the accumulator.
   void Emit(BasicWindow* out);
+
+  /// Shared boundary logic of Add/AddDegraded: emits on a w-second
+  /// crossing, opens/extends the accumulating window. Returns whether a
+  /// window was emitted into \p out.
+  bool AdvanceWindow(int64_t frame_index, double timestamp, BasicWindow* out);
 
   double window_seconds_;
   bool open_ = false;

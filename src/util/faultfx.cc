@@ -1,0 +1,88 @@
+#include "util/faultfx.h"
+
+namespace vcd::faultfx {
+
+namespace {
+
+/// SplitMix64 finalizer over the (seed, key, ordinal) triple — the pure
+/// function behind every fire decision.
+uint64_t DecisionHash(uint64_t seed, uint64_t key, uint64_t ordinal) {
+  uint64_t z = seed ^ (key * 0x9e3779b97f4a7c15ULL) ^
+               (ordinal + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* SiteName(Site site) {
+  switch (site) {
+    case Site::kBitstreamCorruption:
+      return "bitstream-corruption";
+    case Site::kDecodeError:
+      return "decode-error";
+    case Site::kQueueOverflow:
+      return "queue-overflow";
+    case Site::kShardStall:
+      return "shard-stall";
+    case Site::kClockSkew:
+      return "clock-skew";
+  }
+  return "unknown";
+}
+
+Injector& Injector::Instance() {
+  static Injector instance;
+  return instance;
+}
+
+void Injector::Arm(Site site, const Plan& plan) {
+  MutexLock lock(mu_);
+  SiteState& s = sites_[static_cast<int>(site)];
+  s = SiteState{};
+  s.armed = true;
+  s.plan = plan;
+}
+
+void Injector::Disarm(Site site) {
+  MutexLock lock(mu_);
+  sites_[static_cast<int>(site)].armed = false;
+}
+
+void Injector::Reset() {
+  MutexLock lock(mu_);
+  for (SiteState& s : sites_) s = SiteState{};
+}
+
+bool Injector::ShouldFire(Site site, uint64_t key, double* magnitude) {
+  MutexLock lock(mu_);
+  SiteState& s = sites_[static_cast<int>(site)];
+  ++s.hits;
+  const int64_t ordinal = s.hits_by_key[key]++;
+  if (!s.armed) return false;
+  if (s.plan.key_filter != 0 && key != s.plan.key_filter) return false;
+  if (ordinal < s.plan.skip_first) return false;
+  if (s.plan.max_fires >= 0 && s.fires >= s.plan.max_fires) return false;
+  if (s.plan.probability < 1.0) {
+    const uint64_t h = DecisionHash(s.plan.seed, key, static_cast<uint64_t>(ordinal));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+    if (u >= s.plan.probability) return false;
+  }
+  ++s.fires;
+  if (magnitude != nullptr) *magnitude = s.plan.magnitude;
+  return true;
+}
+
+int64_t Injector::hits(Site site) const {
+  MutexLock lock(mu_);
+  return sites_[static_cast<int>(site)].hits;
+}
+
+int64_t Injector::fires(Site site) const {
+  MutexLock lock(mu_);
+  return sites_[static_cast<int>(site)].fires;
+}
+
+}  // namespace vcd::faultfx

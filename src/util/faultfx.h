@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+/// \file faultfx.h
+/// Deterministic fault injection for the ingestion path.
+///
+/// A small registry of named *injection sites* is compiled into the decoder,
+/// the shard workers and the submission queues. Each site asks the global
+/// `Injector` whether the current hit should "fire"; when it does, the site
+/// simulates a failure (a corrupt frame header, a decode error, a full
+/// queue, a stalled worker, a skewed clock). Tests arm sites with a `Plan`
+/// and then assert the pipeline survives: no crash, no sanitizer report,
+/// unaffected streams byte-identical to a no-fault run.
+///
+/// ### Determinism
+/// The fire decision for a hit is a pure SplitMix64-style hash of
+/// `(plan.seed, key, per-(site,key) hit ordinal)` — no wall clock, no global
+/// RNG state shared across sites. Two runs that present the same hit
+/// sequence per key make identical decisions, which is what lets the
+/// fault-matrix test pin exact outcomes. The `key` is whatever stable
+/// identity the site has at hand (stream id, shard id, or 0), so faults can
+/// be targeted at one stream while its neighbours stay clean even when
+/// shard threads interleave.
+///
+/// ### Release builds
+/// Unless the tree is configured with `-DVCD_FAULTFX=ON` (which defines
+/// `VCD_FAULTFX_ENABLED`), `faultfx::ShouldFire(...)` is an inline constant
+/// `false`: every call site folds away and release binaries carry no
+/// injection overhead. `faultfx::kEnabled` lets tests `GTEST_SKIP()` when
+/// the sites are compiled out.
+
+namespace vcd::faultfx {
+
+/// Registered injection sites (one per simulated failure mode).
+enum class Site {
+  kBitstreamCorruption = 0,  ///< PartialDecoder: frame header reads garbage
+  kDecodeError,              ///< entropy decode fails mid-frame
+  kQueueOverflow,            ///< shard submission queue pretends to be full
+  kShardStall,               ///< shard worker stops draining for a while
+  kClockSkew,                ///< frame timestamps are perturbed
+};
+inline constexpr int kNumSites = 5;
+
+/// Human-readable site name (for logs and test output).
+const char* SiteName(Site site);
+
+#ifdef VCD_FAULTFX_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// \brief How an armed site decides to fire.
+struct Plan {
+  uint64_t seed = 0;        ///< decision-hash seed (reproducibility anchor)
+  double probability = 1.0; ///< chance an eligible hit fires, in [0, 1]
+  int64_t skip_first = 0;   ///< hits per key that are never eligible
+  int64_t max_fires = -1;   ///< total fire cap across keys; -1 = unbounded
+  double magnitude = 0.0;   ///< site-specific: stall ms, skew seconds, ...
+  uint64_t key_filter = 0;  ///< only hits with this key fire; 0 = any key
+};
+
+/// \brief Process-wide injection-site registry.
+///
+/// Internally synchronized (a leaf mutex taken only inside this class);
+/// safe to call from shard workers, producers and the watchdog
+/// concurrently. Hit/fire counters keep counting even for disarmed sites,
+/// so tests can assert a site was actually reached.
+class Injector {
+ public:
+  /// The process-wide instance.
+  static Injector& Instance();
+
+  /// Arms \p site with \p plan (replacing any previous plan) and resets its
+  /// counters.
+  void Arm(Site site, const Plan& plan) VCD_EXCLUDES(mu_);
+
+  /// Disarms \p site; subsequent hits never fire (but are still counted).
+  void Disarm(Site site) VCD_EXCLUDES(mu_);
+
+  /// Disarms every site and resets all counters.
+  void Reset() VCD_EXCLUDES(mu_);
+
+  /// Records a hit of \p site for \p key and returns true when the armed
+  /// plan says this hit fires. When it fires and \p magnitude is non-null,
+  /// the plan's magnitude is written there.
+  bool ShouldFire(Site site, uint64_t key = 0, double* magnitude = nullptr)
+      VCD_EXCLUDES(mu_);
+
+  /// Total hits recorded at \p site since it was last armed/reset.
+  int64_t hits(Site site) const VCD_EXCLUDES(mu_);
+
+  /// Total fires at \p site since it was last armed/reset.
+  int64_t fires(Site site) const VCD_EXCLUDES(mu_);
+
+ private:
+  struct SiteState {
+    bool armed = false;
+    Plan plan;
+    int64_t hits = 0;
+    int64_t fires = 0;
+    std::map<uint64_t, int64_t> hits_by_key;
+  };
+
+  Injector() = default;
+
+  mutable Mutex mu_;
+  SiteState sites_[kNumSites] VCD_GUARDED_BY(mu_);
+};
+
+#ifdef VCD_FAULTFX_ENABLED
+/// Injection-site entry point: records a hit, returns the fire decision.
+inline bool ShouldFire(Site site, uint64_t key = 0, double* magnitude = nullptr) {
+  return Injector::Instance().ShouldFire(site, key, magnitude);
+}
+#else
+/// Compiled-out entry point: a constant, the call site folds away.
+inline bool ShouldFire(Site /*site*/, uint64_t /*key*/ = 0,
+                       double* /*magnitude*/ = nullptr) {
+  return false;
+}
+#endif
+
+/// \brief RAII arming of one site for a test scope; disarms on destruction.
+class ScopedFault {
+ public:
+  ScopedFault(Site site, const Plan& plan) : site_(site) {
+    Injector::Instance().Arm(site_, plan);
+  }
+  ~ScopedFault() { Injector::Instance().Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  Site site_;
+};
+
+}  // namespace vcd::faultfx

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -79,6 +80,17 @@ class CondVar {
   template <typename Pred>
   void Wait(Mutex& mu, Pred pred) VCD_REQUIRES(mu) {
     while (!pred()) Wait(mu);
+  }
+
+  /// Releases \p mu and blocks until notified or \p timeout elapses, then
+  /// re-acquires \p mu. Returns false on timeout (the periodic-wakeup
+  /// primitive of the shard watchdog).
+  bool WaitFor(Mutex& mu, std::chrono::milliseconds timeout)
+      VCD_REQUIRES(mu) VCD_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lock, timeout);
+    lock.release();  // the caller still owns the mutex
+    return st == std::cv_status::no_timeout;
   }
 
   /// Wakes one waiter.

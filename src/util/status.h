@@ -23,6 +23,7 @@ enum class StatusCode {
   kCorruption,       ///< malformed bit stream or sketch payload
   kAlreadyExists,
   kFailedPrecondition,
+  kUnavailable,      ///< transiently unreachable (e.g. a failed-over shard)
   kInternal,
 };
 
@@ -61,6 +62,11 @@ class Status {
   /// Returns a FailedPrecondition status with \p msg.
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an Unavailable status with \p msg — a transient condition the
+  /// caller may retry (e.g. a shard the watchdog has failed over).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   /// Returns an Internal status with \p msg.
   static Status Internal(std::string msg) {

@@ -11,6 +11,18 @@
 /// coefficients of key (I) frames, skipping P-frames wholesale and never
 /// running an inverse DCT — the compressed-domain fast path the paper relies
 /// on for real-time feature extraction (§III-A).
+///
+/// Two error modes (see DESIGN.md §12, "Failure model"):
+/// - **strict** (default): the first malformed byte fails `NextKeyFrame`
+///   with `kCorruption` and the decoder stops — the right contract for
+///   archival tooling that must not paper over damage.
+/// - **resync** (`set_resync_on_corruption(true)`): a live-ingestion mode
+///   that treats corruption as weather. A bad frame header triggers a
+///   forward scan for the next plausible frame boundary; a mid-payload
+///   entropy failure keeps the DC prefix already decoded, zeroes the rest
+///   and emits the frame with `DcFrame::degraded = true` so downstream
+///   detection can skip the affected basic window instead of killing the
+///   stream.
 
 namespace vcd::video {
 
@@ -24,6 +36,9 @@ struct DcFrame {
   double timestamp = 0.0;   ///< seconds from stream start
   int blocks_x = 0;
   int blocks_y = 0;
+  /// True when the frame was recovered from a corrupt payload (resync
+  /// mode): the DC map is partial and must not contribute a fingerprint.
+  bool degraded = false;
   std::vector<float> dc;
 
   /// DC value of block (bx, by).
@@ -31,6 +46,16 @@ struct DcFrame {
 
   /// Block mean luma in [0, 255] recovered from the DC coefficient.
   float BlockMean(int bx, int by) const { return At(bx, by) / 8.0f + 128.0f; }
+};
+
+/// Counters of one decoding session (reset by Open).
+struct PartialDecoderStats {
+  int64_t key_frames = 0;        ///< key frames emitted (incl. degraded)
+  int64_t p_frames_skipped = 0;  ///< P-frames skipped via the length field
+  int64_t corruption_events = 0; ///< malformed headers/payloads encountered
+  int64_t resync_scans = 0;      ///< forward scans for a frame boundary
+  int64_t bytes_skipped = 0;     ///< bytes discarded while resyncing
+  int64_t degraded_frames = 0;   ///< key frames emitted with a partial DC map
 };
 
 /// \brief Streams key-frame DC maps out of a compressed bit stream.
@@ -42,20 +67,39 @@ class PartialDecoder {
   /// Stream metadata (valid after Open).
   const StreamHeader& header() const { return header_; }
 
+  /// Switches between strict (default, off) and resync-on-corruption error
+  /// handling. May be toggled at any point between NextKeyFrame calls.
+  void set_resync_on_corruption(bool on) { resync_ = on; }
+  /// True when resync-on-corruption is active.
+  bool resync_on_corruption() const { return resync_; }
+
+  /// Session counters (reset by Open).
+  const PartialDecoderStats& stats() const { return stats_; }
+
   /// Extracts the next key frame's DC map into \p out. P-frames between key
   /// frames are skipped using the frame length fields without touching their
-  /// payload. Returns NotFound at end of stream.
+  /// payload. Returns NotFound at end of stream. In strict mode malformed
+  /// data returns kCorruption; in resync mode the decoder scans forward
+  /// for the next plausible frame and may emit `out->degraded = true`.
   Status NextKeyFrame(DcFrame* out);
 
-  /// Convenience: extracts all key-frame DC maps in one call.
+  /// Convenience: extracts all key-frame DC maps in one call (strict mode).
   static Result<std::vector<DcFrame>> ExtractAll(const std::vector<uint8_t>& data);
 
  private:
+  /// Scans forward from \p from for the next plausible frame header (a
+  /// valid marker byte whose length field lands on the stream end or on
+  /// another valid marker). Positions pos_ there and returns true, or
+  /// exhausts the stream and returns false.
+  bool ResyncFrom(size_t from);
+
   const uint8_t* data_ = nullptr;
   size_t size_ = 0;
   size_t pos_ = 0;
   int64_t frame_index_ = 0;
+  bool resync_ = false;
   StreamHeader header_;
+  PartialDecoderStats stats_;
 };
 
 }  // namespace vcd::video

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Pins vcdctl monitor's flag validation: malformed --threads/--queue/
-# --backpressure values must exit 2 with a usage message BEFORE any file
+# --backpressure/--on-corruption/--watchdog-ms values must exit 2 with a
+# usage message BEFORE any file
 # I/O happens — the query-db path below does not exist, so reaching the
 # loader would fail with a different error and no usage line.
 #
@@ -40,10 +41,15 @@ expect_flag_error "bad --backpressure" \
   monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --backpressure=banana
 expect_flag_error "missing stream operand" \
   monitor "$NO_SUCH_DB"
+expect_flag_error "bad --on-corruption" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --on-corruption=banana
+expect_flag_error "negative --watchdog-ms" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --watchdog-ms=-1
 
 # Valid flags with a missing db must get PAST flag validation: non-zero exit
 # from the loader, but no usage message (it is not a usage error).
-err=$("$VCDCTL" monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 2>&1 >/dev/null)
+err=$("$VCDCTL" monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 \
+  --on-corruption=quarantine --watchdog-ms=250 2>&1 >/dev/null)
 rc=$?
 if [ $rc -eq 0 ] || [ $rc -eq 2 ]; then
   echo "FAIL: valid flags + missing db: expected a loader failure, got rc=$rc"

@@ -29,6 +29,7 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::FailedPrecondition("f"), StatusCode::kFailedPrecondition,
        "FailedPrecondition"},
       {Status::Internal("g"), StatusCode::kInternal, "Internal"},
+      {Status::Unavailable("h"), StatusCode::kUnavailable, "Unavailable"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.s.ok());

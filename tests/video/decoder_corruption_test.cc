@@ -1,0 +1,195 @@
+/// \file decoder_corruption_test.cc
+/// Corruption robustness of the partial decoder: seeded random byte flips
+/// and truncations of valid VCDS bit streams must never crash, never report
+/// kInternal (malformed *input* is kCorruption), and in resync mode must
+/// always terminate with a bounded amount of recovered output.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "video/codec.h"
+#include "video/partial_decoder.h"
+#include "video/scene_model.h"
+#include "video/synthetic.h"
+
+namespace vcd::video {
+namespace {
+
+std::vector<uint8_t> EncodeTestClip(int frames, int gop) {
+  SceneModel model = SceneModel::Generate(21, 10.0);
+  RenderOptions ro;
+  ro.width = 64;
+  ro.height = 48;
+  ro.fps = 10.0;
+  auto clip = RenderVideo(model, 0.0, frames / ro.fps, ro);
+  VCD_CHECK(clip.ok(), "render failed");
+  CodecParams p;
+  p.width = 64;
+  p.height = 48;
+  p.fps = 10.0;
+  p.gop_size = gop;
+  p.quantizer = 3;
+  auto bytes = Encoder::EncodeVideo(*clip, p);
+  VCD_CHECK(bytes.ok(), "encode failed");
+  return std::move(bytes).value();
+}
+
+/// Byte offsets of every frame record (marker byte) in a *valid* stream.
+std::vector<size_t> FrameOffsets(const std::vector<uint8_t>& bytes) {
+  std::vector<size_t> offs;
+  size_t pos = StreamHeaderSize();
+  while (pos + 5 <= bytes.size()) {
+    offs.push_back(pos);
+    const uint32_t len = (static_cast<uint32_t>(bytes[pos + 1]) << 24) |
+                         (static_cast<uint32_t>(bytes[pos + 2]) << 16) |
+                         (static_cast<uint32_t>(bytes[pos + 3]) << 8) |
+                         bytes[pos + 4];
+    pos += 5 + len;
+  }
+  return offs;
+}
+
+/// Drives \p pd to completion with a hard iteration bound; every status must
+/// be OK, NotFound or kCorruption — a malformed *input* must never surface
+/// as kInternal (that code is reserved for our own invariant violations).
+/// Returns the number of frames emitted, degraded ones included.
+int DrainDecoder(PartialDecoder* pd, bool expect_strict_stops) {
+  int emitted = 0;
+  DcFrame f;
+  for (int iter = 0; iter < 10000; ++iter) {
+    const Status st = pd->NextKeyFrame(&f);
+    if (st.ok()) {
+      ++emitted;
+      continue;
+    }
+    if (st.code() == StatusCode::kNotFound) return emitted;  // end of stream
+    EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+    if (expect_strict_stops) return emitted;
+    // Resync mode must never return kCorruption: it recovers or ends.
+    ADD_FAILURE() << "resync mode surfaced an error: " << st.ToString();
+    return emitted;
+  }
+  ADD_FAILURE() << "decoder did not terminate within 10000 iterations";
+  return emitted;
+}
+
+TEST(DecoderCorruptionTest, SeededByteFlipsStrictNeverInternal) {
+  const std::vector<uint8_t> clean = EncodeTestClip(12, 4);
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    std::vector<uint8_t> bytes = clean;
+    const int flips = 1 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < flips; ++i) {
+      // Flip payload bytes only; header damage is Open's concern.
+      const size_t off = StreamHeaderSize() +
+                         rng.Uniform(bytes.size() - StreamHeaderSize());
+      bytes[off] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+    }
+    PartialDecoder pd;
+    ASSERT_TRUE(pd.Open(bytes.data(), bytes.size()).ok());
+    DrainDecoder(&pd, /*expect_strict_stops=*/true);
+  }
+}
+
+TEST(DecoderCorruptionTest, SeededByteFlipsResyncAlwaysTerminates) {
+  const std::vector<uint8_t> clean = EncodeTestClip(12, 4);
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed + 1000);
+    std::vector<uint8_t> bytes = clean;
+    const int flips = 1 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < flips; ++i) {
+      const size_t off = StreamHeaderSize() +
+                         rng.Uniform(bytes.size() - StreamHeaderSize());
+      bytes[off] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+    }
+    PartialDecoder pd;
+    pd.set_resync_on_corruption(true);
+    ASSERT_TRUE(pd.Open(bytes.data(), bytes.size()).ok());
+    const int emitted = DrainDecoder(&pd, /*expect_strict_stops=*/false);
+    const auto& st = pd.stats();
+    EXPECT_EQ(st.key_frames, emitted);
+    EXPECT_LE(st.degraded_frames, st.key_frames);
+    EXPECT_LE(st.bytes_skipped, static_cast<int64_t>(bytes.size()));
+  }
+}
+
+TEST(DecoderCorruptionTest, SeededTruncationsNeverCrash) {
+  const std::vector<uint8_t> clean = EncodeTestClip(12, 4);
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed + 2000);
+    std::vector<uint8_t> bytes = clean;
+    bytes.resize(rng.Uniform(bytes.size() + 1));
+    for (const bool resync : {false, true}) {
+      PartialDecoder pd;
+      pd.set_resync_on_corruption(resync);
+      const Status open = pd.Open(bytes.data(), bytes.size());
+      if (!open.ok()) {
+        EXPECT_NE(open.code(), StatusCode::kInternal) << open.ToString();
+        continue;
+      }
+      DrainDecoder(&pd, /*expect_strict_stops=*/!resync);
+    }
+  }
+}
+
+TEST(DecoderCorruptionTest, MidPayloadDamageEmitsDegradedFrame) {
+  std::vector<uint8_t> bytes = EncodeTestClip(12, 4);
+  const std::vector<size_t> offs = FrameOffsets(bytes);
+  ASSERT_GE(offs.size(), 2u);
+  // Zero out the back half of the first I-frame's payload: the entropy
+  // decoder hits an over-long Exp-Golomb run and fails mid-frame.
+  const size_t payload = offs[0] + 5;
+  const size_t payload_len = offs[1] - payload;
+  for (size_t i = payload + payload_len / 8; i < offs[1]; ++i) bytes[i] = 0;
+
+  // Strict mode rejects the frame with kCorruption.
+  {
+    PartialDecoder pd;
+    ASSERT_TRUE(pd.Open(bytes.data(), bytes.size()).ok());
+    DcFrame f;
+    EXPECT_EQ(pd.NextKeyFrame(&f).code(), StatusCode::kCorruption);
+  }
+  // Resync mode keeps the decoded DC prefix, flags the frame, and carries
+  // on with the rest of the stream undisturbed.
+  {
+    PartialDecoder pd;
+    pd.set_resync_on_corruption(true);
+    ASSERT_TRUE(pd.Open(bytes.data(), bytes.size()).ok());
+    DcFrame f;
+    ASSERT_TRUE(pd.NextKeyFrame(&f).ok());
+    EXPECT_TRUE(f.degraded);
+    int clean_after = 0;
+    while (pd.NextKeyFrame(&f).ok()) {
+      EXPECT_FALSE(f.degraded);
+      ++clean_after;
+    }
+    EXPECT_EQ(clean_after, 2);  // key frames 4 and 8 of the 12-frame GOP-4 clip
+    EXPECT_EQ(pd.stats().degraded_frames, 1);
+    EXPECT_EQ(pd.stats().key_frames, 3);
+  }
+}
+
+TEST(DecoderCorruptionTest, ResyncSkipsClobberedFrameBoundary) {
+  std::vector<uint8_t> bytes = EncodeTestClip(12, 4);
+  const std::vector<size_t> offs = FrameOffsets(bytes);
+  ASSERT_GE(offs.size(), 3u);
+  bytes[offs[1]] = 0x00;  // destroy the second frame's marker (a P-frame)
+
+  PartialDecoder pd;
+  pd.set_resync_on_corruption(true);
+  ASSERT_TRUE(pd.Open(bytes.data(), bytes.size()).ok());
+  int emitted = 0;
+  DcFrame f;
+  while (pd.NextKeyFrame(&f).ok()) ++emitted;
+  // The clobbered record is skipped; every real key frame still comes out.
+  EXPECT_EQ(emitted, 3);
+  EXPECT_GE(pd.stats().resync_scans, 1);
+  EXPECT_GT(pd.stats().bytes_skipped, 0);
+}
+
+}  // namespace
+}  // namespace vcd::video

@@ -8,9 +8,16 @@
 #   tools/check.sh asan      # just the ASan/UBSan build + ctest
 #   tools/check.sh lint      # just tools/lint.sh (tidy/format legs skip
 #                            # with a notice when the LLVM tools are absent)
+#   tools/check.sh faultfx   # -DVCD_FAULTFX=ON build + ctest: arms the
+#                            # fault-injection sites so the fault-matrix
+#                            # tests run instead of skipping
+#   tools/check.sh faultfx-tsan  # fault matrix under ThreadSanitizer
+#   tools/check.sh faultfx-asan  # fault matrix under ASan/UBSan
 #
 # Sanitizer builds skip benches/examples (VCD_BUILD_BENCH/EXAMPLES=OFF) —
-# the tests are the contract; the benches are timing tools.
+# the tests are the contract; the benches are timing tools. The faultfx
+# sanitizer legs are not part of `all` (CI runs them as a separate job);
+# plain faultfx is.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,6 +51,22 @@ case "$MATRIX" in
     echo "=== [lint] tools/lint.sh ==="
     bash tools/lint.sh
     echo "=== [lint] OK ===" ;;&
-  plain|tsan|asan|lint|all) ;;
-  *) echo "unknown matrix entry: $MATRIX (want plain|tsan|asan|lint|all)" >&2; exit 2 ;;
+  faultfx|all)
+    run_config faultfx build-faultfx -DVCD_FAULTFX=ON \
+      -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
+  faultfx-tsan)
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      run_config faultfx-tsan build-faultfx-tsan -DVCD_FAULTFX=ON \
+        -DVCD_SANITIZE=thread \
+        -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
+  faultfx-asan)
+    ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+      run_config faultfx-asan build-faultfx-asan -DVCD_FAULTFX=ON \
+        -DVCD_SANITIZE=address \
+        -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
+  plain|tsan|asan|lint|faultfx|faultfx-tsan|faultfx-asan|all) ;;
+  *) echo "unknown matrix entry: $MATRIX" \
+     "(want plain|tsan|asan|lint|faultfx|faultfx-tsan|faultfx-asan|all)" >&2
+     exit 2 ;;
 esac

@@ -115,6 +115,22 @@ run_grep_lint() {
   fi
 
 
+  # Rule 5: no process-killing calls in library code — corrupted *input* is
+  # a Status (kCorruption), never a crash; only the VCD_CHECK failure path in
+  # src/util/check.{h,cc} may abort on broken *invariants*. Annotate a
+  # deliberate exception with `NOLINT(vcd-no-abort)` and a reason.
+  bad=$(grep -nE '(^|[^[:alnum:]_:.])(std::)?(abort|exit|_Exit|quick_exit)[[:space:]]*\(' \
+        $(find src \( -path src/util/check.h -o -path src/util/check.cc \) \
+          -prune -o \( -name '*.cc' -o -name '*.h' \) -print) \
+        | grep -vE '//.*(abort|exit)' \
+        | grep -vE 'NOLINT\(vcd-no-abort\)' || true)
+  if [ -n "$bad" ]; then
+    echo "FAIL: abort()/exit() in library code (return a Status; only" \
+         "src/util/check.{h,cc} may abort, or annotate NOLINT(vcd-no-abort)):"
+    echo "$bad"
+    FAILED=1
+  fi
+
   echo "=== [lint:grep] done ==="
 }
 

@@ -13,6 +13,7 @@
 ///   vcdctl build-queries out.vcdq id1=a.vcds [id2=b.vcds ...] [--k K]
 ///   vcdctl monitor queries.vcdq stream1.vcds [stream2.vcds ...]
 ///           [--delta D --window W --threads N --queue C --backpressure block|drop]
+///           [--on-corruption skip|quarantine|fail --watchdog-ms N]
 
 #include <cstdio>
 #include <cstdlib>
@@ -292,14 +293,24 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
                  bp.c_str());
     return 2;
   }
+  const std::string oc = a.Str("on-corruption", "skip");
+  if (oc == "quarantine") {
+    pc.on_corruption = core::CorruptionPolicy::kQuarantine;
+  } else if (oc == "fail") {
+    pc.on_corruption = core::CorruptionPolicy::kFail;
+  } else {
+    pc.on_corruption = core::CorruptionPolicy::kSkip;
+  }
+  pc.watchdog_ms = static_cast<int>(a.Num("watchdog-ms", 0));
   auto exec = parallel::StreamExecutor::Create(config, pc);
   if (!exec.ok()) return Fail(exec.status());
   if (Status st = (*exec)->ImportQueries(db); !st.ok()) return Fail(st);
   std::printf("monitoring with %d queries (K=%d, delta=%.2f, w=%.0fs, "
-              "%d threads, queue %d, %s)\n",
+              "%d threads, queue %d, %s, on-corruption %s)\n",
               (*exec)->num_queries(), config.K, config.delta,
               config.window_seconds, (*exec)->num_shards(), pc.queue_capacity,
-              core::BackpressurePolicyName(pc.backpressure));
+              core::BackpressurePolicyName(pc.backpressure),
+              core::CorruptionPolicyName(pc.on_corruption));
 
   std::vector<std::vector<uint8_t>> bytes;       // keeps decoder storage alive
   std::vector<video::PartialDecoder> decoders(a.positional.size() - 1);
@@ -308,6 +319,10 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
     auto b = ReadFile(a.positional[s]);
     if (!b.ok()) return Fail(b.status());
     bytes.push_back(std::move(*b));
+    // skip/quarantine tolerate corrupt input: the decoder resynchronizes
+    // and emits degraded frames instead of failing the whole run.
+    decoders[s - 1].set_resync_on_corruption(pc.on_corruption !=
+                                             core::CorruptionPolicy::kFail);
     if (Status st = decoders[s - 1].Open(bytes.back().data(), bytes.back().size());
         !st.ok()) {
       return Fail(st);
@@ -323,7 +338,11 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
     any = false;
     for (size_t i = 0; i < decoders.size(); ++i) {
       if (done[i]) continue;
-      if (!decoders[i].NextKeyFrame(&f).ok()) {
+      if (Status st = decoders[i].NextKeyFrame(&f); !st.ok()) {
+        if (st.code() != StatusCode::kNotFound) {
+          std::fprintf(stderr, "warning: %s: %s; stream stopped\n",
+                       a.positional[i + 1].c_str(), st.ToString().c_str());
+        }
         done[i] = true;
         continue;
       }
@@ -339,14 +358,31 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
   if (Status st = (*exec)->Drain(); !st.ok()) return Fail(st);
   PrintMatches((*exec)->matches());
   const parallel::ExecutorStats stats = (*exec)->Stats();
+  int64_t degraded = 0, quarantined = 0, quarantine_events = 0;
   for (const auto& sh : stats.shards) {
     std::printf("shard %d: %lld frames, busy %.3fs, queue high-water %zu\n",
                 sh.shard_id, static_cast<long long>(sh.frames_processed),
                 sh.busy_seconds, sh.queue_high_water);
+    degraded += sh.frames_degraded;
+    quarantined += sh.frames_quarantined;
+    quarantine_events += sh.quarantine_events;
   }
-  if (stats.frames_dropped > 0) {
+  if (stats.frames_dropped_backpressure > 0) {
     std::printf("%lld frames dropped by backpressure\n",
-                static_cast<long long>(stats.frames_dropped));
+                static_cast<long long>(stats.frames_dropped_backpressure));
+  }
+  if (stats.frames_dropped_failover > 0) {
+    std::printf("%lld frames dropped by shard failover\n",
+                static_cast<long long>(stats.frames_dropped_failover));
+  }
+  if (degraded > 0) {
+    std::printf("%lld frames processed degraded\n",
+                static_cast<long long>(degraded));
+  }
+  if (quarantine_events > 0) {
+    std::printf("%lld frames discarded over %lld quarantine events\n",
+                static_cast<long long>(quarantined),
+                static_cast<long long>(quarantine_events));
   }
   return 0;
 }
@@ -355,7 +391,8 @@ void MonitorUsage() {
   std::fprintf(stderr,
                "usage: vcdctl monitor queries.vcdq stream.vcds ... "
                "[--delta D --window W --threads N --queue C "
-               "--backpressure block|drop]\n");
+               "--backpressure block|drop "
+               "--on-corruption skip|quarantine|fail --watchdog-ms N]\n");
 }
 
 int CmdMonitor(const Args& a) {
@@ -384,6 +421,22 @@ int CmdMonitor(const Args& a) {
     MonitorUsage();
     return 2;
   }
+  const std::string oc = a.Str("on-corruption", "skip");
+  if (oc != "skip" && oc != "quarantine" && oc != "fail") {
+    std::fprintf(stderr,
+                 "error: --on-corruption must be skip, quarantine or fail "
+                 "(got %s)\n",
+                 oc.c_str());
+    MonitorUsage();
+    return 2;
+  }
+  const int watchdog_ms = static_cast<int>(a.Num("watchdog-ms", 0));
+  if (watchdog_ms < 0) {
+    std::fprintf(stderr, "error: --watchdog-ms must be >= 0 (got %d)\n",
+                 watchdog_ms);
+    MonitorUsage();
+    return 2;
+  }
   auto db = core::LoadQueriesFile(a.positional[0]);
   if (!db.ok()) return Fail(db.status());
   core::DetectorConfig config;
@@ -401,12 +454,18 @@ int CmdMonitor(const Args& a) {
     auto bytes = ReadFile(a.positional[s]);
     if (!bytes.ok()) return Fail(bytes.status());
     video::PartialDecoder pd;
+    pd.set_resync_on_corruption(oc != "fail");
     if (Status st = pd.Open(bytes->data(), bytes->size()); !st.ok()) return Fail(st);
     auto sid = (*mon)->OpenStream(a.positional[s]);
     if (!sid.ok()) return Fail(sid.status());
     video::DcFrame f;
-    while (pd.NextKeyFrame(&f).ok()) {
+    Status next;
+    while ((next = pd.NextKeyFrame(&f)).ok()) {
       if (Status st = (*mon)->ProcessKeyFrame(*sid, f); !st.ok()) return Fail(st);
+    }
+    if (next.code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "warning: %s: %s; stream stopped\n",
+                   a.positional[s].c_str(), next.ToString().c_str());
     }
     if (Status st = (*mon)->CloseStream(*sid); !st.ok()) return Fail(st);
   }
