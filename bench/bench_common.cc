@@ -7,6 +7,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/json.h"
+
 namespace vcd::bench {
 
 BenchOptions BenchOptions::Parse(int argc, char** argv, double default_scale) {
@@ -124,26 +126,7 @@ void BenchJsonWriter::AddRow(
 }
 
 std::string BenchJsonWriter::Str(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
+  return util::JsonQuote(s);
 }
 
 std::string BenchJsonWriter::Num(double v) {

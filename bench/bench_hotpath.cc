@@ -12,7 +12,9 @@
 /// new/delete hook; the pooled path must report 0 per steady-state window.
 ///
 /// Flags: --quick (short measurement, for CI smoke), --json=PATH (machine
-/// readable output via BenchJsonWriter).
+/// readable output via BenchJsonWriter), --metrics-json=PATH (a sample
+/// observability snapshot from a short metrics-attached run — the measured
+/// runs themselves stay metrics-detached so the numbers are unperturbed).
 
 #include <atomic>
 #include <chrono>
@@ -25,6 +27,7 @@
 
 #include "bench_common.h"
 #include "core/detector.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -173,6 +176,51 @@ RunResult RunOne(const RunSpec& spec, const std::vector<CellId>& stream,
   return r;
 }
 
+/// Runs a short pooled Sequential-Bit K=64 pass with a private registry
+/// attached to the detector and writes the registry's JSON document to
+/// \p path. Used by CI to archive a sample observability snapshot; kept
+/// separate from the measured runs so attaching the registry can never
+/// perturb the benchmark numbers or the 0-alloc contract.
+bool WriteMetricsSample(const std::string& path,
+                        const std::vector<CellId>& stream,
+                        const std::vector<std::vector<CellId>>& queries) {
+  obs::MetricsRegistry registry;
+  core::DetectorConfig c;
+  c.K = 64;
+  c.window_seconds = 4.0;
+  c.delta = 0.05;
+  c.lambda = 2.0;
+  c.representation = core::Representation::kBit;
+  c.order = core::CombinationOrder::kSequential;
+  c.use_index = false;
+  c.enable_pruning = true;
+  c.use_pooled_kernels = true;
+  c.metrics = &registry;
+  auto det = core::CopyDetector::Create(c).value();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    VCD_CHECK(det->AddQueryCells(static_cast<int>(q) + 1, queries[q],
+                                 kQuerySeconds)
+                  .ok(),
+              "add query");
+  }
+  constexpr int64_t kSampleSlots = 40 * kSlotsPerWindow;
+  for (int64_t slot = 0; slot < kSampleSlots; ++slot) {
+    VCD_CHECK(det->ProcessFingerprint(
+                     slot * 12, static_cast<double>(slot) / kKeyFps,
+                     stream[static_cast<size_t>(slot) % stream.size()])
+                  .ok(),
+              "feed");
+  }
+  VCD_CHECK(det->Finish().ok(), "finish");
+
+  const std::string doc = registry.ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
 const char* OrderName(core::CombinationOrder o) {
   return o == core::CombinationOrder::kSequential ? "Sequential" : "Geometric";
 }
@@ -186,13 +234,18 @@ const char* RepName(core::Representation r) {
 int main(int argc, char** argv) {
   bool quick = false;
   std::string json_path;
+  std::string metrics_json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      metrics_json_path = argv[i] + 15;
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json=PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json=PATH] [--metrics-json=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -283,6 +336,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!metrics_json_path.empty()) {
+    if (!WriteMetricsSample(metrics_json_path, stream, queries)) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_json_path.c_str());
   }
   // The smoke contract for CI: the pooled hot path must stay allocation-free.
   return pooled_alloc_free ? 0 : 1;

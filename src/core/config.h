@@ -9,6 +9,10 @@
 /// Configuration of the continuous copy detector. Defaults follow the
 /// paper's Table I (K=800, d=5, u=4, δ=0.7, w=5 s, λ=2).
 
+namespace vcd::obs {
+class MetricsRegistry;
+}  // namespace vcd::obs
+
 namespace vcd::core {
 
 /// How candidate/query similarity state is represented (paper §V).
@@ -84,6 +88,13 @@ struct ParallelConfig {
   /// they drain again). 0 disables the watchdog.
   int watchdog_ms = 0;
 
+  /// Registry the executor and its shards publish metrics into (not owned;
+  /// must outlive the executor). Null (default) makes the executor create a
+  /// private registry — ExecutorStats reads through the registry, so one
+  /// always exists; pass `&obs::MetricsRegistry::Global()` to export
+  /// process-wide (vcdctl does).
+  obs::MetricsRegistry* metrics = nullptr;
+
   /// Validates ranges.
   Status Validate() const;
 };
@@ -130,6 +141,12 @@ struct DetectorConfig {
   /// violation aborts via VCD_CHECK_OK. O(candidates × K) per window — for
   /// tests and debugging only, off by default.
   bool validate_state = false;
+
+  /// Registry the detector publishes per-window counters and stage-latency
+  /// histograms into (not owned; must outlive the detector). Null (default)
+  /// detaches observability: no registration, no per-window publishing, no
+  /// span clock reads.
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// Validates ranges.
   Status Validate() const;

@@ -5,6 +5,7 @@
 #include <iterator>
 #include <string>
 
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace vcd::core {
@@ -15,7 +16,8 @@ CopyDetector::CopyDetector(const DetectorConfig& config,
     : config_(config),
       fingerprinter_(std::make_unique<features::FrameFingerprinter>(std::move(fp))),
       family_(std::move(family)),
-      sketcher_(&family_) {}
+      sketcher_(&family_),
+      metrics_(obs::DetectorMetrics::Create(config.metrics)) {}
 
 Result<std::unique_ptr<CopyDetector>> CopyDetector::Create(const DetectorConfig& config) {
   VCD_RETURN_IF_ERROR(config.Validate());
@@ -198,6 +200,10 @@ void CopyDetector::ResetStream() {
   pgeo_sketch_.Clear(retire_sketch);
   matches_.clear();
   stats_ = DetectorStats{};
+  // Registry counters are cumulative across stream resets (a monitoring
+  // registry never goes backwards); only the delta bookkeeping restarts.
+  published_ = PublishedStats{};
+  last_cand_count_ = 0;
   max_timestamp_ = 0.0;
   saw_frame_ = false;
   for (QueryRec& q : queries_) q.suppress_until = -1.0;
@@ -235,8 +241,11 @@ CopyDetector::BitCand CopyDetector::MakeBitCand(const stream::BasicWindow& windo
   c.end_time = window.end_time;
   if (config_.use_index) {
     if (!index_.has_value()) return c;
-    std::vector<index::RelatedQuery> rl =
-        index_->Probe(wsk, config_.delta, config_.enable_pruning);
+    std::vector<index::RelatedQuery> rl;
+    {
+      VCD_OBS_SPAN(metrics_.probe_ns);
+      rl = index_->Probe(wsk, config_.delta, config_.enable_pruning);
+    }
     stats_.bitsig_builds += static_cast<int64_t>(rl.size());
     c.sigs.reserve(rl.size());
     for (index::RelatedQuery& rq : rl) {
@@ -273,7 +282,11 @@ CopyDetector::SketchCand CopyDetector::MakeSketchCand(const stream::BasicWindow&
   c.end_time = window.end_time;
   c.sketch = wsk;
   if (config_.use_index && index_.has_value()) {
-    std::vector<index::QueryInfo> rel = index_->ProbeRelated(wsk);
+    std::vector<index::QueryInfo> rel;
+    {
+      VCD_OBS_SPAN(metrics_.probe_ns);
+      rel = index_->ProbeRelated(wsk);
+    }
     c.related.reserve(rel.size());
     for (const index::QueryInfo& info : rel) {
       const int q = OrdinalOf(info.id);
@@ -386,8 +399,11 @@ void CopyDetector::InitPooledBitCand(PooledBitCand* c,
   sketch::SignaturePool& pool = *sig_pool_;
   if (config_.use_index) {
     if (!index_.has_value()) return;
-    index_->ProbeInto(wsk, config_.delta, config_.enable_pruning, &pool,
-                      &scratch_.probe, &scratch_.pooled_related);
+    {
+      VCD_OBS_SPAN(metrics_.probe_ns);
+      index_->ProbeInto(wsk, config_.delta, config_.enable_pruning, &pool,
+                        &scratch_.probe, &scratch_.pooled_related);
+    }
     stats_.bitsig_builds += static_cast<int64_t>(scratch_.pooled_related.size());
     for (const index::PooledRelatedQuery& rq : scratch_.pooled_related) {
       const int q = OrdinalOf(rq.info.id);
@@ -427,7 +443,10 @@ void CopyDetector::InitPooledSketchCand(PooledSketchCand* c,
   c->sketch = sketch_pool_->Allocate();  // shell arrives retired (kInvalid)
   sketch_pool_->Assign(c->sketch, wsk);
   if (config_.use_index && index_.has_value()) {
-    index_->ProbeRelatedInto(wsk, &scratch_.probe, &scratch_.related_infos);
+    {
+      VCD_OBS_SPAN(metrics_.probe_ns);
+      index_->ProbeRelatedInto(wsk, &scratch_.probe, &scratch_.related_infos);
+    }
     for (const index::QueryInfo& info : scratch_.related_infos) {
       const int q = OrdinalOf(info.id);
       if (q >= 0) c->related.push_back(q);
@@ -617,6 +636,7 @@ void CopyDetector::RetirePooledSketch(PooledSketchCand* c) {
 // --- per-window dispatch ----------------------------------------------------
 
 void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
+  VCD_OBS_SPAN(metrics_.window_process_ns);
   ++stats_.windows;
   if (window.degraded) {
     // The window's id set is incomplete: a sketch of it would be garbage
@@ -630,28 +650,45 @@ void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
     ProcessWindowScalar(window);
   }
   RecordWindowStats();
+  PublishWindowMetrics();
   if (config_.validate_state) VCD_CHECK_OK(ValidateState());
 }
 
 void CopyDetector::ProcessWindowScalar(const stream::BasicWindow& window) {
+  // Stage spans are per *window*, not per merge — the combine span covers
+  // the whole Step; the test span covers the full candidate sweep (in the
+  // geometric order that sweep interleaves suffix merges with tests, so
+  // its combine share lands in the test span — documented in DESIGN.md §13).
   // NOLINT(vcd-pooled-hotpath): scalar reference path
-  const sketch::Sketch wsk = sketcher_.FromSequence(window.ids);
+  sketch::Sketch wsk;
+  {
+    VCD_OBS_SPAN(metrics_.sketch_build_ns);
+    wsk = sketcher_.FromSequence(window.ids);
+  }
   const bool bit = config_.representation == Representation::kBit;
   const bool seq = config_.order == CombinationOrder::kSequential;
   if (bit) {
     BitCand fresh = MakeBitCand(window, wsk);
     if (seq) {
-      seq_bit_.Step(std::move(fresh), global_max_windows_,
-                    [&](BitCand& older, const BitCand& newer) {
-                      MergeBit(older, newer);
-                    });
+      {
+        VCD_OBS_SPAN(metrics_.combine_ns);
+        seq_bit_.Step(std::move(fresh), global_max_windows_,
+                      [&](BitCand& older, const BitCand& newer) {
+                        MergeBit(older, newer);
+                      });
+      }
+      VCD_OBS_SPAN(metrics_.test_ns);
       seq_bit_.ForEach([&](BitCand& c) { TestBitCand(c); });
       seq_bit_.RemoveIf([](const BitCand& c) { return c.sigs.empty(); });
     } else {
-      geo_bit_.Step(std::move(fresh), global_max_windows_,
-                    [&](BitCand& older, const BitCand& newer) {
-                      MergeBit(older, newer);
-                    });
+      {
+        VCD_OBS_SPAN(metrics_.combine_ns);
+        geo_bit_.Step(std::move(fresh), global_max_windows_,
+                      [&](BitCand& older, const BitCand& newer) {
+                        MergeBit(older, newer);
+                      });
+      }
+      VCD_OBS_SPAN(metrics_.test_ns);
       geo_bit_.VisitSuffixes(
           global_max_windows_, [](const BitCand& c) { return c; },
           [&](BitCand& older, const BitCand& newer) { MergeBit(older, newer); },
@@ -662,16 +699,24 @@ void CopyDetector::ProcessWindowScalar(const stream::BasicWindow& window) {
   } else {
     SketchCand fresh = MakeSketchCand(window, wsk);
     if (seq) {
-      seq_sketch_.Step(std::move(fresh), global_max_windows_,
-                       [&](SketchCand& older, const SketchCand& newer) {
-                         MergeSketch(older, newer);
-                       });
+      {
+        VCD_OBS_SPAN(metrics_.combine_ns);
+        seq_sketch_.Step(std::move(fresh), global_max_windows_,
+                         [&](SketchCand& older, const SketchCand& newer) {
+                           MergeSketch(older, newer);
+                         });
+      }
+      VCD_OBS_SPAN(metrics_.test_ns);
       seq_sketch_.ForEach([&](SketchCand& c) { TestSketchCand(c); });
     } else {
-      geo_sketch_.Step(std::move(fresh), global_max_windows_,
-                       [&](SketchCand& older, const SketchCand& newer) {
-                         MergeSketch(older, newer);
-                       });
+      {
+        VCD_OBS_SPAN(metrics_.combine_ns);
+        geo_sketch_.Step(std::move(fresh), global_max_windows_,
+                         [&](SketchCand& older, const SketchCand& newer) {
+                           MergeSketch(older, newer);
+                         });
+      }
+      VCD_OBS_SPAN(metrics_.test_ns);
       geo_sketch_.VisitSuffixes(
           global_max_windows_, [](const SketchCand& c) { return c; },
           [&](SketchCand& older, const SketchCand& newer) {
@@ -683,7 +728,13 @@ void CopyDetector::ProcessWindowScalar(const stream::BasicWindow& window) {
 }
 
 void CopyDetector::ProcessWindowPooled(const stream::BasicWindow& window) {
-  sketcher_.FromSequenceInto(window.ids, &scratch_.window_sketch);
+  // Span placement mirrors ProcessWindowScalar: combine covers Step, test
+  // covers the candidate sweep (which, in geometric order, interleaves
+  // suffix merges).
+  {
+    VCD_OBS_SPAN(metrics_.sketch_build_ns);
+    sketcher_.FromSequenceInto(window.ids, &scratch_.window_sketch);
+  }
   const sketch::Sketch& wsk = scratch_.window_sketch;
   const bool bit = config_.representation == Representation::kBit;
   const bool seq = config_.order == CombinationOrder::kSequential;
@@ -694,12 +745,20 @@ void CopyDetector::ProcessWindowPooled(const stream::BasicWindow& window) {
     };
     const auto retire = [&](PooledBitCand& c) { RetirePooledBit(&c); };
     if (seq) {
-      pseq_bit_.Step(global_max_windows_, init, merge, retire);
+      {
+        VCD_OBS_SPAN(metrics_.combine_ns);
+        pseq_bit_.Step(global_max_windows_, init, merge, retire);
+      }
+      VCD_OBS_SPAN(metrics_.test_ns);
       pseq_bit_.ForEach([&](PooledBitCand& c) { TestPooledBitCand(c); });
       pseq_bit_.RemoveIf([](const PooledBitCand& c) { return c.sigs.empty(); },
                          retire);
     } else {
-      pgeo_bit_.Step(global_max_windows_, init, merge, retire);
+      {
+        VCD_OBS_SPAN(metrics_.combine_ns);
+        pgeo_bit_.Step(global_max_windows_, init, merge, retire);
+      }
+      VCD_OBS_SPAN(metrics_.test_ns);
       pgeo_bit_.VisitSuffixesInto(
           global_max_windows_, &scratch_.bit_cum, &scratch_.bit_tmp,
           [&](PooledBitCand& dst, const PooledBitCand& src) {
@@ -718,10 +777,18 @@ void CopyDetector::ProcessWindowPooled(const stream::BasicWindow& window) {
     };
     const auto retire = [&](PooledSketchCand& c) { RetirePooledSketch(&c); };
     if (seq) {
-      pseq_sketch_.Step(global_max_windows_, init, merge, retire);
+      {
+        VCD_OBS_SPAN(metrics_.combine_ns);
+        pseq_sketch_.Step(global_max_windows_, init, merge, retire);
+      }
+      VCD_OBS_SPAN(metrics_.test_ns);
       pseq_sketch_.ForEach([&](PooledSketchCand& c) { TestPooledSketchCand(c); });
     } else {
-      pgeo_sketch_.Step(global_max_windows_, init, merge, retire);
+      {
+        VCD_OBS_SPAN(metrics_.combine_ns);
+        pgeo_sketch_.Step(global_max_windows_, init, merge, retire);
+      }
+      VCD_OBS_SPAN(metrics_.test_ns);
       pgeo_sketch_.VisitSuffixesInto(
           global_max_windows_, &scratch_.sketch_cum, &scratch_.sketch_tmp,
           [&](PooledSketchCand& dst, const PooledSketchCand& src) {
@@ -774,12 +841,56 @@ void CopyDetector::RecordWindowStats() {
   }
   stats_.signatures_per_window.Add(static_cast<double>(sig_count));
   stats_.candidates_per_window.Add(static_cast<double>(cand_count));
+  last_cand_count_ = cand_count;
   int64_t slots = 0;
   if (pooled) {
     slots = bit ? static_cast<int64_t>(sig_pool_->live_count())
                 : static_cast<int64_t>(sketch_pool_->live_count());
   }
   stats_.pool_slots_per_window.Add(static_cast<double>(slots));
+}
+
+void CopyDetector::PublishWindowMetrics() {
+  // One delta batch per window. Derived purely from stats_ and the
+  // candidate census, both of which are identical across the pooled and
+  // scalar paths (pinned by the pooled-equivalence and metrics-equivalence
+  // tests), so the published counters are path-independent too.
+  if (!obs::kEnabled || metrics_.windows_total == nullptr) return;
+  const auto delta = [](int64_t now, int64_t* prev) {
+    const int64_t d = now - *prev;
+    *prev = now;
+    return d;
+  };
+  metrics_.windows_total->Inc(delta(stats_.windows, &published_.windows));
+  const int64_t degraded =
+      delta(stats_.degraded_windows, &published_.degraded_windows);
+  metrics_.degraded_windows_total->Inc(degraded);
+  const int64_t builds = delta(stats_.bitsig_builds, &published_.bitsig_builds);
+  metrics_.bitsig_builds_total->Inc(builds);
+  const int64_t ors = delta(stats_.bitsig_ors, &published_.bitsig_ors);
+  metrics_.bitsig_ors_total->Inc(ors);
+  metrics_.sketch_combines_total->Inc(
+      delta(stats_.sketch_combines, &published_.sketch_combines));
+  metrics_.sketch_compares_total->Inc(
+      delta(stats_.sketch_compares, &published_.sketch_compares));
+  const int64_t pruned =
+      delta(stats_.candidates_pruned, &published_.candidates_pruned);
+  metrics_.prune_hits_total->Inc(pruned);
+  // A "miss" is a signature build/extend that pruning did not eliminate —
+  // the work Lemma 2 failed to save this window.
+  const int64_t misses = builds + ors - pruned;
+  metrics_.prune_misses_total->Inc(misses > 0 ? misses : 0);
+  metrics_.matches_total->Inc(
+      delta(static_cast<int64_t>(matches_.size()), &published_.matches));
+  // Candidate churn: every non-degraded window admits exactly one fresh
+  // candidate; whatever the census lost beyond that retired (expired at
+  // λL, pruned empty, or absorbed by a merge).
+  const int64_t admitted = degraded > 0 ? 0 : 1;
+  metrics_.candidates_admitted_total->Inc(admitted);
+  const int64_t expired =
+      published_.cand_count + admitted - last_cand_count_;
+  metrics_.candidates_expired_total->Inc(expired > 0 ? expired : 0);
+  published_.cand_count = last_cand_count_;
 }
 
 Status CopyDetector::ValidateState() const {

@@ -10,6 +10,7 @@
 #include "core/match.h"
 #include "features/fingerprint.h"
 #include "index/hash_query_index.h"
+#include "obs/pipeline_metrics.h"
 #include "sketch/bit_signature.h"
 #include "sketch/minhash.h"
 #include "sketch/signature_pool.h"
@@ -291,6 +292,28 @@ class CopyDetector {
   /// Records the per-window memory/candidate statistics.
   void RecordWindowStats();
 
+  /// Mirrors this window's stats_ deltas into the metrics registry (the
+  /// `vcd_detector_*` counter family). One batch of relaxed counter adds
+  /// per window — never per merge — to stay inside the hot-path overhead
+  /// budget; allocation-free, preserving the pooled path's zero-alloc
+  /// steady-state contract. No-op when config().metrics is null or the
+  /// tree is built with VCD_OBS=OFF.
+  void PublishWindowMetrics();
+
+  /// stats_ fields already published by PublishWindowMetrics; next call
+  /// publishes only the delta.
+  struct PublishedStats {
+    int64_t windows = 0;
+    int64_t degraded_windows = 0;
+    int64_t bitsig_builds = 0;
+    int64_t bitsig_ors = 0;
+    int64_t sketch_combines = 0;
+    int64_t sketch_compares = 0;
+    int64_t candidates_pruned = 0;
+    int64_t matches = 0;
+    int64_t cand_count = 0;  ///< live candidates after the previous window
+  };
+
   DetectorConfig config_;
   std::unique_ptr<features::FrameFingerprinter> fingerprinter_;
   sketch::MinHashFamily family_;
@@ -331,6 +354,14 @@ class CopyDetector {
 
   std::vector<Match> matches_;
   DetectorStats stats_;
+
+  // Observability (see DESIGN.md §13). All-null when config_.metrics is
+  // null; instrument pointers are cached here once at Create.
+  obs::DetectorMetrics metrics_;
+  PublishedStats published_;
+  /// Live candidate count of the last RecordWindowStats sweep (reused by
+  /// PublishWindowMetrics to derive admitted/expired deltas).
+  int64_t last_cand_count_ = 0;
 };
 
 }  // namespace vcd::core

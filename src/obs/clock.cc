@@ -1,0 +1,13 @@
+#include "obs/clock.h"
+
+namespace vcd::obs::internal {
+
+std::atomic<const Clock*> g_clock_override{nullptr};
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace vcd::obs::internal

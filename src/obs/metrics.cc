@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace vcd::obs {
+namespace {
+
+/// Metric names are lowercase snake_case identifiers: they must survive both
+/// export formats unescaped. The `vcd_<subsystem>_<name>_<unit>` scheme is
+/// enforced separately by tools/lint.sh (`vcd-obs-naming`); here we only
+/// reject names that would corrupt the exposition syntax.
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  if (name[0] < 'a' || name[0] > 'z') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string PromLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Prometheus HELP-text escaping: backslash and newline only.
+std::string PromHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` (empty string when there are no labels), with an
+/// optional extra label appended (the histogram `le`).
+std::string PromLabels(const std::vector<MetricLabel>& labels,
+                       const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const MetricLabel& l : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += l.key;
+    out += "=\"";
+    out += PromLabelValue(l.value);
+    out += "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key;
+    out += "=\"";
+    out += PromLabelValue(extra_value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// `le=` rendering for bucket \p i: the inclusive upper bound, or "+Inf"
+/// for the saturating last bucket.
+std::string BucketLe(int i) {
+  if (i >= Histogram::kNumBuckets - 1) return "+Inf";
+  return std::to_string(Histogram::BucketUpperBound(i));
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: instrument pointers cached in pipeline structs must
+  // stay valid through static destruction. NOLINT(vcd-raw-new)
+  static MetricsRegistry* g = new MetricsRegistry();  // NOLINT(vcd-raw-new)
+  return *g;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, const std::string& help,
+    std::vector<MetricLabel> labels, MetricType type) {
+  VCD_CHECK(ValidMetricName(name), "bad metric name: " + name);
+  Key key{name, std::move(labels)};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    VCD_CHECK(it->second->type == type,
+              "metric re-registered as a different type: " + name);
+    return it->second.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->help = help;
+  entry->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Entry* raw = entry.get();
+  entries_.emplace(std::move(key), std::move(entry));
+  return raw;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help,
+                                          std::vector<MetricLabel> labels) {
+  MutexLock lock(mu_);
+  return FindOrCreate(name, help, std::move(labels), MetricType::kCounter)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<MetricLabel> labels) {
+  MutexLock lock(mu_);
+  return FindOrCreate(name, help, std::move(labels), MetricType::kGauge)
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& help,
+                                              std::vector<MetricLabel> labels) {
+  MutexLock lock(mu_);
+  return FindOrCreate(name, help, std::move(labels), MetricType::kHistogram)
+      ->histogram.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Collect() const {
+  std::vector<MetricSnapshot> out;
+  MutexLock lock(mu_);
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot snap;
+    snap.name = key.first;
+    snap.labels = key.second;
+    snap.help = entry->help;
+    snap.type = entry->type;
+    switch (entry->type) {
+      case MetricType::kCounter:
+        snap.value = entry->counter->Value();
+        break;
+      case MetricType::kGauge:
+        snap.value = entry->gauge->Value();
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        snap.count = h.Count();
+        snap.sum = h.Sum();
+        snap.buckets.resize(Histogram::kNumBuckets);
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          snap.buckets[i] = h.BucketCount(i);
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;  // already sorted: entries_ is an ordered map
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const std::vector<MetricSnapshot> snaps = Collect();
+  std::string out = "{\n  \"metrics\": [";
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    const MetricSnapshot& s = snaps[i];
+    if (i > 0) out += ",";
+    out += "\n    {\n      \"name\": ";
+    out += util::JsonQuote(s.name);
+    out += ",\n      \"type\": \"";
+    out += TypeName(s.type);
+    out += "\",\n      \"help\": ";
+    out += util::JsonQuote(s.help);
+    if (!s.labels.empty()) {
+      out += ",\n      \"labels\": {";
+      for (size_t j = 0; j < s.labels.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += util::JsonQuote(s.labels[j].key);
+        out += ": ";
+        out += util::JsonQuote(s.labels[j].value);
+      }
+      out += "}";
+    }
+    if (s.type == MetricType::kHistogram) {
+      out += ",\n      \"count\": " + std::to_string(s.count);
+      out += ",\n      \"sum\": " + std::to_string(s.sum);
+      out += ",\n      \"buckets\": [";
+      // Cumulative counts, sparse: only buckets with raw observations,
+      // plus the +Inf bucket (== count) always.
+      int64_t cumulative = 0;
+      bool first_bucket = true;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        cumulative += s.buckets[b];
+        const bool last = b == Histogram::kNumBuckets - 1;
+        if (s.buckets[b] == 0 && !last) continue;
+        if (!first_bucket) out += ", ";
+        first_bucket = false;
+        out += "{\"le\": ";
+        out += util::JsonQuote(BucketLe(b));
+        out += ", \"count\": " + std::to_string(cumulative) + "}";
+      }
+      out += "]";
+    } else {
+      out += ",\n      \"value\": " + std::to_string(s.value);
+    }
+    out += "\n    }";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  const std::vector<MetricSnapshot> snaps = Collect();
+  std::string out;
+  std::string prev_name;
+  for (const MetricSnapshot& s : snaps) {
+    if (s.name != prev_name) {
+      // One HELP/TYPE header per metric family; labeled series of the same
+      // name sort adjacently, so the header lands before the first row.
+      out += "# HELP " + s.name + " " + PromHelp(s.help) + "\n";
+      out += "# TYPE " + s.name + " " + TypeName(s.type) + "\n";
+      prev_name = s.name;
+    }
+    if (s.type == MetricType::kHistogram) {
+      int64_t cumulative = 0;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        cumulative += s.buckets[b];
+        const bool last = b == Histogram::kNumBuckets - 1;
+        if (s.buckets[b] == 0 && !last) continue;
+        out += s.name + "_bucket" + PromLabels(s.labels, "le", BucketLe(b)) +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      out += s.name + "_sum" + PromLabels(s.labels) + " " +
+             std::to_string(s.sum) + "\n";
+      out += s.name + "_count" + PromLabels(s.labels) + " " +
+             std::to_string(s.count) + "\n";
+    } else {
+      out += s.name + PromLabels(s.labels) + " " + std::to_string(s.value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace vcd::obs

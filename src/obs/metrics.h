@@ -1,0 +1,231 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+/// \file metrics.h
+/// Lock-cheap metrics primitives and the process registry.
+///
+/// Design constraints (DESIGN.md §13):
+///   - The *update* path (Inc/Set/Observe) is wait-free: relaxed atomic
+///     adds, no locks, no allocation. It is safe to call from the per-window
+///     hot path and from every shard worker concurrently.
+///   - The *registration* path takes the registry mutex (TSA-annotated) and
+///     is expected to run once at setup; registered instruments are never
+///     deleted, so the returned pointers stay valid for the registry's
+///     lifetime and can be cached in hot structs.
+///   - `Collect()` reads each instrument with acquire-free relaxed loads.
+///     Counters are monotone, so a snapshot is internally consistent in the
+///     only sense that matters for monitoring: every value is one that the
+///     instrument actually held, and re-collecting never goes backwards.
+///   - Histograms use fixed log-2 bucket boundaries, which makes
+///     `MergeFrom` associative and commutative (bucket-wise adds) — the
+///     property the shard-merge tests pin down.
+///
+/// Naming scheme (enforced by tools/lint.sh rule `vcd-obs-naming`):
+/// `vcd_<subsystem>_<name>_<unit>`; counters end in `_total`, histograms in
+/// a unit suffix (`_ns`, `_us`, `_seconds`, `_bytes`). Gauges name a level
+/// (`vcd_shard_queue_depth`).
+
+namespace vcd::obs {
+
+/// \brief Monotone counter. Wait-free increments; relaxed ordering.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Last-write-wins level. `Add` supports up/down adjustment.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Fixed log-2-bucket histogram for latency-style values.
+///
+/// Bucket `i` (0 < i < kNumBuckets-1) covers `[2^i, 2^(i+1))`; bucket 0
+/// covers everything below 2 (negatives clamp to 0); the last bucket
+/// saturates: every value at or above `2^(kNumBuckets-1)` lands there.
+/// With nanosecond observations the top bucket starts at 2^39 ns ≈ 9.2
+/// minutes — far beyond any per-stage latency this pipeline produces.
+///
+/// All mutators and readers are wait-free relaxed atomics, so concurrent
+/// `Observe` vs `Collect` is race-free (TSan-exercised); a collected
+/// (count, sum, buckets) triple may be torn *across* fields under
+/// concurrent writes, which monitoring tolerates and tests avoid by
+/// quiescing writers before asserting.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation. Negative values clamp to 0.
+  void Observe(int64_t v) {
+    const int b = BucketFor(v);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v < 0 ? 0 : v, std::memory_order_relaxed);
+  }
+
+  /// Adds \p other's contents into this histogram (bucket-wise), the shard
+  /// merge primitive. Associative and commutative because the bucket
+  /// boundaries are fixed.
+  void MergeFrom(const Histogram& other) {
+    for (int i = 0; i < kNumBuckets; ++i) {
+      buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket \p v falls into.
+  static int BucketFor(int64_t v) {
+    if (v < 2) return 0;
+    // 63 - clz(v) is floor(log2(v)); v >= 2 so the argument is nonzero.
+    const int log2 = 63 - __builtin_clzll(static_cast<uint64_t>(v));
+    return log2 < kNumBuckets - 1 ? log2 : kNumBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket \p i (`2^(i+1) - 1`), or INT64_MAX for
+  /// the saturating last bucket. Used for export `le=` labels.
+  static int64_t BucketUpperBound(int i) {
+    if (i >= kNumBuckets - 1) return INT64_MAX;
+    return (int64_t{1} << (i + 1)) - 1;
+  }
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// What kind of instrument a snapshot row came from.
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One `key="value"` pair attached to an instrument (e.g. `shard="3"`).
+struct MetricLabel {
+  std::string key;
+  std::string value;
+
+  bool operator==(const MetricLabel&) const = default;
+  bool operator<(const MetricLabel& o) const {
+    return key != o.key ? key < o.key : value < o.value;
+  }
+};
+
+/// \brief Point-in-time reading of one instrument, as returned by
+/// `MetricsRegistry::Collect()`. Rows are sorted by (name, labels) so the
+/// export formats are byte-stable run to run.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<MetricLabel> labels;
+  int64_t value = 0;  ///< counter / gauge reading
+  // Histogram-only fields:
+  int64_t count = 0;
+  int64_t sum = 0;
+  std::vector<int64_t> buckets;  ///< kNumBuckets cumulative-free raw counts
+};
+
+/// \brief Owns every instrument; hands out stable pointers.
+///
+/// `Global()` is the process registry the pipeline publishes into; tests
+/// construct private instances for isolation. Registration dedupes on
+/// (name, labels): asking twice returns the same instrument, so wiring code
+/// can re-register idempotently. Re-registering a name as a different
+/// instrument type is a VCD_CHECK failure (a programming error, not input).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (never destroyed).
+  static MetricsRegistry& Global();
+
+  /// Registers (or finds) a counter. Pointer is valid for the registry's
+  /// lifetime.
+  Counter* RegisterCounter(const std::string& name, const std::string& help,
+                           std::vector<MetricLabel> labels = {})
+      VCD_EXCLUDES(mu_);
+
+  /// Registers (or finds) a gauge.
+  Gauge* RegisterGauge(const std::string& name, const std::string& help,
+                       std::vector<MetricLabel> labels = {}) VCD_EXCLUDES(mu_);
+
+  /// Registers (or finds) a histogram.
+  Histogram* RegisterHistogram(const std::string& name, const std::string& help,
+                               std::vector<MetricLabel> labels = {})
+      VCD_EXCLUDES(mu_);
+
+  /// Snapshot of every registered instrument, sorted by (name, labels).
+  std::vector<MetricSnapshot> Collect() const VCD_EXCLUDES(mu_);
+
+  /// Snapshot rendered as one JSON document (stable key order; see
+  /// DESIGN.md §13 for the schema).
+  std::string ToJson() const VCD_EXCLUDES(mu_);
+
+  /// Snapshot in the Prometheus text exposition format (HELP/TYPE lines,
+  /// cumulative `_bucket{le=...}` rows, `_sum`/`_count`).
+  std::string ToPrometheusText() const VCD_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    std::string help;
+    MetricType type;
+    // Exactly one of these is set, matching `type`.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using Key = std::pair<std::string, std::vector<MetricLabel>>;
+
+  Entry* FindOrCreate(const std::string& name, const std::string& help,
+                      std::vector<MetricLabel> labels, MetricType type)
+      VCD_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  // std::map keeps (name, labels) ordered, which is what makes Collect()
+  // output — and therefore both export formats — byte-stable.
+  std::map<Key, std::unique_ptr<Entry>> entries_ VCD_GUARDED_BY(mu_);
+};
+
+}  // namespace vcd::obs

@@ -1,0 +1,138 @@
+#include "obs/pipeline_metrics.h"
+
+#include "util/faultfx.h"
+
+namespace vcd::obs {
+
+DecoderMetrics DecoderMetrics::Create(MetricsRegistry* registry) {
+  DecoderMetrics m;
+  if (registry == nullptr) return m;
+  m.key_frames_total = registry->RegisterCounter(
+      "vcd_decoder_key_frames_total", "Key frames decoded");
+  m.p_frames_skipped_total = registry->RegisterCounter(
+      "vcd_decoder_p_frames_skipped_total", "Non-key frames skipped");
+  m.corruption_events_total = registry->RegisterCounter(
+      "vcd_decoder_corruption_events_total", "Corrupt frame headers seen");
+  m.resync_scans_total = registry->RegisterCounter(
+      "vcd_decoder_resync_scans_total", "Resync scans after corruption");
+  m.bytes_skipped_total = registry->RegisterCounter(
+      "vcd_decoder_bytes_skipped_total", "Bytes skipped while resyncing");
+  m.degraded_frames_total = registry->RegisterCounter(
+      "vcd_decoder_degraded_frames_total",
+      "Frames emitted in degraded mode after corruption");
+  m.resync_latency_ns = registry->RegisterHistogram(
+      "vcd_decoder_resync_latency_ns", "Latency of one resync scan");
+  return m;
+}
+
+DetectorMetrics DetectorMetrics::Create(MetricsRegistry* registry) {
+  DetectorMetrics m;
+  if (registry == nullptr) return m;
+  m.windows_total = registry->RegisterCounter(
+      "vcd_detector_windows_total", "Sliding windows processed");
+  m.degraded_windows_total = registry->RegisterCounter(
+      "vcd_detector_degraded_windows_total",
+      "Windows skipped because they contained degraded frames");
+  m.prune_hits_total = registry->RegisterCounter(
+      "vcd_detector_prune_hits_total",
+      "Candidate windows eliminated by Lemma-2 prefix pruning");
+  m.prune_misses_total = registry->RegisterCounter(
+      "vcd_detector_prune_misses_total",
+      "Candidate windows that survived pruning and were fully evaluated");
+  m.bitsig_builds_total = registry->RegisterCounter(
+      "vcd_detector_bitsig_builds_total", "Bit signatures built from scratch");
+  m.bitsig_ors_total = registry->RegisterCounter(
+      "vcd_detector_bitsig_ors_total", "Incremental bit-signature OR-combines");
+  m.sketch_combines_total = registry->RegisterCounter(
+      "vcd_detector_sketch_combines_total", "Sketch combine operations");
+  m.sketch_compares_total = registry->RegisterCounter(
+      "vcd_detector_sketch_compares_total", "Sketch similarity comparisons");
+  m.candidates_admitted_total = registry->RegisterCounter(
+      "vcd_detector_candidates_admitted_total",
+      "Windows admitted into candidate evaluation");
+  m.candidates_expired_total = registry->RegisterCounter(
+      "vcd_detector_candidates_expired_total",
+      "Candidate entries retired as their windows slid out of range");
+  m.matches_total = registry->RegisterCounter(
+      "vcd_detector_matches_total", "Copy matches emitted");
+  m.window_process_ns = registry->RegisterHistogram(
+      "vcd_window_process_ns", "End-to-end latency of one window update");
+  m.sketch_build_ns = registry->RegisterHistogram(
+      "vcd_window_sketch_build_ns", "Building the window's sketch/signature");
+  m.probe_ns = registry->RegisterHistogram(
+      "vcd_window_probe_ns", "Index probes admitting candidate suffixes");
+  m.combine_ns = registry->RegisterHistogram(
+      "vcd_window_combine_ns", "OR-combine / sketch-combine step");
+  m.test_ns = registry->RegisterHistogram(
+      "vcd_window_test_ns", "Prune scan and similarity tests");
+  return m;
+}
+
+ExecutorMetrics ExecutorMetrics::Create(MetricsRegistry* registry) {
+  ExecutorMetrics m;
+  if (registry == nullptr) return m;
+  m.frames_submitted_total = registry->RegisterCounter(
+      "vcd_executor_frames_submitted_total", "Frames submitted to shards");
+  m.frames_dropped_backpressure_total = registry->RegisterCounter(
+      "vcd_executor_frames_dropped_backpressure_total",
+      "Frames dropped because a shard queue was full");
+  m.frames_dropped_failover_total = registry->RegisterCounter(
+      "vcd_executor_frames_dropped_failover_total",
+      "Frames dropped because the owning shard had failed over");
+  m.watchdog_failovers_total = registry->RegisterCounter(
+      "vcd_executor_watchdog_failovers_total",
+      "Shards failed over by the watchdog");
+  m.streams_open = registry->RegisterGauge(
+      "vcd_executor_streams_open", "Streams currently open on the executor");
+  return m;
+}
+
+ShardMetrics ShardMetrics::Create(MetricsRegistry* registry, int shard_id) {
+  ShardMetrics m;
+  if (registry == nullptr) return m;
+  const std::vector<MetricLabel> labels = {
+      {"shard", std::to_string(shard_id)}};
+  m.frames_processed_total = registry->RegisterCounter(
+      "vcd_shard_frames_processed_total", "Frames processed cleanly", labels);
+  m.frames_rejected_total = registry->RegisterCounter(
+      "vcd_shard_frames_rejected_total",
+      "Frames rejected by the detector (corrupt or out of order)", labels);
+  m.frames_degraded_total = registry->RegisterCounter(
+      "vcd_shard_frames_degraded_total", "Degraded frames processed", labels);
+  m.frames_quarantined_total = registry->RegisterCounter(
+      "vcd_shard_frames_quarantined_total",
+      "Frames discarded because their stream was quarantined", labels);
+  m.frames_failed_total = registry->RegisterCounter(
+      "vcd_shard_frames_failed_total",
+      "Frames discarded because their stream had hard-failed", labels);
+  m.quarantine_events_total = registry->RegisterCounter(
+      "vcd_shard_quarantine_events_total",
+      "Streams entering quarantine on this shard", labels);
+  m.queue_depth = registry->RegisterGauge(
+      "vcd_shard_queue_depth", "Frames waiting in the shard queue", labels);
+  m.stream_lag_us = registry->RegisterGauge(
+      "vcd_shard_stream_lag_us",
+      "Stream-clock lag of the frame being processed, microseconds", labels);
+  return m;
+}
+
+void SyncFaultfxMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  for (int i = 0; i < faultfx::kNumSites; ++i) {
+    const auto site = static_cast<faultfx::Site>(i);
+    const std::vector<MetricLabel> labels = {
+        {"site", faultfx::SiteName(site)}};
+    Gauge* hits = registry->RegisterGauge(
+        "vcd_faultfx_hits", "Injection-site hits since last arm/reset",
+        labels);
+    Gauge* fires = registry->RegisterGauge(
+        "vcd_faultfx_fires", "Injection-site fires since last arm/reset",
+        labels);
+    if (faultfx::kEnabled) {
+      hits->Set(faultfx::Injector::Instance().hits(site));
+      fires->Set(faultfx::Injector::Instance().fires(site));
+    }
+  }
+}
+
+}  // namespace vcd::obs

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+/// \file pipeline_metrics.h
+/// The standard metric families each pipeline stage publishes, centralized
+/// so the full inventory (and its naming) lives in one reviewable place.
+///
+/// Each struct is a bundle of cached instrument pointers. `Create(registry)`
+/// registers every family member and returns live pointers;
+/// `Create(nullptr)` returns an all-null bundle, which every consumer
+/// treats as "observability detached" (the VCD_OBS_* macros and explicit
+/// null checks make null instruments free). Registration is idempotent —
+/// the registry dedupes on (name, labels) — so re-creating a bundle against
+/// the same registry hands back the same instruments.
+
+namespace vcd::obs {
+
+/// PartialDecoder: per-stream ingest health.
+struct DecoderMetrics {
+  Counter* key_frames_total = nullptr;
+  Counter* p_frames_skipped_total = nullptr;
+  Counter* corruption_events_total = nullptr;
+  Counter* resync_scans_total = nullptr;
+  Counter* bytes_skipped_total = nullptr;
+  Counter* degraded_frames_total = nullptr;
+  Histogram* resync_latency_ns = nullptr;
+
+  static DecoderMetrics Create(MetricsRegistry* registry);
+};
+
+/// CopyDetector: per-window hot-path counters and stage latencies.
+struct DetectorMetrics {
+  Counter* windows_total = nullptr;
+  Counter* degraded_windows_total = nullptr;
+  Counter* prune_hits_total = nullptr;
+  Counter* prune_misses_total = nullptr;
+  Counter* bitsig_builds_total = nullptr;
+  Counter* bitsig_ors_total = nullptr;
+  Counter* sketch_combines_total = nullptr;
+  Counter* sketch_compares_total = nullptr;
+  Counter* candidates_admitted_total = nullptr;
+  Counter* candidates_expired_total = nullptr;
+  Counter* matches_total = nullptr;
+  Histogram* window_process_ns = nullptr;
+  Histogram* sketch_build_ns = nullptr;
+  Histogram* probe_ns = nullptr;
+  Histogram* combine_ns = nullptr;
+  Histogram* test_ns = nullptr;
+
+  static DetectorMetrics Create(MetricsRegistry* registry);
+};
+
+/// StreamExecutor: admission accounting and fleet-level gauges. These
+/// counters are the registry-backed source of truth for `ExecutorStats`.
+struct ExecutorMetrics {
+  Counter* frames_submitted_total = nullptr;
+  Counter* frames_dropped_backpressure_total = nullptr;
+  Counter* frames_dropped_failover_total = nullptr;
+  Counter* watchdog_failovers_total = nullptr;
+  Gauge* streams_open = nullptr;
+
+  static ExecutorMetrics Create(MetricsRegistry* registry);
+};
+
+/// One shard's worker-side accounting, labeled `shard="<id>"`.
+struct ShardMetrics {
+  Counter* frames_processed_total = nullptr;
+  Counter* frames_rejected_total = nullptr;
+  Counter* frames_degraded_total = nullptr;
+  Counter* frames_quarantined_total = nullptr;
+  Counter* frames_failed_total = nullptr;
+  Counter* quarantine_events_total = nullptr;
+  Gauge* queue_depth = nullptr;
+  Gauge* stream_lag_us = nullptr;
+
+  static ShardMetrics Create(MetricsRegistry* registry, int shard_id);
+};
+
+/// Publishes the faultfx injector's per-site hit/fire counts into
+/// \p registry as gauges labeled `site="<name>"`. Gauges, not counters:
+/// `Injector::Arm`/`Reset` reset the underlying counts, and a gauge mirrors
+/// resets faithfully. Call at export time (vcdctl does, before each dump);
+/// a no-op when \p registry is null. Registers zeroed gauges even when
+/// faultfx is compiled out, so dashboards see the series either way.
+void SyncFaultfxMetrics(MetricsRegistry* registry);
+
+}  // namespace vcd::obs

@@ -1,0 +1,104 @@
+#pragma once
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+/// \file span.h
+/// Per-stage timing spans, compiled to no-ops when `VCD_OBS=OFF`.
+///
+/// Usage in pipeline code (never constructs SpanTimer directly):
+///
+///     void Decoder::Resync(...) {
+///       VCD_OBS_SPAN(metrics_.resync_latency_ns);   // times to scope end
+///       ...
+///     }
+///
+/// Cost model (DESIGN.md §13):
+///   - `VCD_OBS=ON`, instrument wired: two `NowNanos()` reads + one
+///     histogram `Observe` (three relaxed atomic adds) per span.
+///   - `VCD_OBS=ON`, instrument null (no registry attached): one null
+///     check at construction, nothing at destruction.
+///   - `VCD_OBS=OFF`: the macros expand to `((void)0)` — zero code, which
+///     the `obs` leg of tools/check.sh keeps compiling.
+///
+/// `VCD_OBS_INC` / `VCD_OBS_ADD` / `VCD_OBS_SET` are the matching null-safe
+/// counter/gauge wrappers for *optional* instrumentation. Accounting
+/// counters that feed ExecutorStats are updated unconditionally in code
+/// (not through these macros) because their values are part of the
+/// pipeline's API contract in both build modes.
+
+namespace vcd::obs {
+
+/// Mirrors the build flag so tests can `GTEST_SKIP()` when the gated
+/// instrumentation is compiled out.
+#ifdef VCD_OBS_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// \brief RAII span: observes elapsed nanoseconds into a histogram at scope
+/// exit. Null histogram → fully inert (no clock reads).
+class SpanTimer {
+ public:
+  explicit SpanTimer(Histogram* h) : h_(h), t0_(h ? NowNanos() : 0) {}
+  ~SpanTimer() {
+    if (h_ != nullptr) h_->Observe(NowNanos() - t0_);
+  }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  int64_t t0_;
+};
+
+}  // namespace vcd::obs
+
+#ifdef VCD_OBS_ENABLED
+
+#define VCD_OBS_CONCAT_INNER(a, b) a##b
+#define VCD_OBS_CONCAT(a, b) VCD_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope into `hist` (a `Histogram*`, may be null).
+#define VCD_OBS_SPAN(hist) \
+  ::vcd::obs::SpanTimer VCD_OBS_CONCAT(vcd_obs_span_, __LINE__)(hist)
+
+/// Null-safe `counter->Inc(n)`.
+#define VCD_OBS_INC(counter, n)                                       \
+  do {                                                                \
+    ::vcd::obs::Counter* vcd_obs_c = (counter);                       \
+    if (vcd_obs_c != nullptr) vcd_obs_c->Inc(n);                      \
+  } while (0)
+
+/// Null-safe `gauge->Add(n)`.
+#define VCD_OBS_ADD(gauge, n)                                         \
+  do {                                                                \
+    ::vcd::obs::Gauge* vcd_obs_g = (gauge);                           \
+    if (vcd_obs_g != nullptr) vcd_obs_g->Add(n);                      \
+  } while (0)
+
+/// Null-safe `gauge->Set(v)`.
+#define VCD_OBS_SET(gauge, v)                                         \
+  do {                                                                \
+    ::vcd::obs::Gauge* vcd_obs_g = (gauge);                           \
+    if (vcd_obs_g != nullptr) vcd_obs_g->Set(v);                      \
+  } while (0)
+
+/// Null-safe `hist->Observe(v)`.
+#define VCD_OBS_OBSERVE(hist, v)                                      \
+  do {                                                                \
+    ::vcd::obs::Histogram* vcd_obs_h = (hist);                        \
+    if (vcd_obs_h != nullptr) vcd_obs_h->Observe(v);                  \
+  } while (0)
+
+#else  // !VCD_OBS_ENABLED
+
+#define VCD_OBS_SPAN(hist) ((void)0)
+#define VCD_OBS_INC(counter, n) ((void)0)
+#define VCD_OBS_ADD(gauge, n) ((void)0)
+#define VCD_OBS_SET(gauge, v) ((void)0)
+#define VCD_OBS_OBSERVE(hist, v) ((void)0)
+
+#endif  // VCD_OBS_ENABLED

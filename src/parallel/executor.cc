@@ -1,6 +1,8 @@
 #include "parallel/executor.h"
 
 #include <algorithm>
+
+#include "obs/span.h"
 #include <chrono>
 #include <future>
 #include <string>
@@ -9,9 +11,26 @@
 
 namespace vcd::parallel {
 
+namespace {
+
+/// Points per-stream detectors at the executor's registry unless the caller
+/// already wired an explicit one into the detector config.
+core::DetectorConfig WithMetrics(core::DetectorConfig config,
+                                 obs::MetricsRegistry* registry) {
+  if (config.metrics == nullptr) config.metrics = registry;
+  return config;
+}
+
+}  // namespace
+
 StreamExecutor::StreamExecutor(const core::DetectorConfig& config,
                                const core::ParallelConfig& parallel)
-    : config_(config), pconfig_(parallel) {
+    : owned_registry_(parallel.metrics ? nullptr
+                                       : std::make_unique<obs::MetricsRegistry>()),
+      registry_(parallel.metrics ? parallel.metrics : owned_registry_.get()),
+      config_(WithMetrics(config, registry_)),
+      pconfig_(parallel),
+      metrics_(obs::ExecutorMetrics::Create(registry_)) {
   int n = parallel.num_threads;
   if (n == 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
@@ -19,7 +38,7 @@ StreamExecutor::StreamExecutor(const core::DetectorConfig& config,
   }
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>(i, parallel));
+    shards_.push_back(std::make_unique<Shard>(i, parallel, registry_));
   }
   if (pconfig_.watchdog_ms > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
@@ -68,7 +87,12 @@ void StreamExecutor::WatchdogLoop() {
         // Work is queued but nothing moved since the last tick: the worker
         // is stalled. Two consecutive stale ticks avoid failing over a
         // shard that was merely mid-task when two snapshots straddled it.
-        if (++stale_ticks[i] >= 2) shards_[i]->MarkFailed();
+        if (++stale_ticks[i] >= 2) {
+          // Count transitions, not ticks: a shard stuck for many ticks is
+          // one failover until it drains and gets marked again.
+          if (!shards_[i]->failed()) metrics_.watchdog_failovers_total->Inc();
+          shards_[i]->MarkFailed();
+        }
       } else {
         stale_ticks[i] = 0;
         if (shards_[i]->failed()) shards_[i]->ClearFailed();
@@ -99,6 +123,8 @@ void StreamExecutor::ReapOrphansLocked() {
     if (!orphans_[i].is_close || reply.first.ok()) {
       if (orphans_[i].is_close) {
         num_open_streams_.fetch_sub(1, std::memory_order_relaxed);
+        VCD_OBS_SET(metrics_.streams_open,
+                    num_open_streams_.load(std::memory_order_relaxed));
       }
       FoldLocked(std::move(reply.second));
     }
@@ -190,6 +216,8 @@ Result<int> StreamExecutor::OpenStream(std::string name) {
   }
   const int id = next_stream_id_.fetch_add(1, std::memory_order_acq_rel);
   num_open_streams_.fetch_add(1, std::memory_order_relaxed);
+  VCD_OBS_SET(metrics_.streams_open,
+              num_open_streams_.load(std::memory_order_relaxed));
   shard_for(id)->SubmitCommand(
       [id, name = std::move(name), detector](Shard* s) mutable {
         s->InstallStream(id, std::move(name), std::move(detector));
@@ -226,6 +254,8 @@ Status StreamExecutor::CloseStream(int stream_id) {
   Reply reply = future.get();
   if (!reply.first.ok()) return reply.first;
   num_open_streams_.fetch_sub(1, std::memory_order_relaxed);
+  VCD_OBS_SET(metrics_.streams_open,
+              num_open_streams_.load(std::memory_order_relaxed));
   FoldLocked(std::move(reply.second));
   return Status::OK();
 }
@@ -240,15 +270,15 @@ Status StreamExecutor::ProcessKeyFrame(int stream_id, vcd::video::DcFrame frame)
     return Status::NotFound("no such stream");
   }
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-  frames_submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.frames_submitted_total->Inc();
   switch (shard_for(stream_id)->SubmitFrame(seq, stream_id, std::move(frame))) {
     case Shard::Submit::kAccepted:
       break;
     case Shard::Submit::kDropped:
-      frames_dropped_backpressure_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.frames_dropped_backpressure_total->Inc();
       break;
     case Shard::Submit::kFailedOver:
-      frames_dropped_failover_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.frames_dropped_failover_total->Inc();
       break;
   }
   return Status::OK();
@@ -355,11 +385,12 @@ ExecutorStats StreamExecutor::Stats() {
     });
   }
   ExecutorStats stats;
-  stats.frames_submitted = frames_submitted_.load(std::memory_order_relaxed);
+  stats.frames_submitted = metrics_.frames_submitted_total->Value();
   stats.frames_dropped_backpressure =
-      frames_dropped_backpressure_.load(std::memory_order_relaxed);
+      metrics_.frames_dropped_backpressure_total->Value();
   stats.frames_dropped_failover =
-      frames_dropped_failover_.load(std::memory_order_relaxed);
+      metrics_.frames_dropped_failover_total->Value();
+  stats.watchdog_failovers = metrics_.watchdog_failovers_total->Value();
   for (size_t i = 0; i < futures.size(); ++i) {
     if (!WaitOrFailover(futures[i], shards_[i].get())) {
       // Report the failed shard from its lock-free snapshot; its detector

@@ -11,6 +11,7 @@
 #include "core/config.h"
 #include "core/monitor.h"
 #include "core/query_store.h"
+#include "obs/pipeline_metrics.h"
 #include "parallel/shard.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -70,6 +71,8 @@ struct ExecutorStats {
   int64_t frames_dropped_backpressure = 0;
   /// Discarded because the owning shard was failed over by the watchdog.
   int64_t frames_dropped_failover = 0;
+  /// Times the watchdog failed a shard over (transitions, not ticks).
+  int64_t watchdog_failovers = 0;
   std::vector<ShardStats> shards;
   /// Aggregated detector stats per shard (index-aligned with `shards`).
   std::vector<core::DetectorStats> shard_detector_stats;
@@ -167,6 +170,12 @@ class StreamExecutor {
   /// Number of shards (= worker threads).
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  /// The registry backing this executor's metric families — the one named by
+  /// `ParallelConfig::metrics`, or the executor's own private registry when
+  /// the config left it null. Valid for the executor's lifetime; safe to
+  /// Collect()/export from any thread while streams run.
+  obs::MetricsRegistry& metrics_registry() const { return *registry_; }
+
  private:
   struct PortfolioEntry {
     int id;
@@ -211,8 +220,20 @@ class StreamExecutor {
   /// clears the mark once they drain again.
   void WatchdogLoop();
 
+  /// Backing registry for the executor/shard/detector metric families. When
+  /// `ParallelConfig::metrics` names one, it is used directly; otherwise the
+  /// executor owns a private registry so Stats() accounting works without
+  /// any observability wiring. Declared before config_/metrics_/shards_:
+  /// everything downstream caches instruments out of it during construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* const registry_;
+
   const core::DetectorConfig config_;
   const core::ParallelConfig pconfig_;
+
+  /// Cached `vcd_executor_*` instruments (never null: registry_ is not).
+  obs::ExecutorMetrics metrics_;
+
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Guards the portfolio, the merged log, the orphan list and
@@ -225,9 +246,6 @@ class StreamExecutor {
   std::atomic<int> next_stream_id_{1};
   std::atomic<int> num_open_streams_{0};
   std::atomic<uint64_t> next_seq_{1};
-  std::atomic<int64_t> frames_submitted_{0};
-  std::atomic<int64_t> frames_dropped_backpressure_{0};
-  std::atomic<int64_t> frames_dropped_failover_{0};
 
   // Watchdog machinery (thread only started when pconfig_.watchdog_ms > 0).
   Mutex watchdog_mu_;

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/span.h"
+#include "util/check.h"
 #include "util/faultfx.h"
 #include "util/stopwatch.h"
 
@@ -24,11 +26,17 @@ const char* StreamHealthName(StreamHealth h) {
   return "unknown";
 }
 
-Shard::Shard(int shard_id, const core::ParallelConfig& config)
+Shard::Shard(int shard_id, const core::ParallelConfig& config,
+             obs::MetricsRegistry* registry)
     : shard_id_(shard_id),
       config_(config),
       queue_(static_cast<size_t>(config.queue_capacity)),
-      worker_([this] { Run(); }) {}
+      metrics_(obs::ShardMetrics::Create(registry, shard_id)),
+      worker_([this] { Run(); }) {
+  // Snapshot() dereferences the counters unconditionally; a null registry
+  // is a wiring bug (the executor always supplies one), not input.
+  VCD_CHECK(registry != nullptr, "Shard requires a metrics registry");
+}
 
 Shard::~Shard() {
   queue_.Close();
@@ -47,11 +55,23 @@ Shard::Submit Shard::SubmitFrame(uint64_t seq, int stream_id,
   t.seq = seq;
   t.stream_id = stream_id;
   t.frame = std::move(frame);
+  if (obs::kEnabled) {
+    // Track the newest stream-clock timestamp entering this shard — the
+    // reference point of the lag gauge set in ProcessFrame.
+    const auto us = static_cast<int64_t>(t.frame.timestamp * 1e6);
+    int64_t prev = newest_submitted_us_.load(std::memory_order_relaxed);
+    while (us > prev && !newest_submitted_us_.compare_exchange_weak(
+                            prev, us, std::memory_order_relaxed)) {
+    }
+  }
   if (config_.backpressure == core::BackpressurePolicy::kBlock) {
     queue_.Push(std::move(t));
+    VCD_OBS_SET(metrics_.queue_depth, static_cast<int64_t>(queue_.depth()));
     return Submit::kAccepted;
   }
-  return queue_.TryPush(std::move(t)) ? Submit::kAccepted : Submit::kDropped;
+  const bool accepted = queue_.TryPush(std::move(t));
+  VCD_OBS_SET(metrics_.queue_depth, static_cast<int64_t>(queue_.depth()));
+  return accepted ? Submit::kAccepted : Submit::kDropped;
 }
 
 void Shard::SubmitCommand(Command cmd) {
@@ -64,17 +84,20 @@ ShardStats Shard::Snapshot() const {
   ShardStats s;
   s.shard_id = shard_id_;
   s.num_streams = num_streams_.load(std::memory_order_relaxed);
-  s.frames_processed = frames_processed_.load(std::memory_order_relaxed);
-  s.frames_rejected = frames_rejected_.load(std::memory_order_relaxed);
+  // Frame accounting reads back through the metrics registry — the same
+  // counters vcdctl exports, so a snapshot can never disagree with the
+  // exported metrics.
+  s.frames_processed = metrics_.frames_processed_total->Value();
+  s.frames_rejected = metrics_.frames_rejected_total->Value();
   s.commands_processed = commands_processed_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.depth();
   s.queue_high_water = queue_.high_water();
   s.busy_seconds =
       static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;
-  s.frames_degraded = frames_degraded_.load(std::memory_order_relaxed);
-  s.frames_quarantined = frames_quarantined_.load(std::memory_order_relaxed);
-  s.frames_failed = frames_failed_.load(std::memory_order_relaxed);
-  s.quarantine_events = quarantine_events_.load(std::memory_order_relaxed);
+  s.frames_degraded = metrics_.frames_degraded_total->Value();
+  s.frames_quarantined = metrics_.frames_quarantined_total->Value();
+  s.frames_failed = metrics_.frames_failed_total->Value();
+  s.quarantine_events = metrics_.quarantine_events_total->Value();
   s.streams_quarantined = streams_quarantined_.load(std::memory_order_relaxed);
   s.streams_failed = streams_failed_.load(std::memory_order_relaxed);
   s.failed_over = failed();
@@ -101,24 +124,34 @@ void Shard::Run() {
     }
     busy_nanos_.fetch_add(static_cast<int64_t>(sw.ElapsedSeconds() * 1e9),
                           std::memory_order_relaxed);
+    VCD_OBS_SET(metrics_.queue_depth, static_cast<int64_t>(queue_.depth()));
   }
 }
 
 void Shard::ProcessFrame(Task& t) {
+  // Stream-clock lag: how far the frame being processed trails the newest
+  // timestamp submitted to this shard — the continuous-monitoring "how far
+  // behind real time" signal (per shard; microseconds of stream time).
+  if (obs::kEnabled) {
+    const auto us = static_cast<int64_t>(t.frame.timestamp * 1e6);
+    const int64_t lag =
+        newest_submitted_us_.load(std::memory_order_relaxed) - us;
+    VCD_OBS_SET(metrics_.stream_lag_us, lag > 0 ? lag : 0);
+  }
   auto it = streams_.find(t.stream_id);
   if (it == streams_.end()) {
     // The stream was closed (or never installed) before this frame ran —
     // the asynchronous analogue of the serial monitor's NotFound.
-    frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.frames_rejected_total->Inc();
     return;
   }
   StreamSlot& slot = it->second;
   if (slot.health == StreamHealth::kFailed) {
-    frames_failed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.frames_failed_total->Inc();
     return;
   }
   if (slot.health == StreamHealth::kQuarantined) {
-    frames_quarantined_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.frames_quarantined_total->Inc();
     if (--slot.quarantine_remaining <= 0) {
       // Backoff served: readmit on probation (kDegraded, not kHealthy —
       // it still needs recover_after_frames clean frames).
@@ -142,14 +175,14 @@ void Shard::ProcessFrame(Task& t) {
   Status st = slot.detector->ProcessKeyFrame(t.frame);
   if (!st.ok() && first_error_.ok()) first_error_ = st;
   DrainSlotMatches(t.stream_id, &slot, t.seq);
-  frames_processed_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.frames_processed_total->Inc();
   // Clock skew counts as a fault for the health machine: the detector
   // demoted the frame (out_of_order_frames) even though it arrived with
   // degraded = false.
   if (slot.saw_timestamp && t.frame.timestamp < slot.max_timestamp) fault = true;
   slot.max_timestamp = std::max(slot.max_timestamp, t.frame.timestamp);
   slot.saw_timestamp = true;
-  if (fault) frames_degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (fault) metrics_.frames_degraded_total->Inc();
   UpdateHealth(t.stream_id, &slot, fault);
 }
 
@@ -184,7 +217,7 @@ void Shard::UpdateHealth(int stream_id, StreamSlot* slot, bool fault) {
         std::min<int64_t>(slot->backoff_frames * 2,
                           config_.quarantine_backoff_max_frames);
     slot->consecutive_faults = 0;
-    quarantine_events_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.quarantine_events_total->Inc();
     streams_quarantined_.fetch_add(1, std::memory_order_relaxed);
     return;
   }

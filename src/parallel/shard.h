@@ -12,6 +12,7 @@
 #include "core/config.h"
 #include "core/detector.h"
 #include "core/monitor.h"
+#include "obs/pipeline_metrics.h"
 #include "parallel/mpsc_queue.h"
 #include "video/partial_decoder.h"
 
@@ -100,7 +101,13 @@ class Shard {
     kFailedOver,  ///< the watchdog has failed this shard over
   };
 
-  Shard(int shard_id, const core::ParallelConfig& config);
+  /// \p registry receives this shard's `vcd_shard_*` metric family (labeled
+  /// `shard="<id>"`) and is the storage behind the frame-accounting fields
+  /// of Snapshot(). Must be non-null and outlive the shard — the executor
+  /// always provides one (its own private registry when the config does not
+  /// name a process registry).
+  Shard(int shard_id, const core::ParallelConfig& config,
+        obs::MetricsRegistry* registry);
 
   /// Closes the queue, drains remaining tasks and joins the worker.
   ~Shard();
@@ -213,19 +220,23 @@ class Shard {
   std::vector<SeqMatch> log_;
   Status first_error_;
 
-  // Counters readable from any thread.
+  // Counters readable from any thread. Frame accounting lives in the
+  // metrics registry (metrics_ below) — Snapshot() reads those counters
+  // back, so the registry is the one source of truth; only gauges that the
+  // registry does not model bidirectionally (current stream census, busy
+  // time) stay as member atomics.
   std::atomic<int> num_streams_{0};
-  std::atomic<int64_t> frames_processed_{0};
-  std::atomic<int64_t> frames_rejected_{0};
   std::atomic<int64_t> commands_processed_{0};
   std::atomic<int64_t> busy_nanos_{0};
-  std::atomic<int64_t> frames_degraded_{0};
-  std::atomic<int64_t> frames_quarantined_{0};
-  std::atomic<int64_t> frames_failed_{0};
-  std::atomic<int64_t> quarantine_events_{0};
   std::atomic<int> streams_quarantined_{0};
   std::atomic<int> streams_failed_{0};
   std::atomic<bool> failed_{false};
+  /// Highest frame timestamp submitted to this shard, in microseconds of
+  /// stream time — the reference point of the per-stream lag gauge.
+  std::atomic<int64_t> newest_submitted_us_{0};
+
+  /// Cached `vcd_shard_*` instruments (never null; see ctor contract).
+  obs::ShardMetrics metrics_;
 
   std::thread worker_;
 };

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+/// \file json.h
+/// Minimal JSON string escaping shared by every JSON producer in the tree
+/// (BenchJsonWriter, obs::MetricsRegistry::ToJson). One escaper, one set of
+/// rules:
+///   - `"` and `\` are backslash-escaped,
+///   - `\n` / `\t` / `\r` use their short forms,
+///   - other control bytes < 0x20 become `\u00XX`,
+///   - everything else — including UTF-8 multi-byte sequences — passes
+///     through untouched.
+
+namespace vcd::util {
+
+/// Escapes \p s for use inside a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+/// Returns \p s as a quoted JSON string literal, escaped.
+std::string JsonQuote(const std::string& s);
+
+}  // namespace vcd::util

@@ -1,5 +1,6 @@
 #include "video/partial_decoder.h"
 
+#include "obs/span.h"
 #include "util/faultfx.h"
 #include "video/codec_internal.h"
 
@@ -32,7 +33,9 @@ Status PartialDecoder::Open(const uint8_t* data, size_t size) {
 }
 
 bool PartialDecoder::ResyncFrom(size_t from) {
+  VCD_OBS_SPAN(metrics_.resync_latency_ns);
   ++stats_.resync_scans;
+  VCD_OBS_INC(metrics_.resync_scans_total, 1);
   const size_t start = from;
   for (size_t p = from; p + 5 <= size_; ++p) {
     if (!ValidMarker(data_[p])) continue;
@@ -43,10 +46,15 @@ bool PartialDecoder::ResyncFrom(size_t from) {
     // like a marker is not enough to resynchronize on.
     if (next != size_ && !ValidMarker(data_[next])) continue;
     stats_.bytes_skipped += static_cast<int64_t>(p - start);
+    VCD_OBS_INC(metrics_.bytes_skipped_total, static_cast<int64_t>(p - start));
     pos_ = p;
     return true;
   }
-  if (start < size_) stats_.bytes_skipped += static_cast<int64_t>(size_ - start);
+  if (start < size_) {
+    stats_.bytes_skipped += static_cast<int64_t>(size_ - start);
+    VCD_OBS_INC(metrics_.bytes_skipped_total,
+                static_cast<int64_t>(size_ - start));
+  }
   pos_ = size_;
   return false;
 }
@@ -55,6 +63,7 @@ Status PartialDecoder::NextKeyFrame(DcFrame* out) {
   while (pos_ < size_) {
     if (pos_ + 5 > size_) {
       ++stats_.corruption_events;
+      VCD_OBS_INC(metrics_.corruption_events_total, 1);
       if (!resync_) return Status::Corruption("truncated frame header");
       // A torn tail carries no recoverable frame: treat it as end of stream.
       stats_.bytes_skipped += static_cast<int64_t>(size_ - pos_);
@@ -69,6 +78,7 @@ Status PartialDecoder::NextKeyFrame(DcFrame* out) {
         faultfx::ShouldFire(faultfx::Site::kBitstreamCorruption);
     if (!ValidMarker(marker) || overrun || injected) {
       ++stats_.corruption_events;
+      VCD_OBS_INC(metrics_.corruption_events_total, 1);
       if (!resync_) {
         if (injected) return Status::Corruption("injected bitstream corruption");
         if (overrun) return Status::Corruption("frame payload overruns stream");
@@ -82,6 +92,7 @@ Status PartialDecoder::NextKeyFrame(DcFrame* out) {
       pos_ += 5 + len;
       ++frame_index_;
       ++stats_.p_frames_skipped;
+      VCD_OBS_INC(metrics_.p_frames_skipped_total, 1);
       continue;
     }
     BitReader br(data_ + pos_ + 5, len);
@@ -105,16 +116,19 @@ Status PartialDecoder::NextKeyFrame(DcFrame* out) {
     }
     if (!entropy.ok()) {
       ++stats_.corruption_events;
+      VCD_OBS_INC(metrics_.corruption_events_total, 1);
       if (!resync_) return entropy;
       // Keep the DC prefix decoded so far (the rest stays zero) and flag
       // the frame so detection skips its basic window's sketch.
       out->degraded = true;
       ++stats_.degraded_frames;
+      VCD_OBS_INC(metrics_.degraded_frames_total, 1);
     }
     // Chroma planes and the rest of the frame are skipped via the length.
     pos_ += 5 + len;
     ++frame_index_;
     ++stats_.key_frames;
+    VCD_OBS_INC(metrics_.key_frames_total, 1);
     return Status::OK();
   }
   return Status::NotFound("end of stream");

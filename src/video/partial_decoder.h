@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/pipeline_metrics.h"
 #include "util/status.h"
 #include "video/codec.h"
 
@@ -76,6 +77,14 @@ class PartialDecoder {
   /// Session counters (reset by Open).
   const PartialDecoderStats& stats() const { return stats_; }
 
+  /// Attaches observability: subsequent decoding publishes the
+  /// `vcd_decoder_*` counter family and the resync-latency histogram into
+  /// \p registry (not owned; must outlive this). Null detaches. The local
+  /// `stats()` counters keep working either way.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    metrics_ = obs::DecoderMetrics::Create(registry);
+  }
+
   /// Extracts the next key frame's DC map into \p out. P-frames between key
   /// frames are skipped using the frame length fields without touching their
   /// payload. Returns NotFound at end of stream. In strict mode malformed
@@ -100,6 +109,7 @@ class PartialDecoder {
   bool resync_ = false;
   StreamHeader header_;
   PartialDecoderStats stats_;
+  obs::DecoderMetrics metrics_;
 };
 
 }  // namespace vcd::video

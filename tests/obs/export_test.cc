@@ -1,0 +1,170 @@
+/// \file export_test.cc
+/// Golden-string tests for both export formats. Every histogram observation
+/// is driven through a SpanTimer against a FakeClock, so the rendered
+/// documents are bit-deterministic: stable (name, labels) ordering from the
+/// registry map, sparse cumulative buckets with a trailing +Inf, and the
+/// exact escaping rules of each format.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace vcd::obs {
+namespace {
+
+TEST(ExportTest, EmptyRegistry) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.ToJson(), "{\n  \"metrics\": [\n  ]\n}\n");
+  EXPECT_EQ(reg.ToPrometheusText(), "");
+}
+
+/// Builds the canonical three-instrument registry used by both golden
+/// tests. Span durations are dictated by the FakeClock: 5ns, 5ns, 1ns,
+/// 1024ns — landing in buckets 2, 2, 0 and 10.
+void Populate(MetricsRegistry* reg) {
+  reg->RegisterCounter("vcd_test_frames_total", "Frames \"seen\" so far.")
+      ->Inc(3);
+  reg->RegisterGauge("vcd_test_queue_depth", "Depth.", {{"shard", "0"}})
+      ->Set(7);
+  Histogram* h = reg->RegisterHistogram("vcd_test_span_ns", "Span.");
+  FakeClock clock(1000);
+  ScopedClockOverride override(&clock);
+  for (const int64_t d : {5, 5, 1, 1024}) {
+    SpanTimer span(h);
+    clock.Advance(d);
+  }
+}
+
+TEST(ExportTest, GoldenJson) {
+  MetricsRegistry reg;
+  Populate(&reg);
+  const std::string expected =
+      "{\n"
+      "  \"metrics\": [\n"
+      "    {\n"
+      "      \"name\": \"vcd_test_frames_total\",\n"
+      "      \"type\": \"counter\",\n"
+      "      \"help\": \"Frames \\\"seen\\\" so far.\",\n"
+      "      \"value\": 3\n"
+      "    },\n"
+      "    {\n"
+      "      \"name\": \"vcd_test_queue_depth\",\n"
+      "      \"type\": \"gauge\",\n"
+      "      \"help\": \"Depth.\",\n"
+      "      \"labels\": {\"shard\": \"0\"},\n"
+      "      \"value\": 7\n"
+      "    },\n"
+      "    {\n"
+      "      \"name\": \"vcd_test_span_ns\",\n"
+      "      \"type\": \"histogram\",\n"
+      "      \"help\": \"Span.\",\n"
+      "      \"count\": 4,\n"
+      "      \"sum\": 1035,\n"
+      "      \"buckets\": [{\"le\": \"1\", \"count\": 1}, "
+      "{\"le\": \"7\", \"count\": 3}, {\"le\": \"2047\", \"count\": 4}, "
+      "{\"le\": \"+Inf\", \"count\": 4}]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(reg.ToJson(), expected);
+}
+
+TEST(ExportTest, GoldenPrometheus) {
+  MetricsRegistry reg;
+  Populate(&reg);
+  const std::string expected =
+      "# HELP vcd_test_frames_total Frames \"seen\" so far.\n"
+      "# TYPE vcd_test_frames_total counter\n"
+      "vcd_test_frames_total 3\n"
+      "# HELP vcd_test_queue_depth Depth.\n"
+      "# TYPE vcd_test_queue_depth gauge\n"
+      "vcd_test_queue_depth{shard=\"0\"} 7\n"
+      "# HELP vcd_test_span_ns Span.\n"
+      "# TYPE vcd_test_span_ns histogram\n"
+      "vcd_test_span_ns_bucket{le=\"1\"} 1\n"
+      "vcd_test_span_ns_bucket{le=\"7\"} 3\n"
+      "vcd_test_span_ns_bucket{le=\"2047\"} 4\n"
+      "vcd_test_span_ns_bucket{le=\"+Inf\"} 4\n"
+      "vcd_test_span_ns_sum 1035\n"
+      "vcd_test_span_ns_count 4\n";
+  EXPECT_EQ(reg.ToPrometheusText(), expected);
+}
+
+TEST(ExportTest, PrometheusLabelValueEscaping) {
+  MetricsRegistry reg;
+  reg.RegisterGauge("vcd_test_level", "L.", {{"path", "a\\b\"c\nd"}})->Set(1);
+  const std::string expected =
+      "# HELP vcd_test_level L.\n"
+      "# TYPE vcd_test_level gauge\n"
+      "vcd_test_level{path=\"a\\\\b\\\"c\\nd\"} 1\n";
+  EXPECT_EQ(reg.ToPrometheusText(), expected);
+}
+
+TEST(ExportTest, PrometheusHelpEscaping) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("vcd_test_a_total", "line\nbreak \\ slash")->Inc(1);
+  const std::string expected =
+      "# HELP vcd_test_a_total line\\nbreak \\\\ slash\n"
+      "# TYPE vcd_test_a_total counter\n"
+      "vcd_test_a_total 1\n";
+  EXPECT_EQ(reg.ToPrometheusText(), expected);
+}
+
+TEST(ExportTest, JsonLabelEscaping) {
+  MetricsRegistry reg;
+  reg.RegisterGauge("vcd_test_level", "L.", {{"path", "a\"b\nc"}})->Set(2);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"labels\": {\"path\": \"a\\\"b\\nc\"}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ExportTest, LabeledFamilySharesOneHeader) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("vcd_test_a_total", "A.", {{"shard", "0"}})->Inc(1);
+  reg.RegisterCounter("vcd_test_a_total", "A.", {{"shard", "1"}})->Inc(2);
+  const std::string expected =
+      "# HELP vcd_test_a_total A.\n"
+      "# TYPE vcd_test_a_total counter\n"
+      "vcd_test_a_total{shard=\"0\"} 1\n"
+      "vcd_test_a_total{shard=\"1\"} 2\n";
+  EXPECT_EQ(reg.ToPrometheusText(), expected);
+}
+
+TEST(ExportTest, SpanAgainstFakeClockIsBitDeterministic) {
+  // Two identical FakeClock-driven runs render byte-identical documents —
+  // the determinism contract every golden test above relies on.
+  const auto render = [] {
+    MetricsRegistry reg;
+    Populate(&reg);
+    return reg.ToJson() + reg.ToPrometheusText();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(ExportTest, NullHistogramSpanIsInert) {
+  // A span over a null instrument must not read the clock at all; with no
+  // override installed this would otherwise hit the real steady clock.
+  FakeClock clock(0);
+  ScopedClockOverride override(&clock);
+  {
+    SpanTimer span(nullptr);
+    clock.Advance(100);
+  }
+  // Nothing to assert beyond "did not crash"; the real check is that a
+  // wired histogram still sees exactly the advance.
+  Histogram h;
+  {
+    SpanTimer span(&h);
+    clock.Advance(100);
+  }
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_EQ(h.Sum(), 100);
+}
+
+}  // namespace
+}  // namespace vcd::obs

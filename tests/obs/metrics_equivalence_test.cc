@@ -1,0 +1,159 @@
+/// \file metrics_equivalence_test.cc
+/// The pooled and scalar hot paths must publish identical *semantic*
+/// counters (windows, builds, ORs, prune hits/misses, combines, compares,
+/// candidate admissions/expiries, matches) over identical schedules — the
+/// observability analogue of the pooled byte-equivalence contract. Timing
+/// histograms are excluded: only wall-clock differs between the paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vcd::core {
+namespace {
+
+using features::CellId;
+
+constexpr double kKeyFps = 2.5;
+
+std::vector<CellId> RandomContent(Rng* rng, size_t n, uint32_t lo, uint32_t hi) {
+  std::vector<CellId> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(lo + static_cast<CellId>(rng->Uniform(hi - lo)));
+  }
+  return out;
+}
+
+/// Runs one fixed schedule with \p config publishing into a private
+/// registry, and returns every counter series as name → value.
+std::map<std::string, int64_t> RunAndCollect(DetectorConfig config) {
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  Rng rng(424242);
+  const std::vector<CellId> query1 = RandomContent(&rng, 40, 0, 1000);
+  const std::vector<CellId> query2 = RandomContent(&rng, 30, 1000, 2000);
+
+  auto det = CopyDetector::Create(config).value();
+  VCD_CHECK(det->AddQueryCells(1, query1, 16.0).ok(), "add q1");
+  VCD_CHECK(det->AddQueryCells(2, query2, 12.0).ok(), "add q2");
+
+  int64_t slot = 0;
+  const auto feed = [&](const std::vector<CellId>& ids) {
+    for (CellId id : ids) {
+      VCD_CHECK(det->ProcessFingerprint(slot * 12,
+                                        static_cast<double>(slot) / kKeyFps, id)
+                    .ok(),
+                "feed");
+      ++slot;
+    }
+  };
+  feed(RandomContent(&rng, 50, 5000, 9000));
+  feed(query1);  // embedded copy
+  feed(RandomContent(&rng, 25, 5000, 9000));
+  feed(query2);  // second copy
+  feed(RandomContent(&rng, 30, 5000, 9000));
+  VCD_CHECK(det->Finish().ok(), "finish");
+
+  std::map<std::string, int64_t> counters;
+  for (const obs::MetricSnapshot& s : registry.Collect()) {
+    if (s.type == obs::MetricType::kCounter) counters[s.name] = s.value;
+  }
+  return counters;
+}
+
+class MetricsEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::kEnabled) {
+      GTEST_SKIP() << "detector metrics compiled out (build with -DVCD_OBS=ON)";
+    }
+  }
+};
+
+TEST_F(MetricsEquivalenceTest, PooledAndScalarPublishIdenticalCounters) {
+  for (const Representation rep : {Representation::kBit, Representation::kSketch}) {
+    DetectorConfig config;
+    config.K = 128;
+    config.window_seconds = 4.0;
+    config.delta = 0.65;
+    config.representation = rep;
+
+    config.use_pooled_kernels = false;
+    const std::map<std::string, int64_t> scalar = RunAndCollect(config);
+    config.use_pooled_kernels = true;
+    const std::map<std::string, int64_t> pooled = RunAndCollect(config);
+
+    ASSERT_FALSE(scalar.empty());
+    EXPECT_GT(scalar.at("vcd_detector_windows_total"), 0);
+    EXPECT_GT(scalar.at("vcd_detector_matches_total"), 0)
+        << "schedule must produce matches for the comparison to bite";
+    // Whole-map comparison: same series names AND same values.
+    EXPECT_EQ(pooled, scalar)
+        << "pooled vs scalar counter divergence (representation "
+        << static_cast<int>(rep) << ")";
+  }
+}
+
+TEST_F(MetricsEquivalenceTest, CountersMirrorDetectorStats) {
+  // The registry series are per-window delta publications of DetectorStats;
+  // after Finish they must agree exactly with the struct the detector
+  // reports, for every stat that has a series.
+  DetectorConfig config;
+  config.K = 128;
+  config.window_seconds = 4.0;
+  config.delta = 0.65;
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  Rng rng(7);
+  const std::vector<CellId> query = RandomContent(&rng, 40, 0, 1000);
+  auto det = CopyDetector::Create(config).value();
+  ASSERT_TRUE(det->AddQueryCells(1, query, 16.0).ok());
+  int64_t slot = 0;
+  for (CellId id : RandomContent(&rng, 60, 5000, 9000)) {
+    ASSERT_TRUE(det->ProcessFingerprint(slot * 12,
+                                        static_cast<double>(slot) / kKeyFps, id)
+                    .ok());
+    ++slot;
+  }
+  for (CellId id : query) {
+    ASSERT_TRUE(det->ProcessFingerprint(slot * 12,
+                                        static_cast<double>(slot) / kKeyFps, id)
+                    .ok());
+    ++slot;
+  }
+  ASSERT_TRUE(det->Finish().ok());
+
+  std::map<std::string, int64_t> counters;
+  for (const obs::MetricSnapshot& s : registry.Collect()) {
+    if (s.type == obs::MetricType::kCounter) counters[s.name] = s.value;
+  }
+  const DetectorStats& st = det->stats();
+  EXPECT_EQ(counters.at("vcd_detector_windows_total"), st.windows);
+  EXPECT_EQ(counters.at("vcd_detector_degraded_windows_total"),
+            st.degraded_windows);
+  EXPECT_EQ(counters.at("vcd_detector_bitsig_builds_total"), st.bitsig_builds);
+  EXPECT_EQ(counters.at("vcd_detector_bitsig_ors_total"), st.bitsig_ors);
+  EXPECT_EQ(counters.at("vcd_detector_sketch_combines_total"),
+            st.sketch_combines);
+  EXPECT_EQ(counters.at("vcd_detector_sketch_compares_total"),
+            st.sketch_compares);
+  EXPECT_EQ(counters.at("vcd_detector_prune_hits_total"), st.candidates_pruned);
+  EXPECT_EQ(counters.at("vcd_detector_matches_total"),
+            static_cast<int64_t>(det->matches().size()));
+  // The candidate census balances: everything admitted was either expired
+  // or is still live at Finish.
+  EXPECT_GE(counters.at("vcd_detector_candidates_admitted_total"),
+            counters.at("vcd_detector_candidates_expired_total"));
+}
+
+}  // namespace
+}  // namespace vcd::core

@@ -1,0 +1,212 @@
+/// \file metrics_test.cc
+/// Unit contract of the metrics primitives: log-2 histogram bucket
+/// boundaries, overflow saturation, property-style merge associativity and
+/// commutativity (fixed boundaries make MergeFrom a bucket-wise add), and
+/// the registry's dedupe/type-check semantics.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vcd::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds everything below 2, including clamped negatives.
+  EXPECT_EQ(Histogram::BucketFor(-100), 0);
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 0);
+  // Bucket i (0 < i < last) covers [2^i, 2^(i+1)).
+  EXPECT_EQ(Histogram::BucketFor(2), 1);
+  EXPECT_EQ(Histogram::BucketFor(3), 1);
+  EXPECT_EQ(Histogram::BucketFor(4), 2);
+  EXPECT_EQ(Histogram::BucketFor(7), 2);
+  EXPECT_EQ(Histogram::BucketFor(8), 3);
+  EXPECT_EQ(Histogram::BucketFor(1024), 10);
+  EXPECT_EQ(Histogram::BucketFor(2047), 10);
+  EXPECT_EQ(Histogram::BucketFor(2048), 11);
+  // Every power of two starts its own bucket up to the saturating last one.
+  for (int i = 1; i < Histogram::kNumBuckets - 1; ++i) {
+    EXPECT_EQ(Histogram::BucketFor(int64_t{1} << i), i) << "2^" << i;
+    EXPECT_EQ(Histogram::BucketFor((int64_t{1} << (i + 1)) - 1), i)
+        << "2^" << (i + 1) << " - 1";
+  }
+}
+
+TEST(HistogramTest, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 2047);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 2),
+            (int64_t{1} << (Histogram::kNumBuckets - 1)) - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(HistogramTest, OverflowSaturatesIntoLastBucket) {
+  Histogram h;
+  h.Observe(int64_t{1} << (Histogram::kNumBuckets - 1));  // first saturating value
+  h.Observe(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets - 1), 2);
+  EXPECT_EQ(h.Count(), 2);
+}
+
+TEST(HistogramTest, NegativeObservationsClampToZeroInSum) {
+  Histogram h;
+  h.Observe(-50);
+  h.Observe(10);
+  EXPECT_EQ(h.Count(), 2);
+  EXPECT_EQ(h.Sum(), 10);  // the -50 contributed 0
+  EXPECT_EQ(h.BucketCount(0), 1);
+}
+
+/// Fills \p h with \p n pseudo-random observations drawn from \p rng,
+/// spanning every magnitude class including the saturating bucket.
+void FillRandom(Histogram* h, Rng* rng, int n) {
+  for (int i = 0; i < n; ++i) {
+    const int shift = static_cast<int>(rng->Uniform(62));
+    h->Observe(static_cast<int64_t>(rng->Uniform(3)) << shift);
+  }
+}
+
+void ExpectSame(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_EQ(a.Sum(), b.Sum());
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(a.BucketCount(i), b.BucketCount(i)) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, MergeIsCommutative) {
+  // Property-style over several seeds: merge(A<-B) == merge(B<-A) when both
+  // sides start from the same pair of histograms.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng_a(seed), rng_b(seed + 100);
+    Histogram ab_a, ba_b;  // "A then merge B" vs "B then merge A"
+    Histogram a2, b2;      // fresh copies with identical contents
+    {
+      Rng ra(seed), rb(seed + 100);
+      FillRandom(&ab_a, &rng_a, 200);
+      FillRandom(&a2, &ra, 200);
+      FillRandom(&ba_b, &rng_b, 150);
+      FillRandom(&b2, &rb, 150);
+    }
+    ab_a.MergeFrom(b2);   // A + B
+    ba_b.MergeFrom(a2);   // B + A
+    ExpectSame(ab_a, ba_b);
+  }
+}
+
+TEST(HistogramTest, MergeIsAssociative) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    // Two independent builds of the same A, B, C contents.
+    Histogram a1, b1, c1, a2, b2, c2;
+    {
+      Rng ra(seed), rb(seed + 17), rc(seed + 34);
+      FillRandom(&a1, &ra, 120);
+      FillRandom(&b1, &rb, 90);
+      FillRandom(&c1, &rc, 60);
+    }
+    {
+      Rng ra(seed), rb(seed + 17), rc(seed + 34);
+      FillRandom(&a2, &ra, 120);
+      FillRandom(&b2, &rb, 90);
+      FillRandom(&c2, &rc, 60);
+    }
+    // (A + B) + C
+    a1.MergeFrom(b1);
+    a1.MergeFrom(c1);
+    // A + (B + C)
+    b2.MergeFrom(c2);
+    a2.MergeFrom(b2);
+    ExpectSame(a1, a2);
+  }
+}
+
+TEST(HistogramTest, MergePreservesTotalCount) {
+  Histogram a, b;
+  Rng ra(5), rb(6);
+  FillRandom(&a, &ra, 100);
+  FillRandom(&b, &rb, 50);
+  const int64_t expect = a.Count() + b.Count();
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Count(), expect);
+  int64_t bucket_total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) bucket_total += a.BucketCount(i);
+  EXPECT_EQ(bucket_total, expect);
+}
+
+TEST(RegistryTest, RegistrationDedupesOnNameAndLabels) {
+  MetricsRegistry reg;
+  Counter* a = reg.RegisterCounter("vcd_test_frames_total", "help");
+  Counter* b = reg.RegisterCounter("vcd_test_frames_total", "help");
+  EXPECT_EQ(a, b) << "same (name, labels) must return the same instrument";
+  Counter* labeled =
+      reg.RegisterCounter("vcd_test_frames_total", "help", {{"shard", "0"}});
+  EXPECT_NE(a, labeled) << "different labels are a different series";
+  a->Inc(3);
+  EXPECT_EQ(b->Value(), 3);
+  EXPECT_EQ(labeled->Value(), 0);
+}
+
+TEST(RegistryTest, CollectIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.RegisterGauge("vcd_test_b_depth", "b")->Set(2);
+  reg.RegisterCounter("vcd_test_a_total", "a")->Inc(1);
+  reg.RegisterHistogram("vcd_test_c_ns", "c")->Observe(5);
+  reg.RegisterCounter("vcd_test_a_total", "a", {{"shard", "1"}})->Inc(7);
+  const std::vector<MetricSnapshot> snaps = reg.Collect();
+  ASSERT_EQ(snaps.size(), 4u);
+  // (name, labels) order: unlabeled sorts before labeled for equal names.
+  EXPECT_EQ(snaps[0].name, "vcd_test_a_total");
+  EXPECT_TRUE(snaps[0].labels.empty());
+  EXPECT_EQ(snaps[0].value, 1);
+  EXPECT_EQ(snaps[1].name, "vcd_test_a_total");
+  ASSERT_EQ(snaps[1].labels.size(), 1u);
+  EXPECT_EQ(snaps[1].labels[0].value, "1");
+  EXPECT_EQ(snaps[1].value, 7);
+  EXPECT_EQ(snaps[2].name, "vcd_test_b_depth");
+  EXPECT_EQ(snaps[2].type, MetricType::kGauge);
+  EXPECT_EQ(snaps[3].name, "vcd_test_c_ns");
+  EXPECT_EQ(snaps[3].type, MetricType::kHistogram);
+  EXPECT_EQ(snaps[3].count, 1);
+  EXPECT_EQ(snaps[3].sum, 5);
+}
+
+TEST(RegistryDeathTest, TypeMismatchReRegistrationIsFatal) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("vcd_test_frames_total", "help");
+  EXPECT_DEATH(reg.RegisterGauge("vcd_test_frames_total", "help"),
+               "different type");
+}
+
+TEST(RegistryDeathTest, InvalidNameIsFatal) {
+  MetricsRegistry reg;
+  EXPECT_DEATH(reg.RegisterCounter("Bad-Name", "help"), "bad metric name");
+}
+
+}  // namespace
+}  // namespace vcd::obs

@@ -1,0 +1,56 @@
+/// \file json_test.cc
+/// The shared JSON string escaper (util/json.h) — one implementation used
+/// by both BenchJsonWriter and the metrics exporter, so its rules are
+/// pinned here once: control characters become \u00xx (or the short forms),
+/// quotes and backslashes are escaped, and multi-byte UTF-8 passes through
+/// byte-for-byte.
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vcd::util {
+namespace {
+
+TEST(JsonEscapeTest, PlainTextPassesThrough) {
+  EXPECT_EQ(JsonEscape("hello world 123 _-./"), "hello world 123 _-./");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, QuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscapeTest, CommonControlShortForms) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+}
+
+TEST(JsonEscapeTest, OtherControlCharsBecomeUnicodeEscapes) {
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+  // NUL embedded in a std::string is still a control character.
+  EXPECT_EQ(JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+  // 0x20 (space) is the first unescaped code point.
+  EXPECT_EQ(JsonEscape(" "), " ");
+}
+
+TEST(JsonEscapeTest, Utf8BytesPassThroughUnchanged) {
+  // U+00E9 (é), U+4E2D (中), U+1F600 (😀): 2-, 3- and 4-byte sequences.
+  const std::string utf8 = "\xc3\xa9 \xe4\xb8\xad \xf0\x9f\x98\x80";
+  EXPECT_EQ(JsonEscape(utf8), utf8);
+}
+
+TEST(JsonQuoteTest, WrapsEscapedTextInQuotes) {
+  EXPECT_EQ(JsonQuote("abc"), "\"abc\"");
+  EXPECT_EQ(JsonQuote(""), "\"\"");
+  EXPECT_EQ(JsonQuote("a\"b\nc"), "\"a\\\"b\\nc\"");
+}
+
+}  // namespace
+}  // namespace vcd::util

@@ -13,6 +13,9 @@
 #                            # tests run instead of skipping
 #   tools/check.sh faultfx-tsan  # fault matrix under ThreadSanitizer
 #   tools/check.sh faultfx-asan  # fault matrix under ASan/UBSan
+#   tools/check.sh obs       # -DVCD_OBS=OFF build + ctest: proves the
+#                            # instrumentation macros compile to no-ops and
+#                            # that every test still passes without them
 #
 # Sanitizer builds skip benches/examples (VCD_BUILD_BENCH/EXAMPLES=OFF) —
 # the tests are the contract; the benches are timing tools. The faultfx
@@ -54,6 +57,9 @@ case "$MATRIX" in
   faultfx|all)
     run_config faultfx build-faultfx -DVCD_FAULTFX=ON \
       -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
+  obs|all)
+    run_config obs build-obs -DVCD_OBS=OFF \
+      -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
   faultfx-tsan)
     TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
       run_config faultfx-tsan build-faultfx-tsan -DVCD_FAULTFX=ON \
@@ -65,8 +71,8 @@ case "$MATRIX" in
       run_config faultfx-asan build-faultfx-asan -DVCD_FAULTFX=ON \
         -DVCD_SANITIZE=address \
         -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
-  plain|tsan|asan|lint|faultfx|faultfx-tsan|faultfx-asan|all) ;;
+  plain|tsan|asan|lint|faultfx|obs|faultfx-tsan|faultfx-asan|all) ;;
   *) echo "unknown matrix entry: $MATRIX" \
-     "(want plain|tsan|asan|lint|faultfx|faultfx-tsan|faultfx-asan|all)" >&2
+     "(want plain|tsan|asan|lint|faultfx|obs|faultfx-tsan|faultfx-asan|all)" >&2
      exit 2 ;;
 esac

@@ -131,6 +131,49 @@ run_grep_lint() {
     FAILED=1
   fi
 
+  # Rule 6 (vcd-obs-naming): metric names registered from library/tool/bench
+  # code follow the DESIGN.md §13 scheme — `vcd_[a-z0-9_]+`, counters end in
+  # `_total`, histograms end in a unit suffix (_ns|_us|_seconds|_bytes).
+  # The registry itself (src/obs/metrics.{h,cc}) is excluded: it declares the
+  # Register* API rather than calling it. Annotate a deliberate exception
+  # with `NOLINT(vcd-obs-naming)` on the registering line.
+  bad=$(awk '
+    /NOLINT\(vcd-obs-naming\)/ { pending = ""; next }
+    /Register(Counter|Gauge|Histogram)[ \t]*\(/ {
+      pending = "counter"
+      if (index($0, "RegisterGauge")) pending = "gauge"
+      else if (index($0, "RegisterHistogram")) pending = "histogram"
+      pline = FNR; pfile = FILENAME; buf = $0
+    }
+    pending != "" {
+      if (FNR > pline || FILENAME != pfile) buf = buf $0
+      if (buf ~ /"/) {
+        name = buf
+        sub(/^[^"]*"/, "", name); sub(/".*$/, "", name)
+        ok = (name ~ /^vcd_[a-z0-9_]+$/)
+        if (pending == "counter" && name !~ /_total$/) ok = 0
+        if (pending == "histogram" && name !~ /(_ns|_us|_seconds|_bytes)$/) ok = 0
+        if (!ok) {
+          printf "%s:%d: %s name \"%s\" violates vcd-obs-naming\n", \
+                 pfile, pline, pending, name
+          fail = 1
+        }
+        pending = ""
+      } else if (FNR - pline > 2 || FILENAME != pfile) {
+        pending = ""
+      }
+    }
+    END { exit fail }
+  ' $(find src tools bench \
+        \( -path src/obs/metrics.h -o -path src/obs/metrics.cc \) -prune \
+        -o \( -name '*.cc' -o -name '*.h' \) -print) || true)
+  if [ -n "$bad" ]; then
+    echo "FAIL: metric names off the vcd_<subsystem>_<name>[_unit] scheme" \
+         "(counters end _total; histograms end _ns/_us/_seconds/_bytes):"
+    echo "$bad"
+    FAILED=1
+  fi
+
   echo "=== [lint:grep] done ==="
 }
 

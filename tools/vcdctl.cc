@@ -14,6 +14,8 @@
 ///   vcdctl monitor queries.vcdq stream1.vcds [stream2.vcds ...]
 ///           [--delta D --window W --threads N --queue C --backpressure block|drop]
 ///           [--on-corruption skip|quarantine|fail --watchdog-ms N]
+///           [--metrics-out FILE --metrics-interval-ms N]
+///   vcdctl metrics [--format=json|prom]
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,9 @@
 
 #include "core/monitor.h"
 #include "core/query_store.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
 #include "parallel/executor.h"
 #include "features/fingerprint.h"
 #include "video/codec.h"
@@ -266,6 +271,47 @@ int CmdBuildQueries(const Args& a) {
   return 0;
 }
 
+/// Renders the process-global registry (faultfx gauges synced first) in
+/// \p format and writes it to \p path, or to stdout when \p path is empty
+/// or "-". The file is rewritten whole on every call, so a periodic dump
+/// always leaves a complete document behind.
+Status DumpMetrics(const std::string& format, const std::string& path) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::SyncFaultfxMetrics(&reg);
+  const std::string text =
+      format == "prom" ? reg.ToPrometheusText() : reg.ToJson();
+  if (path.empty() || path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return Status::OK();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (n != text.size()) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+void MetricsUsage() {
+  std::fprintf(stderr, "usage: vcdctl metrics [--format=json|prom]\n");
+}
+
+int CmdMetrics(const Args& a) {
+  const std::string format = a.Str("format", "json");
+  if (format != "json" && format != "prom") {
+    std::fprintf(stderr, "error: --format must be json or prom (got %s)\n",
+                 format.c_str());
+    MetricsUsage();
+    return 2;
+  }
+  if (Status st = DumpMetrics(format, a.Str("out", "")); !st.ok()) {
+    return Fail(st);
+  }
+  return 0;
+}
+
 void PrintMatches(const std::vector<core::StreamMatch>& matches) {
   for (const core::StreamMatch& m : matches) {
     std::printf("MATCH query %d on %s at t=[%.1f, %.1f]s sim=%.3f\n",
@@ -302,6 +348,13 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
     pc.on_corruption = core::CorruptionPolicy::kSkip;
   }
   pc.watchdog_ms = static_cast<int>(a.Num("watchdog-ms", 0));
+  // --metrics-out publishes the whole pipeline (decoder, detector, shards,
+  // executor) through the process-global registry; without it the executor
+  // keeps its own private registry and nothing extra is wired.
+  const std::string metrics_out = a.Str("metrics-out", "");
+  const int metrics_interval_ms =
+      static_cast<int>(a.Num("metrics-interval-ms", 0));
+  if (!metrics_out.empty()) pc.metrics = &obs::MetricsRegistry::Global();
   auto exec = parallel::StreamExecutor::Create(config, pc);
   if (!exec.ok()) return Fail(exec.status());
   if (Status st = (*exec)->ImportQueries(db); !st.ok()) return Fail(st);
@@ -323,6 +376,9 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
     // and emits degraded frames instead of failing the whole run.
     decoders[s - 1].set_resync_on_corruption(pc.on_corruption !=
                                              core::CorruptionPolicy::kFail);
+    if (!metrics_out.empty()) {
+      decoders[s - 1].set_metrics(&obs::MetricsRegistry::Global());
+    }
     if (Status st = decoders[s - 1].Open(bytes.back().data(), bytes.back().size());
         !st.ok()) {
       return Fail(st);
@@ -334,6 +390,8 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
   bool any = true;
   video::DcFrame f;
   std::vector<bool> done(decoders.size(), false);
+  const int64_t interval_ns = static_cast<int64_t>(metrics_interval_ms) * 1000000;
+  int64_t next_dump_ns = interval_ns > 0 ? obs::NowNanos() + interval_ns : 0;
   while (any) {
     any = false;
     for (size_t i = 0; i < decoders.size(); ++i) {
@@ -351,11 +409,21 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
         return Fail(st);
       }
     }
+    if (interval_ns > 0 && obs::NowNanos() >= next_dump_ns) {
+      if (Status st = DumpMetrics("json", metrics_out); !st.ok()) return Fail(st);
+      next_dump_ns = obs::NowNanos() + interval_ns;
+    }
   }
   for (int sid : sids) {
     if (Status st = (*exec)->CloseStream(sid); !st.ok()) return Fail(st);
   }
   if (Status st = (*exec)->Drain(); !st.ok()) return Fail(st);
+  // Final dump so the file reflects the fully drained run even when the
+  // feed finished between two periodic intervals (or none was requested).
+  if (!metrics_out.empty()) {
+    if (Status st = DumpMetrics("json", metrics_out); !st.ok()) return Fail(st);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
   PrintMatches((*exec)->matches());
   const parallel::ExecutorStats stats = (*exec)->Stats();
   int64_t degraded = 0, quarantined = 0, quarantine_events = 0;
@@ -392,7 +460,8 @@ void MonitorUsage() {
                "usage: vcdctl monitor queries.vcdq stream.vcds ... "
                "[--delta D --window W --threads N --queue C "
                "--backpressure block|drop "
-               "--on-corruption skip|quarantine|fail --watchdog-ms N]\n");
+               "--on-corruption skip|quarantine|fail --watchdog-ms N "
+               "--metrics-out FILE --metrics-interval-ms N]\n");
 }
 
 int CmdMonitor(const Args& a) {
@@ -437,6 +506,21 @@ int CmdMonitor(const Args& a) {
     MonitorUsage();
     return 2;
   }
+  const std::string metrics_out = a.Str("metrics-out", "");
+  const int metrics_interval_ms =
+      static_cast<int>(a.Num("metrics-interval-ms", 0));
+  if (metrics_interval_ms < 0) {
+    std::fprintf(stderr, "error: --metrics-interval-ms must be >= 0 (got %d)\n",
+                 metrics_interval_ms);
+    MonitorUsage();
+    return 2;
+  }
+  if (metrics_interval_ms > 0 && metrics_out.empty()) {
+    std::fprintf(stderr,
+                 "error: --metrics-interval-ms requires --metrics-out\n");
+    MonitorUsage();
+    return 2;
+  }
   auto db = core::LoadQueriesFile(a.positional[0]);
   if (!db.ok()) return Fail(db.status());
   core::DetectorConfig config;
@@ -455,6 +539,7 @@ int CmdMonitor(const Args& a) {
     if (!bytes.ok()) return Fail(bytes.status());
     video::PartialDecoder pd;
     pd.set_resync_on_corruption(oc != "fail");
+    if (!metrics_out.empty()) pd.set_metrics(&obs::MetricsRegistry::Global());
     if (Status st = pd.Open(bytes->data(), bytes->size()); !st.ok()) return Fail(st);
     auto sid = (*mon)->OpenStream(a.positional[s]);
     if (!sid.ok()) return Fail(sid.status());
@@ -469,6 +554,13 @@ int CmdMonitor(const Args& a) {
     }
     if (Status st = (*mon)->CloseStream(*sid); !st.ok()) return Fail(st);
   }
+  // Serial path: only the decoders publish (StreamMonitor predates the
+  // registry); one dump at the end keeps the flag meaningful regardless of
+  // --threads.
+  if (!metrics_out.empty()) {
+    if (Status st = DumpMetrics("json", metrics_out); !st.ok()) return Fail(st);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
   PrintMatches((*mon)->matches());
   return 0;
 }
@@ -479,7 +571,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: vcdctl <generate|encode|decode|info|fingerprint|shots|"
-                 "build-queries|monitor> ...\n");
+                 "build-queries|monitor|metrics> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -492,6 +584,7 @@ int main(int argc, char** argv) {
   if (cmd == "shots") return CmdShots(args);
   if (cmd == "build-queries") return CmdBuildQueries(args);
   if (cmd == "monitor") return CmdMonitor(args);
+  if (cmd == "metrics") return CmdMetrics(args);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
 }
