@@ -6,12 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <mutex>  // NOLINT(vcd-annotated-mutex): baseline for the vcd::Mutex overhead pin
+
 #include "core/detector.h"
 #include "util/logging.h"
 #include "index/hash_query_index.h"
 #include "sketch/bit_signature.h"
 #include "sketch/minhash.h"
 #include "sketch/signature_pool.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace {
@@ -344,6 +347,31 @@ void BM_DetectorPruning(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DetectorPruning)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Uncontended lock/unlock: raw std::mutex baseline vs the annotated, ranked
+// vcd::Mutex. In release builds VCD_DEADLOCK_CHECK compiles the held-stack
+// bookkeeping out, so these two must be indistinguishable — this pair is
+// the zero-overhead pin for the runtime deadlock checker (DESIGN.md §14).
+void BM_StdMutexLockUnlock(benchmark::State& state) {
+  // NOLINT(vcd-annotated-mutex): deliberate raw baseline
+  std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+void BM_VcdMutexLockUnlock(benchmark::State& state) {
+  Mutex mu{LockRank::kLeaf, "bench.micro"};
+  for (auto _ : state) {
+    mu.Lock();
+    benchmark::DoNotOptimize(&mu);
+    mu.Unlock();
+  }
+}
+BENCHMARK(BM_VcdMutexLockUnlock);
 
 }  // namespace
 

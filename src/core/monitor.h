@@ -141,8 +141,10 @@ class StreamMonitor {
 
   DetectorConfig config_;
 
-  /// Guards the portfolio, the stream table and the match log.
-  mutable Mutex mu_;
+  /// Guards the portfolio, the stream table and the match log. kMonitor:
+  /// detector construction registers metrics (kMetricsRegistry) while this
+  /// is held (DESIGN.md §14).
+  mutable Mutex mu_{LockRank::kMonitor, "stream_monitor"};
   std::vector<PortfolioEntry> portfolio_ VCD_GUARDED_BY(mu_);
   std::map<int, StreamState> streams_ VCD_GUARDED_BY(mu_);
   int next_stream_id_ VCD_GUARDED_BY(mu_) = 1;

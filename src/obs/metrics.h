@@ -222,7 +222,10 @@ class MetricsRegistry {
                       std::vector<MetricLabel> labels, MetricType type)
       VCD_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  // kMetricsRegistry: registration runs under the monitor or executor
+  // control lock (detector construction); nothing is ever acquired while
+  // this is held (DESIGN.md §14).
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "metrics_registry"};
   // std::map keeps (name, labels) ordered, which is what makes Collect()
   // output — and therefore both export formats — byte-stable.
   std::map<Key, std::unique_ptr<Entry>> entries_ VCD_GUARDED_BY(mu_);

@@ -237,8 +237,11 @@ class StreamExecutor {
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Guards the portfolio, the merged log, the orphan list and
-  /// control-plane ordering. Never taken by ProcessKeyFrame.
-  mutable Mutex control_mu_;
+  /// control-plane ordering. Never taken by ProcessKeyFrame. Outermost lock
+  /// of the hierarchy (DESIGN.md §14): command fan-out takes every shard's
+  /// queue lock, and detector construction takes the metrics registry lock,
+  /// while this is held.
+  mutable Mutex control_mu_{LockRank::kExecutorControl, "executor.control"};
   std::vector<PortfolioEntry> portfolio_ VCD_GUARDED_BY(control_mu_);
   std::vector<SeqMatch> merged_ VCD_GUARDED_BY(control_mu_);
   std::vector<Orphan> orphans_ VCD_GUARDED_BY(control_mu_);
@@ -248,7 +251,12 @@ class StreamExecutor {
   std::atomic<uint64_t> next_seq_{1};
 
   // Watchdog machinery (thread only started when pconfig_.watchdog_ms > 0).
-  Mutex watchdog_mu_;
+  // kShard: held across per-shard queue-depth snapshots (the watchdog →
+  // shard → queue path), so it sits above kQueue and below the control
+  // plane in the DESIGN.md §14 order — never nested with control_mu_ today,
+  // but the declared order is what a future refactor is held to.
+  Mutex watchdog_mu_ VCD_ACQUIRED_AFTER(control_mu_){LockRank::kShard,
+                                                     "executor.watchdog"};
   CondVar watchdog_cv_;
   bool watchdog_stop_ VCD_GUARDED_BY(watchdog_mu_) = false;
   std::thread watchdog_;

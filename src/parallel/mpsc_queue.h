@@ -50,7 +50,10 @@ class MpscQueueBase {
   void RecordDepthLocked(size_t depth) VCD_REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable Mutex mu_;
+  // kQueue: taken while the executor control mutex (command fan-out) or the
+  // watchdog mutex (stall snapshots) is held; the consumer side never calls
+  // out of the queue with it held (DESIGN.md §14).
+  mutable Mutex mu_{LockRank::kQueue, "mpsc_queue"};
   CondVar not_full_;
   CondVar not_empty_;
   size_t depth_ VCD_GUARDED_BY(mu_) = 0;

@@ -110,7 +110,10 @@ class Injector {
 
   Injector() = default;
 
-  mutable Mutex mu_;
+  // kLeaf: ShouldFire is called from decode, submit and worker paths with
+  // arbitrary pipeline locks held; this class never calls out while holding
+  // its lock (DESIGN.md §14).
+  mutable Mutex mu_{LockRank::kLeaf, "faultfx_injector"};
   SiteState sites_[kNumSites] VCD_GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,104 @@
+#include "util/mutex.h"
+
+#ifdef VCD_DEADLOCK_CHECK_ENABLED
+
+#include <sstream>
+
+#include "util/check.h"
+
+/// \file mutex.cc
+/// Runtime half of the deadlock-freedom pass (DESIGN.md §14): a per-thread
+/// held-lock stack consulted on every `vcd::Mutex` acquisition.
+///
+/// Compiled only under VCD_DEADLOCK_CHECK (CMake; ON in Debug and sanitizer
+/// builds). The stack is a small fixed-size thread_local array — no
+/// allocation, no global state, no locks of its own, so the checker cannot
+/// itself deadlock and is safe inside sanitizer runtimes. Depth is bounded
+/// by the hierarchy: strict rank descent means a thread can hold at most one
+/// lock per distinct rank, and kMaxHeld leaves generous headroom over the
+/// seven ranks of util/lock_rank.h.
+
+namespace vcd::deadlock {
+
+namespace {
+
+constexpr int kMaxHeld = 16;
+
+thread_local const Mutex* t_held[kMaxHeld];
+thread_local int t_held_count = 0;
+
+/// Renders the calling thread's held stack, outermost first, e.g.
+/// `"executor.control"(kExecutorControl) -> "mpsc_queue"(kQueue)`.
+std::string HeldStackString() {
+  if (t_held_count == 0) return "<empty>";
+  std::ostringstream oss;
+  for (int i = 0; i < t_held_count; ++i) {
+    if (i > 0) oss << " -> ";
+    oss << '"' << t_held[i]->name() << "\"(" << LockRankName(t_held[i]->rank())
+        << ')';
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+void CheckAcquire(const Mutex& mu) {
+  for (int i = 0; i < t_held_count; ++i) {
+    const Mutex* held = t_held[i];
+    VCD_CHECK(held != &mu, "deadlock: self-recursive acquisition of lock \""
+                               << mu.name() << "\" (" << LockRankName(mu.rank())
+                               << "); held stack: " << HeldStackString());
+    VCD_CHECK(static_cast<int>(mu.rank()) < static_cast<int>(held->rank()),
+              "deadlock: lock-order inversion acquiring \""
+                  << mu.name() << "\" (" << LockRankName(mu.rank())
+                  << ") while holding \"" << held->name() << "\" ("
+                  << LockRankName(held->rank())
+                  << "); ranks must strictly descend — held stack: "
+                  << HeldStackString());
+  }
+}
+
+void RecordAcquired(const Mutex& mu) {
+  VCD_CHECK(t_held_count < kMaxHeld,
+            "deadlock checker: held-lock stack overflow acquiring \""
+                << mu.name() << "\"; held stack: " << HeldStackString());
+  t_held[t_held_count++] = &mu;
+}
+
+void RecordReleased(const Mutex& mu) {
+  // Search from the top: releases are LIFO in practice (MutexLock), but
+  // hand-rolled Lock/Unlock pairs may interleave, which is legal.
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held[i] != &mu) continue;
+    for (int j = i; j + 1 < t_held_count; ++j) t_held[j] = t_held[j + 1];
+    --t_held_count;
+    return;
+  }
+  VCD_CHECK(false, "deadlock checker: lock \""
+                       << mu.name() << "\" (" << LockRankName(mu.rank())
+                       << ") released by a thread that does not hold it "
+                          "(double unlock, or unlocked off-thread); held "
+                          "stack: "
+                       << HeldStackString());
+}
+
+void AssertHeld(const Mutex& mu) {
+  VCD_CHECK(Holds(mu), "deadlock checker: CondVar wait on lock \""
+                           << mu.name() << "\" (" << LockRankName(mu.rank())
+                           << ") which the calling thread does not hold; "
+                              "held stack: "
+                           << HeldStackString());
+}
+
+int HeldCount() { return t_held_count; }
+
+bool Holds(const Mutex& mu) {
+  for (int i = 0; i < t_held_count; ++i) {
+    if (t_held[i] == &mu) return true;
+  }
+  return false;
+}
+
+}  // namespace vcd::deadlock
+
+#endif  // VCD_DEADLOCK_CHECK_ENABLED

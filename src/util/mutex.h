@@ -4,10 +4,11 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 /// \file mutex.h
-/// Annotated mutex primitives for Clang Thread Safety Analysis.
+/// Annotated, rank-checked mutex primitives.
 ///
 /// `vcd::Mutex` wraps `std::mutex` and carries the `capability` attribute, so
 /// members declared `VCD_GUARDED_BY(mu_)` are machine-checked: with
@@ -17,32 +18,129 @@
 /// with `Mutex` for wait/notify (the analysis has no native condvar model,
 /// so `Wait` is annotated as requiring the mutex and re-establishes it).
 ///
-/// All library code with locked state uses these instead of raw
-/// `std::mutex`/`std::lock_guard` (enforced by tools/lint.sh).
+/// Every mutex additionally names a `LockRank` (util/lock_rank.h) placing it
+/// in the process-wide lock hierarchy of DESIGN.md §14. Under the
+/// `VCD_DEADLOCK_CHECK` CMake option (ON in Debug and sanitizer builds)
+/// `Lock()`/`TryLock()` maintain a per-thread held-lock stack and
+/// `VCD_CHECK`-fail on rank inversion, equal-rank nesting, self-recursive
+/// acquisition, or release from a thread that does not hold the lock —
+/// printing both lock names and the held stack. When the option is OFF the
+/// bookkeeping compiles out entirely: `sizeof(Mutex) == sizeof(std::mutex)`
+/// and `Lock()`/`Unlock()` are the bare `std::mutex` calls (pinned by the
+/// `BM_VcdMutexLockUnlock` microbench against the raw-`std::mutex` baseline).
+///
+/// Raw `std::mutex`/`std::lock_guard`/`std::condition_variable` are banned
+/// outside this file (tools/lint.sh rule `vcd-annotated-mutex`), and every
+/// `vcd::Mutex` declared in library code must name its rank (rule
+/// `vcd-lock-rank`).
 
 namespace vcd {
 
 class CondVar;
+class Mutex;
 
-/// \brief Annotated standard mutex (a Clang TSA "capability").
+namespace deadlock {
+
+#ifdef VCD_DEADLOCK_CHECK_ENABLED
+inline constexpr bool kEnabled = true;
+
+/// VCD_CHECK-fails when acquiring \p mu would invert the lock order or
+/// self-recurse; call before blocking on the underlying mutex so a bug
+/// reports instead of deadlocking.
+void CheckAcquire(const Mutex& mu);
+
+/// Pushes \p mu onto the calling thread's held-lock stack.
+void RecordAcquired(const Mutex& mu);
+
+/// Removes \p mu from the calling thread's held-lock stack; VCD_CHECK-fails
+/// when this thread does not hold it (double unlock, or a lock released on
+/// a different thread than acquired it).
+void RecordReleased(const Mutex& mu);
+
+/// VCD_CHECK-fails unless the calling thread holds \p mu (CondVar guard).
+void AssertHeld(const Mutex& mu);
+
+/// Number of vcd::Mutex locks the calling thread currently holds.
+int HeldCount();
+
+/// True when the calling thread holds \p mu.
+bool Holds(const Mutex& mu);
+#else
+inline constexpr bool kEnabled = false;
+
+inline void CheckAcquire(const Mutex&) {}
+inline void RecordAcquired(const Mutex&) {}
+inline void RecordReleased(const Mutex&) {}
+inline void AssertHeld(const Mutex&) {}
+inline int HeldCount() { return 0; }
+inline bool Holds(const Mutex&) { return false; }
+#endif
+
+}  // namespace deadlock
+
+/// \brief Annotated standard mutex (a Clang TSA "capability") with a named
+/// position in the lock hierarchy.
 class VCD_CAPABILITY("mutex") Mutex {
  public:
+  /// A mutex at \p rank, identified as \p name in checker failure reports.
+  /// \p name must outlive the mutex (string literals in practice).
+#ifdef VCD_DEADLOCK_CHECK_ENABLED
+  constexpr explicit Mutex(LockRank rank, const char* name)
+      : rank_(rank), name_(name) {}
+#else
+  constexpr explicit Mutex(LockRank /*rank*/, const char* /*name*/) {}
+#endif
+
+  /// Unranked leaf mutex, for tests and scratch code; library declarations
+  /// name a rank (tools/lint.sh rule `vcd-lock-rank`).
   Mutex() = default;
+
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  /// Blocks until the lock is held.
-  void Lock() VCD_ACQUIRE() { mu_.lock(); }
+  /// Blocks until the lock is held. Under VCD_DEADLOCK_CHECK, first fails
+  /// fast on rank inversion or self-recursion instead of deadlocking.
+  void Lock() VCD_ACQUIRE() {
+    deadlock::CheckAcquire(*this);
+    mu_.lock();
+    deadlock::RecordAcquired(*this);
+  }
 
-  /// Releases the lock.
-  void Unlock() VCD_RELEASE() { mu_.unlock(); }
+  /// Releases the lock. Under VCD_DEADLOCK_CHECK, fails when the calling
+  /// thread does not hold it.
+  void Unlock() VCD_RELEASE() {
+    deadlock::RecordReleased(*this);
+    mu_.unlock();
+  }
 
-  /// Acquires the lock iff it returns true.
-  bool TryLock() VCD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  /// Acquires the lock iff it returns true. An out-of-order or
+  /// self-recursive TryLock is still a checker failure: `std::mutex`
+  /// try_lock is undefined when the caller already holds the lock, and a
+  /// trylock taken against the hierarchy hides an ordering bug that the
+  /// blocking path would hit eventually.
+  bool TryLock() VCD_TRY_ACQUIRE(true) {
+    deadlock::CheckAcquire(*this);
+    if (!mu_.try_lock()) return false;
+    deadlock::RecordAcquired(*this);
+    return true;
+  }
+
+  /// This mutex's rank in the hierarchy (kLeaf when the checker is off).
+#ifdef VCD_DEADLOCK_CHECK_ENABLED
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+#else
+  LockRank rank() const { return LockRank::kLeaf; }
+  const char* name() const { return "<unchecked>"; }
+#endif
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#ifdef VCD_DEADLOCK_CHECK_ENABLED
+  const LockRank rank_ = LockRank::kLeaf;
+  const char* const name_ = "<unnamed>";
+#endif
 };
 
 /// \brief RAII guard over a `Mutex` (a Clang TSA "scoped capability").
@@ -63,6 +161,13 @@ class VCD_SCOPED_CAPABILITY MutexLock {
 /// `Wait` must be called with the mutex held (annotated `VCD_REQUIRES`); it
 /// atomically releases the mutex while blocked and re-acquires it before
 /// returning, exactly like `std::condition_variable::wait`.
+///
+/// The held-lock stack of VCD_DEADLOCK_CHECK deliberately keeps the mutex
+/// recorded across the wait: the waiter re-holds it before `Wait`/`WaitFor`
+/// returns, the adopt/release dance on the underlying `std::unique_lock` is
+/// invisible to callers, and a blocked thread acquires nothing — so its
+/// stack entry stays accurate at every point the checker can observe
+/// (pinned by CondVarTest.WaitForKeepsHeldLockStack).
 class CondVar {
  public:
   CondVar() = default;
@@ -71,6 +176,7 @@ class CondVar {
 
   /// Releases \p mu, blocks until notified, re-acquires \p mu.
   void Wait(Mutex& mu) VCD_REQUIRES(mu) VCD_NO_THREAD_SAFETY_ANALYSIS {
+    deadlock::AssertHeld(mu);
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller still owns the mutex
@@ -87,6 +193,7 @@ class CondVar {
   /// primitive of the shard watchdog).
   bool WaitFor(Mutex& mu, std::chrono::milliseconds timeout)
       VCD_REQUIRES(mu) VCD_NO_THREAD_SAFETY_ANALYSIS {
+    deadlock::AssertHeld(mu);
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     const std::cv_status st = cv_.wait_for(lock, timeout);
     lock.release();  // the caller still owns the mutex

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Negative-compile test for static lock-order checking
+# (Clang Thread Safety Analysis, -Wthread-safety-beta).
+#
+# Usage: lock_order_compile_test.sh <c++-compiler> <repo-root>
+#
+# Asserts that, under `-Wthread-safety -Wthread-safety-beta
+# -Werror=thread-safety -Werror=thread-safety-beta`:
+#   1. lock_order_positive.cc (declared order respected) compiles, and
+#   2. lock_order_negative.cc (VCD_ACQUIRED_AFTER order inverted) does NOT
+#      compile, with thread-safety diagnostics.
+#
+# On compilers without the analysis (GCC: the VCD_* annotation macros are
+# no-ops and -Wthread-safety is unknown) the test exits 77, which ctest
+# maps to SKIPPED via SKIP_RETURN_CODE.
+set -u
+
+CXX="${1:?usage: $0 <c++-compiler> <repo-root>}"
+ROOT="${2:?usage: $0 <c++-compiler> <repo-root>}"
+DIR="$ROOT/tests/lint"
+FLAGS=(-std=c++20 -fsyntax-only "-I$ROOT/src"
+       -Wthread-safety -Wthread-safety-beta
+       -Werror=thread-safety -Werror=thread-safety-beta)
+
+probe_err=$("$CXX" "${FLAGS[@]}" "$DIR/lock_order_positive.cc" 2>&1)
+probe_rc=$?
+if [ $probe_rc -ne 0 ] && echo "$probe_err" | grep -qiE "unrecognized|unknown.*-Wthread-safety"; then
+  echo "SKIP: $CXX does not support -Wthread-safety (annotations are no-ops)"
+  exit 77
+fi
+if [ $probe_rc -ne 0 ]; then
+  echo "FAIL: correctly ordered control TU did not compile:"
+  echo "$probe_err"
+  exit 1
+fi
+
+neg_err=$("$CXX" "${FLAGS[@]}" "$DIR/lock_order_negative.cc" 2>&1)
+neg_rc=$?
+if [ $neg_rc -eq 0 ]; then
+  echo "FAIL: lock_order_negative.cc compiled — acquired_before/after checking is not firing"
+  exit 1
+fi
+if ! echo "$neg_err" | grep -q "thread-safety"; then
+  echo "FAIL: negative TU failed for a reason other than thread safety:"
+  echo "$neg_err"
+  exit 1
+fi
+
+echo "OK: ordering analysis fires (inverted acquisition rejected at compile time)"
+exit 0

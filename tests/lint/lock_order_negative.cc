@@ -1,0 +1,32 @@
+/// \file lock_order_negative.cc
+/// Negative-compile probe for the *static* half of the deadlock-freedom
+/// story (DESIGN.md §14): two mutexes with a declared acquisition order
+/// (`VCD_ACQUIRED_AFTER`), locked in the INVERTED order. Under Clang with
+/// `-Wthread-safety -Wthread-safety-beta -Werror=thread-safety
+///  -Werror=thread-safety-beta` this TU MUST fail to compile —
+/// acquired_before/after checking lives behind the -beta flag.
+///
+/// tests/lint/lock_order_compile_test.sh asserts exactly that (and skips
+/// on compilers without the analysis, where the macros are no-ops). If
+/// this file ever compiles under the lint build, ordering annotations have
+/// become decoration — fail the build.
+
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+vcd::Mutex control_mu{vcd::LockRank::kExecutorControl, "probe.control"};
+vcd::Mutex queue_mu VCD_ACQUIRED_AFTER(control_mu){vcd::LockRank::kQueue,
+                                                   "probe.queue"};
+
+int DrainInverted() {
+  vcd::MutexLock queue(queue_mu);      // BUG: inner taken first
+  vcd::MutexLock control(control_mu);  // BUG: outer acquired under inner
+  return 0;
+}
+
+}  // namespace
+
+int main() { return DrainInverted(); }

@@ -1,0 +1,31 @@
+/// \file lock_order_positive.cc
+/// Control for the lock-order negative-compile test: two mutexes with a
+/// declared acquisition order (`VCD_ACQUIRED_AFTER`), locked in that order.
+/// This TU must compile cleanly under
+/// `-Wthread-safety -Wthread-safety-beta -Werror=thread-safety
+///  -Werror=thread-safety-beta`; if it does not, the toolchain (not the
+/// tested code) is broken and tests/lint/lock_order_compile_test.sh fails
+/// loudly.
+///
+/// The ordering mirrors the real hierarchy (src/util/lock_rank.h): an
+/// outer "control" lock acquired before an inner "queue" lock.
+
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+vcd::Mutex control_mu{vcd::LockRank::kExecutorControl, "probe.control"};
+vcd::Mutex queue_mu VCD_ACQUIRED_AFTER(control_mu){vcd::LockRank::kQueue,
+                                                   "probe.queue"};
+
+int DrainUnderControl() {
+  vcd::MutexLock control(control_mu);  // outer first...
+  vcd::MutexLock queue(queue_mu);      // ...inner second: declared order
+  return 0;
+}
+
+}  // namespace
+
+int main() { return DrainUnderControl(); }

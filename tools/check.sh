@@ -1,26 +1,32 @@
 #!/usr/bin/env bash
-# Build + test matrix: plain, ThreadSanitizer, AddressSanitizer/UBSan, lint.
+# Build + test matrix: plain, ThreadSanitizer, AddressSanitizer,
+# UndefinedBehaviorSanitizer, lint.
 #
 # Usage:
 #   tools/check.sh           # run the full matrix
 #   tools/check.sh plain     # just the plain build + ctest
 #   tools/check.sh tsan      # just the TSan build + ctest
-#   tools/check.sh asan      # just the ASan/UBSan build + ctest
+#   tools/check.sh asan      # just the ASan build + ctest
+#   tools/check.sh ubsan     # just the UBSan build + ctest
+#                            # (-fno-sanitize-recover=all: any UB aborts)
 #   tools/check.sh lint      # just tools/lint.sh (tidy/format legs skip
 #                            # with a notice when the LLVM tools are absent)
 #   tools/check.sh faultfx   # -DVCD_FAULTFX=ON build + ctest: arms the
 #                            # fault-injection sites so the fault-matrix
 #                            # tests run instead of skipping
 #   tools/check.sh faultfx-tsan  # fault matrix under ThreadSanitizer
-#   tools/check.sh faultfx-asan  # fault matrix under ASan/UBSan
+#   tools/check.sh faultfx-asan  # fault matrix under ASan
 #   tools/check.sh obs       # -DVCD_OBS=OFF build + ctest: proves the
 #                            # instrumentation macros compile to no-ops and
 #                            # that every test still passes without them
 #
 # Sanitizer builds skip benches/examples (VCD_BUILD_BENCH/EXAMPLES=OFF) —
-# the tests are the contract; the benches are timing tools. The faultfx
-# sanitizer legs are not part of `all` (CI runs them as a separate job);
-# plain faultfx is.
+# the tests are the contract; the benches are timing tools. They also force
+# -DVCD_DEADLOCK_CHECK=ON (AUTO already resolves that way under a
+# sanitizer; the explicit flag keeps it true even if the default changes),
+# so every sanitizer run exercises the runtime lock-rank checker
+# (DESIGN.md §14). The faultfx sanitizer legs are not part of `all` (CI
+# runs them as a separate job); plain faultfx is.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,11 +50,17 @@ case "$MATRIX" in
   tsan|all)
     TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
       run_config tsan build-tsan -DVCD_SANITIZE=thread \
+        -DVCD_DEADLOCK_CHECK=ON \
         -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
   asan|all)
     ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
       run_config asan build-asan -DVCD_SANITIZE=address \
+        -DVCD_DEADLOCK_CHECK=ON \
+        -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
+  ubsan|all)
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+      run_config ubsan build-ubsan -DVCD_SANITIZE=undefined \
+        -DVCD_DEADLOCK_CHECK=ON \
         -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
   lint|all)
     echo "=== [lint] tools/lint.sh ==="
@@ -63,16 +75,15 @@ case "$MATRIX" in
   faultfx-tsan)
     TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
       run_config faultfx-tsan build-faultfx-tsan -DVCD_FAULTFX=ON \
-        -DVCD_SANITIZE=thread \
+        -DVCD_SANITIZE=thread -DVCD_DEADLOCK_CHECK=ON \
         -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
   faultfx-asan)
     ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
       run_config faultfx-asan build-faultfx-asan -DVCD_FAULTFX=ON \
-        -DVCD_SANITIZE=address \
+        -DVCD_SANITIZE=address -DVCD_DEADLOCK_CHECK=ON \
         -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
-  plain|tsan|asan|lint|faultfx|obs|faultfx-tsan|faultfx-asan|all) ;;
+  plain|tsan|asan|ubsan|lint|faultfx|obs|faultfx-tsan|faultfx-asan|all) ;;
   *) echo "unknown matrix entry: $MATRIX" \
-     "(want plain|tsan|asan|lint|faultfx|obs|faultfx-tsan|faultfx-asan|all)" >&2
+     "(want plain|tsan|asan|ubsan|lint|faultfx|obs|faultfx-tsan|faultfx-asan|all)" >&2
      exit 2 ;;
 esac

@@ -11,6 +11,8 @@
 # skipped with a notice (this container ships GCC only). The grep lint and
 # the thread-safety negative-compile probe need no LLVM tools and always run.
 # Override tool discovery with CLANG_TIDY=/path and CLANG_FORMAT=/path.
+# LINT_REQUIRE_TOOLS=1 turns a missing tool into a failure instead of a
+# skip — CI sets this so the tidy/format legs can never silently self-skip.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -174,6 +176,65 @@ run_grep_lint() {
     FAILED=1
   fi
 
+  # Rule 7 (vcd-annotated-mutex): no raw std synchronization primitives in
+  # library code — locking goes through vcd::Mutex/MutexLock/CondVar
+  # (src/util/mutex.h), which carry the TSA annotations and the runtime
+  # deadlock checker (DESIGN.md §14). Only mutex.h itself may name the std
+  # types (it wraps them). Annotate a deliberate exception with
+  # `NOLINT(vcd-annotated-mutex)` and a reason.
+  bad=$(grep -nE 'std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|unique_lock|scoped_lock|condition_variable)' \
+        $(find src -path src/util/mutex.h -prune -o \( -name '*.cc' -o -name '*.h' \) -print) \
+        | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(//|\*|///)' \
+        | grep -vE 'NOLINT\(vcd-annotated-mutex\)' || true)
+  if [ -n "$bad" ]; then
+    echo "FAIL: raw std:: synchronization primitive outside src/util/mutex.h" \
+         "(use vcd::Mutex/MutexLock/CondVar, or annotate" \
+         "NOLINT(vcd-annotated-mutex) with a reason):"
+    echo "$bad"
+    FAILED=1
+  fi
+
+  # Rule 8 (vcd-lock-rank): every vcd::Mutex declared in library code names
+  # its LockRank (and a human-readable name), so the runtime deadlock
+  # checker can order it. A bare `Mutex mu_;` silently defaults to kLeaf,
+  # which hides it from hierarchy review. The brace-init may wrap to the
+  # next line (VCD_ACQUIRED_AFTER between name and initializer). Annotate a
+  # deliberate exception with `NOLINT(vcd-lock-rank)` on the same or
+  # preceding line.
+  bad=$(awk '
+    /NOLINT\(vcd-lock-rank\)/ { skip_next = 1; next }
+    pending {
+      if ($0 !~ /LockRank::k/) {
+        printf "%s:%d: vcd::Mutex declared without a LockRank\n", pfile, pline
+        fail = 1
+      }
+      pending = 0
+    }
+    /(^|[ \t])Mutex[ \t]+[A-Za-z_]+/ && !/MutexLock|Mutex[ \t]*&|class[ \t]/ \
+      && !/^[ \t]*(\/\/|\*|\/\/\/)/ {
+      if (skip_next) { skip_next = 0; next }
+      if ($0 ~ /LockRank::k/) next
+      # Initializer may continue on the following line.
+      pending = 1; pline = FNR; pfile = FILENAME
+      next
+    }
+    { skip_next = 0 }
+    END {
+      if (pending) {
+        printf "%s:%d: vcd::Mutex declared without a LockRank\n", pfile, pline
+        fail = 1
+      }
+      exit fail
+    }
+  ' $(find src -path src/util/mutex.h -prune \
+        -o \( -name '*.cc' -o -name '*.h' \) -print) || true)
+  if [ -n "$bad" ]; then
+    echo "FAIL: vcd::Mutex declaration without a named LockRank (rank every" \
+         "lock per src/util/lock_rank.h, or annotate NOLINT(vcd-lock-rank)):"
+    echo "$bad"
+    FAILED=1
+  fi
+
   echo "=== [lint:grep] done ==="
 }
 
@@ -181,6 +242,11 @@ run_tidy() {
   local tidy
   tidy=$(find_tool "${CLANG_TIDY:-}" clang-tidy)
   if [ -z "$tidy" ]; then
+    if [ "${LINT_REQUIRE_TOOLS:-0}" = "1" ]; then
+      echo "=== [lint:tidy] FAIL: clang-tidy not found and LINT_REQUIRE_TOOLS=1 ==="
+      FAILED=1
+      return
+    fi
     echo "=== [lint:tidy] SKIPPED: clang-tidy not found (set CLANG_TIDY=...) ==="
     return
   fi
@@ -204,6 +270,11 @@ run_format() {
   local fmt
   fmt=$(find_tool "${CLANG_FORMAT:-}" clang-format)
   if [ -z "$fmt" ]; then
+    if [ "${LINT_REQUIRE_TOOLS:-0}" = "1" ]; then
+      echo "=== [lint:format] FAIL: clang-format not found and LINT_REQUIRE_TOOLS=1 ==="
+      FAILED=1
+      return
+    fi
     echo "=== [lint:format] SKIPPED: clang-format not found (set CLANG_FORMAT=...) ==="
     return
   fi
