@@ -8,10 +8,13 @@
 
 #include <mutex>  // NOLINT(vcd-annotated-mutex): baseline for the vcd::Mutex overhead pin
 
+#include <string>
+
 #include "core/detector.h"
 #include "util/logging.h"
 #include "index/hash_query_index.h"
 #include "sketch/bit_signature.h"
+#include "sketch/kernels/kernels.h"
 #include "sketch/minhash.h"
 #include "sketch/signature_pool.h"
 #include "util/mutex.h"
@@ -225,7 +228,7 @@ void BM_PoolOrRange(benchmark::State& state) {
   PoolBenchFixture f(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     f.pool.OrRange(f.dst.data(), f.src.data(), kPoolBenchSigs);
-    benchmark::DoNotOptimize(f.pool.words(f.dst[0]));
+    benchmark::DoNotOptimize(f.pool.word(f.dst[0], 0));
   }
 }
 BENCHMARK(BM_PoolOrRange)->Arg(100)->Arg(800)->Arg(3000);
@@ -311,7 +314,7 @@ void BM_PoolSignatureLifecycle(benchmark::State& state) {
   for (auto _ : state) {
     const auto h = pool.Allocate();
     pool.BuildFromSketches(h, a, q);
-    benchmark::DoNotOptimize(pool.words(h));
+    benchmark::DoNotOptimize(pool.word(h, 0));
     pool.Free(h);
   }
 }
@@ -373,6 +376,111 @@ void BM_VcdMutexLockUnlock(benchmark::State& state) {
 }
 BENCHMARK(BM_VcdMutexLockUnlock);
 
+// --- kernel dispatch ladder ------------------------------------------------
+// BM_Kernel<op>/<isa> runs the same batch kernel over a pool constructed
+// with each compiled-and-supported backend's ops table, so one run shows
+// the whole ladder (scalar → popcnt → avx2 → avx512) side by side.
+// Registered from main() — SupportedIsas() is a runtime CPU probe, not a
+// compile-time list, so these cannot be static BENCHMARK() instances.
+//
+// Unlike PoolBenchFixture (whose interleaved dst/src allocation exercises
+// the gather fallback), dst and src are each one consecutive ascending
+// handle run — the steady-state detector layout the run-detected aligned
+// fast path is built for.
+
+struct KernelBenchFixture {
+  sketch::SignaturePool pool;
+  std::vector<sketch::SignaturePool::Handle> dst;
+  std::vector<sketch::SignaturePool::Handle> src;
+  std::vector<int> eq, less;
+  std::vector<uint8_t> prune;
+
+  KernelBenchFixture(int k, const sketch::kernels::KernelOps* ops)
+      : pool(k, ops), eq(kPoolBenchSigs), less(kPoolBenchSigs),
+        prune(kPoolBenchSigs) {
+    auto fam = MinHashFamily::Create(k).value();
+    Sketcher sk(&fam);
+    Rng rng(13);
+    Sketch q = sk.FromSequence(RandomIds(&rng, 30));
+    for (size_t i = 0; i < kPoolBenchSigs; ++i) dst.push_back(pool.Allocate());
+    for (size_t i = 0; i < kPoolBenchSigs; ++i) src.push_back(pool.Allocate());
+    for (size_t i = 0; i < kPoolBenchSigs; ++i) {
+      pool.BuildFromSketches(dst[i], sk.FromSequence(RandomIds(&rng, 30)), q);
+      pool.BuildFromSketches(src[i], sk.FromSequence(RandomIds(&rng, 30)), q);
+    }
+  }
+};
+
+void BM_KernelNumEqualBatch(benchmark::State& state,
+                            const sketch::kernels::KernelOps* ops) {
+  KernelBenchFixture f(static_cast<int>(state.range(0)), ops);
+  for (auto _ : state) {
+    f.pool.NumEqualBatch(f.dst.data(), kPoolBenchSigs, f.eq.data(),
+                         f.less.data());
+    benchmark::DoNotOptimize(f.eq.data());
+  }
+}
+
+void BM_KernelOrRangeFused(benchmark::State& state,
+                           const sketch::kernels::KernelOps* ops) {
+  KernelBenchFixture f(static_cast<int>(state.range(0)), ops);
+  for (auto _ : state) {
+    f.pool.OrRange(f.dst.data(), f.src.data(), kPoolBenchSigs, f.less.data());
+    benchmark::DoNotOptimize(f.less.data());
+  }
+}
+
+void BM_KernelPruneScan(benchmark::State& state,
+                        const sketch::kernels::KernelOps* ops) {
+  KernelBenchFixture f(static_cast<int>(state.range(0)), ops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pool.PruneScan(f.dst.data(), kPoolBenchSigs,
+                                              0.7, f.prune.data()));
+  }
+}
+
+void BM_KernelBuildFromSketches(benchmark::State& state,
+                                const sketch::kernels::KernelOps* ops) {
+  const int k = static_cast<int>(state.range(0));
+  auto fam = MinHashFamily::Create(k).value();
+  Sketcher sk(&fam);
+  Rng rng(14);
+  Sketch a = sk.FromSequence(RandomIds(&rng, 30));
+  Sketch q = sk.FromSequence(RandomIds(&rng, 30));
+  sketch::SignaturePool pool(k, ops);
+  const auto h = pool.Allocate();
+  for (auto _ : state) {
+    pool.BuildFromSketches(h, a, q);
+    benchmark::DoNotOptimize(pool.word(h, 0));
+  }
+}
+
+void RegisterKernelLadder() {
+  using Fn = void (*)(benchmark::State&, const sketch::kernels::KernelOps*);
+  const struct { const char* name; Fn fn; } kOps[] = {
+      {"BM_KernelNumEqualBatch", &BM_KernelNumEqualBatch},
+      {"BM_KernelOrRangeFused", &BM_KernelOrRangeFused},
+      {"BM_KernelPruneScan", &BM_KernelPruneScan},
+      {"BM_KernelBuildFromSketches", &BM_KernelBuildFromSketches},
+  };
+  for (const auto& op : kOps) {
+    for (sketch::kernels::Isa isa : sketch::kernels::SupportedIsas()) {
+      const sketch::kernels::KernelOps* ops = sketch::kernels::OpsForIsa(isa);
+      const std::string name =
+          std::string(op.name) + "/" + sketch::kernels::IsaName(isa);
+      benchmark::RegisterBenchmark(name.c_str(), op.fn, ops)
+          ->Arg(100)->Arg(800)->Arg(3000);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RegisterKernelLadder();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -86,6 +86,29 @@ Status CopyDetector::AddQuerySketch(int id, sketch::Sketch sk, int length_frames
   queries_.push_back(std::move(rec));
   query_window_cap_.push_back(queries_.back().max_windows);
   id_to_ordinal_[id] = static_cast<int>(queries_.size()) - 1;
+  if (config_.use_pooled_kernels) {
+    // Structural bound for the flattened cross-candidate sweep: a chain
+    // holds at most global_max_windows_ + 1 live candidates, each carrying
+    // at most one signature per query. Reserving at subscription time keeps
+    // TestPooledBitSeqBatch allocation-free in steady state — stochastic
+    // pruning makes the flat total fluctuate, so a warmup high-water mark
+    // alone does not bound it.
+    const size_t bound =
+        static_cast<size_t>(global_max_windows_ + 1) * queries_.size();
+    scratch_.handle_buf.reserve(bound);
+    scratch_.eq_buf.reserve(bound);
+    scratch_.less_buf.reserve(bound);
+    // The union slow path of MergePooledBit only runs after a Lemma-2 prune
+    // desyncs a candidate's query set — an event warmup may never see, so
+    // these buffers cannot rely on a high-water mark. One entry per query
+    // bounds the merge union.
+    scratch_.merge_sigs.reserve(queries_.size());
+    scratch_.merge_or_idx.reserve(queries_.size());
+    scratch_.or_dst.reserve(queries_.size());
+    scratch_.or_src.reserve(queries_.size());
+    scratch_.or_less.reserve(queries_.size());
+    scratch_.merge_related.reserve(queries_.size());
+  }
   return Status::OK();
 }
 
@@ -457,6 +480,50 @@ void CopyDetector::InitPooledSketchCand(PooledSketchCand* c,
 
 void CopyDetector::MergePooledBit(PooledBitCand& older, const PooledBitCand& newer) {
   sketch::SignaturePool& pool = *sig_pool_;
+  // Fast path: at steady state both candidates usually track the same query
+  // set (always, without an index), making the union-merge the identity on
+  // older.sigs with every pair OR'd. Detect that with one cheap ordinal
+  // sweep and skip the merged-buffer bookkeeping — kernel call, prune
+  // decisions and stats are identical to the general path below.
+  bool same_queries = older.sigs.size() == newer.sigs.size();
+  for (size_t t = 0; same_queries && t < older.sigs.size(); ++t) {
+    same_queries = older.sigs[t].q == newer.sigs[t].q;
+  }
+  if (same_queries) {
+    const size_t n = older.sigs.size();
+    std::vector<sketch::SignaturePool::Handle>& dst = scratch_.or_dst;
+    std::vector<sketch::SignaturePool::Handle>& src = scratch_.or_src;
+    dst.clear();
+    src.clear();
+    for (size_t t = 0; t < n; ++t) {
+      dst.push_back(older.sigs[t].sig);
+      src.push_back(newer.sigs[t].sig);
+    }
+    stats_.bitsig_ors += static_cast<int64_t>(n);
+    if (!config_.enable_pruning) {
+      pool.OrRange(dst.data(), src.data(), n);
+    } else {
+      std::vector<int>& less = scratch_.or_less;
+      less.resize(n);
+      pool.OrRange(dst.data(), src.data(), n, less.data());
+      const double max_less =
+          static_cast<double>(config_.K) * (1.0 - config_.delta) + 1e-9;
+      size_t out = 0;
+      for (size_t t = 0; t < n; ++t) {
+        if (static_cast<double>(less[t]) > max_less) {
+          ++stats_.candidates_pruned;
+          pool.Free(older.sigs[t].sig);
+        } else {
+          older.sigs[out++] = older.sigs[t];
+        }
+      }
+      older.sigs.resize(out);
+    }
+    older.num_windows += newer.num_windows;
+    older.end_frame = newer.end_frame;
+    older.end_time = newer.end_time;
+    return;
+  }
   // Union-merge into the scratch buffer: common ordinals are queued for one
   // batched OrRange pass; newer-only entries are cloned (the newer candidate
   // keeps ownership of its own slots and is retired by its container).
@@ -548,6 +615,39 @@ bool CopyDetector::TestPooledBitCand(PooledBitCand& c) {
   eq.resize(n);
   less.resize(n);
   pool.NumEqualBatch(hs.data(), n, eq.data(), less.data());
+  return TestPooledBitCandCounted(c, eq.data(), less.data());
+}
+
+void CopyDetector::TestPooledBitSeqBatch() {
+  // Cross-candidate batched sweep for the sequential-bit order: flatten
+  // every live candidate's slot handles into ONE NumEqualBatch call — the
+  // SIMD backend evaluates 4–8 slots per vector pass and prefetches ahead
+  // across candidate boundaries — then run the per-candidate walks over the
+  // precomputed counts in the same order as the per-candidate path, so
+  // match emission, expiry and prune decisions are byte-identical.
+  sketch::SignaturePool& pool = *sig_pool_;
+  std::vector<sketch::SignaturePool::Handle>& hs = scratch_.handle_buf;
+  std::vector<int>& eq = scratch_.eq_buf;
+  std::vector<int>& less = scratch_.less_buf;
+  hs.clear();
+  pseq_bit_.ForEach([&](PooledBitCand& c) {
+    for (const PooledSigRef& s : c.sigs) hs.push_back(s.sig);
+  });
+  eq.resize(hs.size());
+  less.resize(hs.size());
+  pool.NumEqualBatch(hs.data(), hs.size(), eq.data(), less.data());
+  size_t off = 0;
+  pseq_bit_.ForEach([&](PooledBitCand& c) {
+    const size_t n = c.sigs.size();
+    TestPooledBitCandCounted(c, eq.data() + off, less.data() + off);
+    off += n;
+  });
+}
+
+bool CopyDetector::TestPooledBitCandCounted(PooledBitCand& c, const int* eq,
+                                            const int* less) {
+  sketch::SignaturePool& pool = *sig_pool_;
+  const size_t n = c.sigs.size();
   // Same arithmetic as BitSignature::SatisfiesLemma2 / Similarity.
   const double less_bound =
       static_cast<double>(config_.K) * (1.0 - config_.delta) + 1e-9;
@@ -750,7 +850,7 @@ void CopyDetector::ProcessWindowPooled(const stream::BasicWindow& window) {
         pseq_bit_.Step(global_max_windows_, init, merge, retire);
       }
       VCD_OBS_SPAN(metrics_.test_ns);
-      pseq_bit_.ForEach([&](PooledBitCand& c) { TestPooledBitCand(c); });
+      TestPooledBitSeqBatch();
       pseq_bit_.RemoveIf([](const PooledBitCand& c) { return c.sigs.empty(); },
                          retire);
     } else {

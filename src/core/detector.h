@@ -268,6 +268,15 @@ class CopyDetector {
   void MergePooledSketch(PooledSketchCand& older, const PooledSketchCand& newer);
   /// Mirror of TestBitCand using the NumEqualBatch slab kernel.
   bool TestPooledBitCand(PooledBitCand& c);
+  /// Sequential-order batched test sweep: one NumEqualBatch over the
+  /// flattened handles of every live candidate, then the per-candidate
+  /// walks in container order (byte-identical to calling TestPooledBitCand
+  /// per candidate, but the SIMD backend sees one long batch).
+  void TestPooledBitSeqBatch();
+  /// The per-candidate walk of TestPooledBitCand over precomputed
+  /// NumEqual/NumLess counts (c.sigs.size() entries each).
+  bool TestPooledBitCandCounted(PooledBitCand& c, const int* eq,
+                                const int* less);
   /// Mirror of TestSketchCand against sketch_pool_ slots.
   bool TestPooledSketchCand(PooledSketchCand& c);
   /// Clones pooled candidate \p src into retired shell \p dst (fresh pool

@@ -1,5 +1,8 @@
 #include "obs/pipeline_metrics.h"
 
+#include <atomic>
+
+#include "sketch/kernels/kernels.h"
 #include "util/faultfx.h"
 
 namespace vcd::obs {
@@ -133,6 +136,45 @@ void SyncFaultfxMetrics(MetricsRegistry* registry) {
       fires->Set(faultfx::Injector::Instance().fires(site));
     }
   }
+}
+
+void SyncKernelMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  namespace sk = vcd::sketch::kernels;
+  const sk::KernelOps& active = sk::ActiveOps();
+  for (int i = 0; i < sk::kNumIsa; ++i) {
+    const auto isa = static_cast<sk::Isa>(i);
+    if (!sk::IsaCompiled(isa)) continue;
+    Gauge* g = registry->RegisterGauge(
+        "vcd_kernel_active", "1 on the dispatched kernel ISA level",
+        {{"isa", sk::IsaName(isa)}});
+    g->Set(isa == active.isa ? 1 : 0);
+  }
+  const sk::KernelCounters& c = sk::Counters();
+  const auto sync = [registry](const char* kernel, uint64_t calls,
+                               uint64_t items) {
+    const std::vector<MetricLabel> labels = {{"kernel", kernel}};
+    registry
+        ->RegisterGauge("vcd_kernel_calls",
+                        "Kernel dispatches since process start", labels)
+        ->Set(static_cast<int64_t>(calls));
+    registry
+        ->RegisterGauge("vcd_kernel_items",
+                        "Slots/pairs processed by the kernel", labels)
+        ->Set(static_cast<int64_t>(items));
+  };
+  const auto load = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  sync("sig_or_range", load(c.or_range_calls), load(c.or_range_pairs));
+  sync("sig_num_equal_batch", load(c.num_equal_batch_calls),
+       load(c.num_equal_batch_sigs));
+  sync("sig_prune_scan", load(c.prune_scan_calls), load(c.prune_scan_calls));
+  sync("sig_build", load(c.build_calls), load(c.build_calls));
+  sync("sketch_combine_min", load(c.combine_min_calls),
+       load(c.combine_min_calls));
+  sync("sketch_num_equal", load(c.sketch_num_equal_calls),
+       load(c.sketch_num_equal_calls));
 }
 
 }  // namespace vcd::obs

@@ -87,4 +87,13 @@ struct ShardMetrics {
 /// faultfx is compiled out, so dashboards see the series either way.
 void SyncFaultfxMetrics(MetricsRegistry* registry);
 
+/// Publishes the SIMD kernel dispatch state into \p registry: which ISA
+/// backend is active (`vcd_kernel_active{isa=...}`, 1 on the chosen level,
+/// 0 on every other compiled level) and the process-global per-kernel call
+/// counts (`vcd_kernel_calls`/`vcd_kernel_items` labeled `kernel="<op>"`),
+/// as gauges mirroring the monotonic atomics in kernels::Counters(). Call
+/// at export time (vcdctl metrics and the bench metrics sample do); a
+/// no-op when \p registry is null.
+void SyncKernelMetrics(MetricsRegistry* registry);
+
 }  // namespace vcd::obs

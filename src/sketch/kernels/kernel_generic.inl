@@ -1,0 +1,120 @@
+// Generic (portable C++) implementations of every KernelOps entry.
+//
+// This file is included INSIDE a per-ISA namespace by each kernel TU, after
+// defining VCD_KERNEL_PREFETCH to 0 or 1. Each TU is compiled with its own
+// ISA flags (-mpopcnt, -mavx2, …), so the same source lowers differently
+// per level: std::popcount becomes the POPCNT instruction where the TU may
+// assume it, and the plain word loops autovectorize to the TU's vector
+// width. TUs with hand-written intrinsics (AVX2/AVX-512) override the hot
+// batch entries and fall back to these for the rest — and for batch tails.
+//
+// The scalar TU includes this with VCD_KERNEL_PREFETCH=0 and no ISA flags:
+// that instantiation is the property-tested reference every other level is
+// fuzzed against (byte-identical slabs, identical counts).
+//
+// Expects to be included after <bit>, <algorithm>, <cstddef>, <cstdint> and
+// "sketch/kernels/kernels.h".
+
+inline constexpr uint64_t kOddMaskGeneric = 0xAAAAAAAAAAAAAAAAULL;
+
+inline void SigOrRange(uint64_t* slab, size_t stride, const uint32_t* dst,
+                       const uint32_t* src, size_t n, int* num_less_out) {
+  for (size_t i = 0; i < n; ++i) {
+#if VCD_KERNEL_PREFETCH
+    if (i + 4 < n) {
+      __builtin_prefetch(slab + WordIndex(stride, dst[i + 4], 0), 1);
+      __builtin_prefetch(slab + WordIndex(stride, src[i + 4], 0), 0);
+    }
+#endif
+    uint64_t* d = slab + WordIndex(stride, dst[i], 0);
+    const uint64_t* s = slab + WordIndex(stride, src[i], 0);
+    if (num_less_out == nullptr) {
+      for (size_t w = 0; w < stride; ++w) {
+        d[w * kLanes] |= s[w * kLanes];
+      }
+    } else {
+      int odd = 0;
+      for (size_t w = 0; w < stride; ++w) {
+        const uint64_t v = d[w * kLanes] | s[w * kLanes];
+        d[w * kLanes] = v;
+        odd += std::popcount(v & kOddMaskGeneric);
+      }
+      num_less_out[i] = odd;
+    }
+  }
+}
+
+inline void SigNumEqualBatch(const uint64_t* slab, size_t stride,
+                             const uint32_t* hs, size_t n, int* num_equal,
+                             int* num_less) {
+  for (size_t i = 0; i < n; ++i) {
+#if VCD_KERNEL_PREFETCH
+    if (i + 8 < n) {
+      __builtin_prefetch(slab + WordIndex(stride, hs[i + 8], 0), 0);
+    }
+#endif
+    const uint64_t* w = slab + WordIndex(stride, hs[i], 0);
+    int total = 0, odd = 0;
+    for (size_t j = 0; j < stride; ++j) {
+      total += std::popcount(w[j * kLanes]);
+      odd += std::popcount(w[j * kLanes] & kOddMaskGeneric);
+    }
+    // even = total - odd, so NumEqual = even - odd = total - 2*odd.
+    if (num_equal != nullptr) num_equal[i] = total - 2 * odd;
+    if (num_less != nullptr) num_less[i] = odd;
+  }
+}
+
+inline size_t SigPruneScan(const uint64_t* slab, size_t stride,
+                           const uint32_t* hs, size_t n, int max_less,
+                           uint8_t* prune) {
+  size_t pruned = 0;
+  for (size_t i = 0; i < n; ++i) {
+#if VCD_KERNEL_PREFETCH
+    if (i + 8 < n) {
+      __builtin_prefetch(slab + WordIndex(stride, hs[i + 8], 0), 0);
+    }
+#endif
+    const uint64_t* w = slab + WordIndex(stride, hs[i], 0);
+    int odd = 0;
+    for (size_t j = 0; j < stride; ++j) {
+      odd += std::popcount(w[j * kLanes] & kOddMaskGeneric);
+    }
+    const uint8_t p = odd > max_less ? 1 : 0;
+    prune[i] = p;
+    pruned += p;
+  }
+  return pruned;
+}
+
+inline void SigBuild(uint64_t* slot, const uint64_t* cand,
+                     const uint64_t* query, int k) {
+  const size_t nwords = (static_cast<size_t>(2 * k) + 63) / 64;
+  // Accumulate each 64-bit word (32 rank pairs) in a register and store it
+  // once, instead of a slab read-modify-write per rank.
+  int r = 0;
+  for (size_t w = 0; w < nwords; ++w) {
+    uint64_t acc = 0;
+    const int r_end = std::min(k, r + 32);
+    for (int shift = 0; r < r_end; ++r, shift += 2) {
+      const uint64_t cv = cand[r];
+      const uint64_t qv = query[r];
+      acc |= (static_cast<uint64_t>(cv <= qv) |
+              (static_cast<uint64_t>(cv < qv) << 1))
+             << shift;
+    }
+    slot[w * kLanes] = acc;
+  }
+}
+
+inline void SketchCombineMin(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = src[i] < dst[i] ? src[i] : dst[i];
+  }
+}
+
+inline int SketchNumEqual(const uint64_t* a, const uint64_t* b, size_t n) {
+  int count = 0;
+  for (size_t i = 0; i < n; ++i) count += (a[i] == b[i]);
+  return count;
+}

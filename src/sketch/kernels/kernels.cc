@@ -1,0 +1,147 @@
+#include "sketch/kernels/kernels.h"
+
+#include <string>
+
+#include "util/check.h"
+#include "util/cpu.h"
+
+namespace vcd::sketch::kernels {
+
+namespace {
+
+// Names indexed by Isa. Keep in sync with the enum.
+constexpr const char* kIsaNames[kNumIsa] = {"scalar", "popcnt", "avx2",
+                                            "avx512", "neon"};
+
+std::string ValidIsaList() {
+  std::string out;
+  for (int i = 0; i < kNumIsa; ++i) {
+    if (i > 0) out += "|";
+    out += kIsaNames[i];
+  }
+  return out;
+}
+
+std::atomic<const KernelOps*> g_active{nullptr};
+
+const KernelOps* ResolveFromEnv() {
+  const auto env = util::GetEnv("VCD_KERNEL_ISA");
+  if (!env.has_value()) return OpsForIsa(BestSupportedIsa());
+  // A forced level must take effect or fail loudly: a CI matrix leg that
+  // silently fell back to another backend would test nothing.
+  Isa isa;
+  VCD_CHECK(ParseIsa(*env, &isa),
+            "VCD_KERNEL_ISA=\"" << *env << "\" is not a kernel ISA (want "
+                                << ValidIsaList() << ")");
+  const KernelOps* ops = OpsForIsa(isa);
+  VCD_CHECK(ops != nullptr, "VCD_KERNEL_ISA=" << *env
+                                              << " is not supported by this "
+                                                 "CPU/build");
+  return ops;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  const int i = static_cast<int>(isa);
+  VCD_CHECK(i >= 0 && i < kNumIsa, "bad Isa value " << i);
+  return kIsaNames[i];
+}
+
+bool ParseIsa(std::string_view name, Isa* out) {
+  for (int i = 0; i < kNumIsa; ++i) {
+    if (name == kIsaNames[i]) {
+      *out = static_cast<Isa>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsaCompiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return GetScalarOps() != nullptr;
+    case Isa::kPopcnt: return GetPopcntOps() != nullptr;
+    case Isa::kAvx2: return GetAvx2Ops() != nullptr;
+    case Isa::kAvx512: return GetAvx512Ops() != nullptr;
+    case Isa::kNeon: return GetNeonOps() != nullptr;
+  }
+  return false;
+}
+
+bool IsaSupported(Isa isa) {
+  if (!IsaCompiled(isa)) return false;
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kPopcnt: return util::CpuHasPopcnt();
+    case Isa::kAvx2: return util::CpuHasAvx2();
+    case Isa::kAvx512: return util::CpuHasAvx512Kernels();
+    case Isa::kNeon: return util::CpuHasNeon();
+  }
+  return false;
+}
+
+std::vector<Isa> SupportedIsas() {
+  std::vector<Isa> out;
+  for (int i = 0; i < kNumIsa; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (IsaSupported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+Isa BestSupportedIsa() {
+  Isa best = Isa::kScalar;
+  for (int i = 0; i < kNumIsa; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    if (IsaSupported(isa)) best = isa;
+  }
+  return best;
+}
+
+const KernelOps* OpsForIsa(Isa isa) {
+  if (!IsaSupported(isa)) return nullptr;
+  switch (isa) {
+    case Isa::kScalar: return GetScalarOps();
+    case Isa::kPopcnt: return GetPopcntOps();
+    case Isa::kAvx2: return GetAvx2Ops();
+    case Isa::kAvx512: return GetAvx512Ops();
+    case Isa::kNeon: return GetNeonOps();
+  }
+  return nullptr;
+}
+
+const KernelOps& ActiveOps() {
+  const KernelOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // Benign race: ResolveFromEnv is deterministic, so concurrent first
+    // callers store the same pointer.
+    ops = ResolveFromEnv();
+    g_active.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+Status ForceIsa(std::string_view name) {
+  Isa isa;
+  if (!ParseIsa(name, &isa)) {
+    return Status::InvalidArgument("unknown kernel ISA \"" +
+                                   std::string(name) + "\" (want " +
+                                   ValidIsaList() + ")");
+  }
+  const KernelOps* ops = OpsForIsa(isa);
+  if (ops == nullptr) {
+    return Status::FailedPrecondition(
+        "kernel ISA \"" + std::string(name) +
+        "\" is not supported by this CPU/build");
+  }
+  g_active.store(ops, std::memory_order_release);
+  return Status::OK();
+}
+
+KernelCounters& Counters() {
+  static KernelCounters counters;
+  return counters;
+}
+
+}  // namespace vcd::sketch::kernels

@@ -1,6 +1,7 @@
 #include "sketch/signature_pool.h"
 
-#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <string>
 
 #include "util/bit_util.h"
@@ -11,33 +12,13 @@ namespace vcd::sketch {
 namespace {
 constexpr uint64_t kEvenMask = 0x5555555555555555ULL;
 constexpr uint64_t kOddMask = 0xAAAAAAAAAAAAAAAAULL;
+using kernels::kLanes;
 }  // namespace
 
-// The popcount-heavy kernels are multiversioned: the baseline x86-64 target
-// lowers std::popcount to a ~12-op SWAR sequence, while the "popcnt" clone
-// uses the single hardware instruction (picked at load time via ifunc).
-// This is the payoff of centralizing the kernels in the pool: one site to
-// specialize instead of every per-object call.
-//
-// Sanitizer builds disable the clones: the ifunc resolvers target_clones
-// emits run before the TSan/ASan runtime is initialized and crash at load.
-#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
-#define VCD_NO_TARGET_CLONES 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
-#define VCD_NO_TARGET_CLONES 1
-#endif
-#endif
-
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
-    !defined(VCD_NO_TARGET_CLONES)
-#define VCD_POPCNT_CLONES __attribute__((target_clones("default", "popcnt")))
-#else
-#define VCD_POPCNT_CLONES
-#endif
-
-SignaturePool::SignaturePool(int k)
-    : k_(k), stride_((static_cast<size_t>(2 * k) + 63) / 64) {
+SignaturePool::SignaturePool(int k, const kernels::KernelOps* ops)
+    : k_(k),
+      stride_((static_cast<size_t>(2 * k) + 63) / 64),
+      ops_(ops != nullptr ? ops : &kernels::ActiveOps()) {
   VCD_CHECK(k >= 1, "SignaturePool needs K >= 1");
 }
 
@@ -46,10 +27,14 @@ SignaturePool::Handle SignaturePool::Allocate() {
   if (!free_.empty()) {
     h = free_.back();
     free_.pop_back();
-    std::fill_n(words(h), stride_, 0);
+    for (size_t w = 0; w < stride_; ++w) word(h, w) = 0;
   } else {
     h = static_cast<Handle>(live_.size());
-    slab_.resize(slab_.size() + stride_, 0);
+    if (h % kLanes == 0) {
+      // New lane block: one stride×8 chunk, zero-filled. Slots of a
+      // partially used block stay zero until their first Allocate.
+      slab_.resize(slab_.size() + stride_ * kLanes);
+    }
     live_.push_back(0);
   }
   live_[h] = 1;
@@ -67,113 +52,81 @@ void SignaturePool::Free(Handle h) {
 SignaturePool::Handle SignaturePool::Clone(Handle src) {
   VCD_DCHECK(IsLive(src), "SignaturePool::Clone of a non-live handle");
   const Handle h = Allocate();
-  // Allocate never moves slot memory for an existing handle, but it may
-  // reallocate the slab itself — re-resolve both pointers after it.
-  std::copy_n(words(src), stride_, words(h));
+  // Allocate never moves slot contents for an existing handle, but it may
+  // reallocate the slab itself — only address the slab after it.
+  for (size_t w = 0; w < stride_; ++w) word(h, w) = word(src, w);
   return h;
 }
 
 void SignaturePool::BuildFromSketches(Handle h, const Sketch& cand,
                                       const Sketch& query) {
   VCD_DCHECK(cand.K() == k_ && query.K() == k_, "sketch K mismatch");
-  uint64_t* w = words(h);
-  const uint64_t* cm = cand.mins.data();
-  const uint64_t* qm = query.mins.data();
-  // Accumulate each 64-bit word (32 rank pairs) in a register and store it
-  // once, instead of a slab read-modify-write per rank.
-  int r = 0;
-  for (size_t wi = 0; wi < stride_; ++wi) {
-    uint64_t acc = 0;
-    const int r_end = std::min(k_, r + 32);
-    for (int shift = 0; r < r_end; ++r, shift += 2) {
-      const uint64_t cv = cm[r];
-      const uint64_t qv = qm[r];
-      acc |= (static_cast<uint64_t>(cv <= qv) |
-              (static_cast<uint64_t>(cv < qv) << 1))
-             << shift;
-    }
-    w[wi] = acc;
-  }
+  kernels::Counters().build_calls.fetch_add(1, std::memory_order_relaxed);
+  ops_->sig_build(slab_.data() + kernels::WordIndex(stride_, h, 0),
+                  cand.mins.data(), query.mins.data(), k_);
 }
 
-VCD_POPCNT_CLONES
 int SignaturePool::NumEqual(Handle h) const {
-  const uint64_t* w = words(h);
   int total = 0, odd = 0;
-  for (size_t i = 0; i < stride_; ++i) {
-    total += PopCount64(w[i]);
-    odd += PopCount64(w[i] & kOddMask);
+  for (size_t w = 0; w < stride_; ++w) {
+    const uint64_t v = word(h, w);
+    total += PopCount64(v);
+    odd += PopCount64(v & kOddMask);
   }
   return total - 2 * odd;  // even - odd, with even = total - odd
 }
 
-VCD_POPCNT_CLONES
 int SignaturePool::NumLess(Handle h) const {
-  const uint64_t* w = words(h);
   int odd = 0;
-  for (size_t i = 0; i < stride_; ++i) odd += PopCount64(w[i] & kOddMask);
+  for (size_t w = 0; w < stride_; ++w) odd += PopCount64(word(h, w) & kOddMask);
   return odd;
 }
 
-VCD_POPCNT_CLONES
+BitSignature SignaturePool::ToBitSignature(Handle h) const {
+  // Gather the lane-strided words into a contiguous scratch first
+  // (debug/reference path; allocation is fine here).
+  std::vector<uint64_t> contiguous(stride_);
+  for (size_t w = 0; w < stride_; ++w) contiguous[w] = word(h, w);
+  return BitSignature::FromRawWords(k_, contiguous.data(), stride_);
+}
+
 void SignaturePool::OrRange(const Handle* dst, const Handle* src, size_t n,
                             int* num_less_out) {
-  if (num_less_out == nullptr) {
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t* d = words(dst[i]);
-      const uint64_t* s = words(src[i]);
-      for (size_t w = 0; w < stride_; ++w) d[w] |= s[w];
-    }
-    return;
-  }
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t* d = words(dst[i]);
-    const uint64_t* s = words(src[i]);
-    int odd = 0;
-    for (size_t w = 0; w < stride_; ++w) {
-      const uint64_t v = d[w] | s[w];
-      d[w] = v;
-      odd += PopCount64(v & kOddMask);
-    }
-    num_less_out[i] = odd;
-  }
+  auto& counters = kernels::Counters();
+  counters.or_range_calls.fetch_add(1, std::memory_order_relaxed);
+  counters.or_range_pairs.fetch_add(n, std::memory_order_relaxed);
+  ops_->sig_or_range(slab_.data(), stride_, dst, src, n, num_less_out);
 }
 
-VCD_POPCNT_CLONES
 void SignaturePool::NumEqualBatch(const Handle* hs, size_t n, int* num_equal,
                                   int* num_less) const {
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t* w = words(hs[i]);
-    int total = 0, odd = 0;
-    for (size_t j = 0; j < stride_; ++j) {
-      total += PopCount64(w[j]);
-      odd += PopCount64(w[j] & kOddMask);
-    }
-    // even = total - odd, so NumEqual = even - odd = total - 2*odd.
-    if (num_equal != nullptr) num_equal[i] = total - 2 * odd;
-    if (num_less != nullptr) num_less[i] = odd;
-  }
+  auto& counters = kernels::Counters();
+  counters.num_equal_batch_calls.fetch_add(1, std::memory_order_relaxed);
+  counters.num_equal_batch_sigs.fetch_add(n, std::memory_order_relaxed);
+  ops_->sig_num_equal_batch(slab_.data(), stride_, hs, n, num_equal, num_less);
 }
 
-VCD_POPCNT_CLONES
 size_t SignaturePool::PruneScan(const Handle* hs, size_t n, double delta,
                                 uint8_t* prune) const {
-  const double max_less = static_cast<double>(k_) * (1.0 - delta) + 1e-9;
-  size_t pruned = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t* w = words(hs[i]);
-    int odd = 0;
-    for (size_t j = 0; j < stride_; ++j) odd += PopCount64(w[j] & kOddMask);
-    const uint8_t p = static_cast<double>(odd) > max_less ? 1 : 0;
-    prune[i] = p;
-    pruned += p;
-  }
-  return pruned;
+  kernels::Counters().prune_scan_calls.fetch_add(1, std::memory_order_relaxed);
+  // Prune iff odd > K(1−δ)+1e-9. odd is integral, so the double comparison
+  // is equivalent to the exact integer comparison odd > ⌊K(1−δ)+1e-9⌋ —
+  // pre-flooring here keeps every ISA level bit-exact.
+  const double max_less_d = static_cast<double>(k_) * (1.0 - delta) + 1e-9;
+  const int max_less = static_cast<int>(std::floor(max_less_d));
+  return ops_->sig_prune_scan(slab_.data(), stride_, hs, n, max_less, prune);
 }
 
 Status SignaturePool::Validate() const {
-  if (slab_.size() != live_.size() * stride_) {
-    return Status::Internal("SignaturePool: slab size != capacity * stride");
+  if (reinterpret_cast<uintptr_t>(slab_.data()) %
+          util::AlignedWordBuf::kAlignBytes !=
+      0) {
+    return Status::Internal("SignaturePool: slab not 64-byte aligned");
+  }
+  const size_t blocks = (live_.size() + kLanes - 1) / kLanes;
+  if (slab_.size() != blocks * stride_ * kLanes) {
+    return Status::Internal(
+        "SignaturePool: slab size != lane blocks * stride * 8");
   }
   std::vector<uint8_t> on_free_list(live_.size(), 0);
   for (Handle h : free_) {
@@ -206,15 +159,16 @@ Status SignaturePool::Validate() const {
       tail_bits == 0 ? ~uint64_t{0} : (uint64_t{1} << tail_bits) - 1;
   for (size_t h = 0; h < live_.size(); ++h) {
     if (live_[h] == 0) continue;
-    const uint64_t* w = words(static_cast<Handle>(h));
-    for (size_t j = 0; j < stride_; ++j) {
+    const Handle hh = static_cast<Handle>(h);
+    for (size_t w = 0; w < stride_; ++w) {
+      const uint64_t v = word(hh, w);
       // Odd (2r+1) bit set while its even (2r) partner is clear.
-      if (((w[j] >> 1) & ~w[j] & kEvenMask) != 0) {
+      if (((v >> 1) & ~v & kEvenMask) != 0) {
         return Status::Internal("SignaturePool: impossible (0,1) pair in slot " +
                                 std::to_string(h));
       }
     }
-    if ((w[stride_ - 1] & ~tail_mask) != 0) {
+    if ((word(hh, stride_ - 1) & ~tail_mask) != 0) {
       return Status::Internal("SignaturePool: nonzero tail bits in slot " +
                               std::to_string(h));
     }

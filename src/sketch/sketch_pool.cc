@@ -8,7 +8,10 @@
 
 namespace vcd::sketch {
 
-SketchPool::SketchPool(int k) : k_(k), stride_(static_cast<size_t>(k)) {
+SketchPool::SketchPool(int k, const kernels::KernelOps* ops)
+    : k_(k),
+      stride_(static_cast<size_t>(k)),
+      ops_(ops != nullptr ? ops : &kernels::ActiveOps()) {
   VCD_CHECK(k >= 1, "SketchPool needs K >= 1");
 }
 
@@ -47,11 +50,9 @@ void SketchPool::Copy(Handle dst, Handle src) {
 
 int SketchPool::NumEqualAgainst(Handle h, const Sketch& query) const {
   VCD_DCHECK(query.K() == k_, "sketch K mismatch");
-  const uint64_t* a = mins(h);
-  const uint64_t* b = query.mins.data();
-  int n = 0;
-  for (size_t i = 0; i < stride_; ++i) n += (a[i] == b[i]);
-  return n;
+  kernels::Counters().sketch_num_equal_calls.fetch_add(
+      1, std::memory_order_relaxed);
+  return ops_->sketch_num_equal(mins(h), query.mins.data(), stride_);
 }
 
 Sketch SketchPool::ToSketch(Handle h) const {
@@ -61,6 +62,11 @@ Sketch SketchPool::ToSketch(Handle h) const {
 }
 
 Status SketchPool::Validate() const {
+  if (reinterpret_cast<uintptr_t>(slab_.data()) %
+          util::AlignedWordBuf::kAlignBytes !=
+      0) {
+    return Status::Internal("SketchPool: slab not 64-byte aligned");
+  }
   if (slab_.size() != live_.size() * stride_) {
     return Status::Internal("SketchPool: slab size != capacity * stride");
   }

@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "sketch/kernels/kernels.h"
 #include "sketch/minhash.h"
+#include "util/aligned_buffer.h"
 #include "util/status.h"
 
 /// \file sketch_pool.h
@@ -11,10 +13,15 @@
 /// raw-sketch counterpart of `SignaturePool`.
 ///
 /// Each slot is one candidate sketch: K contiguous `uint64_t` min values at
-/// a fixed stride inside a single slab. Handles are slot indices, so slab
-/// growth and slot reuse never invalidate live handles, and the free-list
-/// makes candidate expiry allocation-free. The combine kernel is the
-/// strided element-wise minimum of Property 1.
+/// a fixed stride inside a single 64-byte-aligned slab. Handles are slot
+/// indices, so slab growth and slot reuse never invalidate live handles,
+/// and the free-list makes candidate expiry allocation-free. The combine
+/// kernel is the element-wise minimum of Property 1, dispatched through the
+/// SIMD backend (DESIGN.md §15).
+///
+/// Unlike the signature slab, sketch slots stay contiguous (AoS): every
+/// sketch op touches all K words of one slot, so lane-blocking would
+/// spread a single combine over K cache lines instead of K/8.
 
 namespace vcd::sketch {
 
@@ -26,10 +33,13 @@ class SketchPool {
   static constexpr Handle kInvalidHandle = UINT32_MAX;
 
   /// Creates an empty pool for sketches of \p k hash functions (k ≥ 1).
-  explicit SketchPool(int k);
+  /// \p ops overrides the kernel backend (process-wide default when null).
+  explicit SketchPool(int k, const kernels::KernelOps* ops = nullptr);
 
   /// Number of hash functions K.
   int K() const { return k_; }
+  /// The kernel backend this pool dispatches to.
+  const kernels::KernelOps& ops() const { return *ops_; }
   /// Total slots ever created (live + free).
   size_t capacity() const { return live_.size(); }
   /// Currently allocated slots.
@@ -57,13 +67,11 @@ class SketchPool {
   void Copy(Handle dst, Handle src);
 
   /// Element-wise minimum of \p src into \p dst (Property 1 combine) —
-  /// one strided pass, no per-object indirection.
+  /// one contiguous pass through the SIMD backend.
   void CombineMin(Handle dst, Handle src) {
-    uint64_t* d = mins(dst);
-    const uint64_t* s = mins(src);
-    for (size_t i = 0; i < stride_; ++i) {
-      if (s[i] < d[i]) d[i] = s[i];
-    }
+    kernels::Counters().combine_min_calls.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    ops_->sketch_combine_min(mins(dst), mins(src), stride_);
   }
 
   /// Number of positions where slot \p h equals scalar sketch \p query
@@ -78,15 +86,16 @@ class SketchPool {
   /// Materializes slot \p h as a scalar Sketch (reference/debug path).
   Sketch ToSketch(Handle h) const;
 
-  /// \brief Structural invariant check: free-list handles in range, flagged
-  /// free and listed exactly once; every freed slot reachable from the
-  /// free-list; live count consistent.
+  /// \brief Structural invariant check: 64-byte slab alignment, free-list
+  /// handles in range, flagged free and listed exactly once; every freed
+  /// slot reachable from the free-list; live count consistent.
   Status Validate() const;
 
  private:
   int k_;
   size_t stride_;
-  std::vector<uint64_t> slab_;
+  const kernels::KernelOps* ops_;
+  util::AlignedWordBuf slab_;
   std::vector<Handle> free_;
   std::vector<uint8_t> live_;
   size_t live_count_ = 0;

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <utility>
+
+/// \file aligned_buffer.h
+/// A growable `uint64_t` buffer whose storage is always 64-byte (cache-line)
+/// aligned.
+///
+/// `std::vector` gives no alignment guarantee beyond `alignof(uint64_t)`,
+/// which is not enough for the SoA signature slabs: the SIMD kernels
+/// (DESIGN.md §15) rely on every 8-lane word row starting on its own cache
+/// line, and `SignaturePool::Validate` asserts the invariant. Growth is
+/// amortized (capacity doubling) and newly exposed words are zero-filled,
+/// matching the `std::vector<uint64_t>::resize(n, 0)` semantics the pools
+/// were written against. The buffer never shrinks its capacity.
+
+namespace vcd::util {
+
+/// \brief 64-byte-aligned growable array of `uint64_t`.
+class AlignedWordBuf {
+ public:
+  /// Alignment of `data()`, in bytes. One x86 cache line.
+  static constexpr size_t kAlignBytes = 64;
+
+  AlignedWordBuf() = default;
+  AlignedWordBuf(const AlignedWordBuf&) = delete;
+  AlignedWordBuf& operator=(const AlignedWordBuf&) = delete;
+
+  AlignedWordBuf(AlignedWordBuf&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        cap_(std::exchange(other.cap_, 0)) {}
+
+  AlignedWordBuf& operator=(AlignedWordBuf&& other) noexcept {
+    if (this != &other) {
+      Release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      cap_ = std::exchange(other.cap_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedWordBuf() { Release(); }
+
+  /// Number of valid words.
+  size_t size() const { return size_; }
+  /// Words allocated (size() ≤ capacity()).
+  size_t capacity() const { return cap_; }
+  /// 64-byte-aligned storage (nullptr when capacity() == 0).
+  uint64_t* data() { return data_; }
+  /// \copydoc data
+  const uint64_t* data() const { return data_; }
+
+  /// Grows (or logically shrinks) to \p n words. Newly exposed words are
+  /// zero. Growth may move the storage; capacity never shrinks.
+  void resize(size_t n) {
+    if (n > cap_) Grow(n);
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(uint64_t));
+    size_ = n;
+  }
+
+ private:
+  void Grow(size_t n) {
+    size_t cap = cap_ == 0 ? 64 : cap_ * 2;
+    if (cap < n) cap = n;
+    auto* grown = static_cast<uint64_t*>(
+        ::operator new(cap * sizeof(uint64_t), std::align_val_t{kAlignBytes}));
+    if (size_ > 0) std::memcpy(grown, data_, size_ * sizeof(uint64_t));
+    Release();
+    data_ = grown;
+    cap_ = cap;
+  }
+
+  void Release() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignBytes});
+      data_ = nullptr;
+    }
+    cap_ = 0;
+  }
+
+  uint64_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = 0;
+};
+
+}  // namespace vcd::util

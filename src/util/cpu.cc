@@ -1,0 +1,48 @@
+#include "util/cpu.h"
+
+#include <cstdlib>
+
+namespace vcd::util {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+bool CpuHasPopcnt() { return __builtin_cpu_supports("popcnt"); }
+
+bool CpuHasAvx2() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt");
+}
+
+bool CpuHasAvx512Kernels() {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+}
+
+bool CpuHasNeon() { return false; }
+
+#elif defined(__aarch64__)
+
+bool CpuHasPopcnt() { return false; }
+bool CpuHasAvx2() { return false; }
+bool CpuHasAvx512Kernels() { return false; }
+// Advanced SIMD is architecturally mandatory on AArch64.
+bool CpuHasNeon() { return true; }
+
+#else
+
+bool CpuHasPopcnt() { return false; }
+bool CpuHasAvx2() { return false; }
+bool CpuHasAvx512Kernels() { return false; }
+bool CpuHasNeon() { return false; }
+
+#endif
+
+std::optional<std::string> GetEnv(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+}  // namespace vcd::util

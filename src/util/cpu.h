@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+/// \file cpu.h
+/// Runtime CPU feature detection and environment lookup for the SIMD kernel
+/// dispatcher (DESIGN.md §15).
+///
+/// The queries wrap `__builtin_cpu_supports` on x86-64 GCC/Clang and answer
+/// false everywhere else, so callers can probe unconditionally. Each ISA
+/// predicate requires *every* subfeature the corresponding kernel TU is
+/// compiled with — e.g. `CpuHasAvx512Kernels` demands F/BW/VL/DQ plus
+/// VPOPCNTDQ, not bare AVX-512F — so "supported" always means "this binary's
+/// kernel for that level can execute".
+
+namespace vcd::util {
+
+/// True if the CPU executes the POPCNT instruction.
+bool CpuHasPopcnt();
+
+/// True if the CPU executes AVX2 (and POPCNT, which the AVX2 kernel TU also
+/// assumes).
+bool CpuHasAvx2();
+
+/// True if the CPU executes the AVX-512 subset the kernel TU is built with:
+/// F + BW + VL + DQ + VPOPCNTDQ.
+bool CpuHasAvx512Kernels();
+
+/// True when compiled for AArch64 with NEON (Advanced SIMD is baseline
+/// there, so this is a compile-time fact).
+bool CpuHasNeon();
+
+/// Returns the value of environment variable \p name, or nullopt when it is
+/// unset. An empty string counts as set.
+std::optional<std::string> GetEnv(const char* name);
+
+}  // namespace vcd::util

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/detector.h"
+#include "sketch/kernels/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -176,6 +177,42 @@ std::vector<PooledEquivCase> AllCases() {
 
 INSTANTIATE_TEST_SUITE_P(AllConfigs, PooledEquivalenceTest,
                          ::testing::ValuesIn(AllCases()), CaseName);
+
+/// The kernel-ISA axis: the pooled path must stay byte-identical to the
+/// scalar reference under EVERY kernel backend this host supports, not
+/// just the default dispatch pick. `ForceIsa` only affects pools built
+/// afterwards, so each iteration re-runs the full schedule with freshly
+/// created detectors. (CI additionally forces levels process-wide via
+/// VCD_KERNEL_ISA matrix legs; this covers whatever the host has in one
+/// run.)
+TEST(PooledKernelIsaEquivalenceTest, EveryIsaMatchesScalarByteExactly) {
+  namespace sk = vcd::sketch::kernels;
+  const std::string original = sk::ActiveOps().name;
+  for (Representation rep :
+       {Representation::kBit, Representation::kSketch}) {
+    DetectorConfig config = BaseConfig();
+    config.representation = rep;
+    config.order = CombinationOrder::kSequential;
+    config.use_index = false;
+    config.enable_pruning = true;
+    config.use_pooled_kernels = false;
+    const RunResult scalar = RunSchedule(config);
+    config.use_pooled_kernels = true;
+    for (sk::Isa isa : sk::SupportedIsas()) {
+      ASSERT_TRUE(sk::ForceIsa(sk::IsaName(isa)).ok());
+      const RunResult pooled = RunSchedule(config);
+      const char* name = sk::IsaName(isa);
+      EXPECT_EQ(pooled.matches, scalar.matches) << name;
+      EXPECT_EQ(pooled.builds, scalar.builds) << name;
+      EXPECT_EQ(pooled.ors, scalar.ors) << name;
+      EXPECT_EQ(pooled.pruned, scalar.pruned) << name;
+      EXPECT_EQ(pooled.combines, scalar.combines) << name;
+      EXPECT_EQ(pooled.compares, scalar.compares) << name;
+      EXPECT_EQ(pooled.sig_sum, scalar.sig_sum) << name;
+    }
+  }
+  ASSERT_TRUE(sk::ForceIsa(original).ok());
+}
 
 /// Satellite regression: RemoveQuery then AddQuery with the same id must
 /// route new matches to the re-added record via the id→ordinal map (the old

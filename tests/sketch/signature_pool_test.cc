@@ -125,7 +125,7 @@ TEST(SignaturePoolTest, ReusedSlotIsZeroed) {
   ASSERT_EQ(h2, h);
   // A fresh slot is the all-">" signature: zero words, zero counts.
   for (size_t w = 0; w < pool.words_per_sig(); ++w) {
-    EXPECT_EQ(pool.words(h2)[w], 0u);
+    EXPECT_EQ(pool.word(h2, w), 0u);
   }
   EXPECT_EQ(pool.NumEqual(h2), 0);
   EXPECT_EQ(pool.NumLess(h2), 0);
@@ -158,7 +158,7 @@ TEST(SignaturePoolTest, ValidateCatchesImpossiblePair) {
   ASSERT_TRUE(pool.Validate().ok());
   // Set an odd ("<") bit without its even ("≤") partner — unreachable
   // through SetRelation/Or, so Validate must flag it.
-  pool.words(h)[0] = 0x2;
+  pool.word(h, 0) = 0x2;
   EXPECT_FALSE(pool.Validate().ok());
 }
 
@@ -166,7 +166,7 @@ TEST(SignaturePoolTest, ValidateCatchesNonzeroTailBits) {
   SignaturePool pool(5);  // 10 bits used, 54 tail bits in the single word
   const SignaturePool::Handle h = pool.Allocate();
   ASSERT_TRUE(pool.Validate().ok());
-  pool.words(h)[0] = uint64_t{0x3} << 10;  // a valid pair, but beyond 2K
+  pool.word(h, 0) = uint64_t{0x3} << 10;  // a valid pair, but beyond 2K
   EXPECT_FALSE(pool.Validate().ok());
 }
 

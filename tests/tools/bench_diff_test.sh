@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Pins tools/bench_diff.py's contract: a self-compare passes, a doctored
+# windows/sec regression fails with exit 1 (both absolute and --ratio
+# modes), a lost pooled_alloc_free meta fails even when every rate improved,
+# and malformed invocations exit 2.
+#
+# Usage: bench_diff_test.sh <path-to-bench_diff.py> <baseline-json>
+set -u
+
+DIFF="${1:?usage: $0 <bench_diff.py> <baseline.json>}"
+BASELINE="${2:?usage: $0 <bench_diff.py> <baseline.json>}"
+PY="${PYTHON:-python3}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILED=0
+
+check_rc() {
+  local desc="$1" want="$2"
+  shift 2
+  "$PY" "$DIFF" "$@" > "$TMP/out.log" 2>&1
+  local rc=$?
+  if [ "$rc" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $rc"
+    cat "$TMP/out.log"
+    FAILED=1
+  fi
+}
+
+# Self-compare: identical documents regress nothing, in either mode.
+check_rc "self-compare absolute" 0 "$BASELINE" "$BASELINE"
+check_rc "self-compare ratio" 0 "$BASELINE" "$BASELINE" --ratio
+
+# Doctor a 50% windows/sec drop into every pooled row: fails the default
+# 10% absolute gate and the ratio gate (scalar rows untouched, so the
+# pooled/scalar speedup halves too).
+"$PY" - "$BASELINE" "$TMP/slow.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for row in doc["rows"]:
+    if row.get("pooled"):
+        row["windows_per_sec"] *= 0.5
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+check_rc "pooled 2x slowdown, absolute" 1 "$BASELINE" "$TMP/slow.json"
+check_rc "pooled 2x slowdown, ratio" 1 "$BASELINE" "$TMP/slow.json" --ratio
+# A loose-enough threshold must tolerate the same drop.
+check_rc "slowdown within threshold" 0 "$BASELINE" "$TMP/slow.json" \
+  --ratio --max-regress=0.75
+
+# Losing the zero-allocation contract fails even with better numbers.
+"$PY" - "$BASELINE" "$TMP/leaky.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for row in doc["rows"]:
+    row["windows_per_sec"] *= 2.0
+doc.setdefault("meta", {})["pooled_alloc_free"] = False
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+check_rc "pooled_alloc_free lost" 1 "$BASELINE" "$TMP/leaky.json"
+check_rc "pooled_alloc_free lost, ratio" 1 "$BASELINE" "$TMP/leaky.json" --ratio
+
+# Rows present on only one side are reported but never fail.
+"$PY" - "$BASELINE" "$TMP/fewer.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["rows"] = [r for r in doc["rows"] if r.get("K") != 256]
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+check_rc "baseline-only rows" 0 "$BASELINE" "$TMP/fewer.json"
+check_rc "current-only rows" 0 "$TMP/fewer.json" "$BASELINE"
+
+# Usage errors: wrong arity, unknown flag, malformed threshold, not-a-bench
+# document, unreadable path.
+check_rc "no args" 2
+check_rc "one arg" 2 "$BASELINE"
+check_rc "unknown flag" 2 "$BASELINE" "$BASELINE" --frobnicate
+check_rc "bad threshold" 2 "$BASELINE" "$BASELINE" --max-regress=banana
+echo '{"bench":"other"}' > "$TMP/other.json"
+check_rc "not a hotpath doc" 2 "$TMP/other.json" "$BASELINE"
+check_rc "missing file" 2 "$TMP/nonexistent.json" "$BASELINE"
+
+if [ $FAILED -ne 0 ]; then
+  exit 1
+fi
+echo "OK: bench_diff regression gate behaves as pinned"
+exit 0

@@ -45,6 +45,30 @@ expect_flag_error "bad --on-corruption" \
   monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --on-corruption=banana
 expect_flag_error "negative --watchdog-ms" \
   monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --watchdog-ms=-1
+expect_flag_error "unknown --kernel" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --kernel=banana
+
+# A --kernel the CPU/build cannot run must also be a usage error (exit 2),
+# not a crash or silent fallback. neon is never supported on x86 hosts and
+# every other name stays valid, so probe via `vcdctl kernels`.
+if ! "$VCDCTL" kernels | grep -q "^neon .*yes"; then
+  expect_flag_error "unsupported --kernel" \
+    monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --kernel=neon
+fi
+
+# A supported --kernel must get PAST flag validation (scalar is always
+# supported): loader failure, no usage line.
+err=$("$VCDCTL" monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --kernel=scalar \
+  2>&1 >/dev/null)
+rc=$?
+if [ $rc -eq 0 ] || [ $rc -eq 2 ]; then
+  echo "FAIL: --kernel=scalar + missing db: expected loader failure, got rc=$rc"
+  FAILED=1
+fi
+if echo "$err" | grep -q "usage: vcdctl monitor"; then
+  echo "FAIL: --kernel=scalar + missing db printed the usage message"
+  FAILED=1
+fi
 
 # Valid flags with a missing db must get PAST flag validation: non-zero exit
 # from the loader, but no usage message (it is not a usage error).

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_hotpath.json documents and fails on regression.
+
+Usage:
+  bench_diff.py BASELINE.json CURRENT.json [--max-regress FRAC] [--ratio]
+
+Rows are matched on (order, representation, K, pooled) and compared by
+windows_per_sec. Two modes:
+
+  absolute (default)  every matched row's windows/sec must be at least
+                      (1 - FRAC) x the baseline row. Meaningful only when
+                      both documents come from the same machine — use for
+                      local before/after runs.
+
+  --ratio             compares the pooled/scalar windows-per-sec ratio per
+                      (order, representation, K) instead of raw rates. The
+                      ratio divides out absolute machine speed, so this is
+                      the mode CI uses against the checked-in baseline
+                      (tests/data/hotpath_baseline.json), which was
+                      recorded on different hardware.
+
+FRAC defaults to 0.10 (a >10% regression fails). Rows present in only one
+document are reported but never fail the diff (new configurations must not
+need a baseline edit to land). The current document's pooled_alloc_free
+meta must be true in both modes — losing the zero-allocation contract is a
+regression regardless of speed. Exit codes: 0 ok, 1 regression, 2 usage.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write(f"bench_diff: cannot read {path}: {e}\n")
+        sys.exit(2)
+    if doc.get("bench") != "hotpath" or "rows" not in doc:
+        sys.stderr.write(f"bench_diff: {path} is not a hotpath bench document\n")
+        sys.exit(2)
+    return doc
+
+
+def row_key(row, with_pooled=True):
+    key = (row.get("order"), row.get("representation"), row.get("K"))
+    return key + (row.get("pooled"),) if with_pooled else key
+
+
+def by_key(doc, with_pooled=True):
+    return {row_key(r, with_pooled): r for r in doc["rows"]}
+
+
+def ratios(doc):
+    """(order, rep, K) -> pooled windows/sec divided by scalar windows/sec."""
+    out = {}
+    rows = by_key(doc)
+    for (order, rep, k, pooled), row in rows.items():
+        if not pooled:
+            continue
+        scalar = rows.get((order, rep, k, False))
+        if scalar and scalar.get("windows_per_sec", 0) > 0:
+            out[(order, rep, k)] = (
+                row["windows_per_sec"] / scalar["windows_per_sec"]
+            )
+    return out
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = [a for a in argv[1:] if a.startswith("--")]
+    max_regress = 0.10
+    ratio_mode = False
+    for f in flags:
+        if f == "--ratio":
+            ratio_mode = True
+        elif f.startswith("--max-regress="):
+            try:
+                max_regress = float(f.split("=", 1)[1])
+            except ValueError:
+                sys.stderr.write(f"bench_diff: bad {f}\n")
+                return 2
+        else:
+            sys.stderr.write(f"bench_diff: unknown flag {f}\n{__doc__}")
+            return 2
+    if len(args) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+
+    base_doc, cur_doc = load(args[0]), load(args[1])
+    base_isa = base_doc.get("meta", {}).get("kernel_isa", "?")
+    cur_isa = cur_doc.get("meta", {}).get("kernel_isa", "?")
+    mode = "ratio (pooled/scalar)" if ratio_mode else "absolute windows/sec"
+    print(f"bench_diff: {mode}, max regression {max_regress:.0%}")
+    print(f"  baseline: {args[0]} (kernel {base_isa})")
+    print(f"  current:  {args[1]} (kernel {cur_isa})")
+
+    failed = []
+    if ratio_mode:
+        base, cur = ratios(base_doc), ratios(cur_doc)
+        for key in sorted(base, key=str):
+            if key not in cur:
+                print(f"  MISSING {key} (baseline-only; not failing)")
+                continue
+            change = cur[key] / base[key] - 1.0
+            status = "ok"
+            if cur[key] < base[key] * (1.0 - max_regress):
+                status = "REGRESSION"
+                failed.append(key)
+            order, rep, k = key
+            print(
+                f"  {status:>10}  {order}-{rep} K={k}: speedup "
+                f"{base[key]:.2f}x -> {cur[key]:.2f}x ({change:+.1%})"
+            )
+        for key in sorted(set(cur) - set(base), key=str):
+            print(f"  NEW {key} (current-only; not failing)")
+    else:
+        base, cur = by_key(base_doc), by_key(cur_doc)
+        for key in sorted(base, key=str):
+            if key not in cur:
+                print(f"  MISSING {key} (baseline-only; not failing)")
+                continue
+            b = base[key].get("windows_per_sec", 0.0)
+            c = cur[key].get("windows_per_sec", 0.0)
+            if b <= 0:
+                continue
+            change = c / b - 1.0
+            status = "ok"
+            if c < b * (1.0 - max_regress):
+                status = "REGRESSION"
+                failed.append(key)
+            order, rep, k, pooled = key
+            path = "pooled" if pooled else "scalar"
+            print(
+                f"  {status:>10}  {order}-{rep} K={k} {path}: "
+                f"{b:.0f} -> {c:.0f} w/s ({change:+.1%})"
+            )
+        for key in sorted(set(cur) - set(base), key=str):
+            print(f"  NEW {key} (current-only; not failing)")
+
+    if cur_doc.get("meta", {}).get("pooled_alloc_free") is not True:
+        print("  REGRESSION  pooled_alloc_free is not true in current")
+        failed.append("pooled_alloc_free")
+
+    if failed:
+        print(f"bench_diff: FAIL ({len(failed)} regression(s))")
+        return 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

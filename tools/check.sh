@@ -19,6 +19,11 @@
 #   tools/check.sh obs       # -DVCD_OBS=OFF build + ctest: proves the
 #                            # instrumentation macros compile to no-ops and
 #                            # that every test still passes without them
+#   tools/check.sh kernels   # plain build, then one full ctest pass per
+#                            # kernel backend this host supports, forced
+#                            # process-wide via VCD_KERNEL_ISA — proves the
+#                            # whole suite, not just the equivalence tests,
+#                            # holds under every dispatch level
 #
 # Sanitizer builds skip benches/examples (VCD_BUILD_BENCH/EXAMPLES=OFF) —
 # the tests are the contract; the benches are timing tools. They also force
@@ -72,6 +77,17 @@ case "$MATRIX" in
   obs|all)
     run_config obs build-obs -DVCD_OBS=OFF \
       -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
+  kernels)
+    # Not part of `all`: the forced-ISA sweep re-runs the whole suite once
+    # per backend, which triples-to-quadruples runtime. CI runs the cheap
+    # levels as a matrix job; run this leg locally after kernel changes.
+    run_config kernels-build build
+    for isa in $(./build/tools/vcdctl kernels \
+                   | awk 'NR > 1 && $3 == "yes" { print $1 }'); do
+      echo "=== [kernels] ctest with VCD_KERNEL_ISA=$isa ==="
+      (cd build && VCD_KERNEL_ISA="$isa" ctest --output-on-failure -j "$JOBS")
+      echo "=== [kernels] $isa OK ==="
+    done ;;&
   faultfx-tsan)
     TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
       run_config faultfx-tsan build-faultfx-tsan -DVCD_FAULTFX=ON \
@@ -82,8 +98,8 @@ case "$MATRIX" in
       run_config faultfx-asan build-faultfx-asan -DVCD_FAULTFX=ON \
         -DVCD_SANITIZE=address -DVCD_DEADLOCK_CHECK=ON \
         -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
-  plain|tsan|asan|ubsan|lint|faultfx|obs|faultfx-tsan|faultfx-asan|all) ;;
+  plain|tsan|asan|ubsan|lint|faultfx|obs|kernels|faultfx-tsan|faultfx-asan|all) ;;
   *) echo "unknown matrix entry: $MATRIX" \
-     "(want plain|tsan|asan|ubsan|lint|faultfx|obs|faultfx-tsan|faultfx-asan|all)" >&2
+     "(want plain|tsan|asan|ubsan|lint|faultfx|obs|kernels|faultfx-tsan|faultfx-asan|all)" >&2
      exit 2 ;;
 esac

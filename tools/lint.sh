@@ -235,6 +235,25 @@ run_grep_lint() {
     FAILED=1
   fi
 
+  # Rule 9 (vcd-simd-guard): raw SIMD intrinsics live ONLY under
+  # src/sketch/kernels/ — everything else goes through the KernelOps
+  # dispatch table (DESIGN.md §15), so ISA assumptions can't leak into code
+  # that runs on every machine. Flags intrinsic headers (immintrin & co.)
+  # and _mm/_mm256/_mm512/NEON vq* calls. Annotate a deliberate exception
+  # with `NOLINT(vcd-simd-guard)` and a reason.
+  bad=$(grep -nE '#[[:space:]]*include[[:space:]]*<(immintrin|x86intrin|emmintrin|smmintrin|tmmintrin|nmmintrin|wmmintrin|avxintrin|arm_neon)\.h>|(^|[^[:alnum:]_])_mm(256|512)?_[a-z0-9_]+[[:space:]]*\(' \
+        $(find src tools bench \
+            -path src/sketch/kernels -prune \
+            -o \( -name '*.cc' -o -name '*.h' \) -print) \
+        | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(//|\*|///)' \
+        | grep -vE 'NOLINT\(vcd-simd-guard\)' || true)
+  if [ -n "$bad" ]; then
+    echo "FAIL: raw SIMD intrinsics outside src/sketch/kernels/ (dispatch" \
+         "through kernels::KernelOps, or annotate NOLINT(vcd-simd-guard)):"
+    echo "$bad"
+    FAILED=1
+  fi
+
   echo "=== [lint:grep] done ==="
 }
 

@@ -15,7 +15,9 @@
 ///           [--delta D --window W --threads N --queue C --backpressure block|drop]
 ///           [--on-corruption skip|quarantine|fail --watchdog-ms N]
 ///           [--metrics-out FILE --metrics-interval-ms N]
+///           [--kernel scalar|popcnt|avx2|avx512|neon]
 ///   vcdctl metrics [--format=json|prom]
+///   vcdctl kernels
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +32,7 @@
 #include "obs/metrics.h"
 #include "obs/pipeline_metrics.h"
 #include "parallel/executor.h"
+#include "sketch/kernels/kernels.h"
 #include "features/fingerprint.h"
 #include "video/codec.h"
 #include "video/partial_decoder.h"
@@ -278,6 +281,7 @@ int CmdBuildQueries(const Args& a) {
 Status DumpMetrics(const std::string& format, const std::string& path) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   obs::SyncFaultfxMetrics(&reg);
+  obs::SyncKernelMetrics(&reg);
   const std::string text =
       format == "prom" ? reg.ToPrometheusText() : reg.ToJson();
   if (path.empty() || path == "-") {
@@ -455,13 +459,31 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
   return 0;
 }
 
+/// Lists every kernel ISA level with its compiled/supported state and marks
+/// the level dispatch would pick (or was forced to via VCD_KERNEL_ISA).
+int CmdKernels(const Args&) {
+  namespace sk = sketch::kernels;
+  const sk::KernelOps& active = sk::ActiveOps();
+  std::printf("%-8s %-9s %-10s %s\n", "isa", "compiled", "supported",
+              "active");
+  for (int i = 0; i < sk::kNumIsa; ++i) {
+    const auto isa = static_cast<sk::Isa>(i);
+    std::printf("%-8s %-9s %-10s %s\n", sk::IsaName(isa),
+                sk::IsaCompiled(isa) ? "yes" : "no",
+                sk::IsaSupported(isa) ? "yes" : "no",
+                isa == active.isa ? "*" : "");
+  }
+  return 0;
+}
+
 void MonitorUsage() {
   std::fprintf(stderr,
                "usage: vcdctl monitor queries.vcdq stream.vcds ... "
                "[--delta D --window W --threads N --queue C "
                "--backpressure block|drop "
                "--on-corruption skip|quarantine|fail --watchdog-ms N "
-               "--metrics-out FILE --metrics-interval-ms N]\n");
+               "--metrics-out FILE --metrics-interval-ms N "
+               "--kernel scalar|popcnt|avx2|avx512|neon]\n");
 }
 
 int CmdMonitor(const Args& a) {
@@ -521,6 +543,17 @@ int CmdMonitor(const Args& a) {
     MonitorUsage();
     return 2;
   }
+  const std::string kernel = a.Str("kernel", "");
+  if (!kernel.empty()) {
+    // ForceIsa rejects unknown names and levels this CPU/build can't run;
+    // validated here so a typo'd --kernel exits with usage, not a crash or
+    // a silent fallback after files were already opened.
+    if (Status st = sketch::kernels::ForceIsa(kernel); !st.ok()) {
+      std::fprintf(stderr, "error: --kernel: %s\n", st.ToString().c_str());
+      MonitorUsage();
+      return 2;
+    }
+  }
   auto db = core::LoadQueriesFile(a.positional[0]);
   if (!db.ok()) return Fail(db.status());
   core::DetectorConfig config;
@@ -571,7 +604,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: vcdctl <generate|encode|decode|info|fingerprint|shots|"
-                 "build-queries|monitor|metrics> ...\n");
+                 "build-queries|monitor|metrics|kernels> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -585,6 +618,7 @@ int main(int argc, char** argv) {
   if (cmd == "build-queries") return CmdBuildQueries(args);
   if (cmd == "monitor") return CmdMonitor(args);
   if (cmd == "metrics") return CmdMetrics(args);
+  if (cmd == "kernels") return CmdKernels(args);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
 }
