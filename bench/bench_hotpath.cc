@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "ckpt/snapshot.h"
+#include "ckpt/state_codec.h"
 #include "core/detector.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_metrics.h"
@@ -227,6 +229,67 @@ bool WriteMetricsSample(const std::string& path,
   return (std::fclose(f) == 0) && ok;
 }
 
+/// Measures the intake pause a checkpoint barrier imposes at steady state:
+/// exporting the detector's full candidate/window state and encoding the
+/// snapshot container (sections + CRCs). Disk I/O is deliberately excluded —
+/// it varies with the filesystem, while export+encode is the CPU cost every
+/// checkpoint pays with intake stopped. Returns the best-of-\p reps pause in
+/// milliseconds for a warmed-up pooled Sequential-Bit K=64 detector — the
+/// same configuration the headline speedup row uses.
+double MeasureCheckpointPauseMs(const std::vector<CellId>& stream,
+                                const std::vector<std::vector<CellId>>& queries,
+                                int warm_windows, int reps) {
+  core::DetectorConfig c;
+  c.K = 64;
+  c.window_seconds = 4.0;
+  c.delta = 0.05;
+  c.lambda = 2.0;
+  c.representation = core::Representation::kBit;
+  c.order = core::CombinationOrder::kSequential;
+  c.use_index = false;
+  c.enable_pruning = true;
+  c.use_pooled_kernels = true;
+  auto det = core::CopyDetector::Create(c).value();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    VCD_CHECK(det->AddQueryCells(static_cast<int>(q) + 1, queries[q],
+                                 kQuerySeconds)
+                  .ok(),
+              "add query");
+  }
+  const int64_t warm_slots =
+      static_cast<int64_t>(warm_windows) * kSlotsPerWindow;
+  for (int64_t slot = 0; slot < warm_slots; ++slot) {
+    VCD_CHECK(det->ProcessFingerprint(
+                     slot * 12, static_cast<double>(slot) / kKeyFps,
+                     stream[static_cast<size_t>(slot) % stream.size()])
+                  .ok(),
+              "feed");
+  }
+
+  double best_ms = 0.0;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ckpt::SnapshotState state;
+    ckpt::StampMeta(c, &state);
+    state.streams.resize(1);
+    state.streams[0].stream_id = 1;
+    state.streams[0].name = "bench";
+    state.streams[0].detector = det->ExportCkptState();
+    const std::vector<uint8_t> image =
+        ckpt::EncodeSnapshot(static_cast<uint64_t>(rep) + 1,
+                             ckpt::EncodeState(state));
+    const auto t1 = std::chrono::steady_clock::now();
+    VCD_CHECK(!image.empty(), "empty snapshot image");
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    // The first pass pays one-time allocation warmup for the codec buffers;
+    // skip it, then keep the best of the remaining reps.
+    if (rep == 0) continue;
+    if (rep == 1 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
+
 const char* OrderName(core::CombinationOrder o) {
   return o == core::CombinationOrder::kSequential ? "Sequential" : "Geometric";
 }
@@ -331,13 +394,19 @@ int main(int argc, char** argv) {
 
   const double speedup =
       seqbit64_scalar > 0 ? seqbit64_pooled / seqbit64_scalar : 0.0;
+  const double ckpt_pause_ms =
+      MeasureCheckpointPauseMs(stream, queries, warm_windows, reps);
   std::printf("\nSequential-Bit K=64: scalar %.1f w/s, pooled %.1f w/s "
               "(%.2fx); pooled steady-state allocations/window: %s\n",
               seqbit64_scalar, seqbit64_pooled, speedup,
               pooled_alloc_free ? "0 (all runs)" : "NONZERO");
+  std::printf("checkpoint pause (export+encode, steady state): %.3f ms\n",
+              ckpt_pause_ms);
   json.AddMeta("seqbit64_speedup", bench::BenchJsonWriter::Num(speedup));
   json.AddMeta("pooled_alloc_free",
                bench::BenchJsonWriter::Bool(pooled_alloc_free));
+  json.AddMeta("checkpoint_pause_ms",
+               bench::BenchJsonWriter::Num(ckpt_pause_ms));
 
   if (!json_path.empty()) {
     const Status s = json.WriteFile(json_path);

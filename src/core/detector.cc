@@ -1140,4 +1140,277 @@ Status CopyDetector::ValidateState() const {
   return Status::OK();
 }
 
+// --- checkpoint/restore -----------------------------------------------------
+
+DetectorCkptState CopyDetector::ExportCkptState() const {
+  DetectorCkptState st;
+  st.saw_frame = saw_frame_;
+  st.max_timestamp = max_timestamp_;
+  st.assembler = assembler_->ExportCkpt();
+  for (const QueryRec& q : queries_) {
+    if (!q.active) continue;
+    st.queries.push_back(DetectorCkptState::QueryState{q.info.id, q.suppress_until});
+  }
+  st.stats = stats_;
+  st.matches = matches_;
+
+  const auto base_of = [](const auto& c, int32_t level) {
+    CkptCandidate out;
+    out.ladder_level = level;
+    out.num_windows = c.num_windows;
+    out.start_frame = c.start_frame;
+    out.end_frame = c.end_frame;
+    out.start_time = c.start_time;
+    out.end_time = c.end_time;
+    return out;
+  };
+  const auto words_of = [](const sketch::BitSignature& sig) {
+    const BitVector& bits = sig.bits();
+    return std::vector<uint64_t>(bits.words(), bits.words() + bits.num_words());
+  };
+  const auto export_bit = [&](const BitCand& c, int32_t level) {
+    CkptCandidate out = base_of(c, level);
+    for (const BitCand::Sig& s : c.sigs) {
+      out.sigs.push_back(CkptCandidate::Sig{
+          queries_[static_cast<size_t>(s.q)].info.id, words_of(s.sig)});
+    }
+    st.candidates.push_back(std::move(out));
+  };
+  const auto export_pbit = [&](const PooledBitCand& c, int32_t level) {
+    CkptCandidate out = base_of(c, level);
+    for (const PooledSigRef& s : c.sigs) {
+      out.sigs.push_back(CkptCandidate::Sig{
+          queries_[static_cast<size_t>(s.q)].info.id,
+          words_of(sig_pool_->ToBitSignature(s.sig))});
+    }
+    st.candidates.push_back(std::move(out));
+  };
+  const auto export_sketch = [&](const SketchCand& c, int32_t level) {
+    CkptCandidate out = base_of(c, level);
+    out.mins = c.sketch.mins;
+    for (int q : c.related) {
+      out.related_ids.push_back(queries_[static_cast<size_t>(q)].info.id);
+    }
+    st.candidates.push_back(std::move(out));
+  };
+  const auto export_psketch = [&](const PooledSketchCand& c, int32_t level) {
+    CkptCandidate out = base_of(c, level);
+    out.mins = sketch_pool_->ToSketch(c.sketch).mins;
+    for (int q : c.related) {
+      out.related_ids.push_back(queries_[static_cast<size_t>(q)].info.id);
+    }
+    st.candidates.push_back(std::move(out));
+  };
+  const auto export_ladder = [&](const auto& geo, const auto& fn) {
+    const auto& ladder = geo.ladder();
+    for (size_t lv = 0; lv < ladder.size(); ++lv) {
+      if (ladder[lv].has_value()) fn(*ladder[lv], static_cast<int32_t>(lv));
+    }
+  };
+
+  const bool bit = config_.representation == Representation::kBit;
+  const bool seq = config_.order == CombinationOrder::kSequential;
+  if (config_.use_pooled_kernels) {
+    if (bit && seq) {
+      for (size_t i = 0; i < pseq_bit_.size(); ++i) export_pbit(pseq_bit_.at(i), -1);
+    } else if (bit) {
+      export_ladder(pgeo_bit_, export_pbit);
+    } else if (seq) {
+      for (size_t i = 0; i < pseq_sketch_.size(); ++i) {
+        export_psketch(pseq_sketch_.at(i), -1);
+      }
+    } else {
+      export_ladder(pgeo_sketch_, export_psketch);
+    }
+  } else {
+    if (bit && seq) {
+      for (size_t i = 0; i < seq_bit_.size(); ++i) export_bit(seq_bit_.at(i), -1);
+    } else if (bit) {
+      export_ladder(geo_bit_, export_bit);
+    } else if (seq) {
+      for (size_t i = 0; i < seq_sketch_.size(); ++i) {
+        export_sketch(seq_sketch_.at(i), -1);
+      }
+    } else {
+      export_ladder(geo_sketch_, export_sketch);
+    }
+  }
+  return st;
+}
+
+Status CopyDetector::RestoreCkptState(const DetectorCkptState& st) {
+  if (saw_frame_ || stats_.key_frames != 0 || !matches_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreCkptState requires a detector that has seen no stream frames");
+  }
+  for (const DetectorCkptState::QueryState& qs : st.queries) {
+    const int q = OrdinalOf(qs.id);
+    if (q < 0) {
+      return Status::FailedPrecondition(
+          "snapshot references query id " + std::to_string(qs.id) +
+          " which is not subscribed on this detector");
+    }
+    queries_[static_cast<size_t>(q)].suppress_until = qs.suppress_until;
+  }
+  saw_frame_ = st.saw_frame;
+  max_timestamp_ = st.max_timestamp;
+  assembler_->RestoreCkpt(st.assembler);
+  stats_ = st.stats;
+  matches_ = st.matches;
+
+  const bool bit = config_.representation == Representation::kBit;
+  const bool seq = config_.order == CombinationOrder::kSequential;
+  const bool pooled = config_.use_pooled_kernels;
+  // Signatures are 2K bits (two relation bits per hash position, §V-A).
+  const size_t sig_words = (2 * static_cast<size_t>(config_.K) + 63) / 64;
+  int32_t prev_level = -1;
+  int64_t restored = 0;
+  for (const CkptCandidate& c : st.candidates) {
+    if (seq != (c.ladder_level < 0)) {
+      return Status::Corruption(
+          "snapshot candidate order does not match the configured "
+          "combination order");
+    }
+    if (!seq) {
+      if (c.ladder_level <= prev_level) {
+        return Status::Corruption("snapshot ladder levels not ascending");
+      }
+      prev_level = c.ladder_level;
+    }
+    if (bit) {
+      if (!c.mins.empty()) {
+        return Status::Corruption("bit-representation snapshot carries sketch mins");
+      }
+      for (const CkptCandidate::Sig& s : c.sigs) {
+        if (s.words.size() != sig_words) {
+          return Status::Corruption(
+              "snapshot signature has " + std::to_string(s.words.size()) +
+              " words, expected " + std::to_string(sig_words));
+        }
+      }
+      if (pooled) {
+        PooledBitCand out;
+        out.num_windows = c.num_windows;
+        out.start_frame = c.start_frame;
+        out.end_frame = c.end_frame;
+        out.start_time = c.start_time;
+        out.end_time = c.end_time;
+        for (const CkptCandidate::Sig& s : c.sigs) {
+          const int q = OrdinalOf(s.query_id);
+          if (q < 0) continue;  // query removed since the snapshot
+          const sketch::SignaturePool::Handle h = sig_pool_->Allocate();
+          for (size_t w = 0; w < sig_words; ++w) {
+            sig_pool_->word(h, w) = s.words[w];
+          }
+          out.sigs.push_back(PooledSigRef{q, h});
+        }
+        if (seq) {
+          pseq_bit_.RestoreBack(std::move(out));
+        } else {
+          auto& ladder = pgeo_bit_.ladder();
+          if (ladder.size() <= static_cast<size_t>(c.ladder_level)) {
+            ladder.resize(static_cast<size_t>(c.ladder_level) + 1);
+          }
+          ladder[static_cast<size_t>(c.ladder_level)] = std::move(out);
+        }
+      } else {
+        BitCand out;
+        out.num_windows = c.num_windows;
+        out.start_frame = c.start_frame;
+        out.end_frame = c.end_frame;
+        out.start_time = c.start_time;
+        out.end_time = c.end_time;
+        for (const CkptCandidate::Sig& s : c.sigs) {
+          const int q = OrdinalOf(s.query_id);
+          if (q < 0) continue;
+          out.sigs.push_back(BitCand::Sig{
+              q, sketch::BitSignature::FromRawWords(config_.K, s.words.data(),
+                                                    s.words.size())});
+        }
+        if (seq) {
+          seq_bit_.RestoreBack(std::move(out));
+        } else {
+          auto& ladder = geo_bit_.ladder();
+          if (ladder.size() <= static_cast<size_t>(c.ladder_level)) {
+            ladder.resize(static_cast<size_t>(c.ladder_level) + 1);
+          }
+          ladder[static_cast<size_t>(c.ladder_level)] = std::move(out);
+        }
+      }
+    } else {
+      if (!c.sigs.empty()) {
+        return Status::Corruption(
+            "sketch-representation snapshot carries bit signatures");
+      }
+      if (c.mins.size() != static_cast<size_t>(config_.K)) {
+        return Status::Corruption(
+            "snapshot sketch has " + std::to_string(c.mins.size()) +
+            " mins, expected K=" + std::to_string(config_.K));
+      }
+      std::vector<int> related;
+      for (int id : c.related_ids) {
+        const int q = OrdinalOf(id);
+        if (q >= 0) related.push_back(q);
+      }
+      std::sort(related.begin(), related.end());
+      if (pooled) {
+        PooledSketchCand out;
+        out.num_windows = c.num_windows;
+        out.start_frame = c.start_frame;
+        out.end_frame = c.end_frame;
+        out.start_time = c.start_time;
+        out.end_time = c.end_time;
+        sketch::Sketch sk;  // NOLINT(vcd-pooled-hotpath): restore, cold
+        sk.mins = c.mins;
+        out.sketch = sketch_pool_->Allocate();
+        sketch_pool_->Assign(out.sketch, sk);
+        out.related = std::move(related);
+        if (seq) {
+          pseq_sketch_.RestoreBack(std::move(out));
+        } else {
+          auto& ladder = pgeo_sketch_.ladder();
+          if (ladder.size() <= static_cast<size_t>(c.ladder_level)) {
+            ladder.resize(static_cast<size_t>(c.ladder_level) + 1);
+          }
+          ladder[static_cast<size_t>(c.ladder_level)] = std::move(out);
+        }
+      } else {
+        SketchCand out;
+        out.num_windows = c.num_windows;
+        out.start_frame = c.start_frame;
+        out.end_frame = c.end_frame;
+        out.start_time = c.start_time;
+        out.end_time = c.end_time;
+        out.sketch.mins = c.mins;
+        out.related = std::move(related);
+        if (seq) {
+          seq_sketch_.RestoreBack(std::move(out));
+        } else {
+          auto& ladder = geo_sketch_.ladder();
+          if (ladder.size() <= static_cast<size_t>(c.ladder_level)) {
+            ladder.resize(static_cast<size_t>(c.ladder_level) + 1);
+          }
+          ladder[static_cast<size_t>(c.ladder_level)] = std::move(out);
+        }
+      }
+    }
+    ++restored;
+  }
+
+  // Metrics republish from here: the fresh process's obs counters cover
+  // post-restore activity only, while stats_ carry the full-run totals the
+  // equivalence tests compare.
+  published_.windows = stats_.windows;
+  published_.degraded_windows = stats_.degraded_windows;
+  published_.bitsig_builds = stats_.bitsig_builds;
+  published_.bitsig_ors = stats_.bitsig_ors;
+  published_.sketch_combines = stats_.sketch_combines;
+  published_.sketch_compares = stats_.sketch_compares;
+  published_.candidates_pruned = stats_.candidates_pruned;
+  published_.matches = static_cast<int64_t>(matches_.size());
+  published_.cand_count = restored;
+  last_cand_count_ = restored;
+  return ValidateState();
+}
+
 }  // namespace vcd::core

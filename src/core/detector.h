@@ -49,6 +49,51 @@ struct DetectorStats {
   RunningStats pool_slots_per_window;
 };
 
+/// \brief One candidate sequence materialized for checkpoint/restore.
+///
+/// The representation is config-agnostic: bit candidates carry their raw
+/// signature words, sketch candidates their min-hash arrays, and query
+/// references are *external* query ids (not ordinals), so a snapshot taken
+/// on one pooled/scalar/kernel configuration restores onto any other with
+/// the same detector parameters.
+struct CkptCandidate {
+  /// Geometric ladder slot index; -1 for sequential-order candidates.
+  int32_t ladder_level = -1;
+  int num_windows = 0;
+  int64_t start_frame = 0, end_frame = 0;
+  double start_time = 0.0, end_time = 0.0;
+  /// Bit representation: one raw signature per related query.
+  struct Sig {
+    int query_id = 0;
+    std::vector<uint64_t> words;  ///< BitVector layout, ⌈2K/64⌉ words
+  };
+  std::vector<Sig> sigs;         ///< sorted by query ordinal at export
+  std::vector<uint64_t> mins;    ///< sketch representation: K min-hash values
+  std::vector<int> related_ids;  ///< sketch+index: related query ids
+};
+
+/// \brief Full mid-stream detector state for checkpoint/restore.
+///
+/// Everything a fresh detector (same config, same queries re-added in the
+/// same order) needs to continue producing byte-identical matches and
+/// stats: the clock-skew guard, the partially accumulated basic window,
+/// per-query report-cooldown deadlines, all counters/RunningStats, the
+/// match log, and every live candidate.
+struct DetectorCkptState {
+  bool saw_frame = false;
+  double max_timestamp = 0.0;
+  stream::BasicWindowAssembler::CkptState assembler;
+  struct QueryState {
+    int id = 0;
+    double suppress_until = -1.0;
+  };
+  std::vector<QueryState> queries;
+  DetectorStats stats;
+  std::vector<Match> matches;
+  /// Sequential order: oldest-first. Geometric order: ascending ladder_level.
+  std::vector<CkptCandidate> candidates;
+};
+
 /// \brief Detects copies of subscribed query videos on a key-frame stream.
 ///
 /// Typical use:
@@ -135,6 +180,23 @@ class CopyDetector {
   /// Called from tests and, when config().validate_state is set, after
   /// every processed window.
   Status ValidateState() const;
+
+  /// \brief Materializes the full mid-stream state for a checkpoint.
+  ///
+  /// Pooled candidates are exported by live-slot walk (handles resolved to
+  /// raw words/mins), so the snapshot is independent of arena layout and
+  /// kernel ISA. Safe to call between any two ProcessKeyFrame calls.
+  DetectorCkptState ExportCkptState() const;
+
+  /// \brief Restores state captured by ExportCkptState.
+  ///
+  /// Preconditions: this detector is freshly created with the same
+  /// parameters and the snapshot's queries were re-added in export order
+  /// (so ordinals line up); no stream frame has been processed. Candidate
+  /// arenas and free-lists are rebuilt by re-allocating each restored
+  /// signature/sketch. Ends with a full ValidateState() sweep; rejects
+  /// unknown query ids and malformed payloads with a typed Status.
+  Status RestoreCkptState(const DetectorCkptState& state);
 
   /// The fingerprinter (shared with dataset tooling so queries and stream
   /// use identical features).

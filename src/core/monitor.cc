@@ -153,4 +153,56 @@ Result<DetectorStats> StreamMonitor::StreamStats(int stream_id) const {
   return it->second.detector->stats();
 }
 
+MonitorCkpt StreamMonitor::ExportCkpt() const {
+  MutexLock lock(mu_);
+  MonitorCkpt ckpt;
+  ckpt.next_stream_id = next_stream_id_;
+  for (const auto& [sid, state] : streams_) {
+    StreamCkpt s;
+    s.stream_id = sid;
+    s.name = state.name;
+    s.matches_consumed = state.matches_consumed;
+    s.detector = state.detector->ExportCkptState();
+    ckpt.streams.push_back(std::move(s));
+  }
+  ckpt.matches = matches_;
+  return ckpt;
+}
+
+Status StreamMonitor::RestoreCkpt(const MonitorCkpt& ckpt) {
+  MutexLock lock(mu_);
+  if (!streams_.empty() || !matches_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreCkpt requires a monitor with no open streams or matches");
+  }
+  for (const StreamCkpt& s : ckpt.streams) {
+    if (s.stream_id <= 0 || s.stream_id >= ckpt.next_stream_id) {
+      return Status::Corruption("snapshot stream id " +
+                                std::to_string(s.stream_id) +
+                                " outside [1, next_stream_id)");
+    }
+    auto det = CopyDetector::Create(config_);
+    if (!det.ok()) return det.status();
+    for (const PortfolioEntry& e : portfolio_) {
+      VCD_RETURN_IF_ERROR((*det)->AddQuerySketch(e.id, e.sketch, e.length_frames,
+                                                 e.duration_seconds));
+    }
+    VCD_RETURN_IF_ERROR((*det)->RestoreCkptState(s.detector));
+    StreamState state;
+    state.name = s.name;
+    state.detector = std::move(*det);
+    state.matches_consumed = static_cast<size_t>(s.matches_consumed);
+    if (state.matches_consumed > state.detector->matches().size()) {
+      return Status::Corruption(
+          "snapshot matches_consumed exceeds the stream's match count");
+    }
+    if (!streams_.emplace(s.stream_id, std::move(state)).second) {
+      return Status::Corruption("duplicate stream id in snapshot");
+    }
+  }
+  next_stream_id_ = ckpt.next_stream_id;
+  matches_ = ckpt.matches;
+  return Status::OK();
+}
+
 }  // namespace vcd::core

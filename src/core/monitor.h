@@ -45,6 +45,37 @@ struct StreamMatch {
   Match match;
 };
 
+/// \brief One monitored stream's full checkpointed state.
+///
+/// Shared by the serial StreamMonitor and the parallel executor's shards so
+/// both engines write the same STREAMS snapshot section (docs/FORMATS.md):
+/// the health-machine fields are live on shards and stay at their defaults
+/// for serially monitored streams.
+struct StreamCkpt {
+  int stream_id = 0;
+  std::string name;
+  uint64_t matches_consumed = 0;
+  /// Health machine (parallel/shard.h): state enum as int, fault/clean
+  /// streaks, and the frame-count backoff "deadlines" — durations relative
+  /// to the snapshot's persisted epoch, so a restored stream resumes its
+  /// readmission countdown exactly where the crash interrupted it.
+  int health = 0;
+  int consecutive_faults = 0;
+  int consecutive_clean = 0;
+  int64_t quarantine_remaining = 0;
+  int64_t backoff_frames = 0;
+  double max_timestamp = 0.0;
+  bool saw_timestamp = false;
+  DetectorCkptState detector;
+};
+
+/// \brief Checkpointed state of a whole StreamMonitor.
+struct MonitorCkpt {
+  int next_stream_id = 1;
+  std::vector<StreamCkpt> streams;  ///< ascending stream_id
+  std::vector<StreamMatch> matches;
+};
+
 /// A query prepared for subscription: the sketch of its key-frame cell
 /// sequence plus the derived length/duration — everything a detector's
 /// AddQuerySketch needs.
@@ -116,6 +147,18 @@ class StreamMonitor {
 
   /// Detector stats for an open stream (snapshot copy).
   Result<DetectorStats> StreamStats(int stream_id) const VCD_EXCLUDES(mu_);
+
+  /// \brief Exports every open stream's state plus the match log for a
+  /// checkpoint. Safe between any two ProcessKeyFrame calls.
+  MonitorCkpt ExportCkpt() const VCD_EXCLUDES(mu_);
+
+  /// \brief Restores a checkpoint onto a fresh monitor.
+  ///
+  /// Preconditions: the portfolio has been re-imported (ImportQueries with
+  /// the snapshot's embedded QueryDb) and no stream has been opened.
+  /// Rebuilds each stream's detector and re-validates it; typed errors on
+  /// mismatched config or malformed state.
+  Status RestoreCkpt(const MonitorCkpt& ckpt) VCD_EXCLUDES(mu_);
 
  private:
   struct StreamState {

@@ -9,6 +9,10 @@ namespace {
 
 constexpr uint8_t kMagic[4] = {'V', 'C', 'D', 'Q'};
 constexpr uint8_t kVersion = 1;
+/// Upper bound on the sketch width the store accepts. Real deployments use
+/// K in the tens-to-hundreds (paper §V-C); the cap exists so a corrupt K
+/// field cannot drive multi-gigabyte allocations before the size check.
+constexpr int kMaxK = 1 << 16;
 
 void PutU32(std::vector<uint8_t>* out, uint32_t v) {
   for (int s = 24; s >= 0; s -= 8) out->push_back(static_cast<uint8_t>(v >> s));
@@ -33,6 +37,14 @@ uint64_t GetU64(const uint8_t* p) {
 
 Result<std::vector<uint8_t>> SerializeQueries(const QueryDb& db) {
   if (db.k < 1) return Status::InvalidArgument("K must be >= 1");
+  if (db.k > kMaxK) {
+    return Status::InvalidArgument("K " + std::to_string(db.k) +
+                                   " exceeds store limit " +
+                                   std::to_string(kMaxK));
+  }
+  if (db.queries.size() > static_cast<size_t>(UINT32_MAX)) {
+    return Status::InvalidArgument("query count does not fit the u32 header");
+  }
   std::vector<uint8_t> out;
   out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(kVersion);
@@ -40,6 +52,10 @@ Result<std::vector<uint8_t>> SerializeQueries(const QueryDb& db) {
   PutU64(&out, db.hash_seed);
   PutU32(&out, static_cast<uint32_t>(db.queries.size()));
   for (const StoredQuery& q : db.queries) {
+    if (q.id < 0 || q.length_frames < 0) {
+      return Status::InvalidArgument("negative id or length for query " +
+                                     std::to_string(q.id));
+    }
     if (q.sketch.K() != db.k) {
       return Status::InvalidArgument("sketch K mismatch for query " +
                                      std::to_string(q.id));
@@ -48,9 +64,14 @@ Result<std::vector<uint8_t>> SerializeQueries(const QueryDb& db) {
       return Status::InvalidArgument("negative duration for query " +
                                      std::to_string(q.id));
     }
+    const double duration_ms = q.duration_seconds * 1000.0;
+    if (duration_ms > static_cast<double>(UINT32_MAX)) {
+      return Status::InvalidArgument("duration overflows u32 ms for query " +
+                                     std::to_string(q.id));
+    }
     PutU32(&out, static_cast<uint32_t>(q.id));
     PutU32(&out, static_cast<uint32_t>(q.length_frames));
-    PutU32(&out, static_cast<uint32_t>(std::lround(q.duration_seconds * 1000.0)));
+    PutU32(&out, static_cast<uint32_t>(std::lround(duration_ms)));
     for (uint64_t v : q.sketch.mins) PutU64(&out, v);
   }
   return out;
@@ -58,17 +79,41 @@ Result<std::vector<uint8_t>> SerializeQueries(const QueryDb& db) {
 
 Result<QueryDb> DeserializeQueries(const uint8_t* data, size_t size) {
   constexpr size_t kHeader = 4 + 1 + 4 + 8 + 4;
-  if (size < kHeader) return Status::Corruption("query store shorter than header");
+  if (size < kHeader) {
+    return Status::Corruption("query store header truncated: " +
+                              std::to_string(size) + " of " +
+                              std::to_string(kHeader) + " bytes");
+  }
   if (std::memcmp(data, kMagic, 4) != 0) return Status::Corruption("bad magic");
-  if (data[4] != kVersion) return Status::Corruption("unsupported store version");
+  if (data[4] != kVersion) {
+    return Status::Corruption("unsupported store version " +
+                              std::to_string(data[4]));
+  }
   QueryDb db;
-  db.k = static_cast<int>(GetU32(data + 5));
+  const uint32_t raw_k = GetU32(data + 5);
   db.hash_seed = GetU64(data + 9);
   const uint32_t count = GetU32(data + 17);
-  if (db.k < 1) return Status::Corruption("invalid K");
+  if (raw_k < 1 || raw_k > static_cast<uint32_t>(kMaxK)) {
+    return Status::Corruption("implausible K " + std::to_string(raw_k) +
+                              " (limit " + std::to_string(kMaxK) + ")");
+  }
+  db.k = static_cast<int>(raw_k);
+  // Overflow-safe record accounting: divide the remaining bytes by the
+  // record size instead of multiplying count * per_query, so a corrupt
+  // count field cannot wrap the expected-size computation.
   const size_t per_query = 4 + 4 + 4 + static_cast<size_t>(db.k) * 8;
-  if (size != kHeader + static_cast<size_t>(count) * per_query) {
-    return Status::Corruption("query store size mismatch");
+  const size_t body = size - kHeader;
+  if (body / per_query < count) {
+    return Status::Corruption(
+        "query store truncated: header promises " + std::to_string(count) +
+        " records of " + std::to_string(per_query) + " bytes but only " +
+        std::to_string(body) + " payload bytes follow");
+  }
+  if (body % per_query != 0 || body / per_query != count) {
+    return Status::Corruption(
+        "trailing bytes after query records: " + std::to_string(body) +
+        " payload bytes is not exactly " + std::to_string(count) +
+        " records of " + std::to_string(per_query));
   }
   size_t pos = kHeader;
   db.queries.reserve(count);
@@ -77,6 +122,10 @@ Result<QueryDb> DeserializeQueries(const uint8_t* data, size_t size) {
     q.id = static_cast<int>(GetU32(data + pos));
     q.length_frames = static_cast<int>(GetU32(data + pos + 4));
     q.duration_seconds = static_cast<double>(GetU32(data + pos + 8)) / 1000.0;
+    if (q.id < 0 || q.length_frames < 0) {
+      return Status::Corruption("query record " + std::to_string(i) +
+                                " has negative id or length");
+    }
     pos += 12;
     q.sketch.mins.resize(static_cast<size_t>(db.k));
     for (int r = 0; r < db.k; ++r) {
@@ -105,11 +154,18 @@ Result<QueryDb> LoadQueriesFile(const std::string& path) {
   std::fseek(f, 0, SEEK_END);
   const long len = std::ftell(f);
   std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(static_cast<size_t>(len > 0 ? len : 0));
+  if (len < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot determine size of " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(len));
   const size_t n = std::fread(bytes.data(), 1, bytes.size(), f);
   std::fclose(f);
   if (n != bytes.size()) return Status::Internal("short read from " + path);
-  return DeserializeQueries(bytes.data(), bytes.size());
+  auto db = DeserializeQueries(bytes.data(), bytes.size());
+  if (!db.ok()) return Status(db.status().code(),
+                              path + ": " + db.status().message());
+  return db;
 }
 
 }  // namespace vcd::core

@@ -119,6 +119,29 @@ ShardMetrics ShardMetrics::Create(MetricsRegistry* registry, int shard_id) {
   return m;
 }
 
+CkptMetrics CkptMetrics::Create(MetricsRegistry* registry) {
+  CkptMetrics m;
+  if (registry == nullptr) return m;
+  m.checkpoints_total = registry->RegisterCounter(
+      "vcd_ckpt_checkpoints_total", "Snapshots durably committed");
+  m.checkpoint_failures_total = registry->RegisterCounter(
+      "vcd_ckpt_checkpoint_failures_total",
+      "Snapshot writes that failed before the manifest was updated");
+  m.restores_total = registry->RegisterCounter(
+      "vcd_ckpt_restores_total", "Successful snapshot restores");
+  m.restore_corruption_total = registry->RegisterCounter(
+      "vcd_ckpt_restore_corruption_total",
+      "Snapshots skipped at restore as torn or CRC-corrupt");
+  m.checkpoint_bytes = registry->RegisterGauge(
+      "vcd_ckpt_checkpoint_bytes", "Size of the last snapshot written");
+  m.checkpoint_epoch = registry->RegisterGauge(
+      "vcd_ckpt_checkpoint_epoch", "Epoch of the last snapshot committed");
+  m.checkpoint_duration_ns = registry->RegisterHistogram(
+      "vcd_ckpt_checkpoint_duration_ns",
+      "Wall time of one checkpoint save (encode + write + rename)");
+  return m;
+}
+
 void SyncFaultfxMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) return;
   for (int i = 0; i < faultfx::kNumSites; ++i) {

@@ -79,6 +79,21 @@ struct ShardMetrics {
   static ShardMetrics Create(MetricsRegistry* registry, int shard_id);
 };
 
+/// Checkpointer: durability accounting (DESIGN.md §16). `checkpoint_bytes`
+/// is the size of the last snapshot written; `checkpoint_epoch` the last
+/// epoch durably committed (0 until the first save).
+struct CkptMetrics {
+  Counter* checkpoints_total = nullptr;
+  Counter* checkpoint_failures_total = nullptr;
+  Counter* restores_total = nullptr;
+  Counter* restore_corruption_total = nullptr;  ///< snapshots skipped as unreadable
+  Gauge* checkpoint_bytes = nullptr;
+  Gauge* checkpoint_epoch = nullptr;
+  Histogram* checkpoint_duration_ns = nullptr;
+
+  static CkptMetrics Create(MetricsRegistry* registry);
+};
+
 /// Publishes the faultfx injector's per-site hit/fire counts into
 /// \p registry as gauges labeled `site="<name>"`. Gauges, not counters:
 /// `Injector::Arm`/`Reset` reset the underlying counts, and a gauge mirrors

@@ -5,6 +5,7 @@
 #include "obs/span.h"
 #include <chrono>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -369,6 +370,113 @@ Result<StreamHealth> StreamExecutor::HealthOf(int stream_id) {
                                ": shard failed over");
   }
   return future.get();
+}
+
+Result<ExecutorCkpt> StreamExecutor::Checkpoint() {
+  MutexLock lock(control_mu_);
+  ReapOrphansLocked();
+  if (!orphans_.empty()) {
+    return Status::Unavailable(
+        "checkpoint refused: orphaned shard replies still pending");
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->failed()) {
+      return Status::Unavailable("checkpoint refused: shard " +
+                                 std::to_string(i) + " is failed over");
+    }
+  }
+  // Barrier: one export command per shard. Commands ride the FIFO behind
+  // every frame submitted before this call, so by the time a shard answers,
+  // its streams are at a window boundary of everything pre-barrier.
+  using Reply = std::pair<std::vector<core::StreamCkpt>, std::vector<SeqMatch>>;
+  std::vector<std::future<Reply>> futures;
+  futures.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    auto promise = std::make_shared<std::promise<Reply>>();
+    futures.push_back(promise->get_future());
+    shard->SubmitCommand([promise](Shard* s) {
+      Reply reply;
+      s->ExportCkpt(&reply.first, &reply.second);
+      promise->set_value(std::move(reply));
+    });
+  }
+  ExecutorCkpt ckpt;
+  ckpt.next_stream_id = next_stream_id_.load(std::memory_order_acquire);
+  ckpt.next_seq = next_seq_.load(std::memory_order_acquire);
+  ckpt.matches = merged_;  // copy; the live merged log is not perturbed
+  for (size_t i = 0; i < futures.size(); ++i) {
+    if (!WaitOrFailover(futures[i], shards_[i].get())) {
+      return Status::Unavailable("checkpoint abandoned: shard " +
+                                 std::to_string(i) +
+                                 " failed over mid-barrier");
+    }
+    Reply reply = futures[i].get();
+    for (core::StreamCkpt& s : reply.first) {
+      ckpt.streams.push_back(std::move(s));
+    }
+    ckpt.matches.insert(ckpt.matches.end(),
+                        std::make_move_iterator(reply.second.begin()),
+                        std::make_move_iterator(reply.second.end()));
+  }
+  std::stable_sort(
+      ckpt.streams.begin(), ckpt.streams.end(),
+      [](const core::StreamCkpt& a, const core::StreamCkpt& b) {
+        return a.stream_id < b.stream_id;
+      });
+  std::stable_sort(ckpt.matches.begin(), ckpt.matches.end(),
+                   [](const SeqMatch& a, const SeqMatch& b) { return a.seq < b.seq; });
+  return ckpt;
+}
+
+Status StreamExecutor::RestoreCkpt(const ExecutorCkpt& ckpt) {
+  MutexLock lock(control_mu_);
+  if (num_open_streams_.load(std::memory_order_relaxed) != 0 ||
+      !merged_.empty() || !orphans_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreCkpt requires an executor with no open streams or matches");
+  }
+  if (ckpt.next_stream_id < 1 || ckpt.next_seq < 1) {
+    return Status::Corruption("snapshot executor counters out of range");
+  }
+  int restored = 0;
+  std::set<int> seen_ids;
+  for (const core::StreamCkpt& s : ckpt.streams) {
+    if (s.stream_id <= 0 || s.stream_id >= ckpt.next_stream_id) {
+      return Status::Corruption("snapshot stream id " +
+                                std::to_string(s.stream_id) +
+                                " outside [1, next_stream_id)");
+    }
+    if (!seen_ids.insert(s.stream_id).second) {
+      return Status::Corruption("duplicate stream id in snapshot");
+    }
+    if (s.health < 0 || s.health > static_cast<int>(StreamHealth::kFailed)) {
+      return Status::Corruption("snapshot stream health out of range");
+    }
+    auto det = core::CopyDetector::Create(config_);
+    if (!det.ok()) return det.status();
+    std::shared_ptr<core::CopyDetector> detector = std::move(*det);
+    for (const PortfolioEntry& e : portfolio_) {
+      VCD_RETURN_IF_ERROR(detector->AddQuerySketch(e.id, e.sketch,
+                                                   e.length_frames,
+                                                   e.duration_seconds));
+    }
+    VCD_RETURN_IF_ERROR(detector->RestoreCkptState(s.detector));
+    if (static_cast<size_t>(s.matches_consumed) > detector->matches().size()) {
+      return Status::Corruption(
+          "snapshot matches_consumed exceeds the stream's match count");
+    }
+    shard_for(s.stream_id)
+        ->SubmitCommand([ckpt_slot = s, detector](Shard* shard) mutable {
+          shard->InstallRestoredStream(ckpt_slot, std::move(detector));
+        });
+    ++restored;
+  }
+  next_stream_id_.store(ckpt.next_stream_id, std::memory_order_release);
+  next_seq_.store(ckpt.next_seq, std::memory_order_release);
+  num_open_streams_.store(restored, std::memory_order_relaxed);
+  VCD_OBS_SET(metrics_.streams_open, restored);
+  merged_ = ckpt.matches;
+  return Status::OK();
 }
 
 ExecutorStats StreamExecutor::Stats() {

@@ -78,6 +78,22 @@ struct ExecutorStats {
   std::vector<core::DetectorStats> shard_detector_stats;
 };
 
+/// \brief Checkpointed state of a whole executor: every shard's stream
+/// slots, the merged + pending match logs, and the id/sequence counters.
+///
+/// Captured by StreamExecutor::Checkpoint() at a quiesced barrier, so the
+/// snapshot is epoch-consistent across shards: every frame submitted before
+/// the barrier is reflected, none submitted after it is.
+struct ExecutorCkpt {
+  int next_stream_id = 1;
+  uint64_t next_seq = 1;
+  std::vector<core::StreamCkpt> streams;  ///< all shards, ascending stream_id
+  /// Merged log plus every shard's not-yet-drained pending matches, stable-
+  /// sorted by submission seq — exactly what matches() would return after a
+  /// Drain() at the barrier, without actually draining the shard logs.
+  std::vector<SeqMatch> matches;
+};
+
 /// \brief Worker-pool stream executor: StreamMonitor semantics, N threads.
 class StreamExecutor {
  public:
@@ -160,6 +176,25 @@ class StreamExecutor {
   /// Ingestion health of one open stream (round-trips through its shard).
   /// Unavailable if the shard is failed over.
   Result<StreamHealth> HealthOf(int stream_id) VCD_EXCLUDES(control_mu_);
+
+  /// Checkpoint barrier: quiesces every shard (a command rides the FIFO
+  /// behind all previously submitted frames, so each shard's export reflects
+  /// a window boundary of its own timeline) and exports the full executor
+  /// state. Refuses with Unavailable while any shard is failed over or an
+  /// orphaned reply is still pending — a consistent cut is impossible then.
+  /// Frames submitted concurrently with the barrier land after it and are
+  /// simply not part of the snapshot.
+  Result<ExecutorCkpt> Checkpoint() VCD_EXCLUDES(control_mu_);
+
+  /// Restores a checkpoint onto a fresh executor.
+  ///
+  /// Preconditions: the portfolio has been re-imported (ImportQueries with
+  /// the snapshot's embedded QueryDb) and no stream has been opened.
+  /// Rebuilds each stream's detector, re-validates it (typed errors on
+  /// malformed state), and reinstalls it on its home shard
+  /// (`(id - 1) % num_threads` — the same affinity the ids had before the
+  /// crash, provided num_threads matches the checkpointed run).
+  Status RestoreCkpt(const ExecutorCkpt& ckpt) VCD_EXCLUDES(control_mu_);
 
   /// Executor counters plus per-shard stats and aggregated detector stats.
   /// Round-trips through every live shard; a failed-over shard is reported

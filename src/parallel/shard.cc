@@ -244,6 +244,49 @@ void Shard::InstallStream(int stream_id, std::string name,
   num_streams_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Shard::InstallRestoredStream(const core::StreamCkpt& ckpt,
+                                  std::shared_ptr<core::CopyDetector> detector) {
+  StreamSlot slot;
+  slot.name = ckpt.name;
+  slot.detector = std::move(detector);
+  slot.matches_consumed = static_cast<size_t>(ckpt.matches_consumed);
+  slot.health = static_cast<StreamHealth>(ckpt.health);
+  slot.consecutive_faults = ckpt.consecutive_faults;
+  slot.consecutive_clean = ckpt.consecutive_clean;
+  slot.quarantine_remaining = ckpt.quarantine_remaining;
+  slot.backoff_frames = ckpt.backoff_frames;
+  slot.max_timestamp = ckpt.max_timestamp;
+  slot.saw_timestamp = ckpt.saw_timestamp;
+  if (slot.health == StreamHealth::kQuarantined) {
+    streams_quarantined_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (slot.health == StreamHealth::kFailed) {
+    streams_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  streams_.emplace(ckpt.stream_id, std::move(slot));
+  num_streams_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Shard::ExportCkpt(std::vector<core::StreamCkpt>* slots,
+                       std::vector<SeqMatch>* pending_log) const {
+  for (const auto& [sid, slot] : streams_) {
+    core::StreamCkpt s;
+    s.stream_id = sid;
+    s.name = slot.name;
+    s.matches_consumed = slot.matches_consumed;
+    s.health = static_cast<int>(slot.health);
+    s.consecutive_faults = slot.consecutive_faults;
+    s.consecutive_clean = slot.consecutive_clean;
+    s.quarantine_remaining = slot.quarantine_remaining;
+    s.backoff_frames = slot.backoff_frames;
+    s.max_timestamp = slot.max_timestamp;
+    s.saw_timestamp = slot.saw_timestamp;
+    s.detector = slot.detector->ExportCkptState();
+    slots->push_back(std::move(s));
+  }
+  pending_log->insert(pending_log->end(), log_.begin(), log_.end());
+}
+
 Status Shard::FinishStream(int stream_id, uint64_t close_seq,
                            std::vector<SeqMatch>* out) {
   auto it = streams_.find(stream_id);

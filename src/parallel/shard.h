@@ -147,6 +147,20 @@ class Shard {
   void InstallStream(int stream_id, std::string name,
                      std::shared_ptr<core::CopyDetector> detector);
 
+  /// Installs a stream restored from a checkpoint: like InstallStream, but
+  /// the detector already carries restored mid-stream state and the slot's
+  /// health machine resumes from the snapshot instead of kHealthy. The
+  /// quarantine gauges are re-derived from the restored health.
+  void InstallRestoredStream(const core::StreamCkpt& ckpt,
+                             std::shared_ptr<core::CopyDetector> detector);
+
+  /// Exports every stream slot on this shard (health machine + detector
+  /// state) plus a COPY of the pending match log into \p out. The log is
+  /// not drained: matches stay queued for the next TakeMatches, so a
+  /// checkpoint never perturbs what the live run reports.
+  void ExportCkpt(std::vector<core::StreamCkpt>* slots,
+                  std::vector<SeqMatch>* pending_log) const;
+
   /// Finishes a stream: flushes its trailing window, moves its final
   /// matches (tagged \p close_seq) into \p out and forgets it.
   Status FinishStream(int stream_id, uint64_t close_seq, std::vector<SeqMatch>* out);

@@ -56,6 +56,31 @@ class BasicWindowAssembler {
   /// Number of windows emitted so far.
   int64_t windows_emitted() const { return next_index_; }
 
+  /// \brief Mid-stream assembler phase, exposed for checkpoint/restore.
+  ///
+  /// Captures the partially accumulated window verbatim, so a restored
+  /// assembler emits the exact window sequence (indices, spans, id sets)
+  /// the interrupted one would have.
+  struct CkptState {
+    bool open = false;
+    double window_start_time = 0.0;
+    BasicWindow acc;
+    int64_t next_index = 0;
+  };
+
+  /// Snapshot of the current phase.
+  CkptState ExportCkpt() const {
+    return CkptState{open_, window_start_time_, acc_, next_index_};
+  }
+
+  /// Restores a phase previously captured by ExportCkpt.
+  void RestoreCkpt(CkptState state) {
+    open_ = state.open;
+    window_start_time_ = state.window_start_time;
+    acc_ = std::move(state.acc);
+    next_index_ = state.next_index;
+  }
+
  private:
   explicit BasicWindowAssembler(double w) : window_seconds_(w) {}
 

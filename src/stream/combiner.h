@@ -129,6 +129,12 @@ class SequentialCandidates {
     Clear([](C&) {});
   }
 
+  /// Appends a fully constructed candidate behind the current newest one —
+  /// checkpoint restore only. Candidates must be restored oldest-first
+  /// (export order) so the front-to-back num_windows ordering that expiry
+  /// relies on is preserved.
+  void RestoreBack(C&& c) { buf_.push_back(std::move(c)); }
+
  private:
   C TakeShell() {
     if (spares_.empty()) return C{};

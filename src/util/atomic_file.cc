@@ -1,0 +1,163 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/faultfx.h"
+
+namespace vcd::util {
+namespace {
+
+std::string Errno(const char* op, const std::string& path) {
+  return std::string(op) + " failed for " + path + ": " +
+         std::strerror(errno);
+}
+
+// Directory part of \p path ("." when the path has no slash) — the rename
+// target's directory must be fsynced for the new directory entry to be
+// durable.
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return Status::Internal(Errno("open(dir)", dir));
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) return Status::Internal(Errno("fsync(dir)", dir));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AtomicFileWriter> AtomicFileWriter::Open(const std::string& final_path,
+                                                uint64_t fault_key) {
+  const std::string tmp =
+      final_path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(Errno("open", tmp));
+  }
+  return AtomicFileWriter(final_path, tmp, fd, fault_key);
+}
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept
+    : final_path_(std::move(other.final_path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      fd_(other.fd_),
+      fault_key_(other.fault_key_) {
+  other.fd_ = -1;
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(
+    AtomicFileWriter&& other) noexcept {
+  if (this != &other) {
+    Abort();
+    final_path_ = std::move(other.final_path_);
+    tmp_path_ = std::move(other.tmp_path_);
+    fd_ = other.fd_;
+    fault_key_ = other.fault_key_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abort(); }
+
+Status AtomicFileWriter::Append(const void* data, size_t n) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("AtomicFileWriter already finished");
+  }
+  if (faultfx::ShouldFire(faultfx::Site::kCkptWriteError, fault_key_)) {
+    Abort();
+    return Status::Internal("injected write error for " + tmp_path_);
+  }
+  // A short write leaves the prefix on disk — exactly the torn-file shape a
+  // power cut produces. The writer reports it (so the checkpoint is retried
+  // later) and the temp file never reaches the final name.
+  if (n > 0 &&
+      faultfx::ShouldFire(faultfx::Site::kCkptShortWrite, fault_key_)) {
+    const size_t half = n / 2;
+    (void)!::write(fd_, data, half);
+    Abort();
+    return Status::Internal("injected short write for " + tmp_path_);
+  }
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd_, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::Internal(Errno("write", tmp_path_));
+      Abort();
+      return st;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("AtomicFileWriter already finished");
+  }
+  if (::fsync(fd_) != 0) {
+    const Status st = Status::Internal(Errno("fsync", tmp_path_));
+    Abort();
+    return st;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (faultfx::ShouldFire(faultfx::Site::kCkptRenameError, fault_key_)) {
+    ::unlink(tmp_path_.c_str());
+    return Status::Internal("injected rename error for " + final_path_);
+  }
+  if (::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    const Status st = Status::Internal(Errno("rename", final_path_));
+    ::unlink(tmp_path_.c_str());
+    return st;
+  }
+  return FsyncDir(DirOf(final_path_));
+}
+
+void AtomicFileWriter::Abort() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  ::unlink(tmp_path_.c_str());
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::Internal(Errno("open", path));
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::Internal(Errno("read", path));
+      ::close(fd);
+      return st;
+    }
+    if (r == 0) break;
+    out->append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace vcd::util

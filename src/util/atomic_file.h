@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+/// \file atomic_file.h
+/// Crash-safe whole-file replacement: write to a temp file in the target
+/// directory, fsync, rename over the destination, fsync the directory.
+///
+/// A reader that follows the MANIFEST protocol (docs/FORMATS.md) therefore
+/// never observes a half-written file: either the rename happened and the
+/// new content is durable, or the old content (or nothing) is still there.
+/// Under `-DVCD_FAULTFX=ON` the writer carries three injection sites —
+/// `kCkptWriteError`, `kCkptShortWrite`, `kCkptRenameError` — so the
+/// checkpoint tests can prove torn and failed writes are contained.
+
+namespace vcd::util {
+
+/// \brief Writes a file atomically: all-or-nothing from a reader's view.
+///
+/// Usage: Open → Append* → Commit. If Commit is never reached (error or
+/// crash), the destination is untouched; the destructor unlinks the temp
+/// file. Not thread-safe; one writer per destination path at a time.
+class AtomicFileWriter {
+ public:
+  /// Starts an atomic write of \p final_path. The temp file is created in
+  /// the same directory (required for rename(2) atomicity). \p fault_key
+  /// tags the faultfx hits so tests can target one destination.
+  static Result<AtomicFileWriter> Open(const std::string& final_path,
+                                       uint64_t fault_key = 0);
+
+  AtomicFileWriter(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter& operator=(AtomicFileWriter&& other) noexcept;
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  ~AtomicFileWriter();
+
+  /// Appends \p n bytes to the temp file.
+  Status Append(const void* data, size_t n);
+
+  /// \copydoc Append
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+
+  /// Fsyncs the temp file, renames it over the destination, and fsyncs the
+  /// containing directory. After an OK return the new content is durable
+  /// under the final path. On error the destination is untouched and the
+  /// temp file has been removed.
+  Status Commit();
+
+  /// Abandons the write and removes the temp file. Safe to call twice;
+  /// implied by the destructor when Commit was not reached.
+  void Abort();
+
+ private:
+  AtomicFileWriter(std::string final_path, std::string tmp_path, int fd,
+                   uint64_t fault_key)
+      : final_path_(std::move(final_path)),
+        tmp_path_(std::move(tmp_path)),
+        fd_(fd),
+        fault_key_(fault_key) {}
+
+  std::string final_path_;
+  std::string tmp_path_;
+  int fd_ = -1;  ///< -1 once committed, aborted, or moved from
+  uint64_t fault_key_ = 0;
+};
+
+/// Reads all of \p path into \p out. Typed errors: NotFound when the file
+/// does not exist, Internal on I/O failure.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace vcd::util

@@ -1,0 +1,68 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace vcd::util {
+namespace {
+
+// 8 slice tables, generated once at first use. Table 0 is the classic
+// reflected CRC-32C byte table; table t extends a byte t positions deeper,
+// letting the main loop fold 8 input bytes per iteration.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+const Tables& GetTables() {
+  static const Tables tables = [] {
+    Tables tb{};
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      tb.t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = tb.t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        crc = tb.t[0][crc & 0xFF] ^ (crc >> 8);
+        tb.t[s][i] = crc;
+      }
+    }
+    return tb;
+  }();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = GetTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 8-byte alignment keeps the sliced loop's 8-byte
+  // loads aligned (not required for correctness, but free to do).
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+          tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][(lo >> 24) & 0xFF] ^
+          tb.t[3][p[4]] ^ tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace vcd::util

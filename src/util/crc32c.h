@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file crc32c.h
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) over byte ranges.
+///
+/// Used by the snapshot format (docs/FORMATS.md) to detect torn or
+/// bit-rotted sections. A portable slice-by-8 table implementation — the
+/// checkpoint path hashes a few megabytes at most, far off the hot path, so
+/// no SSE4.2 dispatch is warranted (and src/sketch/kernels/ is the only
+/// directory allowed intrinsics by the `vcd-simd-guard` lint rule).
+
+namespace vcd::util {
+
+/// Extends CRC-32C \p crc (state from a previous call, or 0 to start) over
+/// \p n bytes at \p data. The returned value is the finalized checksum and
+/// may also be passed back in to continue hashing.
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+/// One-shot convenience: CRC-32C of \p n bytes at \p data.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32c(0, data, n);
+}
+
+}  // namespace vcd::util

@@ -28,6 +28,14 @@ const char* SiteName(Site site) {
       return "shard-stall";
     case Site::kClockSkew:
       return "clock-skew";
+    case Site::kCkptWriteError:
+      return "ckpt-write-error";
+    case Site::kCkptShortWrite:
+      return "ckpt-short-write";
+    case Site::kCkptRenameError:
+      return "ckpt-rename-error";
+    case Site::kCkptCrcCorrupt:
+      return "ckpt-crc-corrupt";
   }
   return "unknown";
 }

@@ -44,8 +44,12 @@ enum class Site {
   kQueueOverflow,            ///< shard submission queue pretends to be full
   kShardStall,               ///< shard worker stops draining for a while
   kClockSkew,                ///< frame timestamps are perturbed
+  kCkptWriteError,           ///< AtomicFileWriter: write(2) fails outright
+  kCkptShortWrite,           ///< AtomicFileWriter: write(2) lands only half
+  kCkptRenameError,          ///< AtomicFileWriter: commit rename fails
+  kCkptCrcCorrupt,           ///< snapshot reader: payload bytes perturbed
 };
-inline constexpr int kNumSites = 5;
+inline constexpr int kNumSites = 9;
 
 /// Human-readable site name (for logs and test output).
 const char* SiteName(Site site);

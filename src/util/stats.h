@@ -61,6 +61,35 @@ class RunningStats {
   /// Maximum observation (-inf if empty).
   double max() const { return max_; }
 
+  /// \brief The full Welford state, exposed for checkpoint serialization.
+  ///
+  /// `FromRaw(s.ToRaw())` reproduces the accumulator bit-for-bit, so stats
+  /// restored from a snapshot continue exactly where the interrupted run
+  /// left off (pinned by the restore-equivalence tests).
+  struct Raw {
+    int64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  /// Snapshot of the internal state.
+  Raw ToRaw() const { return Raw{n_, mean_, m2_, sum_, min_, max_}; }
+
+  /// Rebuilds an accumulator from a Raw snapshot.
+  static RunningStats FromRaw(const Raw& r) {
+    RunningStats s;
+    s.n_ = r.n;
+    s.mean_ = r.mean;
+    s.m2_ = r.m2;
+    s.sum_ = r.sum;
+    s.min_ = r.min;
+    s.max_ = r.max;
+    return s;
+  }
+
  private:
   int64_t n_ = 0;
   double mean_ = 0.0;

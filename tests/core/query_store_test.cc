@@ -89,6 +89,64 @@ TEST(QueryStoreTest, DeserializeRejectsCorruption) {
   EXPECT_FALSE(DeserializeQueries(bad.data(), bad.size()).ok());
 }
 
+TEST(QueryStoreTest, CorruptionMatrix) {
+  // Truncate the serialized store at every section boundary and one byte to
+  // either side of it: all must be rejected as kCorruption, never accepted
+  // and never crash/overread (run under ASan in CI).
+  QueryDb db = MakeDb(/*k=*/16, /*n=*/3);
+  const auto bytes = SerializeQueries(db).value();
+  constexpr size_t kHeader = 4 + 1 + 4 + 8 + 4;
+  const size_t per_query = 4 + 4 + 4 + 16 * 8;
+  std::vector<size_t> boundaries = {0, 4, 5, 9, 17, kHeader};
+  for (size_t q = 1; q <= db.queries.size(); ++q) {
+    boundaries.push_back(kHeader + q * per_query);  // end of record q
+    boundaries.push_back(kHeader + (q - 1) * per_query + 12);  // after metadata
+  }
+  for (size_t b : boundaries) {
+    for (int delta = -1; delta <= 1; ++delta) {
+      if (delta < 0 && b == 0) continue;
+      const size_t cut = b + static_cast<size_t>(delta);
+      if (cut > bytes.size()) continue;
+      auto r = DeserializeQueries(bytes.data(), cut);
+      if (cut == bytes.size()) {
+        EXPECT_TRUE(r.ok()) << "full-size parse must succeed";
+      } else {
+        EXPECT_EQ(r.status().code(), StatusCode::kCorruption)
+            << "cut at " << cut << " of " << bytes.size();
+      }
+    }
+  }
+  // Padding past the true end must also be rejected (trailing bytes).
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_EQ(DeserializeQueries(padded.data(), padded.size()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(QueryStoreTest, DeserializeRejectsHostileHeaders) {
+  QueryDb db = MakeDb(/*k=*/16, /*n=*/1);
+  const auto bytes = SerializeQueries(db).value();
+  // Implausibly large K: must fail the sanity cap, not allocate gigabytes.
+  auto bad = bytes;
+  bad[5] = 0x7f;  // K := 0x7fxxxxxx (big-endian u32)
+  auto r = DeserializeQueries(bad.data(), bad.size());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  // Huge count with a tiny body: the overflow-safe division check fires
+  // before any allocation sized from the count field.
+  bad = bytes;
+  bad[17] = 0xff;
+  bad[18] = 0xff;
+  bad[19] = 0xff;
+  bad[20] = 0xff;
+  r = DeserializeQueries(bad.data(), bad.size());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  // K = 0 is invalid regardless of body size.
+  bad = bytes;
+  bad[5] = bad[6] = bad[7] = bad[8] = 0;
+  EXPECT_EQ(DeserializeQueries(bad.data(), bad.size()).status().code(),
+            StatusCode::kCorruption);
+}
+
 TEST(QueryStoreTest, FileRoundTrip) {
   const std::string path = "/tmp/vcd_query_store_test.vcdq";
   QueryDb db = MakeDb(32, 5);

@@ -59,6 +59,31 @@ EOF
 check_rc "pooled_alloc_free lost" 1 "$BASELINE" "$TMP/leaky.json"
 check_rc "pooled_alloc_free lost, ratio" 1 "$BASELINE" "$TMP/leaky.json" --ratio
 
+# Dropping the checkpoint_pause_ms measurement fails in both modes; a
+# blown-up pause fails the absolute gate but is not compared across
+# machines (--ratio), where only presence is required.
+"$PY" - "$BASELINE" "$TMP/nopause.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc.setdefault("meta", {}).pop("checkpoint_pause_ms", None)
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+check_rc "checkpoint_pause_ms lost" 1 "$BASELINE" "$TMP/nopause.json"
+check_rc "checkpoint_pause_ms lost, ratio" 1 "$BASELINE" "$TMP/nopause.json" \
+  --ratio
+# A baseline without the meta never demands it (pre-metric baselines).
+check_rc "old baseline, no pause meta" 0 "$TMP/nopause.json" "$TMP/nopause.json"
+"$PY" - "$BASELINE" "$TMP/slowpause.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+meta = doc.setdefault("meta", {})
+meta["checkpoint_pause_ms"] = meta.get("checkpoint_pause_ms", 1.0) * 10 + 10
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+check_rc "10x checkpoint pause, absolute" 1 "$BASELINE" "$TMP/slowpause.json"
+check_rc "10x checkpoint pause, ratio (ungated)" 0 "$BASELINE" \
+  "$TMP/slowpause.json" --ratio
+
 # Rows present on only one side are reported but never fail.
 "$PY" - "$BASELINE" "$TMP/fewer.json" <<'EOF'
 import json, sys

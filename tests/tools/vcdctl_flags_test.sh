@@ -47,6 +47,15 @@ expect_flag_error "negative --watchdog-ms" \
   monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --watchdog-ms=-1
 expect_flag_error "unknown --kernel" \
   monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --kernel=banana
+expect_flag_error "negative --checkpoint-interval-ms" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" \
+  --checkpoint-dir=/nonexistent/ckpt --checkpoint-interval-ms=-1
+expect_flag_error "--checkpoint-interval-ms without --checkpoint-dir" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --checkpoint-interval-ms=500
+expect_flag_error "--restore without --checkpoint-dir" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --restore
+expect_flag_error "negative --throttle-ms" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --throttle-ms=-1
 
 # A --kernel the CPU/build cannot run must also be a usage error (exit 2),
 # not a crash or silent fallback. neon is never supported on x86 hosts and

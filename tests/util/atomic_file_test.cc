@@ -1,0 +1,135 @@
+#include "util/atomic_file.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/faultfx.h"
+#include "util/status.h"
+
+namespace vcd::util {
+namespace {
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/vcd_atomic_file_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    faultfx::Injector::Instance().Reset();
+    // Best-effort cleanup; tests create at most a couple of files.
+    std::string cmd = "rm -rf " + dir_;
+    std::system(cmd.c_str());
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  static bool Exists(const std::string& path) {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(AtomicFileTest, WriteCommitRead) {
+  const std::string path = Path("a.bin");
+  auto w = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->Append("hello ").ok());
+  ASSERT_TRUE(w->Append("world").ok());
+  ASSERT_TRUE(w->Commit().ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "hello world");
+}
+
+TEST_F(AtomicFileTest, AbortLeavesOldContent) {
+  const std::string path = Path("a.bin");
+  {
+    auto w = AtomicFileWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append("old").ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  {
+    auto w = AtomicFileWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append("new-but-abandoned").ok());
+    w->Abort();
+  }
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "old");
+}
+
+TEST_F(AtomicFileTest, DestructorWithoutCommitIsAbort) {
+  const std::string path = Path("a.bin");
+  { auto w = AtomicFileWriter::Open(path); ASSERT_TRUE(w.ok()); }
+  EXPECT_FALSE(Exists(path));
+}
+
+TEST_F(AtomicFileTest, ReadMissingFileIsNotFound) {
+  std::string out;
+  EXPECT_EQ(ReadFileToString(Path("nope"), &out).code(), StatusCode::kNotFound);
+}
+
+TEST_F(AtomicFileTest, InjectedWriteErrorLeavesDestinationUntouched) {
+  if (!faultfx::kEnabled) GTEST_SKIP() << "faultfx compiled out";
+  const std::string path = Path("a.bin");
+  {
+    auto w = AtomicFileWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append("stable").ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  faultfx::ScopedFault fault(faultfx::Site::kCkptWriteError, faultfx::Plan{});
+  auto w = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(w.ok());
+  Status st = w->Append("torn");
+  if (st.ok()) st = w->Commit();
+  EXPECT_FALSE(st.ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "stable");
+  EXPECT_GE(faultfx::Injector::Instance().fires(faultfx::Site::kCkptWriteError),
+            1);
+}
+
+TEST_F(AtomicFileTest, InjectedShortWriteFailsCommit) {
+  if (!faultfx::kEnabled) GTEST_SKIP() << "faultfx compiled out";
+  const std::string path = Path("a.bin");
+  faultfx::ScopedFault fault(faultfx::Site::kCkptShortWrite, faultfx::Plan{});
+  auto w = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(w.ok());
+  Status st = w->Append(std::string(4096, 'x'));
+  if (st.ok()) st = w->Commit();
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(Exists(path));
+}
+
+TEST_F(AtomicFileTest, InjectedRenameErrorRemovesTempAndKeepsOld) {
+  if (!faultfx::kEnabled) GTEST_SKIP() << "faultfx compiled out";
+  const std::string path = Path("a.bin");
+  {
+    auto w = AtomicFileWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append("v1").ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  faultfx::ScopedFault fault(faultfx::Site::kCkptRenameError, faultfx::Plan{});
+  auto w = AtomicFileWriter::Open(path);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->Append("v2").ok());
+  EXPECT_FALSE(w->Commit().ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "v1");
+}
+
+}  // namespace
+}  // namespace vcd::util

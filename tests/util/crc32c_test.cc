@@ -1,0 +1,63 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vcd::util {
+namespace {
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // RFC 3720 §B.4 test vectors for CRC-32C.
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xE3069283u);
+
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+
+  std::vector<uint8_t> ascending(32);
+  for (size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32c("x", 0), 0u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  std::string data(1027, '\0');  // odd length exercises the tail loop
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>((i * 131) ^ (i >> 3));
+  }
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{512},
+                       data.size() - 1, data.size()}) {
+    uint32_t crc = Crc32c(0, data.data(), split);
+    crc = Crc32c(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
+  std::string data(256, 'a');
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t byte : {size_t{0}, size_t{128}, size_t{255}}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(flipped.data(), flipped.size()), base)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcd::util

@@ -23,7 +23,14 @@ FRAC defaults to 0.10 (a >10% regression fails). Rows present in only one
 document are reported but never fail the diff (new configurations must not
 need a baseline edit to land). The current document's pooled_alloc_free
 meta must be true in both modes — losing the zero-allocation contract is a
-regression regardless of speed. Exit codes: 0 ok, 1 regression, 2 usage.
+regression regardless of speed.
+
+checkpoint_pause_ms meta (the steady-state intake pause of one checkpoint
+barrier, export+encode): when the baseline records it, the current document
+must too — dropping the measurement is a regression in both modes. The
+value itself is compared only in absolute (same-machine) mode, with a
+0.25 ms absolute grace on top of FRAC so timer noise on sub-millisecond
+pauses cannot flake the gate. Exit codes: 0 ok, 1 regression, 2 usage.
 """
 
 import json
@@ -142,6 +149,28 @@ def main(argv):
     if cur_doc.get("meta", {}).get("pooled_alloc_free") is not True:
         print("  REGRESSION  pooled_alloc_free is not true in current")
         failed.append("pooled_alloc_free")
+
+    base_pause = base_doc.get("meta", {}).get("checkpoint_pause_ms")
+    cur_pause = cur_doc.get("meta", {}).get("checkpoint_pause_ms")
+    if base_pause is not None:
+        if not isinstance(cur_pause, (int, float)):
+            print("  REGRESSION  checkpoint_pause_ms missing in current")
+            failed.append("checkpoint_pause_ms")
+        elif ratio_mode:
+            # Cross-machine: absolute pause is not comparable; presence is.
+            print(
+                f"          ok  checkpoint_pause_ms: {base_pause:.3f} -> "
+                f"{cur_pause:.3f} ms (not gated across machines)"
+            )
+        else:
+            limit = base_pause * (1.0 + max_regress) + 0.25
+            status = "ok" if cur_pause <= limit else "REGRESSION"
+            if status == "REGRESSION":
+                failed.append("checkpoint_pause_ms")
+            print(
+                f"  {status:>10}  checkpoint_pause_ms: {base_pause:.3f} -> "
+                f"{cur_pause:.3f} ms (limit {limit:.3f})"
+            )
 
     if failed:
         print(f"bench_diff: FAIL ({len(failed)} regression(s))")

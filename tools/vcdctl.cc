@@ -16,16 +16,23 @@
 ///           [--on-corruption skip|quarantine|fail --watchdog-ms N]
 ///           [--metrics-out FILE --metrics-interval-ms N]
 ///           [--kernel scalar|popcnt|avx2|avx512|neon]
+///           [--checkpoint-dir DIR --checkpoint-interval-ms N --restore]
+///           [--throttle-ms N]
 ///   vcdctl metrics [--format=json|prom]
 ///   vcdctl kernels
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "ckpt/checkpointer.h"
 #include "core/monitor.h"
 #include "core/query_store.h"
 #include "obs/clock.h"
@@ -325,11 +332,119 @@ void PrintMatches(const std::vector<core::StreamMatch>& matches) {
   std::printf("%zu matches total\n", matches.size());
 }
 
+/// Set by SIGTERM/SIGINT: the monitor loops stop intake at the next frame
+/// boundary, take a final checkpoint (when a checkpoint dir is configured),
+/// flush metrics and exit 0 — without flushing trailing windows, so a later
+/// --restore continues the interrupted streams mid-window.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void OnDrainSignal(int /*signo*/) { g_drain_requested = 1; }
+
+/// Checkpoint/restore options of `vcdctl monitor` (validated before any
+/// file I/O in CmdMonitor).
+struct CkptOptions {
+  std::string dir;       ///< empty = checkpointing disabled
+  int interval_ms = 0;   ///< 0 = only the final/drain checkpoint
+  bool restore = false;  ///< resume from the latest snapshot in dir
+  int throttle_ms = 0;   ///< per-cycle sleep (crash-recovery harness aid)
+};
+
+/// One monitored input file's driver position (mirrors
+/// ckpt::DriverFileState so a snapshot can resume the feed loop exactly).
+struct DriverPos {
+  std::string path;
+  int64_t frames_fed = 0;
+  bool done = false;
+  int stream_id = 0;
+};
+
+std::vector<ckpt::DriverFileState> ToDriverSection(
+    const std::vector<DriverPos>& pos) {
+  std::vector<ckpt::DriverFileState> out;
+  out.reserve(pos.size());
+  for (const DriverPos& p : pos) {
+    out.push_back(ckpt::DriverFileState{p.path, p.frames_fed, p.done,
+                                        p.stream_id});
+  }
+  return out;
+}
+
+/// Validates a restored snapshot against this invocation: detector
+/// parameters, the query db named on the command line, and the stream file
+/// list must all agree with the checkpointed run.
+Status CheckRestoredState(const ckpt::SnapshotState& state,
+                          const core::DetectorConfig& config,
+                          const core::QueryDb& positional_db,
+                          const std::vector<DriverPos>& pos) {
+  VCD_RETURN_IF_ERROR(ckpt::CheckMeta(state, config));
+  if (positional_db.k != state.k ||
+      positional_db.hash_seed != state.hash_seed) {
+    return Status::FailedPrecondition(
+        "query db on the command line uses a different hash family than the "
+        "snapshot");
+  }
+  if (state.driver.empty()) {
+    return Status::FailedPrecondition(
+        "snapshot carries no driver state (not written by vcdctl monitor?)");
+  }
+  if (state.driver.size() != pos.size()) {
+    return Status::FailedPrecondition(
+        "snapshot was taken over " + std::to_string(state.driver.size()) +
+        " stream files but " + std::to_string(pos.size()) + " were given");
+  }
+  for (size_t i = 0; i < pos.size(); ++i) {
+    if (state.driver[i].path != pos[i].path) {
+      return Status::FailedPrecondition(
+          "stream file " + std::to_string(i + 1) + " is " + pos[i].path +
+          " but the snapshot recorded " + state.driver[i].path);
+    }
+  }
+  return Status::OK();
+}
+
+/// Loads the restore snapshot and applies its driver positions to \p pos.
+Result<ckpt::SnapshotState> LoadRestoreState(
+    ckpt::Checkpointer* ckpt, const core::DetectorConfig& config,
+    const core::QueryDb& positional_db, std::vector<DriverPos>* pos) {
+  auto state = ckpt->LoadLatest();
+  if (!state.ok()) return state.status();
+  VCD_RETURN_IF_ERROR(CheckRestoredState(*state, config, positional_db, *pos));
+  for (size_t i = 0; i < pos->size(); ++i) {
+    (*pos)[i].frames_fed = state->driver[i].frames_fed;
+    (*pos)[i].done = state->driver[i].done;
+    (*pos)[i].stream_id = state->driver[i].stream_id;
+  }
+  return state;
+}
+
+/// Advances \p pd past the \p n key frames a restored run already consumed.
+Status SkipKeyFrames(video::PartialDecoder* pd, int64_t n,
+                     const std::string& path) {
+  video::DcFrame f;
+  for (int64_t i = 0; i < n; ++i) {
+    if (Status st = pd->NextKeyFrame(&f); !st.ok()) {
+      return Status::FailedPrecondition(
+          path + ": ran out of key frames replaying to the checkpoint "
+                 "position (file changed since the snapshot?): " +
+          st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
 /// Parallel path of `vcdctl monitor`: streams are opened on the sharded
 /// executor and fed round-robin (the arrival pattern of concurrent live
 /// feeds), so different files progress on different worker threads.
+///
+/// Checkpoints are taken only at the TOP of a round-robin cycle, so every
+/// live file has fed the same number of frames and a resumed run repeats
+/// the exact submission interleaving (and hence sequence numbering) the
+/// uninterrupted run would have used — the property the byte-identical
+/// match-output guarantee rests on.
 int MonitorParallel(const Args& a, const core::DetectorConfig& config,
-                    const core::QueryDb& db, int threads) {
+                    const core::QueryDb& db,
+                    const std::vector<uint8_t>& db_bytes,
+                    const CkptOptions& copt, int threads) {
   core::ParallelConfig pc;
   pc.num_threads = threads;
   pc.queue_capacity = static_cast<int>(a.Num("queue", 256));
@@ -361,7 +476,42 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
   if (!metrics_out.empty()) pc.metrics = &obs::MetricsRegistry::Global();
   auto exec = parallel::StreamExecutor::Create(config, pc);
   if (!exec.ok()) return Fail(exec.status());
-  if (Status st = (*exec)->ImportQueries(db); !st.ok()) return Fail(st);
+
+  std::unique_ptr<ckpt::Checkpointer> ckptr;
+  if (!copt.dir.empty()) {
+    auto c = ckpt::Checkpointer::Open(
+        copt.dir, metrics_out.empty() ? nullptr : &obs::MetricsRegistry::Global());
+    if (!c.ok()) return Fail(c.status());
+    ckptr = std::make_unique<ckpt::Checkpointer>(std::move(*c));
+  }
+
+  std::vector<DriverPos> pos;
+  for (size_t s = 1; s < a.positional.size(); ++s) {
+    pos.push_back(DriverPos{a.positional[s], 0, false, 0});
+  }
+
+  if (copt.restore) {
+    auto state = LoadRestoreState(ckptr.get(), config, db, &pos);
+    if (!state.ok()) return Fail(state.status());
+    auto embedded = core::DeserializeQueries(state->query_db.data(),
+                                             state->query_db.size());
+    if (!embedded.ok()) return Fail(embedded.status());
+    if (Status st = (*exec)->ImportQueries(*embedded); !st.ok()) return Fail(st);
+    parallel::ExecutorCkpt ec;
+    ec.next_stream_id = state->next_stream_id;
+    ec.next_seq = state->next_seq;
+    ec.streams = std::move(state->streams);
+    ec.matches.reserve(state->matches.size());
+    for (const ckpt::SnapshotMatch& m : state->matches) {
+      ec.matches.push_back(parallel::SeqMatch{m.seq, m.match});
+    }
+    if (Status st = (*exec)->RestoreCkpt(ec); !st.ok()) return Fail(st);
+    std::printf("restored checkpoint epoch %llu (%zu streams, %zu matches)\n",
+                static_cast<unsigned long long>(state->epoch),
+                ec.streams.size(), ec.matches.size());
+  } else {
+    if (Status st = (*exec)->ImportQueries(db); !st.ok()) return Fail(st);
+  }
   std::printf("monitoring with %d queries (K=%d, delta=%.2f, w=%.0fs, "
               "%d threads, queue %d, %s, on-corruption %s)\n",
               (*exec)->num_queries(), config.K, config.delta,
@@ -369,59 +519,127 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
               core::BackpressurePolicyName(pc.backpressure),
               core::CorruptionPolicyName(pc.on_corruption));
 
+  /// Quiesces the executor and commits one snapshot; failures are logged
+  /// and counted, never fatal — a broken disk must not kill detection.
+  const auto take_checkpoint = [&]() {
+    auto ec = (*exec)->Checkpoint();
+    if (!ec.ok()) {
+      std::fprintf(stderr, "warning: checkpoint barrier failed: %s\n",
+                   ec.status().ToString().c_str());
+      return;
+    }
+    ckpt::SnapshotState state;
+    ckpt::StampMeta(config, &state);
+    state.query_db = db_bytes;
+    state.next_stream_id = ec->next_stream_id;
+    state.next_seq = ec->next_seq;
+    state.streams = std::move(ec->streams);
+    state.matches.reserve(ec->matches.size());
+    for (const parallel::SeqMatch& m : ec->matches) {
+      state.matches.push_back(ckpt::SnapshotMatch{m.seq, m.match});
+    }
+    state.driver = ToDriverSection(pos);
+    if (Status st = ckptr->Save(state); !st.ok()) {
+      std::fprintf(stderr, "warning: checkpoint save failed: %s\n",
+                   st.ToString().c_str());
+    }
+  };
+
   std::vector<std::vector<uint8_t>> bytes;       // keeps decoder storage alive
-  std::vector<video::PartialDecoder> decoders(a.positional.size() - 1);
-  std::vector<int> sids;
-  for (size_t s = 1; s < a.positional.size(); ++s) {
-    auto b = ReadFile(a.positional[s]);
+  std::vector<video::PartialDecoder> decoders(pos.size());
+  for (size_t i = 0; i < pos.size(); ++i) {
+    if (pos[i].done) {
+      bytes.emplace_back();
+      continue;
+    }
+    auto b = ReadFile(pos[i].path);
     if (!b.ok()) return Fail(b.status());
     bytes.push_back(std::move(*b));
     // skip/quarantine tolerate corrupt input: the decoder resynchronizes
     // and emits degraded frames instead of failing the whole run.
-    decoders[s - 1].set_resync_on_corruption(pc.on_corruption !=
-                                             core::CorruptionPolicy::kFail);
+    decoders[i].set_resync_on_corruption(pc.on_corruption !=
+                                         core::CorruptionPolicy::kFail);
     if (!metrics_out.empty()) {
-      decoders[s - 1].set_metrics(&obs::MetricsRegistry::Global());
+      decoders[i].set_metrics(&obs::MetricsRegistry::Global());
     }
-    if (Status st = decoders[s - 1].Open(bytes.back().data(), bytes.back().size());
+    if (Status st = decoders[i].Open(bytes.back().data(), bytes.back().size());
         !st.ok()) {
       return Fail(st);
     }
-    auto sid = (*exec)->OpenStream(a.positional[s]);
-    if (!sid.ok()) return Fail(sid.status());
-    sids.push_back(*sid);
+    if (pos[i].stream_id > 0) {
+      // Restored stream: replay the decoder to the checkpointed position.
+      if (Status st = SkipKeyFrames(&decoders[i], pos[i].frames_fed, pos[i].path);
+          !st.ok()) {
+        return Fail(st);
+      }
+    } else {
+      auto sid = (*exec)->OpenStream(pos[i].path);
+      if (!sid.ok()) return Fail(sid.status());
+      pos[i].stream_id = *sid;
+    }
   }
   bool any = true;
   video::DcFrame f;
-  std::vector<bool> done(decoders.size(), false);
   const int64_t interval_ns = static_cast<int64_t>(metrics_interval_ms) * 1000000;
   int64_t next_dump_ns = interval_ns > 0 ? obs::NowNanos() + interval_ns : 0;
+  const int64_t ckpt_interval_ns =
+      static_cast<int64_t>(copt.interval_ms) * 1000000;
+  int64_t next_ckpt_ns =
+      (ckptr != nullptr && ckpt_interval_ns > 0) ? obs::NowNanos() + ckpt_interval_ns
+                                                 : 0;
   while (any) {
+    // Cycle top: every live file has fed the same number of frames — the
+    // only point where a snapshot resumes with an identical interleaving.
+    if (g_drain_requested) {
+      if (ckptr != nullptr) take_checkpoint();
+      if (!metrics_out.empty()) {
+        if (Status st = DumpMetrics("json", metrics_out); !st.ok()) {
+          return Fail(st);
+        }
+      }
+      std::printf("drain requested; stopped intake%s\n",
+                  ckptr != nullptr ? " after final checkpoint" : "");
+      return 0;
+    }
+    if (next_ckpt_ns > 0 && obs::NowNanos() >= next_ckpt_ns) {
+      take_checkpoint();
+      next_ckpt_ns = obs::NowNanos() + ckpt_interval_ns;
+    }
     any = false;
     for (size_t i = 0; i < decoders.size(); ++i) {
-      if (done[i]) continue;
+      if (pos[i].done) continue;
       if (Status st = decoders[i].NextKeyFrame(&f); !st.ok()) {
         if (st.code() != StatusCode::kNotFound) {
           std::fprintf(stderr, "warning: %s: %s; stream stopped\n",
-                       a.positional[i + 1].c_str(), st.ToString().c_str());
+                       pos[i].path.c_str(), st.ToString().c_str());
         }
-        done[i] = true;
+        pos[i].done = true;
         continue;
       }
       any = true;
-      if (Status st = (*exec)->ProcessKeyFrame(sids[i], std::move(f)); !st.ok()) {
+      if (Status st = (*exec)->ProcessKeyFrame(pos[i].stream_id, std::move(f));
+          !st.ok()) {
         return Fail(st);
       }
+      ++pos[i].frames_fed;
+    }
+    if (copt.throttle_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(copt.throttle_ms));
     }
     if (interval_ns > 0 && obs::NowNanos() >= next_dump_ns) {
       if (Status st = DumpMetrics("json", metrics_out); !st.ok()) return Fail(st);
       next_dump_ns = obs::NowNanos() + interval_ns;
     }
   }
-  for (int sid : sids) {
-    if (Status st = (*exec)->CloseStream(sid); !st.ok()) return Fail(st);
+  for (DriverPos& p : pos) {
+    if (p.stream_id <= 0) continue;
+    if (Status st = (*exec)->CloseStream(p.stream_id); !st.ok()) return Fail(st);
+    p.stream_id = 0;
   }
   if (Status st = (*exec)->Drain(); !st.ok()) return Fail(st);
+  // Final checkpoint after the close/drain so a restored run of a finished
+  // job reports the complete match log instead of re-feeding anything.
+  if (ckptr != nullptr) take_checkpoint();
   // Final dump so the file reflects the fully drained run even when the
   // feed finished between two periodic intervals (or none was requested).
   if (!metrics_out.empty()) {
@@ -459,6 +677,155 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
   return 0;
 }
 
+/// Serial path of `vcdctl monitor`: one StreamMonitor, files fed to
+/// completion one after another. Checkpoints are taken between key frames
+/// (every frame boundary is a consistent cut of a serial engine); the
+/// snapshot's DRIVER section records each file's feed position so a
+/// restored run resumes mid-file.
+int MonitorSerial(const Args& a, const core::DetectorConfig& config,
+                  const core::QueryDb& db, const std::vector<uint8_t>& db_bytes,
+                  const CkptOptions& copt, const std::string& oc,
+                  const std::string& metrics_out) {
+  auto mon = core::StreamMonitor::Create(config);
+  if (!mon.ok()) return Fail(mon.status());
+
+  std::unique_ptr<ckpt::Checkpointer> ckptr;
+  if (!copt.dir.empty()) {
+    auto c = ckpt::Checkpointer::Open(
+        copt.dir, metrics_out.empty() ? nullptr : &obs::MetricsRegistry::Global());
+    if (!c.ok()) return Fail(c.status());
+    ckptr = std::make_unique<ckpt::Checkpointer>(std::move(*c));
+  }
+
+  std::vector<DriverPos> pos;
+  for (size_t s = 1; s < a.positional.size(); ++s) {
+    pos.push_back(DriverPos{a.positional[s], 0, false, 0});
+  }
+
+  if (copt.restore) {
+    auto state = LoadRestoreState(ckptr.get(), config, db, &pos);
+    if (!state.ok()) return Fail(state.status());
+    auto embedded = core::DeserializeQueries(state->query_db.data(),
+                                             state->query_db.size());
+    if (!embedded.ok()) return Fail(embedded.status());
+    if (Status st = (*mon)->ImportQueries(*embedded); !st.ok()) return Fail(st);
+    core::MonitorCkpt mc;
+    mc.next_stream_id = state->next_stream_id;
+    mc.streams = std::move(state->streams);
+    mc.matches.reserve(state->matches.size());
+    for (const ckpt::SnapshotMatch& m : state->matches) {
+      mc.matches.push_back(m.match);
+    }
+    if (Status st = (*mon)->RestoreCkpt(mc); !st.ok()) return Fail(st);
+    std::printf("restored checkpoint epoch %llu (%zu streams, %zu matches)\n",
+                static_cast<unsigned long long>(state->epoch),
+                mc.streams.size(), mc.matches.size());
+  } else {
+    if (Status st = (*mon)->ImportQueries(db); !st.ok()) return Fail(st);
+  }
+  std::printf("monitoring with %d queries (K=%d, delta=%.2f, w=%.0fs)\n",
+              (*mon)->num_queries(), config.K, config.delta, config.window_seconds);
+
+  /// Snapshots the monitor between two key frames; failures are logged and
+  /// counted, never fatal.
+  const auto take_checkpoint = [&]() {
+    core::MonitorCkpt mc = (*mon)->ExportCkpt();
+    ckpt::SnapshotState state;
+    ckpt::StampMeta(config, &state);
+    state.query_db = db_bytes;
+    state.next_stream_id = mc.next_stream_id;
+    state.next_seq = 1;  // the serial engine has no submission sequencing
+    state.streams = std::move(mc.streams);
+    state.matches.reserve(mc.matches.size());
+    for (const core::StreamMatch& m : mc.matches) {
+      state.matches.push_back(ckpt::SnapshotMatch{0, m});
+    }
+    state.driver = ToDriverSection(pos);
+    if (Status st = ckptr->Save(state); !st.ok()) {
+      std::fprintf(stderr, "warning: checkpoint save failed: %s\n",
+                   st.ToString().c_str());
+    }
+  };
+  /// Stop-intake drain: final checkpoint, metrics flush, exit 0 — streams
+  /// are deliberately NOT closed, so no trailing window is flushed and a
+  /// --restore resumes mid-stream.
+  const auto drain = [&]() -> int {
+    if (ckptr != nullptr) take_checkpoint();
+    if (!metrics_out.empty()) {
+      if (Status st = DumpMetrics("json", metrics_out); !st.ok()) {
+        return Fail(st);
+      }
+    }
+    std::printf("drain requested; stopped intake%s\n",
+                ckptr != nullptr ? " after final checkpoint" : "");
+    return 0;
+  };
+
+  const int64_t ckpt_interval_ns =
+      static_cast<int64_t>(copt.interval_ms) * 1000000;
+  int64_t next_ckpt_ns =
+      (ckptr != nullptr && ckpt_interval_ns > 0) ? obs::NowNanos() + ckpt_interval_ns
+                                                 : 0;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    if (pos[i].done) continue;
+    auto bytes = ReadFile(pos[i].path);
+    if (!bytes.ok()) return Fail(bytes.status());
+    video::PartialDecoder pd;
+    pd.set_resync_on_corruption(oc != "fail");
+    if (!metrics_out.empty()) pd.set_metrics(&obs::MetricsRegistry::Global());
+    if (Status st = pd.Open(bytes->data(), bytes->size()); !st.ok()) return Fail(st);
+    if (pos[i].stream_id > 0) {
+      // Restored stream: replay the decoder to the checkpointed position.
+      if (Status st = SkipKeyFrames(&pd, pos[i].frames_fed, pos[i].path);
+          !st.ok()) {
+        return Fail(st);
+      }
+    } else {
+      auto sid = (*mon)->OpenStream(pos[i].path);
+      if (!sid.ok()) return Fail(sid.status());
+      pos[i].stream_id = *sid;
+    }
+    video::DcFrame f;
+    Status next;
+    while (true) {
+      if (g_drain_requested) return drain();
+      if (next_ckpt_ns > 0 && obs::NowNanos() >= next_ckpt_ns) {
+        take_checkpoint();
+        next_ckpt_ns = obs::NowNanos() + ckpt_interval_ns;
+      }
+      if (!(next = pd.NextKeyFrame(&f)).ok()) break;
+      if (Status st = (*mon)->ProcessKeyFrame(pos[i].stream_id, f); !st.ok()) {
+        return Fail(st);
+      }
+      ++pos[i].frames_fed;
+      if (copt.throttle_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(copt.throttle_ms));
+      }
+    }
+    if (next.code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "warning: %s: %s; stream stopped\n",
+                   pos[i].path.c_str(), next.ToString().c_str());
+    }
+    if (Status st = (*mon)->CloseStream(pos[i].stream_id); !st.ok()) {
+      return Fail(st);
+    }
+    pos[i].done = true;
+    pos[i].stream_id = 0;
+  }
+  // Final checkpoint so a restored run of a finished job reports the
+  // complete match log without re-feeding anything.
+  if (ckptr != nullptr) take_checkpoint();
+  // Serial path: only the decoders publish (StreamMonitor predates the
+  // registry); one dump at the end keeps the flag meaningful regardless of
+  // --threads.
+  if (!metrics_out.empty()) {
+    if (Status st = DumpMetrics("json", metrics_out); !st.ok()) return Fail(st);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  PrintMatches((*mon)->matches());
+  return 0;
+}
+
 /// Lists every kernel ISA level with its compiled/supported state and marks
 /// the level dispatch would pick (or was forced to via VCD_KERNEL_ISA).
 int CmdKernels(const Args&) {
@@ -483,7 +850,9 @@ void MonitorUsage() {
                "--backpressure block|drop "
                "--on-corruption skip|quarantine|fail --watchdog-ms N "
                "--metrics-out FILE --metrics-interval-ms N "
-               "--kernel scalar|popcnt|avx2|avx512|neon]\n");
+               "--kernel scalar|popcnt|avx2|avx512|neon "
+               "--checkpoint-dir DIR --checkpoint-interval-ms N --restore "
+               "--throttle-ms N]\n");
 }
 
 int CmdMonitor(const Args& a) {
@@ -554,48 +923,50 @@ int CmdMonitor(const Args& a) {
       return 2;
     }
   }
+  CkptOptions copt;
+  copt.dir = a.Str("checkpoint-dir", "");
+  copt.interval_ms = static_cast<int>(a.Num("checkpoint-interval-ms", 0));
+  copt.restore = a.options.count("restore") > 0;
+  copt.throttle_ms = static_cast<int>(a.Num("throttle-ms", 0));
+  if (copt.interval_ms < 0) {
+    std::fprintf(stderr, "error: --checkpoint-interval-ms must be >= 0 (got %d)\n",
+                 copt.interval_ms);
+    MonitorUsage();
+    return 2;
+  }
+  if (copt.interval_ms > 0 && copt.dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-interval-ms requires --checkpoint-dir\n");
+    MonitorUsage();
+    return 2;
+  }
+  if (copt.restore && copt.dir.empty()) {
+    std::fprintf(stderr, "error: --restore requires --checkpoint-dir\n");
+    MonitorUsage();
+    return 2;
+  }
+  if (copt.throttle_ms < 0) {
+    std::fprintf(stderr, "error: --throttle-ms must be >= 0 (got %d)\n",
+                 copt.throttle_ms);
+    MonitorUsage();
+    return 2;
+  }
   auto db = core::LoadQueriesFile(a.positional[0]);
   if (!db.ok()) return Fail(db.status());
+  // The raw query-db bytes are embedded in every snapshot so a restore
+  // re-imports byte-identical sketches regardless of later edits to the
+  // .vcdq named on the resumed command line.
+  auto db_bytes = ReadFile(a.positional[0]);
+  if (!db_bytes.ok()) return Fail(db_bytes.status());
   core::DetectorConfig config;
   config.K = db->k;
   config.hash_seed = db->hash_seed;
   config.delta = a.Num("delta", 0.7);
   config.window_seconds = a.Num("window", 5.0);
-  if (threads > 0) return MonitorParallel(a, config, *db, threads);
-  auto mon = core::StreamMonitor::Create(config);
-  if (!mon.ok()) return Fail(mon.status());
-  if (Status st = (*mon)->ImportQueries(*db); !st.ok()) return Fail(st);
-  std::printf("monitoring with %d queries (K=%d, delta=%.2f, w=%.0fs)\n",
-              (*mon)->num_queries(), config.K, config.delta, config.window_seconds);
-  for (size_t s = 1; s < a.positional.size(); ++s) {
-    auto bytes = ReadFile(a.positional[s]);
-    if (!bytes.ok()) return Fail(bytes.status());
-    video::PartialDecoder pd;
-    pd.set_resync_on_corruption(oc != "fail");
-    if (!metrics_out.empty()) pd.set_metrics(&obs::MetricsRegistry::Global());
-    if (Status st = pd.Open(bytes->data(), bytes->size()); !st.ok()) return Fail(st);
-    auto sid = (*mon)->OpenStream(a.positional[s]);
-    if (!sid.ok()) return Fail(sid.status());
-    video::DcFrame f;
-    Status next;
-    while ((next = pd.NextKeyFrame(&f)).ok()) {
-      if (Status st = (*mon)->ProcessKeyFrame(*sid, f); !st.ok()) return Fail(st);
-    }
-    if (next.code() != StatusCode::kNotFound) {
-      std::fprintf(stderr, "warning: %s: %s; stream stopped\n",
-                   a.positional[s].c_str(), next.ToString().c_str());
-    }
-    if (Status st = (*mon)->CloseStream(*sid); !st.ok()) return Fail(st);
-  }
-  // Serial path: only the decoders publish (StreamMonitor predates the
-  // registry); one dump at the end keeps the flag meaningful regardless of
-  // --threads.
-  if (!metrics_out.empty()) {
-    if (Status st = DumpMetrics("json", metrics_out); !st.ok()) return Fail(st);
-    std::printf("wrote metrics to %s\n", metrics_out.c_str());
-  }
-  PrintMatches((*mon)->matches());
-  return 0;
+  std::signal(SIGINT, OnDrainSignal);
+  std::signal(SIGTERM, OnDrainSignal);
+  if (threads > 0) return MonitorParallel(a, config, *db, *db_bytes, copt, threads);
+  return MonitorSerial(a, config, *db, *db_bytes, copt, oc, metrics_out);
 }
 
 }  // namespace
