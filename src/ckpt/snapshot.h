@@ -41,6 +41,7 @@ inline constexpr uint32_t kSectionStreams = 3;  ///< per-stream monitor state
 inline constexpr uint32_t kSectionMatches = 4;  ///< merged match log
 inline constexpr uint32_t kSectionExec = 5;     ///< executor counters
 inline constexpr uint32_t kSectionDriver = 6;   ///< vcdctl ingest positions
+inline constexpr uint32_t kSectionQos = 7;      ///< overload-governor machines
 
 /// One decoded section: id + raw payload (CRC already verified).
 struct Section {

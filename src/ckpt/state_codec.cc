@@ -92,6 +92,7 @@ void EncodeDetector(const core::DetectorCkptState& d, ByteWriter* w) {
   w->I64(s.degraded_frames);
   w->I64(s.degraded_windows);
   w->I64(s.out_of_order_frames);
+  w->I64(s.qos_skipped_windows);
   EncodeRaw(s.signatures_per_window, w);
   EncodeRaw(s.candidates_per_window, w);
   EncodeRaw(s.pool_slots_per_window, w);
@@ -158,6 +159,7 @@ bool DecodeDetector(ByteReader* r, core::DetectorCkptState* d) {
   s.degraded_frames = r->I64();
   s.degraded_windows = r->I64();
   s.out_of_order_frames = r->I64();
+  s.qos_skipped_windows = r->I64();
   s.signatures_per_window = DecodeRaw(r);
   s.candidates_per_window = DecodeRaw(r);
   s.pool_slots_per_window = DecodeRaw(r);
@@ -210,6 +212,7 @@ void EncodeStream(const core::StreamCkpt& s, ByteWriter* w) {
   w->I64(s.backoff_frames);
   w->F64(s.max_timestamp);
   w->U8(s.saw_timestamp ? 1 : 0);
+  w->I32(s.priority);
   EncodeDetector(s.detector, w);
 }
 
@@ -224,6 +227,7 @@ bool DecodeStream(ByteReader* r, core::StreamCkpt* s) {
   s->backoff_frames = r->I64();
   s->max_timestamp = r->F64();
   s->saw_timestamp = r->U8() != 0;
+  s->priority = r->I32();
   return DecodeDetector(r, &s->detector);
 }
 
@@ -284,6 +288,18 @@ std::vector<Section> EncodeState(const SnapshotState& state) {
     sections.push_back(Section{kSectionDriver, w.Take()});
   }
 
+  if (!state.qos.empty()) {
+    ByteWriter w;
+    w.U32(static_cast<uint32_t>(state.qos.size()));
+    for (const qos::GovernorShardCkpt& m : state.qos) {
+      w.I32(m.state);
+      w.I64(m.dwell_ticks);
+      w.I32(m.escalate_streak);
+      w.I32(m.recover_streak);
+    }
+    sections.push_back(Section{kSectionQos, w.Take()});
+  }
+
   return sections;
 }
 
@@ -318,7 +334,7 @@ Result<SnapshotState> DecodeState(const Snapshot& snap) {
   {
     ByteReader r(streams->payload.data(), streams->payload.size());
     const uint32_t count = r.U32();
-    if (!CountFits(r, count, 46)) {
+    if (!CountFits(r, count, 50)) {
       return Status::Corruption("STREAMS section: stream count out of range");
     }
     state.streams.resize(count);
@@ -378,6 +394,24 @@ Result<SnapshotState> DecodeState(const Snapshot& snap) {
       f.stream_id = r.I32();
     }
     VCD_RETURN_IF_ERROR(r.Finish("DRIVER section"));
+  }
+
+  // QOS is optional: absent when the governor is disabled, and from
+  // snapshots written before the section existed.
+  if (const Section* qos_sec = snap.Find(kSectionQos)) {
+    ByteReader r(qos_sec->payload.data(), qos_sec->payload.size());
+    const uint32_t count = r.U32();
+    if (!CountFits(r, count, 20)) {
+      return Status::Corruption("QOS section: shard count out of range");
+    }
+    state.qos.resize(count);
+    for (auto& m : state.qos) {
+      m.state = r.I32();
+      m.dwell_ticks = r.I64();
+      m.escalate_streak = r.I32();
+      m.recover_streak = r.I32();
+    }
+    VCD_RETURN_IF_ERROR(r.Finish("QOS section"));
   }
 
   return state;

@@ -7,6 +7,7 @@
 #include "ckpt/snapshot.h"
 #include "core/config.h"
 #include "core/monitor.h"
+#include "qos/qos.h"
 #include "util/status.h"
 
 /// \file state_codec.h
@@ -70,6 +71,12 @@ struct SnapshotState {
 
   /// DRIVER — vcdctl ingest positions (absent for library users).
   std::vector<DriverFileState> driver;
+
+  /// QOS — the overload governor's per-shard hysteresis machines (absent
+  /// when the governor is disabled or the snapshot predates the section),
+  /// so a restore mid-Degraded resumes degraded instead of forgetting the
+  /// overload and thrashing back into it.
+  std::vector<qos::GovernorShardCkpt> qos;
 };
 
 /// Encodes \p state into the container sections (everything except epoch,

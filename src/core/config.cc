@@ -49,6 +49,10 @@ Status ParallelConfig::Validate() const {
         "quarantine_backoff_max_frames must be >= quarantine_backoff_frames");
   }
   if (watchdog_ms < 0) return Status::InvalidArgument("watchdog_ms must be >= 0");
+  if (push_deadline_ms < 0) {
+    return Status::InvalidArgument("push_deadline_ms must be >= 0");
+  }
+  VCD_RETURN_IF_ERROR(qos.Validate());
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "features/fingerprint.h"
+#include "qos/qos.h"
 #include "util/status.h"
 
 /// \file config.h
@@ -65,6 +66,16 @@ struct ParallelConfig {
   int queue_capacity = 256;
   /// Behaviour of ProcessKeyFrame when the shard queue is full.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Upper bound, in milliseconds, a kBlock submission may wait on a full
+  /// shard queue before the frame is dropped with cause="deadline" — the
+  /// escape hatch from a wedged consumer. 0 (default) = wait forever.
+  /// Ignored under kDropNewest (which never waits).
+  int push_deadline_ms = 0;
+
+  /// Adaptive overload governor (DESIGN.md §17). Disabled by default; when
+  /// `qos.enabled` the executor senses per-shard pressure and drives the
+  /// Normal/Degraded/Shedding/Recovering state machine.
+  qos::QosConfig qos;
 
   /// Per-stream reaction to degraded frames.
   CorruptionPolicy on_corruption = CorruptionPolicy::kSkip;

@@ -737,6 +737,7 @@ void CopyDetector::RetirePooledSketch(PooledSketchCand* c) {
 
 void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
   VCD_OBS_SPAN(metrics_.window_process_ns);
+  const int64_t window_index = stats_.windows;  // 0-based, pre-increment
   ++stats_.windows;
   if (window.degraded) {
     // The window's id set is incomplete: a sketch of it would be garbage
@@ -744,6 +745,14 @@ void CopyDetector::ProcessWindow(const stream::BasicWindow& window) {
     // entirely — candidates neither absorb this window nor advance, and
     // the arenas/index are untouched, so ValidateState holds unchanged.
     ++stats_.degraded_windows;
+  } else if (degrade_.probe_every_n > 1 &&
+             window_index % degrade_.probe_every_n != 0) {
+    // QoS degraded mode: probe only every Nth window. Skipping follows the
+    // degraded-window path — candidates neither absorb nor advance — so
+    // every invariant ValidateState checks holds unchanged; the counter is
+    // separate because the input was fine, the governor chose not to spend
+    // the work. Keyed off the deterministic window index, never wall time.
+    ++stats_.qos_skipped_windows;
   } else if (config_.use_pooled_kernels) {
     ProcessWindowPooled(window);
   } else {
@@ -767,12 +776,14 @@ void CopyDetector::ProcessWindowScalar(const stream::BasicWindow& window) {
   }
   const bool bit = config_.representation == Representation::kBit;
   const bool seq = config_.order == CombinationOrder::kSequential;
+  const int eff_max = EffectiveMaxWindows();
+  const int geo_visits = GeoMaxVisits();
   if (bit) {
     BitCand fresh = MakeBitCand(window, wsk);
     if (seq) {
       {
         VCD_OBS_SPAN(metrics_.combine_ns);
-        seq_bit_.Step(std::move(fresh), global_max_windows_,
+        seq_bit_.Step(std::move(fresh), eff_max,
                       [&](BitCand& older, const BitCand& newer) {
                         MergeBit(older, newer);
                       });
@@ -783,16 +794,16 @@ void CopyDetector::ProcessWindowScalar(const stream::BasicWindow& window) {
     } else {
       {
         VCD_OBS_SPAN(metrics_.combine_ns);
-        geo_bit_.Step(std::move(fresh), global_max_windows_,
+        geo_bit_.Step(std::move(fresh), eff_max,
                       [&](BitCand& older, const BitCand& newer) {
                         MergeBit(older, newer);
                       });
       }
       VCD_OBS_SPAN(metrics_.test_ns);
       geo_bit_.VisitSuffixes(
-          global_max_windows_, [](const BitCand& c) { return c; },
+          eff_max, [](const BitCand& c) { return c; },
           [&](BitCand& older, const BitCand& newer) { MergeBit(older, newer); },
-          [&](BitCand& c) { TestBitCand(c); });
+          [&](BitCand& c) { TestBitCand(c); }, geo_visits);
       // Blocks are kept even when all their signatures prune away: their
       // window spans still participate in suffix-length accounting.
     }
@@ -801,7 +812,7 @@ void CopyDetector::ProcessWindowScalar(const stream::BasicWindow& window) {
     if (seq) {
       {
         VCD_OBS_SPAN(metrics_.combine_ns);
-        seq_sketch_.Step(std::move(fresh), global_max_windows_,
+        seq_sketch_.Step(std::move(fresh), eff_max,
                          [&](SketchCand& older, const SketchCand& newer) {
                            MergeSketch(older, newer);
                          });
@@ -811,18 +822,18 @@ void CopyDetector::ProcessWindowScalar(const stream::BasicWindow& window) {
     } else {
       {
         VCD_OBS_SPAN(metrics_.combine_ns);
-        geo_sketch_.Step(std::move(fresh), global_max_windows_,
+        geo_sketch_.Step(std::move(fresh), eff_max,
                          [&](SketchCand& older, const SketchCand& newer) {
                            MergeSketch(older, newer);
                          });
       }
       VCD_OBS_SPAN(metrics_.test_ns);
       geo_sketch_.VisitSuffixes(
-          global_max_windows_, [](const SketchCand& c) { return c; },
+          eff_max, [](const SketchCand& c) { return c; },
           [&](SketchCand& older, const SketchCand& newer) {
             MergeSketch(older, newer);
           },
-          [&](SketchCand& c) { TestSketchCand(c); });
+          [&](SketchCand& c) { TestSketchCand(c); }, geo_visits);
     }
   }
 }
@@ -838,6 +849,8 @@ void CopyDetector::ProcessWindowPooled(const stream::BasicWindow& window) {
   const sketch::Sketch& wsk = scratch_.window_sketch;
   const bool bit = config_.representation == Representation::kBit;
   const bool seq = config_.order == CombinationOrder::kSequential;
+  const int eff_max = EffectiveMaxWindows();
+  const int geo_visits = GeoMaxVisits();
   if (bit) {
     const auto init = [&](PooledBitCand& c) { InitPooledBitCand(&c, window, wsk); };
     const auto merge = [&](PooledBitCand& older, const PooledBitCand& newer) {
@@ -847,7 +860,7 @@ void CopyDetector::ProcessWindowPooled(const stream::BasicWindow& window) {
     if (seq) {
       {
         VCD_OBS_SPAN(metrics_.combine_ns);
-        pseq_bit_.Step(global_max_windows_, init, merge, retire);
+        pseq_bit_.Step(eff_max, init, merge, retire);
       }
       VCD_OBS_SPAN(metrics_.test_ns);
       TestPooledBitSeqBatch();
@@ -856,15 +869,16 @@ void CopyDetector::ProcessWindowPooled(const stream::BasicWindow& window) {
     } else {
       {
         VCD_OBS_SPAN(metrics_.combine_ns);
-        pgeo_bit_.Step(global_max_windows_, init, merge, retire);
+        pgeo_bit_.Step(eff_max, init, merge, retire);
       }
       VCD_OBS_SPAN(metrics_.test_ns);
       pgeo_bit_.VisitSuffixesInto(
-          global_max_windows_, &scratch_.bit_cum, &scratch_.bit_tmp,
+          eff_max, &scratch_.bit_cum, &scratch_.bit_tmp,
           [&](PooledBitCand& dst, const PooledBitCand& src) {
             AssignPooledBit(&dst, src);
           },
-          merge, [&](PooledBitCand& c) { TestPooledBitCand(c); }, retire);
+          merge, [&](PooledBitCand& c) { TestPooledBitCand(c); }, retire,
+          geo_visits);
       // Blocks are kept even when all their signatures prune away, exactly
       // as on the scalar path.
     }
@@ -879,22 +893,23 @@ void CopyDetector::ProcessWindowPooled(const stream::BasicWindow& window) {
     if (seq) {
       {
         VCD_OBS_SPAN(metrics_.combine_ns);
-        pseq_sketch_.Step(global_max_windows_, init, merge, retire);
+        pseq_sketch_.Step(eff_max, init, merge, retire);
       }
       VCD_OBS_SPAN(metrics_.test_ns);
       pseq_sketch_.ForEach([&](PooledSketchCand& c) { TestPooledSketchCand(c); });
     } else {
       {
         VCD_OBS_SPAN(metrics_.combine_ns);
-        pgeo_sketch_.Step(global_max_windows_, init, merge, retire);
+        pgeo_sketch_.Step(eff_max, init, merge, retire);
       }
       VCD_OBS_SPAN(metrics_.test_ns);
       pgeo_sketch_.VisitSuffixesInto(
-          global_max_windows_, &scratch_.sketch_cum, &scratch_.sketch_tmp,
+          eff_max, &scratch_.sketch_cum, &scratch_.sketch_tmp,
           [&](PooledSketchCand& dst, const PooledSketchCand& src) {
             AssignPooledSketch(&dst, src);
           },
-          merge, [&](PooledSketchCand& c) { TestPooledSketchCand(c); }, retire);
+          merge, [&](PooledSketchCand& c) { TestPooledSketchCand(c); }, retire,
+          geo_visits);
     }
   }
 }
@@ -965,6 +980,11 @@ void CopyDetector::PublishWindowMetrics() {
   const int64_t degraded =
       delta(stats_.degraded_windows, &published_.degraded_windows);
   metrics_.degraded_windows_total->Inc(degraded);
+  const int64_t qos_skipped =
+      delta(stats_.qos_skipped_windows, &published_.qos_skipped_windows);
+  if (metrics_.qos_skipped_windows_total != nullptr) {
+    metrics_.qos_skipped_windows_total->Inc(qos_skipped);
+  }
   const int64_t builds = delta(stats_.bitsig_builds, &published_.bitsig_builds);
   metrics_.bitsig_builds_total->Inc(builds);
   const int64_t ors = delta(stats_.bitsig_ors, &published_.bitsig_ors);
@@ -982,10 +1002,11 @@ void CopyDetector::PublishWindowMetrics() {
   metrics_.prune_misses_total->Inc(misses > 0 ? misses : 0);
   metrics_.matches_total->Inc(
       delta(static_cast<int64_t>(matches_.size()), &published_.matches));
-  // Candidate churn: every non-degraded window admits exactly one fresh
+  // Candidate churn: every combined window admits exactly one fresh
   // candidate; whatever the census lost beyond that retired (expired at
-  // λL, pruned empty, or absorbed by a merge).
-  const int64_t admitted = degraded > 0 ? 0 : 1;
+  // λL, pruned empty, or absorbed by a merge). Degraded and QoS-skipped
+  // windows admit nothing — combination never ran.
+  const int64_t admitted = (degraded > 0 || qos_skipped > 0) ? 0 : 1;
   metrics_.candidates_admitted_total->Inc(admitted);
   const int64_t expired =
       published_.cand_count + admitted - last_cand_count_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <tuple>
 #include <optional>
@@ -42,6 +43,11 @@ struct DetectorStats {
   int64_t degraded_frames = 0;      ///< frames consumed without a fingerprint
   int64_t degraded_windows = 0;     ///< windows whose sketch was skipped
   int64_t out_of_order_frames = 0;  ///< frames demoted by the clock-skew guard
+  /// Windows not combined/tested because the QoS degraded-mode probe knob
+  /// (qos::DegradeKnobs::probe_every_n) skipped them. Distinct from
+  /// degraded_windows: the input was fine, the governor chose not to spend
+  /// the work.
+  int64_t qos_skipped_windows = 0;
   RunningStats signatures_per_window;  ///< Fig. 10's memory metric
   RunningStats candidates_per_window;
   /// Live arena slots after each window (pooled path only; 0 otherwise) —
@@ -165,6 +171,16 @@ class CopyDetector {
 
   /// Runtime counters.
   const DetectorStats& stats() const { return stats_; }
+
+  /// Applies (or withdraws, with a default-constructed knob set) the QoS
+  /// degraded-mode quality/throughput trade. Deterministic: the knobs take
+  /// effect at the next basic-window boundary, and identical knob/frame
+  /// sequences produce identical output. Identity knobs (the default) leave
+  /// the detector byte-identical to one that never saw this call.
+  void SetDegrade(const qos::DegradeKnobs& knobs) { degrade_ = knobs; }
+
+  /// The QoS degrade knobs currently in effect.
+  const qos::DegradeKnobs& degrade() const { return degrade_; }
 
   /// The configuration in effect.
   const DetectorConfig& config() const { return config_; }
@@ -350,6 +366,22 @@ class CopyDetector {
   void RetirePooledBit(PooledBitCand* c);
   void RetirePooledSketch(PooledSketchCand* c);
 
+  /// The λL window cap with the QoS degrade cap applied: min(global, knob)
+  /// when the knob is set. Always <= global_max_windows_, so the expiry
+  /// bound ValidateState checks still holds through degrade/recover cycles.
+  int EffectiveMaxWindows() const {
+    return degrade_.max_candidate_windows > 0 &&
+                   degrade_.max_candidate_windows < global_max_windows_
+               ? degrade_.max_candidate_windows
+               : global_max_windows_;
+  }
+
+  /// Geometric suffix-sweep visit budget: 1 (newest block only) while the
+  /// QoS degrade disabled the cumulative sweep, unlimited otherwise.
+  int GeoMaxVisits() const {
+    return degrade_.disable_geometric ? 1 : std::numeric_limits<int>::max();
+  }
+
   /// O(1) id → ordinal lookup over active queries; -1 when absent.
   int OrdinalOf(int query_id) const {
     auto it = id_to_ordinal_.find(query_id);
@@ -376,6 +408,7 @@ class CopyDetector {
   struct PublishedStats {
     int64_t windows = 0;
     int64_t degraded_windows = 0;
+    int64_t qos_skipped_windows = 0;
     int64_t bitsig_builds = 0;
     int64_t bitsig_ors = 0;
     int64_t sketch_combines = 0;
@@ -425,6 +458,9 @@ class CopyDetector {
 
   std::vector<Match> matches_;
   DetectorStats stats_;
+  /// QoS degraded-mode knobs in effect (identity unless the overload
+  /// governor pushed a degrade via SetDegrade).
+  qos::DegradeKnobs degrade_;
 
   // Observability (see DESIGN.md §13). All-null when config_.metrics is
   // null; instrument pointers are cached here once at Create.

@@ -66,6 +66,10 @@ struct StreamCkpt {
   int64_t backoff_frames = 0;
   double max_timestamp = 0.0;
   bool saw_timestamp = false;
+  /// QoS priority class (qos::Priority as int) assigned at registration.
+  /// Defaults to kNormal (1) for serially monitored streams and for
+  /// snapshots written before the field existed.
+  int priority = 1;
   DetectorCkptState detector;
 };
 

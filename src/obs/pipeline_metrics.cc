@@ -36,6 +36,9 @@ DetectorMetrics DetectorMetrics::Create(MetricsRegistry* registry) {
   m.degraded_windows_total = registry->RegisterCounter(
       "vcd_detector_degraded_windows_total",
       "Windows skipped because they contained degraded frames");
+  m.qos_skipped_windows_total = registry->RegisterCounter(
+      "vcd_detector_qos_skipped_windows_total",
+      "Windows skipped by the QoS degraded-mode probe knob");
   m.prune_hits_total = registry->RegisterCounter(
       "vcd_detector_prune_hits_total",
       "Candidate windows eliminated by Lemma-2 prefix pruning");
@@ -71,17 +74,27 @@ DetectorMetrics DetectorMetrics::Create(MetricsRegistry* registry) {
   return m;
 }
 
+namespace {
+/// The unified drop family: one counter name, labeled by why the frame was
+/// discarded. Registration is idempotent, so every bundle that needs a leg
+/// gets the same instrument back.
+Counter* DropCause(MetricsRegistry* registry, const char* cause) {
+  return registry->RegisterCounter(
+      "vcd_frames_dropped_total",
+      "Frames discarded by the pipeline, labeled by cause",
+      {{"cause", cause}});
+}
+}  // namespace
+
 ExecutorMetrics ExecutorMetrics::Create(MetricsRegistry* registry) {
   ExecutorMetrics m;
   if (registry == nullptr) return m;
   m.frames_submitted_total = registry->RegisterCounter(
       "vcd_executor_frames_submitted_total", "Frames submitted to shards");
-  m.frames_dropped_backpressure_total = registry->RegisterCounter(
-      "vcd_executor_frames_dropped_backpressure_total",
-      "Frames dropped because a shard queue was full");
-  m.frames_dropped_failover_total = registry->RegisterCounter(
-      "vcd_executor_frames_dropped_failover_total",
-      "Frames dropped because the owning shard had failed over");
+  m.dropped_backpressure = DropCause(registry, "backpressure");
+  m.dropped_failover = DropCause(registry, "failover");
+  m.dropped_deadline = DropCause(registry, "deadline");
+  m.dropped_qos_shed = DropCause(registry, "qos_shed");
   m.watchdog_failovers_total = registry->RegisterCounter(
       "vcd_executor_watchdog_failovers_total",
       "Shards failed over by the watchdog");
@@ -116,6 +129,36 @@ ShardMetrics ShardMetrics::Create(MetricsRegistry* registry, int shard_id) {
   m.stream_lag_us = registry->RegisterGauge(
       "vcd_shard_stream_lag_us",
       "Stream-clock lag of the frame being processed, microseconds", labels);
+  m.dropped_quarantine = DropCause(registry, "quarantine");
+  m.dropped_failed = DropCause(registry, "failed");
+  return m;
+}
+
+QosMetrics QosMetrics::Create(MetricsRegistry* registry, int num_shards) {
+  QosMetrics m;
+  if (registry == nullptr) return m;
+  m.shard_state.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    m.shard_state.push_back(registry->RegisterGauge(
+        "vcd_qos_state",
+        "Overload governor state (0 normal, 1 recovering, 2 degraded, "
+        "3 shedding)",
+        {{"shard", std::to_string(s)}}));
+  }
+  for (int i = 0; i < 4; ++i) {
+    // Governor ticks are the native unit here — a time suffix would lie
+    // when --qos-tick-ms changes.
+    m.dwell_ticks[i] = registry->RegisterHistogram(  // NOLINT(vcd-obs-naming)
+        "vcd_qos_dwell_ticks",
+        "Governor ticks a shard dwelt in a state before leaving it",
+        {{"state", qos::QosStateName(static_cast<qos::QosState>(i))}});
+  }
+  for (int i = 0; i < 3; ++i) {
+    m.frames_shed[i] = registry->RegisterCounter(
+        "vcd_qos_frames_shed_total",
+        "Frames shed by the priority-aware overload policy",
+        {{"priority", qos::PriorityName(static_cast<qos::Priority>(i))}});
+  }
   return m;
 }
 

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "qos/qos.h"
 
 /// \file pipeline_metrics.h
 /// The standard metric families each pipeline stage publishes, centralized
@@ -35,6 +37,7 @@ struct DecoderMetrics {
 struct DetectorMetrics {
   Counter* windows_total = nullptr;
   Counter* degraded_windows_total = nullptr;
+  Counter* qos_skipped_windows_total = nullptr;
   Counter* prune_hits_total = nullptr;
   Counter* prune_misses_total = nullptr;
   Counter* bitsig_builds_total = nullptr;
@@ -55,10 +58,17 @@ struct DetectorMetrics {
 
 /// StreamExecutor: admission accounting and fleet-level gauges. These
 /// counters are the registry-backed source of truth for `ExecutorStats`.
+///
+/// Every frame the pipeline discards is counted exactly once in the unified
+/// drop family `vcd_frames_dropped_total{cause=...}` — the executor-side
+/// causes live here; the health-machine causes (`quarantine`, `failed`)
+/// are incremented by the shard workers (see ShardMetrics).
 struct ExecutorMetrics {
   Counter* frames_submitted_total = nullptr;
-  Counter* frames_dropped_backpressure_total = nullptr;
-  Counter* frames_dropped_failover_total = nullptr;
+  Counter* dropped_backpressure = nullptr;  ///< cause="backpressure"
+  Counter* dropped_failover = nullptr;      ///< cause="failover"
+  Counter* dropped_deadline = nullptr;      ///< cause="deadline"
+  Counter* dropped_qos_shed = nullptr;      ///< cause="qos_shed"
   Counter* watchdog_failovers_total = nullptr;
   Gauge* streams_open = nullptr;
 
@@ -75,8 +85,34 @@ struct ShardMetrics {
   Counter* quarantine_events_total = nullptr;
   Gauge* queue_depth = nullptr;
   Gauge* stream_lag_us = nullptr;
+  /// Health-machine legs of the unified drop family (shared across shards —
+  /// the registry dedupes on (name, labels), so every shard's bundle holds
+  /// the same instrument): `vcd_frames_dropped_total{cause="quarantine"}`
+  /// and `{cause="failed"}`. Incremented alongside the per-shard
+  /// frames_quarantined/_failed detail counters above.
+  Counter* dropped_quarantine = nullptr;
+  Counter* dropped_failed = nullptr;
 
   static ShardMetrics Create(MetricsRegistry* registry, int shard_id);
+};
+
+/// Overload governor (DESIGN.md §17): per-shard state gauges, per-state
+/// dwell histograms, and priority-labeled shed counters.
+struct QosMetrics {
+  /// Numeric qos::QosState of each shard (`vcd_qos_state{shard="<id>"}`).
+  std::vector<Gauge*> shard_state;
+  /// Ticks a shard dwelt in a state before leaving it, labeled by the
+  /// state it left (`vcd_qos_dwell_ticks{state=...}`); indexed by the
+  /// numeric qos::QosState value.
+  Histogram* dwell_ticks[4] = {nullptr, nullptr, nullptr, nullptr};
+  /// Frames shed by the priority-aware policy, labeled by priority class
+  /// (`vcd_qos_frames_shed_total{priority=...}`); indexed by the numeric
+  /// qos::Priority value. Each shed frame is *also* counted once in
+  /// `vcd_frames_dropped_total{cause="qos_shed"}`.
+  Counter* frames_shed[3] = {nullptr, nullptr, nullptr};
+
+  /// Empty (all-null, no per-shard gauges) when \p registry is null.
+  static QosMetrics Create(MetricsRegistry* registry, int num_shards);
 };
 
 /// Checkpointer: durability accounting (DESIGN.md §16). `checkpoint_bytes`

@@ -41,12 +41,28 @@ StreamExecutor::StreamExecutor(const core::DetectorConfig& config,
   for (int i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, parallel, registry_));
   }
+  qos_metrics_ = obs::QosMetrics::Create(registry_, n);
+  if (pconfig_.qos.enabled) {
+    MutexLock lock(qos_mu_);
+    governor_ = std::make_unique<qos::Governor>(pconfig_.qos, n);
+  }
   if (pconfig_.watchdog_ms > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
+  if (pconfig_.qos.enabled && pconfig_.qos.tick_ms > 0) {
+    qos_thread_ = std::thread([this] { QosLoop(); });
   }
 }
 
 StreamExecutor::~StreamExecutor() {
+  if (qos_thread_.joinable()) {
+    {
+      MutexLock lock(qos_mu_);
+      qos_stop_ = true;
+    }
+    qos_cv_.NotifyOne();
+    qos_thread_.join();
+  }
   if (watchdog_.joinable()) {
     {
       MutexLock lock(watchdog_mu_);
@@ -101,6 +117,64 @@ void StreamExecutor::WatchdogLoop() {
       last_progress[i] = progress;
     }
   }
+}
+
+void StreamExecutor::QosLoop() {
+  MutexLock lock(qos_mu_);
+  while (!qos_stop_) {
+    qos_cv_.WaitFor(qos_mu_, std::chrono::milliseconds(pconfig_.qos.tick_ms));
+    if (qos_stop_) break;
+    TickQosLocked();
+  }
+}
+
+void StreamExecutor::TickQos() {
+  MutexLock lock(qos_mu_);
+  TickQosLocked();
+}
+
+void StreamExecutor::TickQosLocked() {
+  if (governor_ == nullptr) return;
+  std::vector<qos::ShardSample> samples(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    samples[i].queue_depth = shards_[i]->queue_depth();
+    samples[i].queue_capacity = shards_[i]->queue_capacity();
+    samples[i].stream_lag_us = shards_[i]->stream_lag_us();
+  }
+  std::vector<qos::Transition> transitions;
+  governor_->Tick(samples, &transitions);
+  for (const qos::Transition& tr : transitions) {
+    ApplyQosTransitionLocked(tr);
+  }
+}
+
+void StreamExecutor::ApplyQosTransitionLocked(const qos::Transition& tr) {
+  qos_metrics_.shard_state[static_cast<size_t>(tr.shard)]->Set(
+      static_cast<int64_t>(tr.to));
+  qos_metrics_.dwell_ticks[static_cast<int>(tr.from)]->Observe(tr.dwell_ticks);
+  Shard* shard = shards_[static_cast<size_t>(tr.shard)].get();
+  shard->SetQosState(tr.to);
+  // The degrade knobs flip only when the Degraded severity line is crossed:
+  // Degraded ↔ Shedding moves keep them, Recovering restores full quality.
+  const bool was_degraded = tr.from >= qos::QosState::kDegraded;
+  const bool now_degraded = tr.to >= qos::QosState::kDegraded;
+  if (was_degraded != now_degraded) {
+    const qos::DegradeKnobs knobs =
+        now_degraded ? pconfig_.qos.degrade : qos::DegradeKnobs{};
+    shard->SubmitCommand([knobs](Shard* s) { s->ApplyDegrade(knobs); });
+  }
+}
+
+qos::QosState StreamExecutor::QosStateOf(int shard) const {
+  MutexLock lock(qos_mu_);
+  if (governor_ == nullptr) return qos::QosState::kNormal;
+  return governor_->shard_state(shard);
+}
+
+qos::QosState StreamExecutor::QosGlobalState() const {
+  MutexLock lock(qos_mu_);
+  if (governor_ == nullptr) return qos::QosState::kNormal;
+  return governor_->global_state();
 }
 
 template <typename T>
@@ -205,7 +279,8 @@ int StreamExecutor::num_queries() const {
   return static_cast<int>(portfolio_.size());
 }
 
-Result<int> StreamExecutor::OpenStream(std::string name) {
+Result<int> StreamExecutor::OpenStream(std::string name,
+                                       qos::Priority priority) {
   MutexLock lock(control_mu_);
   ReapOrphansLocked();
   auto det = core::CopyDetector::Create(config_);
@@ -219,6 +294,8 @@ Result<int> StreamExecutor::OpenStream(std::string name) {
   num_open_streams_.fetch_add(1, std::memory_order_relaxed);
   VCD_OBS_SET(metrics_.streams_open,
               num_open_streams_.load(std::memory_order_relaxed));
+  priorities_[id] = priority;
+  shard_for(id)->RegisterStreamQos(id, priority);
   shard_for(id)->SubmitCommand(
       [id, name = std::move(name), detector](Shard* s) mutable {
         s->InstallStream(id, std::move(name), std::move(detector));
@@ -238,6 +315,11 @@ Status StreamExecutor::CloseStream(int stream_id) {
   auto promise = std::make_shared<std::promise<Reply>>();
   auto future = promise->get_future();
   Shard* shard = shard_for(stream_id);
+  // The stream stops being a shed-gate citizen the moment the close is
+  // issued — even if the close reply is later orphaned on failover, no
+  // frame submitted after this point is legitimate.
+  priorities_.erase(stream_id);
+  shard->UnregisterStreamQos(stream_id);
   shard->SubmitCommand([stream_id, close_seq, promise](Shard* s) {
     std::vector<SeqMatch> batch;
     Status st = s->FinishStream(stream_id, close_seq, &batch);
@@ -272,14 +354,23 @@ Status StreamExecutor::ProcessKeyFrame(int stream_id, vcd::video::DcFrame frame)
   }
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   metrics_.frames_submitted_total->Inc();
-  switch (shard_for(stream_id)->SubmitFrame(seq, stream_id, std::move(frame))) {
+  qos::Priority shed_priority = qos::Priority::kNormal;
+  switch (shard_for(stream_id)->SubmitFrame(seq, stream_id, std::move(frame),
+                                            &shed_priority)) {
     case Shard::Submit::kAccepted:
       break;
     case Shard::Submit::kDropped:
-      metrics_.frames_dropped_backpressure_total->Inc();
+      metrics_.dropped_backpressure->Inc();
       break;
     case Shard::Submit::kFailedOver:
-      metrics_.frames_dropped_failover_total->Inc();
+      metrics_.dropped_failover->Inc();
+      break;
+    case Shard::Submit::kDeadline:
+      metrics_.dropped_deadline->Inc();
+      break;
+    case Shard::Submit::kShedded:
+      metrics_.dropped_qos_shed->Inc();
+      qos_metrics_.frames_shed[static_cast<int>(shed_priority)]->Inc();
       break;
   }
   return Status::OK();
@@ -425,6 +516,16 @@ Result<ExecutorCkpt> StreamExecutor::Checkpoint() {
       });
   std::stable_sort(ckpt.matches.begin(), ckpt.matches.end(),
                    [](const SeqMatch& a, const SeqMatch& b) { return a.seq < b.seq; });
+  // Stamp each stream's QoS class from the control-plane priority map —
+  // the shards don't know priorities (the shed gates are keyed copies).
+  for (core::StreamCkpt& s : ckpt.streams) {
+    auto it = priorities_.find(s.stream_id);
+    if (it != priorities_.end()) s.priority = static_cast<int>(it->second);
+  }
+  {
+    MutexLock qlock(qos_mu_);
+    if (governor_ != nullptr) ckpt.qos = governor_->ExportCkpt();
+  }
   return ckpt;
 }
 
@@ -452,6 +553,9 @@ Status StreamExecutor::RestoreCkpt(const ExecutorCkpt& ckpt) {
     if (s.health < 0 || s.health > static_cast<int>(StreamHealth::kFailed)) {
       return Status::Corruption("snapshot stream health out of range");
     }
+    if (s.priority < 0 || s.priority > static_cast<int>(qos::Priority::kLow)) {
+      return Status::Corruption("snapshot stream priority out of range");
+    }
     auto det = core::CopyDetector::Create(config_);
     if (!det.ok()) return det.status();
     std::shared_ptr<core::CopyDetector> detector = std::move(*det);
@@ -465,6 +569,9 @@ Status StreamExecutor::RestoreCkpt(const ExecutorCkpt& ckpt) {
       return Status::Corruption(
           "snapshot matches_consumed exceeds the stream's match count");
     }
+    const auto priority = static_cast<qos::Priority>(s.priority);
+    priorities_[s.stream_id] = priority;
+    shard_for(s.stream_id)->RegisterStreamQos(s.stream_id, priority);
     shard_for(s.stream_id)
         ->SubmitCommand([ckpt_slot = s, detector](Shard* shard) mutable {
           shard->InstallRestoredStream(ckpt_slot, std::move(detector));
@@ -476,6 +583,25 @@ Status StreamExecutor::RestoreCkpt(const ExecutorCkpt& ckpt) {
   num_open_streams_.store(restored, std::memory_order_relaxed);
   VCD_OBS_SET(metrics_.streams_open, restored);
   merged_ = ckpt.matches;
+  {
+    // Resume the governor exactly where the snapshot left it (a restore
+    // mid-Degraded stays degraded), and re-apply the consequences: shed
+    // gates arm and degrade knobs fan out to the restored detectors.
+    MutexLock qlock(qos_mu_);
+    if (governor_ != nullptr && !ckpt.qos.empty()) {
+      governor_->RestoreCkpt(ckpt.qos);
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        const qos::QosState state = governor_->shard_state(static_cast<int>(i));
+        qos_metrics_.shard_state[i]->Set(static_cast<int64_t>(state));
+        shards_[i]->SetQosState(state);
+        if (state >= qos::QosState::kDegraded) {
+          const qos::DegradeKnobs knobs = pconfig_.qos.degrade;
+          shards_[i]->SubmitCommand(
+              [knobs](Shard* s) { s->ApplyDegrade(knobs); });
+        }
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -494,11 +620,19 @@ ExecutorStats StreamExecutor::Stats() {
   }
   ExecutorStats stats;
   stats.frames_submitted = metrics_.frames_submitted_total->Value();
-  stats.frames_dropped_backpressure =
-      metrics_.frames_dropped_backpressure_total->Value();
-  stats.frames_dropped_failover =
-      metrics_.frames_dropped_failover_total->Value();
+  stats.frames_dropped_backpressure = metrics_.dropped_backpressure->Value();
+  stats.frames_dropped_failover = metrics_.dropped_failover->Value();
+  stats.frames_dropped_deadline = metrics_.dropped_deadline->Value();
+  for (const obs::Counter* c : qos_metrics_.frames_shed) {
+    stats.frames_shed += c->Value();
+  }
   stats.watchdog_failovers = metrics_.watchdog_failovers_total->Value();
+  {
+    MutexLock qlock(qos_mu_);
+    if (governor_ != nullptr) {
+      stats.qos_global_state = static_cast<int>(governor_->global_state());
+    }
+  }
   for (size_t i = 0; i < futures.size(); ++i) {
     if (!WaitOrFailover(futures[i], shards_[i].get())) {
       // Report the failed shard from its lock-free snapshot; its detector

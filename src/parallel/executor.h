@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "core/query_store.h"
 #include "obs/pipeline_metrics.h"
 #include "parallel/shard.h"
+#include "qos/governor.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -71,8 +73,17 @@ struct ExecutorStats {
   int64_t frames_dropped_backpressure = 0;
   /// Discarded because the owning shard was failed over by the watchdog.
   int64_t frames_dropped_failover = 0;
+  /// Discarded because a kBlock push exceeded `push_deadline_ms`.
+  int64_t frames_dropped_deadline = 0;
+  /// Discarded by the QoS governor's priority-aware shed policy (all
+  /// priority classes summed; the per-class split is in
+  /// `vcd_qos_frames_shed_total{priority=...}`).
+  int64_t frames_shed = 0;
   /// Times the watchdog failed a shard over (transitions, not ticks).
   int64_t watchdog_failovers = 0;
+  /// Governor state across the fleet: the worst (max-severity) per-shard
+  /// state, as a numeric qos::QosState. 0 while the governor is disabled.
+  int qos_global_state = 0;
   std::vector<ShardStats> shards;
   /// Aggregated detector stats per shard (index-aligned with `shards`).
   std::vector<core::DetectorStats> shard_detector_stats;
@@ -92,6 +103,10 @@ struct ExecutorCkpt {
   /// sorted by submission seq — exactly what matches() would return after a
   /// Drain() at the barrier, without actually draining the shard logs.
   std::vector<SeqMatch> matches;
+  /// Per-shard governor machines (empty when the governor is disabled), so
+  /// a restore mid-Degraded resumes degraded instead of forgetting the
+  /// overload and thrashing back into it.
+  std::vector<qos::GovernorShardCkpt> qos;
 };
 
 /// \brief Worker-pool stream executor: StreamMonitor semantics, N threads.
@@ -130,8 +145,13 @@ class StreamExecutor {
   int num_queries() const VCD_EXCLUDES(control_mu_);
 
   /// Opens a new monitored stream; returns its id. The stream is pinned to
-  /// shard `(id - 1) % num_threads` for its whole lifetime.
-  Result<int> OpenStream(std::string name) VCD_EXCLUDES(control_mu_);
+  /// shard `(id - 1) % num_threads` for its whole lifetime. \p priority is
+  /// its QoS class: under overload shedding, kHigh streams are never shed,
+  /// kNormal streams lose 1 frame in 2 and kLow streams 3 in 4 — monotone
+  /// by class, and every class keeps making progress (DESIGN.md §17).
+  Result<int> OpenStream(std::string name,
+                         qos::Priority priority = qos::Priority::kNormal)
+      VCD_EXCLUDES(control_mu_);
 
   /// Flushes and closes a stream: waits for its queued frames, runs the
   /// detector's Finish, and folds its matches into the merged log. If the
@@ -146,15 +166,19 @@ class StreamExecutor {
 
   /// Enqueues one key frame of stream \p stream_id on its shard.
   /// Returns NotFound for ids never issued; OK otherwise. A frame can be
-  /// discarded after acceptance, but is then counted in exactly one bucket:
-  /// - ExecutorStats::frames_dropped_backpressure — kDropNewest, full queue
-  ///   (never enqueued);
-  /// - ExecutorStats::frames_dropped_failover — owning shard failed over
-  ///   (never enqueued);
+  /// discarded after acceptance, but is then counted in exactly one bucket
+  /// of the unified `vcd_frames_dropped_total{cause=...}` family:
+  /// - cause="backpressure" — kDropNewest, full queue (never enqueued);
+  /// - cause="failover" — owning shard failed over (never enqueued);
+  /// - cause="deadline" — kBlock push exceeded push_deadline_ms (never
+  ///   enqueued);
+  /// - cause="qos_shed" — shed by the governor's priority policy (never
+  ///   enqueued; also counted per class in vcd_qos_frames_shed_total);
+  /// - cause="quarantine" / "failed" — enqueued, but the stream's health
+  ///   machine discarded it (DESIGN.md §12);
   /// - ShardStats::frames_rejected — enqueued, but raced a CloseStream and
-  ///   the stream was gone when the frame ran;
-  /// - ShardStats::frames_quarantined / frames_failed — enqueued, but the
-  ///   stream's health machine discarded it (DESIGN.md §12).
+  ///   the stream was gone when the frame ran (not a drop family member:
+  ///   the frame was addressed to a stream that no longer exists).
   Status ProcessKeyFrame(int stream_id, vcd::video::DcFrame frame);
 
   /// Barrier: waits until every frame and command submitted before this
@@ -204,6 +228,19 @@ class StreamExecutor {
 
   /// Number of shards (= worker threads).
   int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Runs one governor tick synchronously: samples every shard's pressure,
+  /// advances the hysteresis machines, and applies any transitions (state
+  /// gauges, shard shed gates, degrade-knob fan-out). The periodic governor
+  /// thread calls exactly this; tests call it directly for deterministic
+  /// tick-by-tick control. No-op while the governor is disabled.
+  void TickQos() VCD_EXCLUDES(qos_mu_);
+
+  /// Governor state of one shard (kNormal while the governor is disabled).
+  qos::QosState QosStateOf(int shard) const VCD_EXCLUDES(qos_mu_);
+
+  /// Worst (max-severity) governor state across all shards.
+  qos::QosState QosGlobalState() const VCD_EXCLUDES(qos_mu_);
 
   /// The registry backing this executor's metric families — the one named by
   /// `ParallelConfig::metrics`, or the executor's own private registry when
@@ -255,6 +292,18 @@ class StreamExecutor {
   /// clears the mark once they drain again.
   void WatchdogLoop();
 
+  /// Governor thread body: TickQos() every qos.tick_ms.
+  void QosLoop() VCD_EXCLUDES(qos_mu_);
+
+  /// TickQos body; requires qos_mu_ held.
+  void TickQosLocked() VCD_REQUIRES(qos_mu_);
+
+  /// Pushes one governor transition out to the world: state gauge, dwell
+  /// histogram, the shard's shed gate, and (when the degraded threshold was
+  /// crossed in either direction) a degrade-knob command.
+  void ApplyQosTransitionLocked(const qos::Transition& tr)
+      VCD_REQUIRES(qos_mu_);
+
   /// Backing registry for the executor/shard/detector metric families. When
   /// `ParallelConfig::metrics` names one, it is used directly; otherwise the
   /// executor owns a private registry so Stats() accounting works without
@@ -280,6 +329,10 @@ class StreamExecutor {
   std::vector<PortfolioEntry> portfolio_ VCD_GUARDED_BY(control_mu_);
   std::vector<SeqMatch> merged_ VCD_GUARDED_BY(control_mu_);
   std::vector<Orphan> orphans_ VCD_GUARDED_BY(control_mu_);
+  /// QoS class of every open stream — the control-plane source of truth
+  /// (the per-shard shed gates are the producer-path copy) and what the
+  /// checkpoint codec persists per stream.
+  std::map<int, qos::Priority> priorities_ VCD_GUARDED_BY(control_mu_);
 
   std::atomic<int> next_stream_id_{1};
   std::atomic<int> num_open_streams_{0};
@@ -295,6 +348,23 @@ class StreamExecutor {
   CondVar watchdog_cv_;
   bool watchdog_stop_ VCD_GUARDED_BY(watchdog_mu_) = false;
   std::thread watchdog_;
+
+  // Governor machinery (thread only started when qos.enabled && tick_ms >
+  // 0; the machine itself exists whenever qos.enabled, so tests can drive
+  // TickQos() by hand with tick_ms = 0). Same kShard rank and nesting story
+  // as the watchdog mutex: held across per-shard pressure samples (the
+  // governor → shard → queue path) and never nested with watchdog_mu_
+  // (equal ranks must not nest).
+  mutable Mutex qos_mu_ VCD_ACQUIRED_AFTER(control_mu_){LockRank::kShard,
+                                                        "executor.qos"};
+  CondVar qos_cv_;
+  bool qos_stop_ VCD_GUARDED_BY(qos_mu_) = false;
+  std::unique_ptr<qos::Governor> governor_ VCD_GUARDED_BY(qos_mu_);
+  /// Cached `vcd_qos_*` instruments (per-shard state gauges, dwell
+  /// histograms, per-priority shed counters). All-null only if the
+  /// registry were null, which the ctor forbids.
+  obs::QosMetrics qos_metrics_;
+  std::thread qos_thread_;
 };
 
 }  // namespace vcd::parallel

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <utility>
@@ -30,6 +31,12 @@ namespace vcd::parallel {
 /// wait/wake machinery, the closed flag and the occupancy gauges.
 class MpscQueueBase {
  public:
+  /// Outcome of a deadline-bounded push. kTimeout is the only way a
+  /// blocking producer can give up on a full queue: the executor converts
+  /// it into a typed drop (`cause="deadline"`) instead of stalling the
+  /// ingest thread behind a wedged consumer forever.
+  enum class PushResult { kPushed, kClosed, kTimeout };
+
   /// Closes the queue: pending items remain poppable, further pushes fail,
   /// and a consumer blocked in Pop wakes up once the queue drains.
   void Close() VCD_EXCLUDES(mu_);
@@ -42,6 +49,9 @@ class MpscQueueBase {
 
   /// Highest occupancy ever observed (queue depth high-water mark).
   size_t high_water() const VCD_EXCLUDES(mu_);
+
+  /// Capacity bound of the frame channel (immutable after construction).
+  size_t capacity() const { return capacity_; }
 
  protected:
   explicit MpscQueueBase(size_t capacity) : capacity_(capacity ? capacity : 1) {}
@@ -79,6 +89,34 @@ class BoundedMpscQueue : public MpscQueueBase {
     }
     not_empty_.NotifyOne();
     return true;
+  }
+
+  /// Blocking push bounded by \p timeout: waits while the queue is full,
+  /// but never past the deadline. On kTimeout or kClosed the item is
+  /// discarded. A non-positive timeout degenerates to a TryPush-with-cause
+  /// (no wait, immediate kTimeout when full).
+  PushResult PushWithDeadline(T item, std::chrono::milliseconds timeout)
+      VCD_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return PushResult::kTimeout;
+        // Ceil to whole milliseconds so a sub-millisecond remainder still
+        // waits instead of spinning on WaitFor(0).
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now) +
+            std::chrono::milliseconds(1);
+        not_full_.WaitFor(mu_, remaining);
+      }
+      if (closed_) return PushResult::kClosed;
+      items_.push_back(std::move(item));
+      RecordDepthLocked(items_.size());
+    }
+    not_empty_.NotifyOne();
+    return PushResult::kPushed;
   }
 
   /// Push that ignores the capacity bound — the control-plane channel.

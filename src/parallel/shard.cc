@@ -44,20 +44,42 @@ Shard::~Shard() {
 }
 
 Shard::Submit Shard::SubmitFrame(uint64_t seq, int stream_id,
-                                 vcd::video::DcFrame frame) {
+                                 vcd::video::DcFrame frame,
+                                 qos::Priority* shed_priority) {
   if (failed()) return Submit::kFailedOver;
   if (faultfx::ShouldFire(faultfx::Site::kQueueOverflow,
                           static_cast<uint64_t>(stream_id))) {
     // Simulated overload: behave exactly as a full queue under kDropNewest.
     return Submit::kDropped;
   }
+  if (qos_state() == qos::QosState::kShedding) {
+    // Priority-aware shedding. The gate check runs BEFORE the lag-reference
+    // update below: a shed frame never advances newest_submitted_us_, so
+    // shedding cannot inflate the very lag signal that triggered it. The
+    // gate lock is released before any queue push (kQos < kQueue).
+    qos::Priority victim = qos::Priority::kNormal;
+    bool shed = false;
+    {
+      MutexLock lock(qos_mu_);
+      auto it = qos_gate_.find(stream_id);
+      if (it != qos_gate_.end()) {
+        victim = it->second.priority;
+        shed = qos::ShouldShed(victim, it->second.seq++);
+      }
+    }
+    if (shed) {
+      if (shed_priority != nullptr) *shed_priority = victim;
+      return Submit::kShedded;
+    }
+  }
   Task t;
   t.seq = seq;
   t.stream_id = stream_id;
   t.frame = std::move(frame);
-  if (obs::kEnabled) {
-    // Track the newest stream-clock timestamp entering this shard — the
-    // reference point of the lag gauge set in ProcessFrame.
+  // Track the newest stream-clock timestamp entering this shard — the
+  // reference point of the lag signal computed in ProcessFrame. Always on:
+  // the QoS governor samples lag even when observability is compiled out.
+  {
     const auto us = static_cast<int64_t>(t.frame.timestamp * 1e6);
     int64_t prev = newest_submitted_us_.load(std::memory_order_relaxed);
     while (us > prev && !newest_submitted_us_.compare_exchange_weak(
@@ -65,6 +87,17 @@ Shard::Submit Shard::SubmitFrame(uint64_t seq, int stream_id,
     }
   }
   if (config_.backpressure == core::BackpressurePolicy::kBlock) {
+    if (config_.push_deadline_ms > 0) {
+      const auto result = queue_.PushWithDeadline(
+          std::move(t), std::chrono::milliseconds(config_.push_deadline_ms));
+      VCD_OBS_SET(metrics_.queue_depth, static_cast<int64_t>(queue_.depth()));
+      if (result == MpscQueueBase::PushResult::kTimeout) {
+        return Submit::kDeadline;
+      }
+      // kClosed mirrors the unbounded Push path below: shutdown races are
+      // benign and the frame is simply not processed.
+      return Submit::kAccepted;
+    }
     queue_.Push(std::move(t));
     VCD_OBS_SET(metrics_.queue_depth, static_cast<int64_t>(queue_.depth()));
     return Submit::kAccepted;
@@ -72,6 +105,16 @@ Shard::Submit Shard::SubmitFrame(uint64_t seq, int stream_id,
   const bool accepted = queue_.TryPush(std::move(t));
   VCD_OBS_SET(metrics_.queue_depth, static_cast<int64_t>(queue_.depth()));
   return accepted ? Submit::kAccepted : Submit::kDropped;
+}
+
+void Shard::RegisterStreamQos(int stream_id, qos::Priority priority) {
+  MutexLock lock(qos_mu_);
+  qos_gate_[stream_id] = GateEntry{priority, 0};
+}
+
+void Shard::UnregisterStreamQos(int stream_id) {
+  MutexLock lock(qos_mu_);
+  qos_gate_.erase(stream_id);
 }
 
 void Shard::SubmitCommand(Command cmd) {
@@ -101,6 +144,7 @@ ShardStats Shard::Snapshot() const {
   s.streams_quarantined = streams_quarantined_.load(std::memory_order_relaxed);
   s.streams_failed = streams_failed_.load(std::memory_order_relaxed);
   s.failed_over = failed();
+  s.qos_state = qos_state_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -132,10 +176,12 @@ void Shard::ProcessFrame(Task& t) {
   // Stream-clock lag: how far the frame being processed trails the newest
   // timestamp submitted to this shard — the continuous-monitoring "how far
   // behind real time" signal (per shard; microseconds of stream time).
-  if (obs::kEnabled) {
+  // Maintained unconditionally: this is also the governor's lag input.
+  {
     const auto us = static_cast<int64_t>(t.frame.timestamp * 1e6);
     const int64_t lag =
         newest_submitted_us_.load(std::memory_order_relaxed) - us;
+    last_lag_us_.store(lag > 0 ? lag : 0, std::memory_order_relaxed);
     VCD_OBS_SET(metrics_.stream_lag_us, lag > 0 ? lag : 0);
   }
   auto it = streams_.find(t.stream_id);
@@ -148,10 +194,12 @@ void Shard::ProcessFrame(Task& t) {
   StreamSlot& slot = it->second;
   if (slot.health == StreamHealth::kFailed) {
     metrics_.frames_failed_total->Inc();
+    metrics_.dropped_failed->Inc();
     return;
   }
   if (slot.health == StreamHealth::kQuarantined) {
     metrics_.frames_quarantined_total->Inc();
+    metrics_.dropped_quarantine->Inc();
     if (--slot.quarantine_remaining <= 0) {
       // Backoff served: readmit on probation (kDegraded, not kHealthy —
       // it still needs recover_after_frames clean frames).
@@ -240,6 +288,9 @@ void Shard::InstallStream(int stream_id, std::string name,
   slot.name = std::move(name);
   slot.detector = std::move(detector);
   slot.backoff_frames = config_.quarantine_backoff_frames;
+  // A stream opened while the shard is degraded joins at the shard's
+  // current quality level, not full quality.
+  slot.detector->SetDegrade(active_knobs_);
   streams_.emplace(stream_id, std::move(slot));
   num_streams_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -257,6 +308,7 @@ void Shard::InstallRestoredStream(const core::StreamCkpt& ckpt,
   slot.backoff_frames = ckpt.backoff_frames;
   slot.max_timestamp = ckpt.max_timestamp;
   slot.saw_timestamp = ckpt.saw_timestamp;
+  slot.detector->SetDegrade(active_knobs_);
   if (slot.health == StreamHealth::kQuarantined) {
     streams_quarantined_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -353,11 +405,19 @@ core::DetectorStats Shard::AggregateDetectorStats() const {
     agg.degraded_frames += s.degraded_frames;
     agg.degraded_windows += s.degraded_windows;
     agg.out_of_order_frames += s.out_of_order_frames;
+    agg.qos_skipped_windows += s.qos_skipped_windows;
     agg.signatures_per_window.Merge(s.signatures_per_window);
     agg.candidates_per_window.Merge(s.candidates_per_window);
     agg.pool_slots_per_window.Merge(s.pool_slots_per_window);
   }
   return agg;
+}
+
+void Shard::ApplyDegrade(const qos::DegradeKnobs& knobs) {
+  active_knobs_ = knobs;
+  for (auto& [sid, slot] : streams_) {
+    slot.detector->SetDegrade(knobs);
+  }
 }
 
 }  // namespace vcd::parallel

@@ -14,6 +14,8 @@
 #include "core/monitor.h"
 #include "obs/pipeline_metrics.h"
 #include "parallel/mpsc_queue.h"
+#include "qos/qos.h"
+#include "util/mutex.h"
 #include "video/partial_decoder.h"
 
 /// \file shard.h
@@ -29,13 +31,16 @@
 /// every frame submitted after it — exactly the serial-monitor semantics.
 ///
 /// ### Lock discipline
-/// A shard holds no mutex of its own. Its synchronization point is the
-/// bounded MPSC queue (whose state is `VCD_GUARDED_BY` its lock, see
-/// parallel/mpsc_queue.h); `streams_`, `log_` and `first_error_` are owned
-/// by the single consumer thread — a confinement Clang's Thread Safety
-/// Analysis cannot express, so the split below is enforced by convention:
-/// the "shard-thread side" methods run only inside a queued Command, and
-/// cross-thread reads go through the relaxed-atomic counters in Snapshot().
+/// A shard's frame-path synchronization point is the bounded MPSC queue
+/// (whose state is `VCD_GUARDED_BY` its lock, see parallel/mpsc_queue.h);
+/// `streams_`, `log_` and `first_error_` are owned by the single consumer
+/// thread — a confinement Clang's Thread Safety Analysis cannot express, so
+/// the split below is enforced by convention: the "shard-thread side"
+/// methods run only inside a queued Command, and cross-thread reads go
+/// through the relaxed-atomic counters in Snapshot(). The only shard mutex
+/// is the kQos-ranked shed gate (`qos_mu_`), taken briefly on the producer
+/// side and only while the governor holds the shard in Shedding; it is
+/// never held across a queue push (kQos < kQueue in the lock hierarchy).
 
 namespace vcd::parallel {
 
@@ -85,6 +90,7 @@ struct ShardStats {
   int streams_quarantined = 0;     ///< streams currently quarantined (gauge)
   int streams_failed = 0;          ///< streams currently failed (gauge)
   bool failed_over = false;        ///< watchdog has failed this shard over
+  int qos_state = 0;               ///< numeric qos::QosState set by the governor
 };
 
 /// \brief Worker thread + queue + per-stream detectors of one shard.
@@ -99,6 +105,8 @@ class Shard {
     kAccepted,
     kDropped,     ///< kDropNewest backpressure: the queue was full
     kFailedOver,  ///< the watchdog has failed this shard over
+    kShedded,     ///< QoS governor in Shedding: the priority policy dropped it
+    kDeadline,    ///< kBlock + push_deadline_ms: the wait timed out
   };
 
   /// \p registry receives this shard's `vcd_shard_*` metric family (labeled
@@ -115,10 +123,15 @@ class Shard {
   // --- producer side (any thread) ---------------------------------------
 
   /// Enqueues one key frame of \p stream_id. Blocks when the queue is full
-  /// under kBlock; returns kDropped under kDropNewest. While the shard is
-  /// failed over (watchdog), returns kFailedOver without touching the
-  /// queue — a failed shard must never block a producer.
-  Submit SubmitFrame(uint64_t seq, int stream_id, vcd::video::DcFrame frame);
+  /// under kBlock (bounded by `push_deadline_ms` when configured — the
+  /// timeout returns kDeadline); returns kDropped under kDropNewest. While
+  /// the shard is failed over (watchdog), returns kFailedOver without
+  /// touching the queue — a failed shard must never block a producer. While
+  /// the governor holds this shard in Shedding, the priority policy may
+  /// return kShedded (filling \p shed_priority with the victim's class)
+  /// before the frame reaches the queue or the lag reference point.
+  Submit SubmitFrame(uint64_t seq, int stream_id, vcd::video::DcFrame frame,
+                     qos::Priority* shed_priority = nullptr);
 
   /// Enqueues a control command. Commands bypass the capacity bound
   /// (PushUnbounded) and are never dropped, whatever the backpressure
@@ -140,6 +153,40 @@ class Shard {
 
   /// True while the shard is failed over.
   bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  // --- governor side (any thread) ----------------------------------------
+
+  /// Sets the shard's QoS state. Only the Shedding state changes producer
+  /// behavior (the shed gate arms); Degraded-mode detector knobs are fanned
+  /// out separately as ApplyDegrade commands so they land on window
+  /// boundaries.
+  void SetQosState(qos::QosState state) {
+    qos_state_.store(static_cast<int>(state), std::memory_order_release);
+  }
+
+  /// Current QoS state as set by the governor.
+  qos::QosState qos_state() const {
+    return static_cast<qos::QosState>(
+        qos_state_.load(std::memory_order_acquire));
+  }
+
+  /// Registers \p stream_id with the shed gate under \p priority. Called at
+  /// stream open/restore; idempotent (re-registration updates the class).
+  void RegisterStreamQos(int stream_id, qos::Priority priority);
+
+  /// Forgets \p stream_id's shed-gate entry. Called at stream close.
+  void UnregisterStreamQos(int stream_id);
+
+  /// Stream-clock lag of the most recently processed frame, microseconds —
+  /// the governor's per-shard pressure signal. Always maintained (not gated
+  /// on obs::kEnabled).
+  int64_t stream_lag_us() const {
+    return last_lag_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Frame-queue occupancy and capacity, for governor pressure sampling.
+  size_t queue_depth() const { return queue_.depth(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
 
   // --- shard-thread side (call only from inside a Command) --------------
 
@@ -184,6 +231,11 @@ class Shard {
 
   /// Aggregated detector stats over all streams currently on this shard.
   core::DetectorStats AggregateDetectorStats() const;
+
+  /// Applies \p knobs to every detector on this shard and remembers them
+  /// for streams installed later. Runs as a queued command, so the change
+  /// lands on a window boundary of everything submitted before it.
+  void ApplyDegrade(const qos::DegradeKnobs& knobs);
 
  private:
   /// One queued unit of work: a frame when `command` is empty, else a
@@ -233,6 +285,23 @@ class Shard {
   std::map<int, StreamSlot> streams_;
   std::vector<SeqMatch> log_;
   Status first_error_;
+  /// Degrade knobs currently applied to this shard's detectors; identity
+  /// when the governor is Normal/Recovering. Applied to streams installed
+  /// while the shard is degraded.
+  qos::DegradeKnobs active_knobs_;
+
+  /// One shed-gate entry per registered stream. `seq` is the stream's
+  /// weighted-round-robin position, advanced only while the shard sheds —
+  /// so a governor that never triggers leaves the gate untouched.
+  struct GateEntry {
+    qos::Priority priority = qos::Priority::kNormal;
+    uint64_t seq = 0;
+  };
+  /// Shed gate (producer side). Taken only when qos_state_ says Shedding,
+  /// released before any queue push — kQos < kQueue in the lock hierarchy,
+  /// so holding it across a push would be a rank inversion.
+  mutable Mutex qos_mu_{LockRank::kQos, "shard.qos_gate"};
+  std::map<int, GateEntry> qos_gate_ VCD_GUARDED_BY(qos_mu_);
 
   // Counters readable from any thread. Frame accounting lives in the
   // metrics registry (metrics_ below) — Snapshot() reads those counters
@@ -246,8 +315,14 @@ class Shard {
   std::atomic<int> streams_failed_{0};
   std::atomic<bool> failed_{false};
   /// Highest frame timestamp submitted to this shard, in microseconds of
-  /// stream time — the reference point of the per-stream lag gauge.
+  /// stream time — the reference point of the per-stream lag signal.
   std::atomic<int64_t> newest_submitted_us_{0};
+  /// Lag of the most recently processed frame against that reference.
+  /// Maintained unconditionally (the governor samples it even when the
+  /// observability layer is compiled out).
+  std::atomic<int64_t> last_lag_us_{0};
+  /// Numeric qos::QosState, written by the governor, read by producers.
+  std::atomic<int> qos_state_{0};
 
   /// Cached `vcd_shard_*` instruments (never null; see ctor contract).
   obs::ShardMetrics metrics_;

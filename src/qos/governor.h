@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qos/qos.h"
+
+/// \file governor.h
+/// The overload governor's hysteresis state machine (DESIGN.md §17).
+///
+/// `Governor` is a pure, single-threaded state machine: the executor (or a
+/// test) feeds it one `Tick` of per-shard pressure samples and reads back
+/// per-shard states and the transitions that fired. It owns no threads, no
+/// locks and no clocks — dwell is counted in ticks, so every trajectory is
+/// a deterministic function of the sample sequence. The executor wraps it
+/// in a governor thread (or exposes TickQos() for deterministic tests) and
+/// translates its outputs into detector knob fan-out and shed gates.
+
+namespace vcd::qos {
+
+/// One shard's pressure sample for a governor tick.
+struct ShardSample {
+  size_t queue_depth = 0;     ///< current submission-queue occupancy
+  size_t queue_capacity = 1;  ///< its capacity (fill = depth / capacity)
+  int64_t stream_lag_us = 0;  ///< max stream lag across the shard's streams
+};
+
+/// A state change that fired during a Tick, for metrics (per-state dwell
+/// histograms) and logs.
+struct Transition {
+  int shard = 0;
+  QosState from = QosState::kNormal;
+  QosState to = QosState::kNormal;
+  int64_t dwell_ticks = 0;  ///< ticks spent in `from` before leaving it
+};
+
+/// \brief Per-shard hysteresis state machines + the global max-severity
+/// aggregate.
+class Governor {
+ public:
+  /// A governor over \p num_shards shards. \p config must already be
+  /// validated (QosConfig::Validate).
+  Governor(const QosConfig& config, int num_shards);
+
+  /// Advances every shard machine one tick against \p samples (one per
+  /// shard; missing trailing samples count as idle). Appends fired
+  /// transitions to \p transitions when non-null. Returns the number of
+  /// transitions fired.
+  int Tick(const std::vector<ShardSample>& samples,
+           std::vector<Transition>* transitions);
+
+  /// Current state of shard \p shard.
+  QosState shard_state(int shard) const;
+
+  /// Ticks shard \p shard has spent in its current state.
+  int64_t shard_dwell_ticks(int shard) const;
+
+  /// Max-severity state across all shards.
+  QosState global_state() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Exports every shard machine for a checkpoint.
+  std::vector<GovernorShardCkpt> ExportCkpt() const;
+
+  /// Restores shard machines from \p ckpt. Entries beyond num_shards are
+  /// ignored; missing entries leave the shard in Normal — so a snapshot
+  /// taken at a different shard count restores conservatively rather than
+  /// failing.
+  void RestoreCkpt(const std::vector<GovernorShardCkpt>& ckpt);
+
+ private:
+  struct Machine {
+    QosState state = QosState::kNormal;
+    int64_t dwell = 0;         ///< ticks in the current state
+    int escalate_streak = 0;   ///< consecutive hot ticks
+    int recover_streak = 0;    ///< consecutive calm ticks
+  };
+
+  /// Advances one machine; returns true (and fills *t) when it transitions.
+  bool TickShard(Machine* m, const ShardSample& s, Transition* t) const;
+
+  QosConfig config_;
+  std::vector<Machine> shards_;
+};
+
+}  // namespace vcd::qos

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -213,11 +214,16 @@ class GeometricCandidates {
   /// `copy(c)` clones a stored block; `merge(older, newer)` is the same
   /// merge as Step; `visit(c)` is called on each cumulative candidate.
   /// Visiting stops once a cumulative candidate would exceed
-  /// \p max_windows.
+  /// \p max_windows, or after \p max_visits candidates were visited —
+  /// `max_visits = 1` is the QoS degraded mode that probes only the newest
+  /// block (qos::DegradeKnobs::disable_geometric).
   template <typename CopyFn, typename MergeFn, typename VisitFn>
   void VisitSuffixes(int max_windows, CopyFn&& copy, MergeFn&& merge,
-                     VisitFn&& visit) const {
+                     VisitFn&& visit,
+                     int max_visits = std::numeric_limits<int>::max()) const {
+    if (max_visits <= 0) return;
     std::optional<C> cum;
+    int visited = 0;
     for (const auto& slot : ladder_) {
       if (!slot.has_value()) continue;
       if (!cum.has_value()) {
@@ -230,6 +236,7 @@ class GeometricCandidates {
       }
       if (cum->num_windows > max_windows) break;
       visit(*cum);
+      if (++visited >= max_visits) break;
     }
   }
 
@@ -241,9 +248,12 @@ class GeometricCandidates {
   template <typename AssignFn, typename MergeFn, typename VisitFn,
             typename RetireFn>
   void VisitSuffixesInto(int max_windows, C* cum, C* tmp, AssignFn&& assign,
-                         MergeFn&& merge, VisitFn&& visit,
-                         RetireFn&& retire) const {
+                         MergeFn&& merge, VisitFn&& visit, RetireFn&& retire,
+                         int max_visits = std::numeric_limits<int>::max())
+      const {
+    if (max_visits <= 0) return;
     bool have = false;
+    int visited = 0;
     for (const auto& slot : ladder_) {
       if (!slot.has_value()) continue;
       if (!have) {
@@ -258,6 +268,7 @@ class GeometricCandidates {
       }
       if (cum->num_windows > max_windows) break;
       visit(*cum);
+      if (++visited >= max_visits) break;
     }
     if (have) retire(*cum);
   }

@@ -13,7 +13,7 @@
 ///
 /// Outermost (acquired first) to innermost (acquired last):
 ///
-///   kExecutorControl > kShard > kQueue > kMonitor > kHealth
+///   kExecutorControl > kShard > kQueue > kMonitor > kQos > kHealth
 ///                    > kMetricsRegistry > kLeaf
 ///
 /// Two enforcement layers consume these ranks:
@@ -44,6 +44,11 @@ enum class LockRank : int {
   /// state is confined to the owning shard's worker thread and needs no
   /// mutex; the rank pins where one would sit if that ever changes.
   kHealth = 30,
+  /// Per-shard QoS shed gate (stream priority map + weighted-round-robin
+  /// shed counters). Taken briefly on the frame submission path while the
+  /// governor has the shard in Shedding, and by the control plane when a
+  /// stream registers its priority; never held across a queue push.
+  kQos = 35,
   /// core::StreamMonitor's portfolio/stream-table mutex.
   kMonitor = 40,
   /// parallel::BoundedMpscQueue submission-queue mutexes. Taken while the
@@ -68,6 +73,8 @@ inline const char* LockRankName(LockRank r) {
       return "kMetricsRegistry";
     case LockRank::kHealth:
       return "kHealth";
+    case LockRank::kQos:
+      return "kQos";
     case LockRank::kMonitor:
       return "kMonitor";
     case LockRank::kQueue:

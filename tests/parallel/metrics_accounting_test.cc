@@ -1,9 +1,9 @@
 /// \file metrics_accounting_test.cc
 /// End-to-end metrics accounting over a seeded multi-stream run:
 ///   - every submitted frame lands in exactly one registry bucket
-///     (processed / rejected / quarantined / failed / dropped-backpressure /
-///     dropped-failover), matching the ShardStats partition the fault-matrix
-///     suite pins at the struct level;
+///     (processed / rejected / quarantined / failed / the unified
+///     vcd_frames_dropped_total{cause=...} family), matching the ShardStats
+///     partition the fault-matrix suite pins at the struct level;
 ///   - ExecutorStats reads through the registry, so the two views agree
 ///     exactly;
 ///   - with VCD_FAULTFX armed against one stream, the registry series of
@@ -128,6 +128,12 @@ int64_t SumSeries(const CounterMap& m, const std::string& name) {
   return total;
 }
 
+/// One leg of the unified drop family, 0 when the series never registered.
+int64_t Dropped(const CounterMap& m, const std::string& cause) {
+  const auto it = m.find("vcd_frames_dropped_total{cause=" + cause + "}");
+  return it == m.end() ? 0 : it->second;
+}
+
 TEST(MetricsAccountingTest, EveryFrameLandsInExactlyOneBucket) {
   obs::MetricsRegistry registry;
   const RunResult r = RunScenario(&registry);
@@ -135,14 +141,24 @@ TEST(MetricsAccountingTest, EveryFrameLandsInExactlyOneBucket) {
   const int64_t submitted =
       SumSeries(r.counters, "vcd_executor_frames_submitted_total");
   EXPECT_EQ(submitted, int64_t{kStreams} * kRounds);
-  EXPECT_EQ(
-      submitted,
-      SumSeries(r.counters, "vcd_shard_frames_processed_total") +
-          SumSeries(r.counters, "vcd_shard_frames_rejected_total") +
-          SumSeries(r.counters, "vcd_shard_frames_quarantined_total") +
-          SumSeries(r.counters, "vcd_shard_frames_failed_total") +
-          SumSeries(r.counters, "vcd_executor_frames_dropped_backpressure_total") +
-          SumSeries(r.counters, "vcd_executor_frames_dropped_failover_total"));
+  // The executor-side causes partition the admission gap; the health-machine
+  // causes (quarantine/failed) are the drop-family mirror of the per-shard
+  // detail counters, so they are counted once via the shard series here.
+  EXPECT_EQ(submitted,
+            SumSeries(r.counters, "vcd_shard_frames_processed_total") +
+                SumSeries(r.counters, "vcd_shard_frames_rejected_total") +
+                SumSeries(r.counters, "vcd_shard_frames_quarantined_total") +
+                SumSeries(r.counters, "vcd_shard_frames_failed_total") +
+                Dropped(r.counters, "backpressure") +
+                Dropped(r.counters, "failover") +
+                Dropped(r.counters, "deadline") +
+                Dropped(r.counters, "qos_shed"));
+
+  // The mirror legs agree with the detail counters exactly.
+  EXPECT_EQ(Dropped(r.counters, "quarantine"),
+            SumSeries(r.counters, "vcd_shard_frames_quarantined_total"));
+  EXPECT_EQ(Dropped(r.counters, "failed"),
+            SumSeries(r.counters, "vcd_shard_frames_failed_total"));
 }
 
 TEST(MetricsAccountingTest, ExecutorStatsReadsThroughTheRegistry) {
@@ -153,10 +169,11 @@ TEST(MetricsAccountingTest, ExecutorStatsReadsThroughTheRegistry) {
   EXPECT_EQ(r.stats.frames_submitted,
             SumSeries(r.counters, "vcd_executor_frames_submitted_total"));
   EXPECT_EQ(r.stats.frames_dropped_backpressure,
-            SumSeries(r.counters,
-                      "vcd_executor_frames_dropped_backpressure_total"));
-  EXPECT_EQ(r.stats.frames_dropped_failover,
-            SumSeries(r.counters, "vcd_executor_frames_dropped_failover_total"));
+            Dropped(r.counters, "backpressure"));
+  EXPECT_EQ(r.stats.frames_dropped_failover, Dropped(r.counters, "failover"));
+  EXPECT_EQ(r.stats.frames_dropped_deadline, Dropped(r.counters, "deadline"));
+  EXPECT_EQ(r.stats.frames_shed,
+            Dropped(r.counters, "qos_shed"));  // no governor: both zero
   EXPECT_EQ(r.stats.watchdog_failovers,
             SumSeries(r.counters, "vcd_executor_watchdog_failovers_total"));
   int64_t processed = 0, rejected = 0, degraded = 0, quarantined = 0;

@@ -84,6 +84,29 @@ check_rc "10x checkpoint pause, absolute" 1 "$BASELINE" "$TMP/slowpause.json"
 check_rc "10x checkpoint pause, ratio (ungated)" 0 "$BASELINE" \
   "$TMP/slowpause.json" --ratio
 
+# Dropping the qos_governor_overhead_pct measurement fails in both modes;
+# blowing its fixed 1% budget fails in both modes too (the percentage is
+# already machine-relative, so --ratio gates it as well).
+"$PY" - "$BASELINE" "$TMP/noqos.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc.setdefault("meta", {}).pop("qos_governor_overhead_pct", None)
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+check_rc "qos overhead lost" 1 "$BASELINE" "$TMP/noqos.json"
+check_rc "qos overhead lost, ratio" 1 "$BASELINE" "$TMP/noqos.json" --ratio
+# A baseline without the meta never demands it (pre-metric baselines).
+check_rc "old baseline, no qos meta" 0 "$TMP/noqos.json" "$TMP/noqos.json"
+"$PY" - "$BASELINE" "$TMP/slowqos.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc.setdefault("meta", {})["qos_governor_overhead_pct"] = 3.5
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+check_rc "qos overhead over budget, absolute" 1 "$BASELINE" "$TMP/slowqos.json"
+check_rc "qos overhead over budget, ratio" 1 "$BASELINE" "$TMP/slowqos.json" \
+  --ratio
+
 # Rows present on only one side are reported but never fail.
 "$PY" - "$BASELINE" "$TMP/fewer.json" <<'EOF'
 import json, sys

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Pins vcdctl monitor's flag validation: malformed --threads/--queue/
-# --backpressure/--on-corruption/--watchdog-ms values must exit 2 with a
-# usage message BEFORE any file
+# --backpressure/--on-corruption/--watchdog-ms/--push-deadline-ms/--qos*
+# values must exit 2 with a usage message BEFORE any file
 # I/O happens — the query-db path below does not exist, so reaching the
 # loader would fail with a different error and no usage line.
 #
@@ -56,6 +56,30 @@ expect_flag_error "--restore without --checkpoint-dir" \
   monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --restore
 expect_flag_error "negative --throttle-ms" \
   monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --throttle-ms=-1
+expect_flag_error "negative --push-deadline-ms" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --push-deadline-ms=-1
+expect_flag_error "--push-deadline-ms without --threads" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --push-deadline-ms=100
+expect_flag_error "--qos without --threads" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --qos
+expect_flag_error "--qos-tick-ms without --qos" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --qos-tick-ms=50
+expect_flag_error "--priority-map without --qos" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --priority-map=1=high
+expect_flag_error "--degrade-policy without --qos" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --degrade-policy=probe=2
+expect_flag_error "malformed --priority-map entry" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --priority-map=banana --qos
+expect_flag_error "out-of-range --priority-map index" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --priority-map=2=high --qos
+expect_flag_error "bad --priority-map class" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --priority-map=1=urgent --qos
+expect_flag_error "bad --degrade-policy key" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --degrade-policy=banana=1 --qos
+expect_flag_error "zero --degrade-policy probe" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --degrade-policy=probe=0 --qos
+expect_flag_error "negative --qos-tick-ms" \
+  monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 --qos-tick-ms=-1 --qos
 
 # A --kernel the CPU/build cannot run must also be a usage error (exit 2),
 # not a crash or silent fallback. neon is never supported on x86 hosts and
@@ -76,6 +100,21 @@ if [ $rc -eq 0 ] || [ $rc -eq 2 ]; then
 fi
 if echo "$err" | grep -q "usage: vcdctl monitor"; then
   echo "FAIL: --kernel=scalar + missing db printed the usage message"
+  FAILED=1
+fi
+
+# A fully valid QoS flag set must also get PAST validation: loader failure,
+# no usage line.
+err=$("$VCDCTL" monitor "$NO_SUCH_DB" "$NO_SUCH_STREAM" --threads=2 \
+  --push-deadline-ms=250 --qos-tick-ms=50 --priority-map=1=high \
+  --degrade-policy=probe=2,cap=16,nogeo --qos 2>&1 >/dev/null)
+rc=$?
+if [ $rc -eq 0 ] || [ $rc -eq 2 ]; then
+  echo "FAIL: valid qos flags + missing db: expected loader failure, got rc=$rc"
+  FAILED=1
+fi
+if echo "$err" | grep -q "usage: vcdctl monitor"; then
+  echo "FAIL: valid qos flags + missing db printed the usage message"
   FAILED=1
 fi
 

@@ -30,11 +30,22 @@ barrier, export+encode): when the baseline records it, the current document
 must too — dropping the measurement is a regression in both modes. The
 value itself is compared only in absolute (same-machine) mode, with a
 0.25 ms absolute grace on top of FRAC so timer noise on sub-millisecond
-pauses cannot flake the gate. Exit codes: 0 ok, 1 regression, 2 usage.
+pauses cannot flake the gate.
+
+qos_governor_overhead_pct meta (the relative cost of an enabled-but-idle
+overload governor on the executor frame path): when the baseline records
+it, the current document must too, and — because a percentage of the same
+run on the same machine is already machine-relative — the value is gated
+in both modes against a fixed 1% budget.
+
+Exit codes: 0 ok, 1 regression, 2 usage.
 """
 
 import json
 import sys
+
+# The idle QoS governor's frame-path overhead budget, in percent.
+QOS_OVERHEAD_LIMIT_PCT = 1.0
 
 
 def load(path):
@@ -170,6 +181,24 @@ def main(argv):
             print(
                 f"  {status:>10}  checkpoint_pause_ms: {base_pause:.3f} -> "
                 f"{cur_pause:.3f} ms (limit {limit:.3f})"
+            )
+
+    base_qos = base_doc.get("meta", {}).get("qos_governor_overhead_pct")
+    cur_qos = cur_doc.get("meta", {}).get("qos_governor_overhead_pct")
+    if base_qos is not None:
+        if not isinstance(cur_qos, (int, float)):
+            print("  REGRESSION  qos_governor_overhead_pct missing in current")
+            failed.append("qos_governor_overhead_pct")
+        else:
+            # Already machine-relative (a percentage of the same run on the
+            # same box), so unlike the pause it is gated in BOTH modes: the
+            # idle governor must cost at most QOS_OVERHEAD_LIMIT_PCT.
+            status = "ok" if cur_qos <= QOS_OVERHEAD_LIMIT_PCT else "REGRESSION"
+            if status == "REGRESSION":
+                failed.append("qos_governor_overhead_pct")
+            print(
+                f"  {status:>10}  qos_governor_overhead_pct: {base_qos:.2f} -> "
+                f"{cur_qos:.2f} % (limit {QOS_OVERHEAD_LIMIT_PCT:.2f})"
             )
 
     if failed:

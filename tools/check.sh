@@ -16,6 +16,9 @@
 #                            # tests run instead of skipping
 #   tools/check.sh faultfx-tsan  # fault matrix under ThreadSanitizer
 #   tools/check.sh faultfx-asan  # fault matrix under ASan
+#   tools/check.sh overload-soak # QoS governor tests (incl. the seeded
+#                            # 2x-overload soak) repeated SOAK_REPEATS
+#                            # times under TSan with faultfx armed
 #   tools/check.sh obs       # -DVCD_OBS=OFF build + ctest: proves the
 #                            # instrumentation macros compile to no-ops and
 #                            # that every test still passes without them
@@ -98,8 +101,28 @@ case "$MATRIX" in
       run_config faultfx-asan build-faultfx-asan -DVCD_FAULTFX=ON \
         -DVCD_SANITIZE=address -DVCD_DEADLOCK_CHECK=ON \
         -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF ;;&
-  plain|tsan|asan|ubsan|lint|faultfx|obs|kernels|faultfx-tsan|faultfx-asan|all) ;;
+  overload-soak)
+    # Not part of `all`: CI's dedicated overload job. One faultfx+TSan pass
+    # of the full suite already runs in the fault-matrix job; this leg
+    # instead re-runs the QoS governor/executor tests — including the
+    # seeded 2x-overload soak with its mid-Degraded checkpoint/restore —
+    # many times under ThreadSanitizer. The governor's sense → transition →
+    # apply path is schedule-dependent, and one lucky interleaving proves
+    # nothing.
+    echo "=== [overload-soak] configure ==="
+    cmake -B build-faultfx-tsan -S . -DVCD_FAULTFX=ON \
+      -DVCD_SANITIZE=thread -DVCD_DEADLOCK_CHECK=ON \
+      -DVCD_BUILD_BENCH=OFF -DVCD_BUILD_EXAMPLES=OFF
+    echo "=== [overload-soak] build ==="
+    cmake --build build-faultfx-tsan -j "$JOBS"
+    echo "=== [overload-soak] ctest x${SOAK_REPEATS:-10} ==="
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      ctest --test-dir build-faultfx-tsan --output-on-failure -j "$JOBS" \
+        -R '^(GovernorTest|QosExecutorTest)\.' \
+        --repeat "until-fail:${SOAK_REPEATS:-10}"
+    echo "=== [overload-soak] OK ===" ;;&
+  plain|tsan|asan|ubsan|lint|faultfx|obs|kernels|faultfx-tsan|faultfx-asan|overload-soak|all) ;;
   *) echo "unknown matrix entry: $MATRIX" \
-     "(want plain|tsan|asan|ubsan|lint|faultfx|obs|kernels|faultfx-tsan|faultfx-asan|all)" >&2
+     "(want plain|tsan|asan|ubsan|lint|faultfx|obs|kernels|faultfx-tsan|faultfx-asan|overload-soak|all)" >&2
      exit 2 ;;
 esac

@@ -18,6 +18,9 @@
 ///           [--kernel scalar|popcnt|avx2|avx512|neon]
 ///           [--checkpoint-dir DIR --checkpoint-interval-ms N --restore]
 ///           [--throttle-ms N]
+///           [--qos --qos-tick-ms N --push-deadline-ms N]
+///           [--priority-map IDX=high|normal|low[,...]]
+///           [--degrade-policy probe=N,cap=N,nogeo]
 ///   vcdctl metrics [--format=json|prom]
 ///   vcdctl kernels
 
@@ -369,6 +372,110 @@ std::vector<ckpt::DriverFileState> ToDriverSection(
   return out;
 }
 
+/// Parses a --priority-map spec `IDX=CLASS[,IDX=CLASS...]`, where IDX is
+/// the 1-based position of a stream file on the command line and CLASS is
+/// high|normal|low. Files not named default to normal. InvalidArgument on
+/// malformed entries, unknown classes, or indices outside [1, num_files].
+Status ParsePriorityMap(const std::string& spec, size_t num_files,
+                        std::map<size_t, qos::Priority>* out) {
+  if (spec.empty()) return Status::OK();
+  size_t start = 0;
+  for (;;) {
+    size_t end = spec.find(',', start);
+    const bool last = end == std::string::npos;
+    if (last) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+      return Status::InvalidArgument("--priority-map entry '" + entry +
+                                     "' is not IDX=high|normal|low");
+    }
+    const std::string idx_str = entry.substr(0, eq);
+    const std::string cls = entry.substr(eq + 1);
+    char* endp = nullptr;
+    const long idx = std::strtol(idx_str.c_str(), &endp, 10);
+    if (endp == idx_str.c_str() || *endp != '\0' || idx < 1 ||
+        static_cast<size_t>(idx) > num_files) {
+      return Status::InvalidArgument(
+          "--priority-map index '" + idx_str + "' out of range (1.." +
+          std::to_string(num_files) + ")");
+    }
+    qos::Priority p;
+    if (!qos::ParsePriority(cls.c_str(), &p)) {
+      return Status::InvalidArgument("--priority-map class '" + cls +
+                                     "' must be high, normal or low");
+    }
+    (*out)[static_cast<size_t>(idx)] = p;
+    if (last) break;
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+/// Parses a --degrade-policy spec, a comma list of `probe=N` (combine only
+/// every Nth basic window), `cap=N` (per-stream candidate-window cap) and
+/// `nogeo` (disable the Geometric combination order while degraded).
+Status ParseDegradePolicy(const std::string& spec, qos::DegradeKnobs* out) {
+  if (spec.empty()) return Status::OK();
+  size_t start = 0;
+  for (;;) {
+    size_t end = spec.find(',', start);
+    const bool last = end == std::string::npos;
+    if (last) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    const size_t eq = entry.find('=');
+    if (entry == "nogeo") {
+      out->disable_geometric = true;
+    } else if (eq != std::string::npos && eq > 0 && eq + 1 < entry.size()) {
+      const std::string key = entry.substr(0, eq);
+      const std::string val = entry.substr(eq + 1);
+      char* endp = nullptr;
+      const long n = std::strtol(val.c_str(), &endp, 10);
+      if (endp == val.c_str() || *endp != '\0') {
+        return Status::InvalidArgument("--degrade-policy value '" + val +
+                                       "' is not an integer");
+      }
+      if (key == "probe") {
+        if (n < 1) {
+          return Status::InvalidArgument("--degrade-policy probe must be >= 1");
+        }
+        out->probe_every_n = static_cast<int>(n);
+      } else if (key == "cap") {
+        if (n < 0) {
+          return Status::InvalidArgument("--degrade-policy cap must be >= 0");
+        }
+        out->max_candidate_windows = static_cast<int>(n);
+      } else {
+        return Status::InvalidArgument("--degrade-policy key '" + key +
+                                       "' is not probe, cap or nogeo");
+      }
+    } else {
+      return Status::InvalidArgument("--degrade-policy entry '" + entry +
+                                     "' is not probe=N, cap=N or nogeo");
+    }
+    if (last) break;
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+/// Builds the governor config from already-validated monitor flags. With
+/// --qos but no --degrade-policy, Degraded mode defaults to probing every
+/// 2nd window with the Geometric order off.
+qos::QosConfig BuildQosConfig(const Args& a) {
+  qos::QosConfig qc;
+  qc.enabled = a.options.count("qos") > 0;
+  qc.tick_ms = static_cast<int>(a.Num("qos-tick-ms", 50));
+  const std::string dp = a.Str("degrade-policy", "");
+  if (dp.empty()) {
+    qc.degrade.probe_every_n = 2;
+    qc.degrade.disable_geometric = true;
+  } else {
+    (void)ParseDegradePolicy(dp, &qc.degrade);  // validated in CmdMonitor
+  }
+  return qc;
+}
+
 /// Validates a restored snapshot against this invocation: detector
 /// parameters, the query db named on the command line, and the stream file
 /// list must all agree with the checkpointed run.
@@ -467,6 +574,14 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
     pc.on_corruption = core::CorruptionPolicy::kSkip;
   }
   pc.watchdog_ms = static_cast<int>(a.Num("watchdog-ms", 0));
+  pc.push_deadline_ms = static_cast<int>(a.Num("push-deadline-ms", 0));
+  if (a.options.count("qos") > 0) pc.qos = BuildQosConfig(a);
+  std::map<size_t, qos::Priority> priority_map;
+  if (Status st = ParsePriorityMap(a.Str("priority-map", ""),
+                                   a.positional.size() - 1, &priority_map);
+      !st.ok()) {
+    return Fail(st);  // unreachable: CmdMonitor validated the spec pre-I/O
+  }
   // --metrics-out publishes the whole pipeline (decoder, detector, shards,
   // executor) through the process-global registry; without it the executor
   // keeps its own private registry and nothing extra is wired.
@@ -505,6 +620,7 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
     for (const ckpt::SnapshotMatch& m : state->matches) {
       ec.matches.push_back(parallel::SeqMatch{m.seq, m.match});
     }
+    ec.qos = std::move(state->qos);
     if (Status st = (*exec)->RestoreCkpt(ec); !st.ok()) return Fail(st);
     std::printf("restored checkpoint epoch %llu (%zu streams, %zu matches)\n",
                 static_cast<unsigned long long>(state->epoch),
@@ -539,6 +655,7 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
       state.matches.push_back(ckpt::SnapshotMatch{m.seq, m.match});
     }
     state.driver = ToDriverSection(pos);
+    state.qos = std::move(ec->qos);
     if (Status st = ckptr->Save(state); !st.ok()) {
       std::fprintf(stderr, "warning: checkpoint save failed: %s\n",
                    st.ToString().c_str());
@@ -573,7 +690,11 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
         return Fail(st);
       }
     } else {
-      auto sid = (*exec)->OpenStream(pos[i].path);
+      auto prio = priority_map.find(i + 1);  // --priority-map is 1-based
+      auto sid = (*exec)->OpenStream(pos[i].path,
+                                     prio != priority_map.end()
+                                         ? prio->second
+                                         : qos::Priority::kNormal);
       if (!sid.ok()) return Fail(sid.status());
       pos[i].stream_id = *sid;
     }
@@ -664,6 +785,14 @@ int MonitorParallel(const Args& a, const core::DetectorConfig& config,
   if (stats.frames_dropped_failover > 0) {
     std::printf("%lld frames dropped by shard failover\n",
                 static_cast<long long>(stats.frames_dropped_failover));
+  }
+  if (stats.frames_dropped_deadline > 0) {
+    std::printf("%lld frames dropped on the push deadline\n",
+                static_cast<long long>(stats.frames_dropped_deadline));
+  }
+  if (stats.frames_shed > 0) {
+    std::printf("%lld frames shed by the qos governor\n",
+                static_cast<long long>(stats.frames_shed));
   }
   if (degraded > 0) {
     std::printf("%lld frames processed degraded\n",
@@ -852,7 +981,10 @@ void MonitorUsage() {
                "--metrics-out FILE --metrics-interval-ms N "
                "--kernel scalar|popcnt|avx2|avx512|neon "
                "--checkpoint-dir DIR --checkpoint-interval-ms N --restore "
-               "--throttle-ms N]\n");
+               "--throttle-ms N "
+               "--qos --qos-tick-ms N --push-deadline-ms N "
+               "--priority-map IDX=high|normal|low[,...] "
+               "--degrade-policy probe=N,cap=N,nogeo]\n");
 }
 
 int CmdMonitor(const Args& a) {
@@ -950,6 +1082,57 @@ int CmdMonitor(const Args& a) {
                  copt.throttle_ms);
     MonitorUsage();
     return 2;
+  }
+  const bool qos_on = a.options.count("qos") > 0;
+  const int push_deadline_ms = static_cast<int>(a.Num("push-deadline-ms", 0));
+  if (push_deadline_ms < 0) {
+    std::fprintf(stderr, "error: --push-deadline-ms must be >= 0 (got %d)\n",
+                 push_deadline_ms);
+    MonitorUsage();
+    return 2;
+  }
+  if (push_deadline_ms > 0 && threads <= 0) {
+    std::fprintf(stderr, "error: --push-deadline-ms requires --threads >= 1\n");
+    MonitorUsage();
+    return 2;
+  }
+  if (!qos_on && (a.options.count("qos-tick-ms") > 0 ||
+                  a.options.count("priority-map") > 0 ||
+                  a.options.count("degrade-policy") > 0)) {
+    std::fprintf(stderr,
+                 "error: --qos-tick-ms/--priority-map/--degrade-policy "
+                 "require --qos\n");
+    MonitorUsage();
+    return 2;
+  }
+  if (qos_on) {
+    if (threads <= 0) {
+      std::fprintf(stderr,
+                   "error: --qos requires --threads >= 1 (the governor runs "
+                   "on the parallel executor)\n");
+      MonitorUsage();
+      return 2;
+    }
+    std::map<size_t, qos::Priority> pmap;
+    if (Status st = ParsePriorityMap(a.Str("priority-map", ""),
+                                     a.positional.size() - 1, &pmap);
+        !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      MonitorUsage();
+      return 2;
+    }
+    qos::DegradeKnobs knobs;
+    if (Status st = ParseDegradePolicy(a.Str("degrade-policy", ""), &knobs);
+        !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      MonitorUsage();
+      return 2;
+    }
+    if (Status st = BuildQosConfig(a).Validate(); !st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      MonitorUsage();
+      return 2;
+    }
   }
   auto db = core::LoadQueriesFile(a.positional[0]);
   if (!db.ok()) return Fail(db.status());
